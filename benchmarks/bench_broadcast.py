@@ -1,0 +1,107 @@
+"""E9 (extension) — one-to-all broadcast on DN(d, k).
+
+Beyond the paper's artifacts: the collective-communication workload that
+motivates de Bruijn multiprocessors (Samatham–Pradhan).  Compares the
+BFS-tree relay against the naive root-unicast storm and against the
+eccentricity lower bound, across network sizes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.network.broadcast import (
+    broadcast_lower_bound,
+    simulate_tree_broadcast,
+    simulate_unicast_broadcast,
+)
+from repro.network.router import BidirectionalOptimalRouter
+
+SIZES = [(2, 3), (2, 4), (2, 5), (2, 6), (2, 7), (3, 3), (3, 4)]
+
+
+def test_broadcast_scaling(benchmark, report):
+    """Tree-relay makespan grows ~linearly in k; unicast grows ~linearly in N."""
+
+    def sweep():
+        rows = []
+        for d, k in SIZES:
+            root = (0,) * k
+            n = d**k
+            bound = broadcast_lower_bound(d, k, root)
+            _, tree_time = simulate_tree_broadcast(d, k, root)
+            _, unicast_time = simulate_unicast_broadcast(
+                d, k, root, BidirectionalOptimalRouter())
+            rows.append((d, k, n, bound, tree_time, unicast_time,
+                         unicast_time / tree_time))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for d, k, n, bound, tree_time, unicast_time, speedup in rows:
+        assert tree_time >= bound
+        assert tree_time <= 3 * d * k  # O(d·k), not O(N)
+        assert unicast_time >= (n - 1) / (2 * d)  # root-link serialisation
+        if n >= 32:
+            assert speedup > 1.5
+    report("E9 (extension) — one-to-all broadcast makespans\n"
+           + format_table(["d", "k", "N", "lower bound", "tree relay",
+                           "unicast storm", "speedup"], rows, precision=2)
+           + "\ntree relay stays O(d*k); the unicast storm pays Θ(N/d) at the root links.")
+
+
+def test_tree_broadcast_throughput(benchmark):
+    """pytest-benchmark timing of a DN(2,6) tree broadcast."""
+    result = benchmark(lambda: simulate_tree_broadcast(2, 6)[0].delivered_count)
+    assert result == 63
+
+
+def test_aggregation_convergecast(benchmark, report):
+    """All-to-one reduction up the tree vs the naive all-to-root storm."""
+    from repro.network.broadcast import simulate_tree_aggregation
+
+    def sweep():
+        rows = []
+        for d, k in [(2, 4), (2, 5), (2, 6), (3, 3)]:
+            n = d**k
+            _, aggregated = simulate_tree_aggregation(d, k)
+            _, naive = simulate_unicast_broadcast(
+                d, k, (0,) * k, BidirectionalOptimalRouter())
+            rows.append((d, k, n, aggregated, naive, naive / aggregated))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for d, k, n, aggregated, naive, speedup in rows:
+        assert aggregated < naive
+        if n >= 32:
+            assert speedup > 1.4
+    report("E9 (extension) — convergecast: tree aggregation vs all-to-root storm\n"
+           + format_table(["d", "k", "N", "tree aggregation", "naive storm", "speedup"],
+                          rows, precision=2))
+
+
+def test_gossip_vs_tree_broadcast(benchmark, report):
+    """Unstructured gossip vs the spanning tree, healthy and under faults."""
+    import random as _random
+
+    from repro.network.gossip import push_gossip
+
+    def sweep():
+        rows = []
+        for d, k in [(2, 4), (2, 6), (3, 3)]:
+            n = d**k
+            root = (0,) * k
+            _, tree_time = simulate_tree_broadcast(d, k, root)
+            gossip = push_gossip(d, k, root, rng=_random.Random(n))
+            rows.append((d, k, n, tree_time, gossip.rounds, gossip.messages,
+                         gossip.messages / max(n - 1, 1)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for d, k, n, tree_time, rounds, messages, redundancy in rows:
+        assert rounds >= __import__("math").ceil(__import__("math").log2(n))
+        assert messages >= n - 1  # at least one message per informed site
+        assert redundancy < 6 * __import__("math").log2(n)  # bounded waste
+    report("E9 (extension) — push gossip vs tree broadcast\n"
+           + format_table(["d", "k", "N", "tree makespan", "gossip rounds",
+                           "gossip messages", "messages per site"], rows, precision=2)
+           + "\ngossip needs no tree and shrugs off failures, paying redundant sends;"
+           "\nthe tree is message-optimal but a single dead interior site orphans a subtree.")

@@ -1,0 +1,116 @@
+"""E4 — Section 3 complexity claims: O(k), O(k²) and O(k) again.
+
+The paper's complexity statements:
+
+* Algorithm 1 (uni-directional routing) — O(k) time and space;
+* Algorithm 2 (bi-directional, matching functions) — O(k²) time, O(k) space;
+* Algorithm 4 (bi-directional, prefix trees) — O(k) time and space.
+
+This bench times all three on random vertex pairs across a k sweep, fits
+log-log slopes, and reports the measured exponents together with the
+k where the linear Algorithm 4 starts beating the quadratic Algorithm 2 —
+the paper's closing remark ("when the diameter k ... is small, the use of
+conceptually simpler pattern matching algorithms ... may not be worse").
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.routing import shortest_path_undirected, shortest_path_unidirectional
+from repro.core.word import random_word
+
+K_SWEEP = (16, 32, 64, 128, 256)
+PAIRS_PER_K = 8
+
+
+def _pairs(k: int, count: int = PAIRS_PER_K):
+    rng = random.Random(k)
+    return [(random_word(2, k, rng), random_word(2, k, rng)) for _ in range(count)]
+
+
+def _run_alg1(pairs):
+    for x, y in pairs:
+        shortest_path_unidirectional(x, y)
+
+
+def _run_alg2(pairs):
+    for x, y in pairs:
+        shortest_path_undirected(x, y, method="matching")
+
+
+def _run_alg4(pairs):
+    for x, y in pairs:
+        shortest_path_undirected(x, y, method="suffix_tree")
+
+
+ALGORITHMS = {
+    "alg1-unidirectional": _run_alg1,
+    "alg2-matching": _run_alg2,
+    "alg4-suffix-tree": _run_alg4,
+}
+
+
+@pytest.mark.parametrize("k", K_SWEEP)
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_routing_time_at_k(benchmark, name, k):
+    """pytest-benchmark timing of each algorithm at each k."""
+    pairs = _pairs(k)
+    benchmark(ALGORITHMS[name], pairs)
+
+
+def _measure(fn, pairs, repeats=5):
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(pairs)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_scaling_exponents(benchmark, report):
+    """Fit log-log slopes; assert quadratic vs linear separation."""
+
+    def sweep():
+        results = {name: [] for name in ALGORITHMS}
+        for k in K_SWEEP:
+            pairs = _pairs(k)
+            for name, fn in ALGORITHMS.items():
+                results[name].append((k, _measure(fn, pairs)))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    slopes = {}
+    for name, points in results.items():
+        xs = [math.log(k) for k, _ in points]
+        ys = [math.log(t) for _, t in points]
+        n = len(xs)
+        mean_x, mean_y = sum(xs) / n, sum(ys) / n
+        slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / sum(
+            (x - mean_x) ** 2 for x in xs
+        )
+        slopes[name] = slope
+    # The quadratic algorithm must scale visibly worse than the linear ones.
+    assert slopes["alg2-matching"] > slopes["alg4-suffix-tree"] + 0.5
+    assert slopes["alg2-matching"] > 1.5
+    assert slopes["alg4-suffix-tree"] < 1.6
+    assert slopes["alg1-unidirectional"] < 1.6
+    crossover = None
+    for k, t2 in results["alg2-matching"]:
+        t4 = dict(results["alg4-suffix-tree"])[k]
+        if t4 < t2:
+            crossover = k
+            break
+    rows = [
+        (name, slopes[name], *(f"{t * 1e3:.2f}ms" for _, t in results[name]))
+        for name in sorted(ALGORITHMS)
+    ]
+    report("E4 — complexity scaling (8 pairs per k; best-of-5 wall clock)\n"
+           + format_table(["algorithm", "log-log slope"] + [f"k={k}" for k in K_SWEEP], rows)
+           + f"\npaper claims: alg1 O(k), alg2 O(k^2), alg4 O(k)"
+           + f"\nmeasured crossover (alg4 faster than alg2) at k = {crossover}")

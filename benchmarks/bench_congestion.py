@@ -1,0 +1,62 @@
+"""E12 (extension) — offline congestion of adversarial permutations.
+
+The static counterpart of E6: route the classical permutation stress
+patterns and measure the induced link loads.  The optimal router's
+shorter routes cut total traffic; the congestion (max link load) shows
+which patterns are genuinely hard for de Bruijn topologies (address-
+transform permutations that funnel many pairs through few links).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.load import adversarial_patterns, congestion
+from repro.analysis.tables import format_table
+from repro.network.router import BidirectionalOptimalRouter, TrivialRouter, ValiantRouter
+
+D, K = 2, 6
+
+
+def test_adversarial_pattern_congestion(benchmark, report):
+    """Max/mean link load per pattern: optimal vs trivial vs Valiant."""
+
+    def sweep():
+        rows = []
+        for pattern, demands in adversarial_patterns(D, K).items():
+            for label, router in [
+                ("optimal", BidirectionalOptimalRouter(use_wildcards=False)),
+                ("trivial", TrivialRouter()),
+                ("valiant", ValiantRouter(D, K, seed=1990)),
+            ]:
+                report_ = congestion(demands, router, D)
+                rows.append((
+                    pattern,
+                    label,
+                    report_.demands,
+                    report_.mean_hops,
+                    report_.max_load,
+                    report_.mean_load,
+                    report_.fairness,
+                ))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_key = {(row[0], row[1]): row for row in rows}
+    for pattern in adversarial_patterns(D, K):
+        optimal = by_key[(pattern, "optimal")]
+        trivial = by_key[(pattern, "trivial")]
+        valiant = by_key[(pattern, "valiant")]
+        assert optimal[3] <= trivial[3] + 1e-9  # mean hops never worse
+        assert optimal[3] <= K
+        # Valiant pays up to two optimal legs and its load is pattern-
+        # independent (≈ two uniform loads) — never much above 2·δ̄ hops.
+        assert valiant[3] <= 2 * K
+    # The cyclic shift is the de Bruijn home game: every route is 1 hop.
+    assert by_key[("cyclic-shift", "optimal")][3] == 1.0
+    report(f"E12 (extension) — offline congestion of permutation patterns on DN({D},{K})\n"
+           + format_table(
+               ["pattern", "router", "demands", "mean hops", "max link load",
+                "mean link load", "fairness"], rows, precision=3)
+           + "\ncyclic shifts ride single de Bruijn edges; reversal/complement pay"
+           "\nnear-diameter routes.  Negative finding: Valiant's two-phase insurance"
+           "\nbuys little here — the optimal router's address algebra already"
+           "\ndecorrelates the classical patterns, so Valiant mostly doubles hops.")

@@ -1,0 +1,97 @@
+"""E16 (extension) — Koorde: de Bruijn routing as a DHT, vs Chord.
+
+The calibration note for this reproduction observes that "Koorde variants
+exist" — Koorde *is* the de Bruijn paper's routing idea re-deployed as a
+peer-to-peer lookup structure.  This bench measures the classical
+comparison on static random rings:
+
+* hops: both resolve lookups in O(log N);
+* state: Koorde needs **2 pointers per node** (successor + de Bruijn
+  finger) where Chord needs b = O(log N) fingers — the constant-degree
+  advantage inherited straight from the de Bruijn graph.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.analysis.tables import format_table
+from repro.dht.chord import ChordRing
+from repro.dht.koorde import KoordeRing
+
+BITS = 12  # 4096-id space
+POPULATIONS = (16, 64, 256, 1024)
+LOOKUPS = 300
+
+
+def _random_ring(n: int, seed: int):
+    rng = random.Random(seed)
+    return sorted(rng.sample(range(1 << BITS), n)), rng
+
+
+def test_koorde_vs_chord(benchmark, report):
+    """Mean/max lookup hops and per-node state across ring sizes."""
+
+    def sweep():
+        rows = []
+        for n in POPULATIONS:
+            nodes, rng = _random_ring(n, seed=n)
+            koorde = KoordeRing(BITS, nodes)
+            chord = ChordRing(BITS, nodes)
+            pairs = [(rng.choice(nodes), rng.randrange(1 << BITS)) for _ in range(LOOKUPS)]
+            k_mean, k_max, k_db, k_succ = koorde.lookup_statistics(pairs)
+            c_mean, c_max = chord.lookup_statistics(pairs)
+            rows.append((n, math.log2(n), k_mean, k_max, koorde.state_size(),
+                         c_mean, c_max, chord.state_size()))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for n, log_n, k_mean, k_max, k_state, c_mean, c_max, c_state in rows:
+        # Correctness is asserted inside lookup_statistics path checks;
+        # here pin the scaling claims.  The basic Koorde protocol pays a
+        # ~2-3x constant over Chord per bit (one de Bruijn hop plus ~2
+        # successor corrections) in exchange for O(1) state.
+        assert k_mean <= 3.5 * log_n + 4
+        assert c_mean <= 1.5 * log_n + 2
+        assert k_state == 2 and c_state == BITS
+    # Logarithmic growth: 64x more nodes costs ~4x hops, far below linear.
+    assert rows[-1][2] < 6 * rows[0][2]
+    ratio = rows[-1][2] / rows[0][2]
+    population_ratio = POPULATIONS[-1] / POPULATIONS[0]
+    assert ratio < population_ratio / 4
+    report(f"E16 (extension) — Koorde (de Bruijn DHT) vs Chord, {BITS}-bit ids, "
+           f"{LOOKUPS} random lookups per ring\n"
+           + format_table(
+               ["N", "log2 N", "koorde mean", "koorde max", "koorde state/node",
+                "chord mean", "chord max", "chord state/node"],
+               rows, precision=2)
+           + "\nsame O(log N) hop growth; Koorde pays 2 pointers/node vs Chord's log N —"
+           "\nthe de Bruijn degree/diameter trade, thirteen years later.")
+
+
+def test_koorde_start_optimization_ablation(benchmark, report):
+    """The start-imaginary optimisation: fewer de Bruijn hops per lookup."""
+
+    def sweep():
+        rows = []
+        for n in (64, 512):
+            nodes, rng = _random_ring(n, seed=7 * n)
+            ring = KoordeRing(BITS, nodes)
+            pairs = [(rng.choice(nodes), rng.randrange(1 << BITS)) for _ in range(LOOKUPS)]
+            for label, optimized in [("optimized i", True), ("plain i = m", False)]:
+                mean_hops, max_hops, db, succ = ring.lookup_statistics(
+                    pairs, optimized_start=optimized)
+                rows.append((n, label, mean_hops, max_hops, db, succ))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for n in (64, 512):
+        optimized = next(r for r in rows if r[0] == n and r[1] == "optimized i")
+        plain = next(r for r in rows if r[0] == n and r[1] == "plain i = m")
+        assert optimized[4] <= plain[4]  # fewer (or equal) de Bruijn hops
+        assert optimized[2] <= plain[2] + 1e-9  # and no worse overall
+    report("E16 (ablation) — Koorde start-imaginary optimisation\n"
+           + format_table(
+               ["N", "start rule", "mean hops", "max hops",
+                "mean de Bruijn hops", "mean successor hops"], rows, precision=2))

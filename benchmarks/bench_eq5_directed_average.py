@@ -1,0 +1,76 @@
+"""E2 — Equation (5): average distance of the directed de Bruijn graph.
+
+The paper derives δ(d, k) = k − (1 − α^k)·α/(1 − α) with α = 1/d, and in
+particular δ(2, k) = k − 1 + 1/2^k.  This bench regenerates the closed
+form next to the *exact* all-pairs mean and reports the gap.
+
+Reproduction finding: the closed form is an upper-bound approximation —
+the model treats "overlap >= s" as a single digit-equality event, but a
+long overlap does not require shorter ones, so real distances average
+slightly lower.  The gap approaches α/ᾱ − something small; it is bounded
+by one hop at every size measured and vanishes as d grows.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.distributions import eq5_comparison_rows
+from repro.analysis.tables import format_table
+from repro.core.average_distance import (
+    directed_average_distance_closed_form,
+    directed_average_distance_sampled,
+)
+
+D_VALUES = (2, 3, 4, 5)
+K_MAX = 9
+
+
+def test_eq5_exact_vs_closed_form(benchmark, report):
+    """Closed form vs exact mean over every ordered pair (vectorised)."""
+    rows = benchmark(eq5_comparison_rows, D_VALUES, K_MAX)
+    for d, k, closed, measured, gap in rows:
+        if d == 2:
+            assert abs(closed - (k - 1 + 0.5**k)) < 1e-12
+        assert gap >= -1e-12
+        assert gap < 1.0
+        if k >= 2:
+            assert gap > 0.0  # (5) strictly overestimates for k >= 2
+    report("E2 / Equation (5) — directed average distance δ(d, k)\n"
+           + format_table(["d", "k", "eq(5) closed form", "exact mean", "gap (closed-exact)"], rows)
+           + "\npaper claim: δ(2,k) = k - 1 + 1/2^k   [closed form reproduced exactly]"
+           + "\nfinding:     eq(5) is an upper bound; exact mean is lower by < 1 hop.")
+
+
+def test_eq5_ball_size_explanation(benchmark, report):
+    """Why (5) overestimates: real reachability balls beat the model's d^t."""
+    from repro.analysis.balls import ball_deficit_rows
+
+    rows = benchmark(ball_deficit_rows, 2, 6)
+    for t, mean, model, ratio in rows:
+        assert mean >= model - 1e-9
+        if 0 < t < 6:
+            assert ratio > 1.0
+    report("E2 (explanation) — mean out-ball sizes on DG(2,6) vs the eq(5) model\n"
+           + format_table(["radius t", "mean |ball_t|", "model d^t", "ratio"], rows)
+           + "\nreal balls exceed d^t at every interior radius (reach sets collide"
+           "\nacross radii), so vertices sit closer than the geometric model claims.")
+
+
+def test_eq5_sampled_large_k(benchmark, report):
+    """Sampled means for k far beyond enumerable sizes (shape check)."""
+
+    def sample():
+        rows = []
+        for d, k in [(2, 12), (2, 16), (2, 24), (3, 10), (4, 8)]:
+            closed = directed_average_distance_closed_form(d, k)
+            sampled = directed_average_distance_sampled(d, k, samples=2000, rng=random.Random(k * d))
+            rows.append((d, k, closed, sampled, closed - sampled))
+        return rows
+
+    rows = benchmark(sample)
+    for _, k, closed, sampled, gap in rows:
+        assert abs(gap) < 1.0  # the bound persists at large k
+        assert sampled > k - 2  # mean stays within two hops of the diameter
+    report("E2 (extension) — sampled directed means at large k\n"
+           + format_table(["d", "k", "eq(5)", "sampled mean", "gap"], rows))

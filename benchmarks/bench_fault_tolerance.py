@@ -1,0 +1,111 @@
+"""E7 — fault tolerance: the cited Pradhan–Reddy d−1 guarantee, in motion.
+
+Paper Section 1: de Bruijn networks "are able to tolerate up to d − 1
+processor failures".  This bench checks the guarantee structurally
+(connectivity under every/random (d−1)-subset of failures, vertex-disjoint
+route families) and dynamically (delivery rates with hop-by-hop rerouting
+as the failure count crosses the d − 1 threshold).
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations, islice
+
+from repro.analysis.tables import format_table
+from repro.graphs.debruijn import undirected_graph
+from repro.network.faults import is_connected_after_failures, vertex_disjoint_paths
+from repro.network.router import BidirectionalOptimalRouter
+from repro.network.simulator import Simulator
+from repro.network.traffic import random_pairs
+
+
+def test_connectivity_under_d_minus_1_failures(benchmark, report):
+    """Exhaustive/sampled subsets of d−1 failures never disconnect."""
+
+    def sweep():
+        rows = []
+        for d, k, budget in [(2, 4, None), (2, 5, None), (3, 3, 400), (4, 2, 400)]:
+            graph = undirected_graph(d, k)
+            words = list(graph.vertices())
+            subsets = combinations(words, d - 1)
+            if budget is not None:
+                subsets = islice(subsets, budget)
+            checked = 0
+            failures = 0
+            for failed in subsets:
+                checked += 1
+                if not is_connected_after_failures(graph, failed):
+                    failures += 1
+            rows.append((d, k, d - 1, checked, failures))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(row[-1] == 0 for row in rows)
+    report("E7 — connectivity after any (d-1)-subset of site failures\n"
+           + format_table(["d", "k", "failures injected", "subsets checked", "disconnections"],
+                          rows))
+
+
+def test_disjoint_path_families(benchmark, report):
+    """Greedy vertex-disjoint route counts meet the d−1 bound."""
+
+    def count_paths():
+        rows = []
+        for d, k in [(2, 4), (3, 3), (4, 2)]:
+            graph = undirected_graph(d, k)
+            rng = random.Random(d * 100 + k)
+            words = list(graph.vertices())
+            minimum = None
+            total = 0
+            trials = 40
+            for _ in range(trials):
+                x, y = rng.choice(words), rng.choice(words)
+                while y == x:
+                    y = rng.choice(words)
+                found = len(vertex_disjoint_paths(graph, x, y))
+                total += found
+                minimum = found if minimum is None else min(minimum, found)
+            rows.append((d, k, d - 1, minimum, total / trials))
+        return rows
+
+    rows = benchmark.pedantic(count_paths, rounds=1, iterations=1)
+    for _, _, bound, minimum, _ in rows:
+        assert minimum >= bound
+    report("E7 — greedy vertex-disjoint path families (40 random pairs each)\n"
+           + format_table(["d", "k", "d-1 bound", "min found", "mean found"], rows))
+
+
+def test_delivery_rate_vs_failure_count(benchmark, report):
+    """Delivery under rerouting as failures cross the tolerance threshold."""
+    d, k = 3, 3  # tolerance d-1 = 2
+
+    def sweep():
+        rows = []
+        for failed_count in range(0, 5):
+            rng = random.Random(42 + failed_count)
+            words = [w for w in undirected_graph(d, k).vertices()]
+            failed = rng.sample(words, failed_count)
+            sim = Simulator(d, k, reroute_on_failure=True)
+            for w in failed:
+                sim.fail_node(w, at=0.0)
+            survivors = [w for w in words if w not in failed]
+            sent = 0
+            for t, x, y in random_pairs(d, k, count=300, spacing=0.5, rng=rng):
+                if x in survivors and y in survivors:
+                    sim.send(x, y, BidirectionalOptimalRouter(), at=t + 1.0)
+                    sent += 1
+            stats = sim.run()
+            rows.append((failed_count, sent, stats.delivered_count,
+                         stats.delivered_count / sent, stats.rerouted))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for failed_count, sent, delivered, rate, _ in rows:
+        if failed_count <= d - 1:
+            # Within the tolerance bound every surviving pair stays
+            # connected, so rerouting must deliver everything.
+            assert delivered == sent
+    report(f"E7 — DN({d},{k}) delivery with hop-by-hop rerouting (tolerance d-1 = {d - 1})\n"
+           + format_table(["failed sites", "sent", "delivered", "delivery rate", "reroutes"],
+                          rows))

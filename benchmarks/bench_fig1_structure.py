@@ -1,0 +1,88 @@
+"""E1 — Figure 1: structure of the de Bruijn graphs DG(2, 3) and beyond.
+
+Regenerates the structural facts the paper states in Section 1 around
+Figure 1: vertex/edge counts, the degree census after redundancy removal,
+self-loop count, connectivity and diameter.  The undirected census uses
+the *corrected* formula (see repro.graphs.properties docstring; the
+scanned paper's statement is incomplete).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.graphs.debruijn import DeBruijnGraph
+from repro.graphs.properties import (
+    degree_census,
+    expected_directed_census,
+    expected_undirected_census,
+    structural_report,
+)
+
+GRID = [(2, 3), (2, 4), (2, 6), (3, 3), (4, 2), (3, 4)]
+
+
+def _census_rows():
+    rows = []
+    for d, k in GRID:
+        for directed in (True, False):
+            graph = DeBruijnGraph(d, k, directed=directed)
+            census = degree_census(graph)
+            expected = (
+                expected_directed_census(d, k) if directed else expected_undirected_census(d, k)
+            )
+            rows.append(
+                (
+                    d,
+                    k,
+                    "directed" if directed else "undirected",
+                    graph.order,
+                    graph.size(),
+                    str(dict(sorted(census.items(), reverse=True))),
+                    census == expected,
+                )
+            )
+    return rows
+
+
+def test_fig1_exact_graph_dg23(benchmark, report):
+    """The literal Figure-1 graph: directed and undirected DG(2, 3)."""
+    result = benchmark(lambda: (structural_report(DeBruijnGraph(2, 3, True)),
+                                structural_report(DeBruijnGraph(2, 3, False))))
+    directed, undirected = result
+    assert directed["order"] == 8 and directed["raw_arcs"] == 16
+    assert directed["simple_edges"] == 14 and directed["self_loops"] == 2
+    assert undirected["simple_edges"] == 13
+    assert directed["diameter"] == 3 and undirected["diameter"] == 3
+    report(format_table(
+        ["graph", "N", "arcs(raw)", "edges", "loops", "diameter", "connected"],
+        [
+            ["DG(2,3) directed", directed["order"], directed["raw_arcs"],
+             directed["simple_edges"], directed["self_loops"], directed["diameter"],
+             directed["connected"]],
+            ["DG(2,3) undirected", undirected["order"], undirected["raw_arcs"],
+             undirected["simple_edges"], undirected["self_loops"], undirected["diameter"],
+             undirected["connected"]],
+        ],
+    ))
+
+
+def test_fig1_degree_census_grid(benchmark, report):
+    """Degree census vs closed-form expectation over a (d, k) grid."""
+    rows = benchmark(_census_rows)
+    assert all(row[-1] for row in rows), "census formula mismatch"
+    report("E1 / Figure 1 — degree census after removing redundant edges\n"
+           + format_table(["d", "k", "orientation", "N", "edges", "census", "matches-formula"], rows))
+
+
+def test_fig1_diameter_is_k(benchmark, report):
+    """Paper Section 2 preamble: the diameter of DG(d, k) equals k."""
+    from repro.graphs.properties import diameter
+
+    def diameters():
+        return [(d, k, o, diameter(DeBruijnGraph(d, k, directed=o)))
+                for d, k in [(2, 3), (2, 5), (3, 3)] for o in (True, False)]
+
+    rows = benchmark(diameters)
+    assert all(value == k for _, k, _, value in rows)
+    report("E1 — diameter check (paper: diameter(DG(d,k)) = k)\n"
+           + format_table(["d", "k", "directed", "diameter"], rows))

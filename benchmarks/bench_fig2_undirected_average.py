@@ -1,0 +1,71 @@
+"""E3 — Figure 2: average distance of the undirected de Bruijn graphs.
+
+The paper gives no closed form for the undirected average distance δ̄(d, k)
+and presents numerical curves instead (computed for the report by Michel
+Syska).  This bench regenerates the series: exact all-pairs means for all
+sizes that fit the memory guard, extended by uniform sampling, and renders
+the curves as an ASCII plot.
+
+Shape checks encoded as assertions:
+* δ̄ grows monotonically in k and stays strictly below the directed mean;
+* bidirectional links buy real distance: δ̄/k sits well below 1 (≈ 0.5-0.65
+  at the sizes measured) while the directed ratio tends to 1;
+* at fixed k, δ̄ increases with d toward the diameter.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.distributions import figure2_series
+from repro.analysis.exact import directed_average_distance
+from repro.analysis.tables import format_table
+from repro.analysis.textplot import render_plot
+from repro.core.average_distance import undirected_average_distance_sampled
+
+D_VALUES = (2, 3, 4, 5)
+K_MAX = 10
+CELL_GUARD = 1_048_576  # exact enumeration up to N = 1024
+
+
+def test_fig2_exact_series(benchmark, report):
+    """Exact δ̄(d, k) for every size within the guard."""
+    series = benchmark(figure2_series, D_VALUES, K_MAX, CELL_GUARD)
+    rows = []
+    for d in D_VALUES:
+        points = series[d]
+        means = [m for _, m in points]
+        assert means == sorted(means)  # monotone in k
+        for k, mean in points:
+            directed_mean = directed_average_distance(d, k)
+            assert mean <= directed_mean + 1e-9
+            rows.append((d, k, mean, directed_mean, mean / k))
+    # At fixed k, the mean approaches the diameter as d grows.
+    fixed_k = 3
+    at_k = [series[d] for d in D_VALUES]
+    means_at_k = [dict(points).get(fixed_k) for points in at_k]
+    means_at_k = [m for m in means_at_k if m is not None]
+    assert means_at_k == sorted(means_at_k)
+    report("E3 / Figure 2 — undirected average distance δ̄(d, k), exact\n"
+           + format_table(["d", "k", "undirected mean", "directed mean", "mean / k"], rows)
+           + "\n" + render_plot(
+               {f"d={d}": [(float(k), m) for k, m in series[d]] for d in D_VALUES},
+               x_label="k", y_label="average distance"))
+
+
+def test_fig2_sampled_extension(benchmark, report):
+    """Monte-Carlo extension of the d = 2 curve to k = 16."""
+
+    def sample():
+        rows = []
+        for k in (8, 10, 12, 14, 16):
+            mean = undirected_average_distance_sampled(2, k, samples=3000, rng=random.Random(k))
+            rows.append((2, k, mean, mean / k))
+        return rows
+
+    rows = benchmark(sample)
+    ratios = [ratio for _, _, _, ratio in rows]
+    for ratio in ratios:
+        assert 0.4 < ratio < 0.8  # the δ̄ ≈ 0.55·k shape persists
+    report("E3 (extension) — sampled δ̄(2, k) for large k\n"
+           + format_table(["d", "k", "sampled mean", "mean / k"], rows))

@@ -1,0 +1,139 @@
+"""E6 — end-to-end routing in the simulated DN(d, k) (paper Section 3).
+
+The paper defines the message format and per-site forwarding rule but
+reports no system numbers; this bench supplies the system evaluation a
+reader would want:
+
+* mean hop counts under uniform traffic for the optimal router vs the
+  trivial diameter-path router vs BFS next-hop tables — the hop savings
+  the distance functions predict (δ̄ vs k), observed in motion;
+* the wildcard ``*`` ablation: identical path lengths, better load
+  spreading (the paper's "traffic could be more or less balanced" remark);
+* the memory ablation: table-driven routing pays O(N) cells per
+  destination while the paper's routers carry no state.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.exact import undirected_average_distance
+from repro.analysis.tables import format_table
+from repro.graphs.debruijn import undirected_graph
+from repro.network.router import (
+    BidirectionalOptimalRouter,
+    RandomMinimalRouter,
+    TableDrivenRouter,
+    TrivialRouter,
+)
+from repro.network.simulator import Simulator, run_workload
+from repro.network.traffic import random_pairs
+
+D, K = 2, 6  # 64 sites
+MESSAGES = 600
+
+
+def _workload():
+    return random_pairs(D, K, count=MESSAGES, spacing=0.25, rng=random.Random(1990))
+
+
+def _simulate(router):
+    simulator = Simulator(D, K)
+    return run_workload(simulator, router, list(_workload()))
+
+
+def test_router_comparison_uniform_traffic(benchmark, report):
+    """Optimal vs table-driven vs trivial under the same message stream."""
+
+    def run_all():
+        routers = [
+            BidirectionalOptimalRouter(),
+            TableDrivenRouter(undirected_graph(D, K)),
+            TrivialRouter(),
+        ]
+        rows = []
+        for router in routers:
+            stats = _simulate(router)
+            summary = stats.summary()
+            rows.append((
+                router.name,
+                summary["delivered"],
+                summary["mean_hops"],
+                summary["mean_latency"],
+                summary["p95_latency"],
+                summary["max_link_load"],
+                router.memory_cells(),
+            ))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    by_name = {row[0]: row for row in rows}
+    optimal = by_name["optimal-bidirectional[auto]"]
+    table = by_name["table-driven[bi]"]
+    trivial = by_name["trivial"]
+    assert optimal[1] == table[1] == trivial[1] == MESSAGES  # all delivered
+    assert optimal[2] == pytest.approx(table[2])  # both shortest
+    assert trivial[2] == pytest.approx(K)  # diameter path every time
+    assert optimal[2] < trivial[2]
+    assert optimal[6] == 0 and table[6] > 0  # the memory ablation
+    predicted = undirected_average_distance(D, K)
+    report(f"E6 — DN({D},{K}) uniform traffic, {MESSAGES} messages "
+           f"(predicted mean distance δ̄ = {predicted:.3f})\n"
+           + format_table(
+               ["router", "delivered", "mean hops", "mean latency",
+                "p95 latency", "max link load", "table cells"],
+               rows, precision=3)
+           + "\nshape: optimal ≈ δ̄ hops; trivial = k hops; tables pay O(N)/destination memory.")
+
+
+def test_wildcard_load_balancing_ablation(benchmark, report):
+    """The paper's ``*`` remark: same distance, better balance."""
+
+    def run_ablation():
+        rows = []
+        from repro.network.router import AdaptiveGreedyRouter
+
+        strategies = [
+            ("wildcards (*)", BidirectionalOptimalRouter(use_wildcards=True)),
+            ("fixed filler 0", BidirectionalOptimalRouter(use_wildcards=False)),
+            ("random minimal", RandomMinimalRouter(D, seed=1990)),
+            ("adaptive greedy", AdaptiveGreedyRouter(D)),
+        ]
+        for label, router in strategies:
+            stats = _simulate(router)
+            summary = stats.summary()
+            rows.append((
+                label,
+                summary["mean_hops"],
+                summary["max_link_load"],
+                summary["load_fairness"],
+                summary["mean_queue_delay"],
+            ))
+        return rows
+
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    wild, fixed, randomized, adaptive = rows
+    assert wild[1] == pytest.approx(fixed[1]) == pytest.approx(randomized[1])
+    assert adaptive[1] == pytest.approx(fixed[1])  # all four stay minimal
+    assert wild[2] <= fixed[2]  # no worse hot link
+    assert wild[3] >= fixed[3] - 1e-9  # no worse fairness
+    assert randomized[3] >= fixed[3] - 1e-9  # randomisation spreads load too
+    # Adaptive greedy reacts to queue state; at this light load queues are
+    # mostly empty, so its deterministic tie-bias can make the static load
+    # picture *worse* — its payoff shows up in queueing delay under
+    # pressure (see E10), not in idle-network link counts.  Sanity only:
+    assert adaptive[2] <= 1.5 * fixed[2]
+    report("E6 (ablation) — arbitrary-digit policy: wildcard vs fixed vs randomised vs adaptive\n"
+           + format_table(
+               ["policy", "mean hops", "max link load", "Jain fairness", "mean queue delay"],
+               rows)
+           + "\nrandomised routing wins the static balance; adaptive greedy only pays off"
+           "\nonce queues actually form (it reads live link state, not history).")
+
+
+def test_simulation_throughput(benchmark):
+    """pytest-benchmark timing of one full 600-message simulation."""
+    result = benchmark(lambda: _simulate(BidirectionalOptimalRouter()).delivered_count)
+    assert result == MESSAGES

@@ -1,0 +1,51 @@
+"""E13 (extension) — distributed sorting on the embedded linear array.
+
+Executes the Samatham–Pradhan "sorting network" claim: one key per site,
+odd–even transposition over the dilation-1 Hamiltonian-path embedding.
+Rounds scale as N (the algorithm's bound) and every round is a single
+parallel cycle of one-hop exchanges — only possible because the embedding
+has dilation 1.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.tables import format_table
+from repro.network.sorting import odd_even_transposition_sort, worst_case_rounds
+
+SIZES = [(2, 3), (2, 4), (2, 5), (2, 6), (2, 7), (3, 3), (3, 4)]
+
+
+def test_sorting_scaling(benchmark, report):
+    """Rounds and message counts across network sizes."""
+
+    def sweep():
+        rows = []
+        for d, k in SIZES:
+            n = d**k
+            rng = random.Random(n)
+            keys = [rng.randrange(10 * n) for _ in range(n)]
+            result = odd_even_transposition_sort(d, k, keys)
+            assert list(result.final_keys) == sorted(keys)
+            rows.append((d, k, n, result.rounds_used, worst_case_rounds(n),
+                         result.messages, result.messages / n))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for d, k, n, rounds_used, bound, messages, _ in rows:
+        assert rounds_used <= bound
+        # Each round exchanges ~n/2 pairs at 2 messages each: ~n msgs/round.
+        assert messages <= bound * n
+    report("E13 (extension) — odd-even transposition sort on the embedded array\n"
+           + format_table(["d", "k", "sites", "rounds", "bound N", "messages",
+                           "messages/site"], rows, precision=1)
+           + "\none parallel cycle per round, one hop per exchange (dilation-1 embedding).")
+
+
+def test_sorting_throughput(benchmark):
+    """pytest-benchmark timing of a 128-site sort."""
+    rng = random.Random(9)
+    keys = [rng.randrange(10_000) for _ in range(128)]
+    result = benchmark(odd_even_transposition_sort, 2, 7, keys)
+    assert list(result.final_keys) == sorted(keys)

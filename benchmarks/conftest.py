@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Each ``bench_*.py`` module regenerates one artifact of the paper (see
+DESIGN.md Section 4) and prints its rows through :func:`report` so they
+show up in ``pytest benchmarks/ --benchmark-only`` output.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print experiment tables past pytest's capture."""
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            sys.stdout.write("\n" + text + "\n")
+
+    return _print

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Distributed sorting on the de Bruijn network (Samatham–Pradhan in action).
+
+The de Bruijn network embeds a dilation-1 linear array (a Hamiltonian
+path), so any array algorithm runs at full speed.  This example sorts one
+key per site with odd–even transposition sort: every compare–exchange
+partner is exactly one network hop away.
+
+Run:  python examples/distributed_sorting.py
+"""
+
+import random
+
+from repro.analysis.tables import format_table
+from repro.core.word import format_word
+from repro.graphs.embeddings import embed_linear_array
+from repro.network.sorting import odd_even_transposition_sort, sort_trace, worst_case_rounds
+
+D, K = 2, 3
+
+
+def show_small_trace() -> None:
+    keys = [7, 3, 6, 1, 4, 0, 5, 2]
+    array = embed_linear_array(D, K)
+    print("array embedding (Hamiltonian path of DG(2,3)):")
+    print("  " + " - ".join(format_word(site) for site in array))
+    print(f"\ninitial keys: {keys}")
+    print("odd-even transposition rounds:")
+    for round_index, state in enumerate(sort_trace(D, K, keys)):
+        marker = "even" if round_index % 2 == 1 else "odd "
+        prefix = "start" if round_index == 0 else f"r{round_index:02d} {marker}"
+        print(f"  {prefix}: {list(state)}")
+
+
+def scaling_table() -> None:
+    print("\nscaling (random keys, one per site):")
+    rows = []
+    for d, k in [(2, 3), (2, 4), (2, 5), (2, 6), (3, 3)]:
+        n = d**k
+        rng = random.Random(n)
+        keys = [rng.randrange(10 * n) for _ in range(n)]
+        result = odd_even_transposition_sort(d, k, keys)
+        assert list(result.final_keys) == sorted(keys)
+        rows.append((d, k, n, result.rounds_used, worst_case_rounds(n), result.messages))
+    print(format_table(
+        ["d", "k", "sites", "rounds used", "worst case", "messages"], rows))
+    print("\nevery round is one parallel cycle of 1-hop exchanges — the")
+    print("dilation-1 embedding is what makes the bound exactly N rounds.")
+
+
+def main() -> None:
+    show_small_trace()
+    scaling_table()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Tour of the architectures DG(d, k) can emulate (Samatham–Pradhan).
+
+The paper's Section 1 lists linear arrays, rings, complete binary trees
+and shuffle-exchange networks as architectures the binary de Bruijn
+network represents.  This example builds each embedding and routes real
+messages along it.
+
+Run:  python examples/embeddings_tour.py
+"""
+
+from repro.core.routing import apply_path, format_path
+from repro.core.word import format_word
+from repro.graphs.debruijn import undirected_graph
+from repro.graphs.embeddings import (
+    embed_complete_tree,
+    embed_ring,
+    emulate_shuffle_exchange,
+    exchange,
+    shuffle,
+)
+from repro.graphs.sequences import debruijn_sequence_lyndon
+from repro.network.router import BidirectionalOptimalRouter
+from repro.network.simulator import Simulator
+
+D, K = 2, 4
+
+
+def ring_section() -> None:
+    sequence = debruijn_sequence_lyndon(D, K)
+    ring = embed_ring(D, K)
+    print(f"ring / linear array — Hamiltonian cycle from B({D},{K}) "
+          f"= {''.join(map(str, sequence))}")
+    print("  first sites:", " -> ".join(format_word(w) for w in ring[:6]), "-> ...")
+    graph = undirected_graph(D, K)
+    assert all(graph.has_edge(u, v) for u, v in zip(ring, ring[1:]))
+    print(f"  {len(ring)} sites, every consecutive pair one hop apart (dilation 1)\n")
+
+
+def tree_section() -> None:
+    tree = embed_complete_tree(D, K)
+    print(f"complete binary tree of depth {K - 1} ({len(tree)} nodes), dilation 1:")
+    for path in sorted(tree, key=lambda p: (len(p), p))[:7]:
+        label = "root" if not path else "node " + "".join(map(str, path))
+        print(f"  {label:10s} -> site {format_word(tree[path])}")
+    # Route a message root -> deepest-right leaf through the real network.
+    sim = Simulator(D, K)
+    source = tree[()]
+    target = tree[(1,) * (K - 1)]
+    message = sim.send(source, target, BidirectionalOptimalRouter())
+    sim.run()
+    print(f"  root -> rightmost leaf delivered in {message.hop_count} hops "
+          f"(tree depth {K - 1})\n")
+
+
+def shuffle_exchange_section() -> None:
+    word = (0, 1, 1, 0)
+    ops = "ses"
+    routes = emulate_shuffle_exchange(word, ops)
+    print(f"shuffle-exchange emulation starting at {format_word(word)}:")
+    current = word
+    total = 0
+    for op, route in zip(ops, routes):
+        nxt = shuffle(current) if op == "s" else exchange(current)
+        landed = apply_path(current, route, D, wildcard=0)
+        assert landed == nxt
+        print(f"  {op}: {format_word(current)} -> {format_word(nxt)}   "
+              f"de Bruijn hops: {format_path(route)}")
+        total += len(route)
+        current = nxt
+    print(f"  {len(ops)} SE ops in {total} de Bruijn hops (slowdown <= 2)\n")
+
+
+def main() -> None:
+    print(f"architectures embedded in DG({D}, {K})\n")
+    ring_section()
+    tree_section()
+    shuffle_exchange_section()
+
+
+if __name__ == "__main__":
+    main()

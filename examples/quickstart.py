@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: distances and optimal routes in a de Bruijn network.
+
+Covers the library's core loop in under a minute:
+
+1. name vertices of DG(d, k) as d-ary words,
+2. compute directed and undirected distances (Property 1 / Theorem 2),
+3. generate optimal routing paths (Algorithms 1, 2, 4),
+4. apply a path hop by hop, exactly as a network site would.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Word,
+    directed_distance,
+    format_path,
+    parse_word,
+    route,
+    undirected_distance,
+    undirected_witness,
+    verify_path,
+)
+from repro.core.routing import path_words
+from repro.core.word import format_word
+
+
+def main() -> None:
+    d = 2  # binary alphabet
+    x = parse_word("011010", d)
+    y = parse_word("110110", d)
+    k = len(x)
+
+    print(f"de Bruijn network DN({d}, {k}) — {d**k} sites, diameter {k}")
+    print(f"source      X = {format_word(x)}")
+    print(f"destination Y = {format_word(y)}\n")
+
+    # --- distances -----------------------------------------------------
+    print("Property 1 (directed):   D(X, Y) =", directed_distance(x, y))
+    print("Property 1 (reverse):    D(Y, X) =", directed_distance(y, x))
+    print("Theorem 2  (undirected): D(X, Y) =", undirected_distance(x, y))
+    witness = undirected_witness(x, y)
+    print(f"  witness: case={witness.case!r} i={witness.i} j={witness.j} "
+          f"theta={witness.theta}\n")
+
+    # --- routing paths ---------------------------------------------------
+    directed_path = route(x, y, d, directed=True)
+    print(f"Algorithm 1 path  ({len(directed_path)} hops): {format_path(directed_path)}")
+
+    undirected_path = route(x, y, d)
+    print(f"Algorithm 2/4 path ({len(undirected_path)} hops): {format_path(undirected_path)}")
+    print("  (L = left shift X^-(b), R = right shift X^+(b), * = any digit)\n")
+
+    # --- walking the path ------------------------------------------------
+    print("hop-by-hop trace (wildcards resolved to 0):")
+    for word in path_words(x, undirected_path, d):
+        print("   ", format_word(word))
+    assert verify_path(x, y, undirected_path, d)
+
+    # --- the Word convenience wrapper -------------------------------------
+    w = Word.parse("0110", d=2)
+    print(f"\nWord API: {w!r} --left(1)--> {w.left(1)!r}")
+    print(f"          neighbors: {[str(n) for n in w.neighbors()]}")
+
+
+if __name__ == "__main__":
+    main()

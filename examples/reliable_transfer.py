@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Reliable delivery over a failing de Bruijn network.
+
+Builds the stop-and-wait transport of `repro.network.reliable` on top of
+the datagram simulator and walks three scenarios:
+
+1. healthy network — one attempt, one ACK;
+2. transient site failure — the first copy dies, the retransmission after
+   the site recovers goes through;
+3. permanent link cut with rerouting — the routing layer detours, the
+   transport never even notices.
+
+Run:  python examples/reliable_transfer.py
+"""
+
+from repro.core.routing import path_words
+from repro.core.word import format_word
+from repro.network.reliable import ReliableTransport
+from repro.network.router import BidirectionalOptimalRouter
+from repro.network.simulator import Simulator
+
+D, K = 2, 4
+SRC, DST = (0, 0, 1, 0), (1, 1, 0, 1)
+
+
+def describe(title, transfer, stats):
+    outcome = "acknowledged" if transfer.completed else "ABANDONED"
+    print(f"  {title}: {outcome} after {transfer.attempts} attempt(s); "
+          f"data copies sent {stats.data_sent}, ACKs {stats.acks_sent}, "
+          f"completed at t={transfer.acked_at}")
+
+
+def healthy() -> None:
+    sim = Simulator(D, K)
+    transport = ReliableTransport(sim, BidirectionalOptimalRouter())
+    transfer = transport.send(SRC, DST, payload=b"block-0")
+    stats = transport.run()
+    describe("healthy network   ", transfer, stats)
+
+
+def transient_failure() -> None:
+    router = BidirectionalOptimalRouter(use_wildcards=False)
+    midpoint = path_words(SRC, router.plan(SRC, DST), D)[1]
+    sim = Simulator(D, K, reroute_on_failure=False)
+    sim.fail_node(midpoint, at=0.0)
+    sim.recover_node(midpoint, at=20.0)
+    transport = ReliableTransport(sim, router, timeout=24.0)
+    transfer = transport.send(SRC, DST, payload=b"block-1", at=1.0)
+    stats = transport.run()
+    describe(f"transient fault at {format_word(midpoint)}", transfer, stats)
+
+
+def rerouted_cut() -> None:
+    router = BidirectionalOptimalRouter(use_wildcards=False)
+    first_hop = path_words(SRC, router.plan(SRC, DST), D)[1]
+    sim = Simulator(D, K, reroute_on_failure=True)
+    sim.fail_link(SRC, first_hop)
+    transport = ReliableTransport(sim, router)
+    transfer = transport.send(SRC, DST, payload=b"block-2")
+    stats = transport.run()
+    describe(f"link {format_word(SRC)}-{format_word(first_hop)} cut (rerouting on)",
+             transfer, stats)
+    print(f"    reroutes performed by the network layer: {sim.stats.rerouted}")
+
+
+def main() -> None:
+    print(f"reliable transfer {format_word(SRC)} -> {format_word(DST)} "
+          f"on DN({D},{K})\n")
+    healthy()
+    transient_failure()
+    rerouted_cut()
+    print("\nthe transport layer only pays retransmissions when the routing")
+    print("layer cannot hide the fault — exactly the division of labor you want.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Shift-register lab: the paper's own model of the de Bruijn graph.
+
+The paper introduces DG(d, k) as "the state graph of a shift register of
+length k".  This example walks that correspondence end to end:
+
+1. find primitive feedback polynomials over GF(2),
+2. run the LFSR and watch its states trace left-shift edges of DG(2, k),
+3. produce the m-sequence and upgrade it to a full de Bruijn sequence,
+4. cross-check against the FKM construction, and
+5. sketch the graph (with the LFSR orbit highlighted) as Graphviz DOT.
+
+Run:  python examples/shift_register_lab.py
+"""
+
+from repro.analysis.dot import graph_to_dot
+from repro.core.word import format_word, left_shift
+from repro.graphs.debruijn import directed_graph
+from repro.graphs.sequences import debruijn_sequence_lyndon, is_debruijn_sequence, windows
+from repro.graphs.shift_register import (
+    LFSR,
+    debruijn_from_m_sequence,
+    m_sequence,
+    primitive_polynomials,
+)
+
+K = 4
+
+
+def polynomial_str(poly: int) -> str:
+    terms = [f"x^{i}" if i > 1 else ("x" if i == 1 else "1")
+             for i in range(poly.bit_length() - 1, -1, -1) if (poly >> i) & 1]
+    return " + ".join(terms)
+
+
+def main() -> None:
+    polys = primitive_polynomials(K)
+    print(f"primitive polynomials of degree {K} over GF(2):")
+    for poly in polys:
+        print(f"  {poly:#07b}  =  {polynomial_str(poly)}")
+    taps = polys[0]
+
+    print(f"\nLFSR with feedback {polynomial_str(taps)}, seeded 0001:")
+    register = LFSR(taps, (0,) * (K - 1) + (1,))
+    state = register.state
+    for step in range(8):
+        incoming = register.feedback()
+        nxt = register.step()
+        assert nxt == left_shift(state, incoming)
+        print(f"  {format_word(state)} --L{incoming}--> {format_word(nxt)}")
+        state = nxt
+    print(f"  ... period {LFSR(taps, (0,) * (K - 1) + (1,)).period()} "
+          f"= 2^{K} - 1 (all nonzero states)")
+
+    seq = m_sequence(taps)
+    print(f"\nm-sequence ({len(seq)} digits): {format_word(seq)}")
+    full = debruijn_from_m_sequence(taps)
+    print(f"with one 0 inserted      : {format_word(full)}")
+    assert is_debruijn_sequence(full, 2, K)
+    fkm = debruijn_sequence_lyndon(2, K)
+    assert set(windows(full, K)) == set(windows(fkm, K))
+    print(f"FKM construction for B(2,{K}): {format_word(fkm)}")
+    print("both cover every window exactly once (different representatives).")
+
+    orbit = [(0,) * (K - 1) + (1,)]
+    register = LFSR(taps, orbit[0])
+    for _ in range(2**K - 2):
+        orbit.append(register.step())
+    dot = graph_to_dot(directed_graph(2, 3))
+    print(f"\nGraphviz DOT of DG(2,3) ({len(dot.splitlines())} lines) — "
+          "pipe examples output into `dot -Tpng`:")
+    print("\n".join(dot.splitlines()[:6]) + "\n  ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Debugging a simulation with the trace recorder.
+
+Attaches a `TraceRecorder` to a DN(2,5) run with a deliberate hotspot,
+then uses its views to answer the questions you actually ask when a
+network misbehaves: where is the traffic concentrating, what happened to
+one specific message, and what does the whole run look like over time.
+
+Run:  python examples/trace_timeline.py
+"""
+
+import random
+
+from repro.core.word import format_word
+from repro.network.router import BidirectionalOptimalRouter
+from repro.network.simulator import Simulator, run_workload
+from repro.network.tracing import TraceRecorder
+from repro.network.traffic import hotspot
+
+D, K = 2, 5
+HOT = (1,) * K
+
+
+def main() -> None:
+    sim = Simulator(D, K)
+    recorder = TraceRecorder(sim)
+    workload = list(hotspot(D, K, cycles=30, injection_rate=0.3,
+                            hotspot_fraction=0.6, target=HOT,
+                            rng=random.Random(1990)))
+    stats = run_workload(sim, BidirectionalOptimalRouter(), workload)
+    print(f"DN({D},{K}) hotspot run: {stats.delivered_count} messages, "
+          f"{len(recorder.entries)} trace events\n")
+
+    print("Q1: where is traffic concentrating?")
+    for site, events in recorder.busiest_sites(top=5):
+        marker = "  <-- the hotspot" if site == HOT else ""
+        print(f"   {format_word(site)}: {events} events{marker}")
+
+    victim = max(stats.delivered, key=lambda m: m.latency)
+    print(f"\nQ2: what happened to the slowest message (#{victim.message_id}, "
+          f"latency {victim.latency:.1f})?")
+    for entry in recorder.message_timeline(victim.message_id):
+        print(f"   t={entry.time:6.1f}  {entry.kind:7s} at {format_word(entry.site)}")
+
+    print("\nQ3: what does the whole run look like?")
+    print(recorder.render_timeline(buckets=48, max_sites=8))
+
+    print("\n(the full trace exports as JSON lines via recorder.to_jsonl())")
+
+
+if __name__ == "__main__":
+    main()

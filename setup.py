@@ -1,0 +1,10 @@
+"""Legacy-install shim.
+
+The offline reference environment lacks the ``wheel`` package, so PEP 660
+editable installs fail; this shim lets ``pip install -e .`` take the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

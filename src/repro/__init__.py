@@ -1,0 +1,86 @@
+"""Optimal routing in de Bruijn networks.
+
+A faithful, fully tested reproduction of
+
+    Zhen Liu, *Optimal Routing in the De Bruijn Networks*,
+    ICDCS 1990 (INRIA Research Report RR-1130, 1989).
+
+The package is organised as:
+
+* :mod:`repro.core` — the paper's contribution: distance functions for the
+  directed and undirected de Bruijn graphs (Property 1, Theorem 2) and the
+  optimal routing algorithms (Algorithms 1-4) built on Morris–Pratt
+  failure functions and compact suffix (prefix) trees.
+* :mod:`repro.graphs` — the DG(d, k) substrate: explicit graphs, BFS
+  oracles, structural properties, de Bruijn sequences, embeddings.
+* :mod:`repro.network` — a discrete-event simulator of the DN(d, k)
+  message-passing network with the paper's five-field messages, wildcard
+  load balancing and fault injection.
+* :mod:`repro.analysis` — exact all-pairs analytics (numpy) and the
+  table/plot helpers the benchmark harnesses print through.
+
+Quickstart::
+
+    from repro import route, undirected_distance
+
+    x, y = (0, 1, 1, 0), (1, 1, 1, 0)
+    print(undirected_distance(x, y))
+    print([str(step) for step in route(x, y, d=2)])
+"""
+
+from repro.core import (
+    Direction,
+    GeneralizedSuffixTree,
+    RoutingStep,
+    SuffixTree,
+    Word,
+    apply_path,
+    directed_average_distance_closed_form,
+    directed_distance,
+    format_path,
+    iter_words,
+    parse_word,
+    random_word,
+    route,
+    shortest_path_undirected,
+    shortest_path_unidirectional,
+    undirected_distance,
+    undirected_witness,
+    verify_path,
+)
+from repro.exceptions import (
+    DeBruijnError,
+    InvalidParameterError,
+    InvalidWordError,
+    RoutingError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeBruijnError",
+    "Direction",
+    "GeneralizedSuffixTree",
+    "InvalidParameterError",
+    "InvalidWordError",
+    "RoutingError",
+    "RoutingStep",
+    "SimulationError",
+    "SuffixTree",
+    "Word",
+    "__version__",
+    "apply_path",
+    "directed_average_distance_closed_form",
+    "directed_distance",
+    "format_path",
+    "iter_words",
+    "parse_word",
+    "random_word",
+    "route",
+    "shortest_path_undirected",
+    "shortest_path_unidirectional",
+    "undirected_distance",
+    "undirected_witness",
+    "verify_path",
+]

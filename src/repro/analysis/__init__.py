@@ -1,0 +1,96 @@
+"""Analytics over de Bruijn graphs: exact all-pairs kernels, tables, plots."""
+
+from repro.analysis.distributions import (
+    DistributionSummary,
+    directed_summary,
+    eq5_comparison_rows,
+    figure2_series,
+    normalized_gap_rows,
+    undirected_summary,
+)
+from repro.analysis.exact import (
+    directed_average_distance,
+    directed_bfs_distance_matrix,
+    directed_distance_matrix,
+    undirected_average_distance,
+    undirected_distance_matrix,
+)
+from repro.analysis.balls import (
+    ball_deficit_rows,
+    directed_ball_profile,
+    mean_ball_profile,
+)
+from repro.analysis.comparison import TopologyProfile, shootout
+from repro.analysis.dot import graph_to_dot, route_to_dot, suffix_tree_to_dot
+from repro.analysis.svg import graph_to_svg, route_to_svg
+from repro.analysis.load import adversarial_patterns, congestion, link_loads
+from repro.analysis.moore import (
+    asymptotic_efficiency,
+    comparison_rows,
+    directed_moore_bound,
+)
+from repro.analysis.robustness import (
+    RobustnessPoint,
+    random_failure_sweep,
+    reachable_pair_fraction,
+    survivor_component_fraction,
+)
+from repro.analysis.queueing import (
+    md1_wait,
+    predict_uniform_latency,
+    saturation_rate,
+)
+from repro.analysis.spectral import (
+    adjacency_matrix,
+    property1_in_matrix_form,
+    spectrum,
+    verify_walk_identity,
+    walk_count_matrix,
+)
+from repro.analysis.tables import format_kv_block, format_table
+from repro.analysis.textplot import render_plot
+
+__all__ = [
+    "DistributionSummary",
+    "TopologyProfile",
+    "shootout",
+    "adjacency_matrix",
+    "adversarial_patterns",
+    "ball_deficit_rows",
+    "congestion",
+    "directed_ball_profile",
+    "graph_to_dot",
+    "graph_to_svg",
+    "mean_ball_profile",
+    "route_to_svg",
+    "link_loads",
+    "md1_wait",
+    "predict_uniform_latency",
+    "RobustnessPoint",
+    "random_failure_sweep",
+    "reachable_pair_fraction",
+    "route_to_dot",
+    "saturation_rate",
+    "survivor_component_fraction",
+    "suffix_tree_to_dot",
+    "asymptotic_efficiency",
+    "property1_in_matrix_form",
+    "spectrum",
+    "verify_walk_identity",
+    "walk_count_matrix",
+    "comparison_rows",
+    "directed_moore_bound",
+    "directed_average_distance",
+    "directed_bfs_distance_matrix",
+    "directed_distance_matrix",
+    "directed_summary",
+    "eq5_comparison_rows",
+    "figure2_series",
+    "format_kv_block",
+    "format_table",
+    "normalized_gap_rows",
+    "render_plot",
+    "undirected_average_distance",
+    "undirected_distance_matrix",
+    "undirected_summary",
+]

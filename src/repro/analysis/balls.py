@@ -1,0 +1,82 @@
+"""Reachability balls: why Equation (5) overestimates, structurally.
+
+The model behind Eq. (5) implicitly assumes the out-ball of radius t from
+any vertex contains exactly ``d^t`` vertices (each new digit multiplies
+the reach).  In truth the t-step reach set ``{x_{t+1..k} · w : |w| = t}``
+*collides across radii* whenever X overlaps itself — e.g. from ``000``
+every step-1 word ``00a`` is also a step-2 word — so balls are smaller
+than the model says, distances are shorter, and the exact mean sits below
+the closed form.  This module measures the effect:
+
+* :func:`directed_ball_profile` — |ball_t(x)| for t = 0..k;
+* :func:`mean_ball_profile` — averaged over all sources;
+* :func:`model_ball_profile` — what Eq. (5)'s distribution implies;
+* :func:`ball_deficit_rows` — the side-by-side table bench E2 prints.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from repro.core.word import WordTuple, iter_words, left_shift, validate_parameters
+
+
+def directed_ball_profile(x: WordTuple, d: int) -> List[int]:
+    """``[|ball_0|, |ball_1|, ..., |ball_k|]`` for out-balls from ``x``.
+
+    BFS over left shifts; ``ball_k`` is always the whole graph (d^k).
+    """
+    k = len(x)
+    distances: Dict[WordTuple, int] = {x: 0}
+    queue = deque([x])
+    while queue:
+        current = queue.popleft()
+        if distances[current] == k:
+            continue
+        for a in range(d):
+            nxt = left_shift(current, a)
+            if nxt not in distances:
+                distances[nxt] = distances[current] + 1
+                queue.append(nxt)
+    profile = [0] * (k + 1)
+    for dist in distances.values():
+        profile[dist] += 1
+    # Cumulative: ball_t = vertices within distance t.
+    for t in range(1, k + 1):
+        profile[t] += profile[t - 1]
+    return profile
+
+
+def mean_ball_profile(d: int, k: int) -> List[float]:
+    """Mean |ball_t| over every source vertex of DG(d, k)."""
+    validate_parameters(d, k)
+    totals = [0] * (k + 1)
+    count = 0
+    for x in iter_words(d, k):
+        for t, size in enumerate(directed_ball_profile(x, d)):
+            totals[t] += size
+        count += 1
+    return [total / count for total in totals]
+
+
+def model_ball_profile(d: int, k: int) -> List[int]:
+    """The ball sizes Eq. (5)'s geometric model implies: ``d^t``.
+
+    (The model's P(D <= t) = α^{k-t} is exactly |ball_t| / N = d^t / d^k.)
+    """
+    validate_parameters(d, k)
+    return [d**t for t in range(k + 1)]
+
+
+def ball_deficit_rows(d: int, k: int) -> List[Tuple[int, float, int, float]]:
+    """Rows (t, mean |ball_t|, model d^t, mean/model) for bench E2.
+
+    The ratio exceeds 1 for every 0 < t < k: real balls are *larger* than
+    the model's because self-overlapping sources re-reach earlier layers'
+    words with fresh digits — more vertices close by, smaller distances,
+    hence the closed form's overestimate.
+    """
+    mean = mean_ball_profile(d, k)
+    model = model_ball_profile(d, k)
+    return [(t, mean[t], model[t], mean[t] / model[t]) for t in range(k + 1)]

@@ -1,0 +1,127 @@
+"""Interconnect shootout: de Bruijn vs the classical families.
+
+The paper's design brief (§1): many vertices, small fixed degree, small
+diameter.  This module puts numbers on the alternatives a 1990 (or 2026)
+architect would weigh — ring, 2D torus, hypercube, de Bruijn, Kautz — at
+comparable sizes, with closed-form degree/diameter/mean-distance values
+(exact for ring/torus/hypercube; de Bruijn/Kautz means from this
+repository's own exact kernels where feasible, with the directed closed
+form as fallback).
+
+The headline the table makes concrete: the hypercube matches de Bruijn's
+log-diameter but its degree *grows* with N; the fixed-degree ring and
+torus pay polynomial diameters; de Bruijn/Kautz alone offer both fixed
+degree and logarithmic diameter — which is why the paper's O(k) routing
+matters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class TopologyProfile:
+    """One family evaluated at a concrete size."""
+
+    family: str
+    vertices: int
+    degree: int
+    diameter: int
+    mean_distance: float
+    degree_growth: str  # "O(1)" or "O(log N)"
+
+
+def ring_profile(n: int) -> TopologyProfile:
+    """A bidirectional ring of n vertices."""
+    if n < 3:
+        raise InvalidParameterError("a ring needs at least 3 vertices")
+    diameter = n // 2
+    # Mean over ordered pairs incl. self: sum of min(i, n-i) for i in 0..n-1.
+    mean = sum(min(i, n - i) for i in range(n)) / n
+    return TopologyProfile("ring", n, 2, diameter, mean, "O(1)")
+
+
+def torus_profile(side: int) -> TopologyProfile:
+    """A side×side bidirectional 2D torus."""
+    if side < 2:
+        raise InvalidParameterError("a torus needs side >= 2")
+    n = side * side
+    axis_mean = sum(min(i, side - i) for i in range(side)) / side
+    return TopologyProfile(
+        "2D torus", n, 4, 2 * (side // 2), 2 * axis_mean, "O(1)"
+    )
+
+
+def hypercube_profile(dimension: int) -> TopologyProfile:
+    """The dimension-cube Q_dimension (2^dimension vertices)."""
+    if dimension < 1:
+        raise InvalidParameterError("a hypercube needs dimension >= 1")
+    n = 2**dimension
+    # Mean Hamming distance over ordered pairs = dimension / 2.
+    return TopologyProfile(
+        "hypercube", n, dimension, dimension, dimension / 2.0, "O(log N)"
+    )
+
+
+def debruijn_profile(d: int, k: int, exact_mean_cell_guard: int = 1_048_576) -> TopologyProfile:
+    """Undirected DG(d, k), with the exact mean when enumeration fits."""
+    from repro.core.average_distance import directed_average_distance_closed_form
+    from repro.core.word import validate_parameters
+
+    validate_parameters(d, k)
+    n = d**k
+    mean: Optional[float] = None
+    if n * n <= exact_mean_cell_guard:
+        from repro.analysis.exact import undirected_average_distance
+
+        mean = undirected_average_distance(d, k)
+    if mean is None:
+        # Fallback: the directed closed form upper-bounds the undirected mean.
+        mean = directed_average_distance_closed_form(d, k)
+    return TopologyProfile(f"de Bruijn DG({d},{k})", n, 2 * d, k, mean, "O(1)")
+
+
+def kautz_profile(d: int, k: int) -> TopologyProfile:
+    """Directed K(d, k); mean distance from Property 1 over sampled pairs."""
+    import random
+
+    from repro.graphs.kautz import KautzGraph
+
+    graph = KautzGraph(d, k)
+    rng = random.Random(graph.order)
+    vertices = list(graph.vertices())
+    samples = min(4000, len(vertices) ** 2)
+    total = 0
+    for _ in range(samples):
+        x = vertices[rng.randrange(len(vertices))]
+        y = vertices[rng.randrange(len(vertices))]
+        total += graph.distance(x, y)
+    return TopologyProfile(
+        f"Kautz K({d},{k})", graph.order, 2 * d, k, total / samples, "O(1)"
+    )
+
+
+def shootout(target_vertices: int = 64) -> List[TopologyProfile]:
+    """Profiles of every family at (close to) ``target_vertices``.
+
+    Sizes are matched as nearly as each family's structure allows: rings
+    hit N exactly, tori need squares, hypercubes and de Bruijn need powers
+    of two.
+    """
+    if target_vertices < 8:
+        raise InvalidParameterError("pick a target of at least 8 vertices")
+    log2n = max(3, round(math.log2(target_vertices)))
+    side = max(2, round(math.sqrt(target_vertices)))
+    profiles = [
+        ring_profile(target_vertices),
+        torus_profile(side),
+        hypercube_profile(log2n),
+        debruijn_profile(2, log2n),
+        kautz_profile(2, max(1, log2n - 1)),
+    ]
+    return profiles

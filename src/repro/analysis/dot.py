@@ -1,0 +1,90 @@
+"""Graphviz DOT export for graphs, routes and suffix trees.
+
+Pure string generation — nothing here needs Graphviz installed; the
+output renders with any ``dot`` binary or online viewer.  Useful for
+papers, teaching and debugging routing traces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.suffix_tree import SuffixTree
+from repro.core.word import WordTuple, format_word
+from repro.graphs.debruijn import DeBruijnGraph
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def graph_to_dot(
+    graph: DeBruijnGraph,
+    highlight_path: Optional[Sequence[WordTuple]] = None,
+    name: str = "debruijn",
+) -> str:
+    """The whole DG(d, k) in DOT, optionally highlighting a vertex path."""
+    highlighted_edges = set()
+    highlighted_nodes = set(highlight_path or [])
+    if highlight_path:
+        for u, v in zip(highlight_path, highlight_path[1:]):
+            highlighted_edges.add((u, v))
+            if not graph.directed:
+                highlighted_edges.add((v, u))
+    keyword = "digraph" if graph.directed else "graph"
+    connector = "->" if graph.directed else "--"
+    lines = [f"{keyword} {name} {{", "  node [shape=circle, fontname=monospace];"]
+    for vertex in graph.vertices():
+        attributes = ""
+        if vertex in highlighted_nodes:
+            attributes = " [style=filled, fillcolor=lightblue]"
+        lines.append(f"  {_quote(format_word(vertex))}{attributes};")
+    for u, v in graph.edges():
+        attributes = ""
+        if (u, v) in highlighted_edges:
+            attributes = " [color=blue, penwidth=2]"
+        lines.append(f"  {_quote(format_word(u))} {connector} {_quote(format_word(v))}{attributes};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def route_to_dot(trace: Sequence[WordTuple], name: str = "route") -> str:
+    """Just the hops of one route, as a chain."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=box, fontname=monospace];"]
+    for index, (u, v) in enumerate(zip(trace, trace[1:])):
+        lines.append(
+            f"  {_quote(format_word(u))} -> {_quote(format_word(v))} "
+            f"[label=\"hop {index + 1}\"];"
+        )
+    if len(trace) == 1:
+        lines.append(f"  {_quote(format_word(trace[0]))};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def suffix_tree_to_dot(tree: SuffixTree, name: str = "suffixtree") -> str:
+    """The compact suffix tree with edge labels (endmarkers as symbols)."""
+
+    def symbol(value: int) -> str:
+        if value >= 0:
+            return format_word((value,))
+        return {-1: "⊥", -2: "⊤"}.get(value, f"s{value}")
+
+    lines = [f"digraph {name} {{", "  node [shape=point];"]
+    counter = [0]
+
+    def visit(node, node_id: str) -> None:
+        for child in node.children.values():
+            counter[0] += 1
+            child_id = f"n{counter[0]}"
+            label = "".join(symbol(s) for s in tree.text[child.start : child.end])
+            shape = "circle" if child.is_leaf else "point"
+            extra = f' [label="{child.suffix_index}", shape={shape}]' if child.is_leaf else ""
+            lines.append(f"  {child_id}{extra};")
+            lines.append(f"  {node_id} -> {child_id} [label={_quote(label)}];")
+            visit(child, child_id)
+
+    lines.append("  n0;")
+    visit(tree.root, "n0")
+    lines.append("}")
+    return "\n".join(lines)

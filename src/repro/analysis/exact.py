@@ -1,0 +1,157 @@
+"""Vectorised all-pairs distance computation (numpy) for the benches.
+
+The pure-Python distance functions are O(k) per pair; regenerating
+Figure 2 needs *all* ``N²`` pairs for N up to a few thousand, which is
+where these numpy kernels come in.  Both kernels are cross-checked against
+the pure implementations in the integration tests.
+
+* :func:`directed_distance_matrix` evaluates Property 1 for all pairs at
+  once: for each overlap length ``s``, "suffix_s(X) == prefix_s(Y)" is one
+  broadcast integer comparison.
+* :func:`undirected_distance_matrix` runs a synchronous multi-source BFS:
+  one boolean frontier per source, advanced simultaneously through the 2d
+  shift maps (which are index gathers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.word import validate_parameters
+from repro.exceptions import InvalidParameterError
+
+#: Memory guard: refuse matrices bigger than this many cells.
+MAX_CELLS = 256 * 1024 * 1024
+
+
+def _check_size(d: int, k: int) -> int:
+    validate_parameters(d, k)
+    n = d**k
+    if n * n > MAX_CELLS:
+        raise InvalidParameterError(
+            f"DG({d},{k}) has {n}^2 pairs; exceeds the {MAX_CELLS}-cell guard"
+        )
+    return n
+
+
+def directed_distance_matrix(d: int, k: int) -> np.ndarray:
+    """``D[x, y]`` = directed distance, with vertices in integer encoding.
+
+    The integer encoding is base-d with the head digit most significant
+    (see :func:`repro.core.word.word_to_int`).
+    """
+    n = _check_size(d, k)
+    values = np.arange(n, dtype=np.int64)
+    overlap = np.zeros((n, n), dtype=np.int8)
+    for s in range(1, k + 1):
+        suffix = values % (d**s)  # last s digits of X
+        prefix = values // (d ** (k - s))  # first s digits of Y
+        match = suffix[:, None] == prefix[None, :]
+        overlap[match] = s
+    return (k - overlap).astype(np.int8)
+
+
+def shift_index_vectors(d: int, k: int) -> List[np.ndarray]:
+    """The 2d shift maps as integer index vectors over 0..N-1.
+
+    Entry ``a`` of the first d vectors maps ``v`` to ``v^-(a)``; the next d
+    map ``v`` to ``v^+(a)``.
+    """
+    n = d**k
+    values = np.arange(n, dtype=np.int64)
+    vectors: List[np.ndarray] = []
+    for a in range(d):
+        vectors.append((values % (d ** (k - 1))) * d + a)  # left shift
+    for a in range(d):
+        vectors.append(values // d + a * d ** (k - 1))  # right shift
+    return vectors
+
+
+def undirected_distance_matrix(d: int, k: int) -> np.ndarray:
+    """``D[x, y]`` = undirected distance, by synchronous multi-source BFS."""
+    n = _check_size(d, k)
+    shifts = shift_index_vectors(d, k)
+    dist = np.full((n, n), -1, dtype=np.int8)
+    np.fill_diagonal(dist, 0)
+    frontier = np.eye(n, dtype=bool)
+    level = 0
+    while frontier.any():
+        level += 1
+        reached = np.zeros_like(frontier)
+        for index in shifts:
+            # w is newly reachable if any of its shift-neighbors was in the
+            # frontier; the shift relation is symmetric as a neighborhood.
+            reached |= frontier[:, index]
+        new = reached & (dist < 0)
+        dist[new] = level
+        frontier = new
+        if level > k and frontier.any():  # pragma: no cover - diameter bound
+            raise InvalidParameterError("BFS exceeded the diameter bound k")
+    return dist
+
+
+def directed_bfs_distance_matrix(d: int, k: int) -> np.ndarray:
+    """Directed distances by multi-source BFS (oracle for Property 1)."""
+    n = _check_size(d, k)
+    values = np.arange(n, dtype=np.int64)
+    # Column w is newly reached when any in-neighbor w^+(b) is in the
+    # frontier — an index gather through the right-shift maps.
+    in_shifts = [values // d + b * d ** (k - 1) for b in range(d)]
+    dist = np.full((n, n), -1, dtype=np.int8)
+    np.fill_diagonal(dist, 0)
+    frontier = np.eye(n, dtype=bool)
+    level = 0
+    while frontier.any():
+        level += 1
+        reached = np.zeros_like(frontier)
+        for index in in_shifts:
+            reached |= frontier[:, index]
+        new = reached & (dist < 0)
+        dist[new] = level
+        frontier = new
+        if level > k and frontier.any():  # pragma: no cover
+            raise InvalidParameterError("BFS exceeded the diameter bound k")
+    return dist
+
+
+def average_distance_exact(matrix: np.ndarray) -> float:
+    """Mean over all ordered pairs (including the zero diagonal)."""
+    return float(matrix.mean())
+
+
+def distance_histogram(matrix: np.ndarray) -> Dict[int, int]:
+    """Map distance value -> number of ordered pairs."""
+    values, counts = np.unique(matrix, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def directed_average_distance(d: int, k: int) -> float:
+    """Exact mean directed distance (vectorised Property 1)."""
+    return average_distance_exact(directed_distance_matrix(d, k))
+
+
+def undirected_average_distance(d: int, k: int) -> float:
+    """Exact mean undirected distance (vectorised BFS)."""
+    return average_distance_exact(undirected_distance_matrix(d, k))
+
+
+def undirected_average_series(
+    d_values: Tuple[int, ...], k_max: int, cell_guard: int = 4_194_304
+) -> Dict[int, List[Tuple[int, float]]]:
+    """Figure-2 series: for each d, [(k, mean undirected distance)].
+
+    Stops each series when N² would exceed ``cell_guard`` cells so the
+    bench stays fast; the bench supplements larger k by sampling.
+    """
+    series: Dict[int, List[Tuple[int, float]]] = {}
+    for d in d_values:
+        points: List[Tuple[int, float]] = []
+        for k in range(1, k_max + 1):
+            n = d**k
+            if n * n > cell_guard:
+                break
+            points.append((k, undirected_average_distance(d, k)))
+        series[d] = points
+    return series

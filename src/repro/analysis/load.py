@@ -1,0 +1,111 @@
+"""Static link-load analysis: congestion without running the clock.
+
+Routing a traffic pattern (a set of source→destination demands) over the
+network induces a load on every link; the maximum — the *congestion* —
+lower-bounds the completion time of any schedule and is the standard
+offline quality measure for oblivious routing.  This module computes
+per-link loads for any router and any demand set, plus the summary
+statistics the adversarial-pattern bench (E12) prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.routing import Direction, RoutingStep
+from repro.core.word import WordTuple, left_shift, right_shift
+from repro.network.router import Router
+from repro.network.stats import jain_fairness
+
+Demand = Tuple[WordTuple, WordTuple]
+LinkKey = Tuple[WordTuple, WordTuple]
+
+
+def path_links(source: WordTuple, path: Iterable[RoutingStep], d: int) -> List[LinkKey]:
+    """The directed links a concrete routing path crosses.
+
+    Wildcard digits are resolved to 0 (static analysis has no queue state
+    to consult; pass a wildcard-free router for exact results).
+    """
+    links: List[LinkKey] = []
+    current = source
+    for step in path:
+        digit = step.digit if step.digit is not None else 0
+        nxt = (
+            left_shift(current, digit)
+            if step.direction == Direction.LEFT
+            else right_shift(current, digit)
+        )
+        links.append((current, nxt))
+        current = nxt
+    return links
+
+
+@dataclass(frozen=True)
+class CongestionReport:
+    """Summary of a routed demand set."""
+
+    demands: int
+    total_hops: int
+    links_used: int
+    max_load: int
+    mean_load: float
+    fairness: float
+
+    @property
+    def mean_hops(self) -> float:
+        """Average route length over the demand set."""
+        if self.demands == 0:
+            return 0.0
+        return self.total_hops / self.demands
+
+
+def link_loads(demands: Iterable[Demand], router: Router, d: int) -> Dict[LinkKey, int]:
+    """Per-link message counts after routing every demand."""
+    loads: Dict[LinkKey, int] = {}
+    for source, destination in demands:
+        for link in path_links(source, router.plan(source, destination), d):
+            loads[link] = loads.get(link, 0) + 1
+    return loads
+
+
+def congestion(demands: Iterable[Demand], router: Router, d: int) -> CongestionReport:
+    """Route the demands and summarise the induced loads."""
+    demand_list = list(demands)
+    loads = link_loads(demand_list, router, d)
+    total_hops = sum(loads.values())
+    values = list(loads.values())
+    return CongestionReport(
+        demands=len(demand_list),
+        total_hops=total_hops,
+        links_used=len(loads),
+        max_load=max(values) if values else 0,
+        mean_load=total_hops / len(values) if values else 0.0,
+        fairness=jain_fairness([float(v) for v in values]),
+    )
+
+
+def permutation_demands(d: int, k: int, mapping) -> List[Demand]:
+    """Demands ``(x, mapping(x))`` for every vertex, self-pairs skipped."""
+    from repro.core.word import iter_words
+
+    out: List[Demand] = []
+    for word in iter_words(d, k):
+        target = mapping(word)
+        if target != word:
+            out.append((word, target))
+    return out
+
+
+def adversarial_patterns(d: int, k: int) -> Dict[str, List[Demand]]:
+    """The classical permutation stress patterns, as demand sets."""
+    patterns: Dict[str, List[Demand]] = {
+        "bit-reversal": permutation_demands(d, k, lambda w: tuple(reversed(w))),
+        "complement": permutation_demands(d, k, lambda w: tuple(d - 1 - x for x in w)),
+        "cyclic-shift": permutation_demands(d, k, lambda w: w[1:] + w[:1]),
+        "swap-halves": permutation_demands(
+            d, k, lambda w: w[k // 2 :] + w[: k // 2]
+        ),
+    }
+    return patterns

@@ -1,0 +1,60 @@
+"""Degree/diameter near-optimality (the paper's Imase–Itoh citation).
+
+Paper Section 1: "one of the most attractive features of de Bruijn graphs
+is that they are nearly optimal graphs that minimize the diameter, given
+the number of vertices and the degree".  This module quantifies "nearly":
+the directed Moore bound says a graph of out-degree d and diameter D has
+at most ``1 + d + d² + … + d^D`` vertices; de Bruijn achieves ``d^D`` and
+Kautz achieves ``d^D + d^(D-1)`` — constant-factor optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.exceptions import InvalidParameterError
+
+
+def directed_moore_bound(d: int, diameter: int) -> int:
+    """``1 + d + … + d^diameter`` — the directed degree/diameter ceiling."""
+    if d < 1 or diameter < 0:
+        raise InvalidParameterError("need d >= 1 and diameter >= 0")
+    return sum(d**i for i in range(diameter + 1))
+
+
+@dataclass(frozen=True)
+class TopologyRow:
+    """One row of the topology-comparison table."""
+
+    family: str
+    d: int
+    diameter: int
+    order: int
+    moore_bound: int
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of the Moore bound actually achieved."""
+        return self.order / self.moore_bound
+
+
+def comparison_rows(d: int, k: int) -> List[TopologyRow]:
+    """de Bruijn vs Kautz vs the Moore bound at degree d, diameter k."""
+    if d < 2 or k < 1:
+        raise InvalidParameterError("need d >= 2 and k >= 1")
+    bound = directed_moore_bound(d, k)
+    debruijn = TopologyRow("de Bruijn DG", d, k, d**k, bound)
+    kautz = TopologyRow("Kautz K", d, k, d**k + d ** (k - 1), bound)
+    return [debruijn, kautz]
+
+
+def asymptotic_efficiency(d: int) -> float:
+    """Large-k limit of de Bruijn's Moore-bound fraction: ``(d-1)/d``.
+
+    ``d^k / ((d^(k+1)-1)/(d-1)) -> (d-1)/d`` as k grows; Kautz reaches
+    ``(d²-1)/d²``.
+    """
+    if d < 2:
+        raise InvalidParameterError("need d >= 2")
+    return (d - 1) / d

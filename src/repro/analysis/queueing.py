@@ -1,0 +1,72 @@
+"""Analytic queueing predictions for the store-and-forward network.
+
+A link with deterministic unit service time fed (approximately) Poisson
+traffic at utilisation ρ behaves like an M/D/1 queue, whose mean waiting
+time is ``ρ / (2(1 − ρ))`` service times.  At the network level, uniform
+traffic at per-node injection rate λ spreads mean-distance δ̄ hops of work
+over the used links, giving a closed-form latency estimate
+
+    latency ≈ δ̄ · (latency_per_hop + W(ρ)),   ρ = λ·N·δ̄ / L
+
+with L the number of links carrying traffic.  The estimate is crude — the
+traffic is neither Poisson nor link-independent — but it tracks the
+simulator well below saturation, and benchmark E10 reports prediction
+against measurement side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidParameterError
+
+
+def md1_wait(utilisation: float) -> float:
+    """Mean M/D/1 waiting time (in service times) at the given utilisation."""
+    if not 0.0 <= utilisation < 1.0:
+        raise InvalidParameterError(f"utilisation must be in [0, 1), got {utilisation}")
+    return utilisation / (2.0 * (1.0 - utilisation))
+
+
+@dataclass(frozen=True)
+class LatencyPrediction:
+    """The pieces of the closed-form estimate."""
+
+    mean_distance: float
+    link_utilisation: float
+    waiting_per_hop: float
+    latency: float
+
+
+def predict_uniform_latency(
+    n_nodes: int,
+    n_links: int,
+    injection_rate: float,
+    mean_distance: float,
+    link_latency: float = 1.0,
+    service_time: float = 1.0,
+) -> LatencyPrediction:
+    """Closed-form mean latency for uniform traffic (see module docstring).
+
+    ``injection_rate`` is per node per cycle; saturation is reached when
+    the implied utilisation hits 1, at which point the estimate raises.
+    """
+    if n_nodes <= 0 or n_links <= 0:
+        raise InvalidParameterError("need positive node and link counts")
+    offered_hops_per_cycle = injection_rate * n_nodes * mean_distance
+    utilisation = offered_hops_per_cycle * service_time / n_links
+    if utilisation >= 1.0:
+        raise InvalidParameterError(
+            f"offered load saturates the links (rho = {utilisation:.3f} >= 1)"
+        )
+    waiting = md1_wait(utilisation) * service_time
+    latency = mean_distance * (link_latency + waiting)
+    return LatencyPrediction(mean_distance, utilisation, waiting, latency)
+
+
+def saturation_rate(n_nodes: int, n_links: int, mean_distance: float,
+                    service_time: float = 1.0) -> float:
+    """The injection rate at which the uniform-traffic model saturates."""
+    if n_nodes <= 0 or n_links <= 0 or mean_distance <= 0:
+        raise InvalidParameterError("need positive counts and distance")
+    return n_links / (n_nodes * mean_distance * service_time)

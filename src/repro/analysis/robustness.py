@@ -1,0 +1,171 @@
+"""Robustness beyond the worst case: random failures and path stretch.
+
+The Pradhan–Reddy bound (E7) is a worst-case guarantee for up to d − 1
+failures.  Real deployments care about the *average* case far beyond it:
+how much of the network stays mutually reachable when a random fraction
+of sites dies, and how much longer the surviving routes get.  This module
+measures both:
+
+* :func:`survivor_component_fraction` — size of the largest mutually
+  reachable component among survivors, as a fraction of survivors;
+* :func:`reachable_pair_fraction` — fraction of ordered survivor pairs
+  still connected;
+* :func:`path_stretch_samples` — detour factor (rerouted length / fault-
+  free distance) over sampled connected pairs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.core.distance import undirected_distance
+from repro.core.word import WordTuple
+from repro.exceptions import InvalidParameterError, RoutingError
+from repro.graphs.debruijn import DeBruijnGraph
+from repro.graphs.traversal import bfs_distances, bfs_path
+
+
+def _surviving(graph: DeBruijnGraph, failed: Set[WordTuple]) -> List[WordTuple]:
+    return [v for v in graph.vertices() if v not in failed]
+
+
+def survivor_component_fraction(graph: DeBruijnGraph, failed: Set[WordTuple]) -> float:
+    """|largest surviving component| / |survivors| (1.0 when none failed)."""
+    survivors = _surviving(graph, failed)
+    if not survivors:
+        return 0.0
+    remaining = set(survivors)
+    best = 0
+    while remaining:
+        seed = next(iter(remaining))
+        component = set(
+            bfs_distances(
+                graph, seed,
+                neighbor_fn=lambda v: (u for u in graph.neighbors(v) if u not in failed),
+            )
+        )
+        component &= remaining
+        best = max(best, len(component))
+        remaining -= component
+    return best / len(survivors)
+
+
+def reachable_pair_fraction(
+    graph: DeBruijnGraph,
+    failed: Set[WordTuple],
+    sample_pairs: int = 0,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Fraction of ordered survivor pairs still mutually reachable.
+
+    Exact when ``sample_pairs`` is 0 (componentwise counting), sampled
+    otherwise.
+    """
+    survivors = _surviving(graph, failed)
+    if len(survivors) < 2:
+        return 1.0
+    if sample_pairs <= 0:
+        # Exact: pairs within the same component are reachable.
+        remaining = set(survivors)
+        total_pairs = len(survivors) * (len(survivors) - 1)
+        good = 0
+        while remaining:
+            seed = next(iter(remaining))
+            component = set(
+                bfs_distances(
+                    graph, seed,
+                    neighbor_fn=lambda v: (u for u in graph.neighbors(v) if u not in failed),
+                )
+            )
+            component &= remaining
+            good += len(component) * (len(component) - 1)
+            remaining -= component
+        return good / total_pairs
+    generator = rng if rng is not None else random.Random()
+    good = 0
+    for _ in range(sample_pairs):
+        x, y = generator.sample(survivors, 2)
+        try:
+            bfs_path(graph, x, y, avoid=failed)
+            good += 1
+        except RoutingError:
+            pass
+    return good / sample_pairs
+
+
+def path_stretch_samples(
+    graph: DeBruijnGraph,
+    failed: Set[WordTuple],
+    sample_pairs: int,
+    rng: Optional[random.Random] = None,
+) -> List[float]:
+    """Detour factors for sampled still-connected survivor pairs.
+
+    Each sample is ``len(rerouted shortest path) / fault-free distance``
+    (distinct-pair samples only; unreachable pairs are skipped).
+    """
+    survivors = _surviving(graph, failed)
+    if len(survivors) < 2:
+        return []
+    generator = rng if rng is not None else random.Random()
+    stretches: List[float] = []
+    attempts = 0
+    while len(stretches) < sample_pairs and attempts < 20 * sample_pairs:
+        attempts += 1
+        x, y = generator.sample(survivors, 2)
+        try:
+            detour = len(bfs_path(graph, x, y, avoid=failed)) - 1
+        except RoutingError:
+            continue
+        baseline = undirected_distance(x, y) if not graph.directed else None
+        if baseline is None:
+            from repro.core.distance import directed_distance
+
+            baseline = directed_distance(x, y)
+        if baseline > 0:
+            stretches.append(detour / baseline)
+    return stretches
+
+
+@dataclass(frozen=True)
+class RobustnessPoint:
+    """One row of the failure sweep."""
+
+    failure_fraction: float
+    failed_count: int
+    component_fraction: float
+    reachable_fraction: float
+    mean_stretch: float
+    max_stretch: float
+
+
+def random_failure_sweep(
+    d: int,
+    k: int,
+    fractions: Sequence[float],
+    stretch_samples: int = 60,
+    seed: int = 0,
+) -> List[RobustnessPoint]:
+    """The E14 sweep: robustness metrics per random failure fraction."""
+    graph = DeBruijnGraph(d, k, directed=False)
+    words = list(graph.vertices())
+    rows: List[RobustnessPoint] = []
+    for fraction in fractions:
+        if not 0.0 <= fraction < 1.0:
+            raise InvalidParameterError(f"failure fraction {fraction} out of [0, 1)")
+        rng = random.Random(seed + int(fraction * 1000))
+        failed = set(rng.sample(words, int(round(fraction * len(words)))))
+        stretches = path_stretch_samples(graph, failed, stretch_samples, rng)
+        rows.append(
+            RobustnessPoint(
+                failure_fraction=fraction,
+                failed_count=len(failed),
+                component_fraction=survivor_component_fraction(graph, failed),
+                reachable_fraction=reachable_pair_fraction(graph, failed),
+                mean_stretch=sum(stretches) / len(stretches) if stretches else 0.0,
+                max_stretch=max(stretches) if stretches else 0.0,
+            )
+        )
+    return rows

@@ -1,0 +1,83 @@
+"""Spectral/walk-counting view of DG(d, k): the ``A^k = J`` identity.
+
+A walk of length t from X in the directed de Bruijn graph spells
+``x_{t+1} … x_k a_1 … a_t``; for t = k the register is completely
+replaced, so there is **exactly one** length-k walk between every ordered
+pair of vertices: ``A^k = J`` (the all-ones matrix).  Consequences this
+module computes and the tests verify:
+
+* ``A^t`` has every row summing to ``d^t``, and for t >= k every entry
+  equals ``d^(t-k)``;
+* the spectrum of A is ``{d}`` once and 0 with multiplicity N − 1
+  (λ^k must be an eigenvalue of J ∈ {N, 0});
+* walk counts below the diameter: ``(A^t)[x, y]`` is 1 iff
+  ``suffix_{k-t}(x) == prefix_{k-t}(y)`` — Property 1 in matrix form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.word import validate_parameters
+from repro.exceptions import InvalidParameterError
+
+#: Memory guard for dense matrices.
+MAX_ORDER = 4096
+
+
+def adjacency_matrix(d: int, k: int) -> np.ndarray:
+    """Directed adjacency with multiplicity (loops included): A[u, v]."""
+    validate_parameters(d, k)
+    n = d**k
+    if n > MAX_ORDER:
+        raise InvalidParameterError(f"DG({d},{k}) is larger than the {MAX_ORDER} guard")
+    matrix = np.zeros((n, n), dtype=np.int64)
+    base = d ** (k - 1)
+    for u in range(n):
+        body = (u % base) * d
+        for a in range(d):
+            matrix[u, body + a] += 1
+    return matrix
+
+
+def walk_count_matrix(d: int, k: int, t: int) -> np.ndarray:
+    """``A^t``: the number of length-t walks between every ordered pair."""
+    if t < 0:
+        raise InvalidParameterError("walk length must be non-negative")
+    matrix = adjacency_matrix(d, k)
+    return np.linalg.matrix_power(matrix, t)
+
+
+def verify_walk_identity(d: int, k: int) -> bool:
+    """True iff ``A^k`` is exactly the all-ones matrix."""
+    power = walk_count_matrix(d, k, k)
+    return bool((power == 1).all())
+
+
+def spectrum(d: int, k: int) -> np.ndarray:
+    """Eigenvalues of A, sorted by descending magnitude."""
+    eigenvalues = np.linalg.eigvals(adjacency_matrix(d, k).astype(float))
+    order = np.argsort(-np.abs(eigenvalues))
+    return eigenvalues[order]
+
+
+def property1_in_matrix_form(d: int, k: int) -> bool:
+    """Check ``D(x, y) = min { t : (A^t)[x, y] >= 1 }`` — Property 1.
+
+    Note the subtlety: a walk of length *exactly* t exists iff
+    ``suffix_{k-t}(x) == prefix_{k-t}(y)``, which is **not** monotone in t
+    (a vertex at distance s < t need not be reachable by a length-t walk),
+    so the distance is the argmin over walk lengths, not a threshold.
+    """
+    from repro.analysis.exact import directed_distance_matrix
+
+    n = d**k
+    matrix = adjacency_matrix(d, k)
+    first_walk = np.full((n, n), -1, dtype=np.int64)
+    power = np.eye(n, dtype=np.int64)
+    for t in range(k + 1):
+        newly = (power >= 1) & (first_walk < 0)
+        first_walk[newly] = t
+        power = power @ matrix
+    distances = directed_distance_matrix(d, k)
+    return bool((first_walk == distances).all())

@@ -1,0 +1,101 @@
+"""Self-contained SVG rendering of de Bruijn graphs and routes.
+
+No external renderer needed: the output opens in any browser.  Vertices
+sit on a circle in lexicographic order; directed edges curve through the
+interior; a highlighted route is drawn on top in a second color.  Used by
+the examples and handy for teaching slides.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.core.word import WordTuple, format_word
+from repro.graphs.debruijn import DeBruijnGraph
+
+_STYLE = (
+    "  <style>\n"
+    "    .edge { stroke: #9aa5b1; stroke-width: 1.2; fill: none; }\n"
+    "    .edge-hl { stroke: #1f6feb; stroke-width: 3; fill: none; }\n"
+    "    .node { fill: #f7f9fb; stroke: #52606d; stroke-width: 1.5; }\n"
+    "    .node-hl { fill: #cfe3ff; stroke: #1f6feb; stroke-width: 2.5; }\n"
+    "    .label { font: 12px monospace; text-anchor: middle; "
+    "dominant-baseline: central; fill: #1f2933; }\n"
+    "  </style>\n"
+)
+
+
+def _positions(graph: DeBruijnGraph, size: int, radius_fraction: float = 0.40):
+    center = size / 2.0
+    radius = size * radius_fraction
+    vertices = list(graph.vertices())
+    n = len(vertices)
+    positions = {}
+    for index, vertex in enumerate(vertices):
+        angle = 2 * math.pi * index / n - math.pi / 2
+        positions[vertex] = (
+            center + radius * math.cos(angle),
+            center + radius * math.sin(angle),
+        )
+    return positions
+
+
+def _curved_edge(p1, p2, center, curve: float = 0.25) -> str:
+    midx, midy = (p1[0] + p2[0]) / 2, (p1[1] + p2[1]) / 2
+    # Pull the control point toward the center for an arc-like look.
+    cx = midx + (center[0] - midx) * curve
+    cy = midy + (center[1] - midy) * curve
+    return f"M {p1[0]:.1f} {p1[1]:.1f} Q {cx:.1f} {cy:.1f} {p2[0]:.1f} {p2[1]:.1f}"
+
+
+def graph_to_svg(
+    graph: DeBruijnGraph,
+    highlight_path: Optional[Sequence[WordTuple]] = None,
+    size: int = 640,
+    node_radius: int = 17,
+) -> str:
+    """The whole graph as an SVG document string.
+
+    ``highlight_path`` (a vertex sequence) is drawn on top in the accent
+    colour, with its vertices filled.  Suitable up to a few hundred
+    vertices before it gets crowded.
+    """
+    positions = _positions(graph, size)
+    center = (size / 2.0, size / 2.0)
+    highlight_vertices = set(highlight_path or [])
+    highlight_edges = set()
+    if highlight_path:
+        for u, v in zip(highlight_path, highlight_path[1:]):
+            highlight_edges.add((u, v))
+            if not graph.directed:
+                highlight_edges.add((v, u))
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size}" '
+        f'viewBox="0 0 {size} {size}">',
+        _STYLE,
+        f'  <rect width="{size}" height="{size}" fill="white"/>',
+    ]
+    # Plain edges below, highlighted edges above.
+    deferred = []
+    for u, v in graph.edges():
+        path = _curved_edge(positions[u], positions[v], center)
+        if (u, v) in highlight_edges:
+            deferred.append(f'  <path class="edge-hl" d="{path}"/>')
+        else:
+            parts.append(f'  <path class="edge" d="{path}"/>')
+    parts.extend(deferred)
+    for vertex, (x, y) in positions.items():
+        klass = "node-hl" if vertex in highlight_vertices else "node"
+        parts.append(f'  <circle class="{klass}" cx="{x:.1f}" cy="{y:.1f}" r="{node_radius}"/>')
+        parts.append(f'  <text class="label" x="{x:.1f}" y="{y:.1f}">'
+                     f"{format_word(vertex)}</text>")
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def route_to_svg(
+    graph: DeBruijnGraph, trace: Sequence[WordTuple], size: int = 640
+) -> str:
+    """Convenience wrapper: the graph with one route highlighted."""
+    return graph_to_svg(graph, highlight_path=trace, size=size)

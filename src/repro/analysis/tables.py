@@ -1,0 +1,52 @@
+"""Plain-text table rendering for the bench harnesses.
+
+Every experiment prints its rows through these helpers so the bench output
+reads like the paper's tables and is easy to diff across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _render_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 4,
+    indent: str = "",
+) -> str:
+    """Fixed-width aligned table with a header rule.
+
+    >>> print(format_table(["d", "mean"], [[2, 1.84375]], precision=3))
+    d  mean
+    -  -----
+    2  1.844
+    """
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append([_render_cell(cell, precision) for cell in row])
+    widths = [max(len(r[col]) for r in rendered) for col in range(len(headers))]
+    lines = []
+    header_line = "  ".join(cell.ljust(width) for cell, width in zip(rendered[0], widths))
+    lines.append((indent + header_line).rstrip())
+    lines.append(indent + "  ".join("-" * width for width in widths))
+    for row in rendered[1:]:
+        body = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append((indent + body).rstrip())
+    return "\n".join(lines)
+
+
+def format_kv_block(title: str, pairs: Iterable[Sequence[object]], precision: int = 4) -> str:
+    """A titled key/value block for per-experiment headlines."""
+    lines = [title, "=" * len(title)]
+    for key, value in pairs:
+        lines.append(f"{key}: {_render_cell(value, precision)}")
+    return "\n".join(lines)

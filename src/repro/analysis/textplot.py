@@ -1,0 +1,47 @@
+"""Minimal ASCII line plots, used to regenerate Figure 2 as text output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+Series = Dict[str, List[Tuple[float, float]]]
+
+_MARKERS = "ox+*#@%&"
+
+
+def render_plot(
+    series: Series,
+    width: int = 64,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Scatter the series onto a character grid with a legend.
+
+    Later series overwrite earlier ones on collisions; axes are linear and
+    auto-scaled to the data's bounding box.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in pts:
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+    lines = [f"{y_label} (top={y_max:.3f}, bottom={y_min:.3f})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: left={x_min:g}, right={x_max:g}")
+    for index, label in enumerate(series):
+        lines.append(f"   {_MARKERS[index % len(_MARKERS)]} = {label}")
+    return "\n".join(lines)

@@ -1,0 +1,442 @@
+"""Command-line interface: ``debruijn-routing <subcommand>``.
+
+Subcommands
+-----------
+
+``distance``            distance between two vertices (both orientations)
+``route``               print a shortest routing path and its hop trace
+``average-distance``    Equation (5) vs exact means for a (d, k) grid
+``structure``           the Figure-1 structural report for one graph
+``simulate``            run a uniform-traffic simulation and print stats
+``sequence``            print a de Bruijn sequence B(d, k)
+``disjoint-paths``      vertex-disjoint route family between two sites
+``broadcast``           tree vs unicast one-to-all broadcast makespans
+``topology``            de Bruijn vs Kautz vs the Moore bound
+``experiments``         regenerate the static experiment tables (E1..E12)
+``congestion``          offline congestion of permutation patterns
+``robustness``          random-failure robustness sweep
+``sort``                distributed sort demo on the embedded array
+``render``              write the graph (optionally with a route) as SVG/DOT
+
+Examples::
+
+    debruijn-routing distance -d 2 0110 1110
+    debruijn-routing route -d 2 --directed 0110 1110
+    debruijn-routing average-distance -d 2 -k 6
+    debruijn-routing simulate -d 2 -k 4 --cycles 200 --rate 0.05
+    debruijn-routing sequence -d 2 -k 4 --method euler
+    debruijn-routing disjoint-paths -d 2 001 110
+    debruijn-routing broadcast -d 2 -k 5
+    debruijn-routing topology -d 2 -k 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import format_kv_block, format_table
+from repro.core.distance import directed_distance, undirected_distance, undirected_witness
+from repro.core.routing import format_path, path_words, route
+from repro.core.word import format_word, parse_word
+from repro.core.average_distance import (
+    directed_average_distance_closed_form,
+    directed_average_distance_exact,
+    undirected_average_distance_exact,
+)
+from repro.graphs.debruijn import DeBruijnGraph
+from repro.graphs.properties import structural_report
+from repro.network.router import BidirectionalOptimalRouter, TrivialRouter, UnidirectionalOptimalRouter
+from repro.network.simulator import Simulator, run_workload
+from repro.network.traffic import uniform_random
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="debruijn-routing",
+        description="Optimal routing in de Bruijn networks (Liu, ICDCS 1990).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_dist = sub.add_parser("distance", help="distance between two vertices")
+    p_dist.add_argument("-d", type=int, required=True, help="alphabet size")
+    p_dist.add_argument("source", help="source word, e.g. 0110")
+    p_dist.add_argument("destination", help="destination word")
+
+    p_route = sub.add_parser("route", help="shortest routing path")
+    p_route.add_argument("-d", type=int, required=True)
+    p_route.add_argument("--directed", action="store_true", help="uni-directional network")
+    p_route.add_argument(
+        "--method", default="auto", choices=["auto", "matching", "suffix_tree"],
+        help="undirected witness computation (Algorithm 2 vs 4)",
+    )
+    p_route.add_argument("--no-wildcards", action="store_true", help="fix arbitrary digits to 0")
+    p_route.add_argument("source")
+    p_route.add_argument("destination")
+
+    p_avg = sub.add_parser("average-distance", help="Eq. (5) vs exact average distances")
+    p_avg.add_argument("-d", type=int, required=True)
+    p_avg.add_argument("-k", type=int, required=True, help="largest k of the sweep")
+    p_avg.add_argument("--max-pairs", type=int, default=1_048_576,
+                       help="skip exact enumeration beyond this many pairs")
+
+    p_struct = sub.add_parser("structure", help="Figure-1 structural report")
+    p_struct.add_argument("-d", type=int, required=True)
+    p_struct.add_argument("-k", type=int, required=True)
+    p_struct.add_argument("--directed", action="store_true")
+
+    p_sim = sub.add_parser("simulate", help="uniform-traffic network simulation")
+    p_sim.add_argument("-d", type=int, required=True)
+    p_sim.add_argument("-k", type=int, required=True)
+    p_sim.add_argument("--cycles", type=int, default=100)
+    p_sim.add_argument("--rate", type=float, default=0.05, help="injection probability per site per cycle")
+    p_sim.add_argument("--router", default="optimal",
+                       choices=["optimal", "optimal-unidirectional", "trivial"])
+    p_sim.add_argument("--seed", type=int, default=7)
+
+    p_seq = sub.add_parser("sequence", help="print a de Bruijn sequence B(d, k)")
+    p_seq.add_argument("-d", type=int, required=True)
+    p_seq.add_argument("-k", type=int, required=True)
+    p_seq.add_argument("--method", default="fkm", choices=["fkm", "euler"])
+
+    p_djp = sub.add_parser("disjoint-paths", help="vertex-disjoint routes between two sites")
+    p_djp.add_argument("-d", type=int, required=True)
+    p_djp.add_argument("source")
+    p_djp.add_argument("destination")
+
+    p_bc = sub.add_parser("broadcast", help="tree vs unicast broadcast makespans")
+    p_bc.add_argument("-d", type=int, required=True)
+    p_bc.add_argument("-k", type=int, required=True)
+    p_bc.add_argument("--root", default=None, help="root site (default 0...0)")
+
+    p_topo = sub.add_parser("topology", help="de Bruijn vs Kautz vs the Moore bound")
+    p_topo.add_argument("-d", type=int, required=True)
+    p_topo.add_argument("-k", type=int, required=True)
+    p_topo.add_argument("--shootout", action="store_true",
+                        help="also compare against ring/torus/hypercube at ~d^k vertices")
+
+    p_exp = sub.add_parser("experiments", help="regenerate the static experiment tables")
+    p_exp.add_argument("--only", default=None, help="one experiment id, e.g. E2")
+    p_exp.add_argument("--markdown", action="store_true", help="emit Markdown instead of text")
+    p_exp.add_argument("--output", default=None, help="write the report to a file")
+
+    p_cong = sub.add_parser("congestion", help="offline congestion of permutation patterns")
+    p_cong.add_argument("-d", type=int, required=True)
+    p_cong.add_argument("-k", type=int, required=True)
+
+    p_rob = sub.add_parser("robustness", help="random-failure robustness sweep")
+    p_rob.add_argument("-d", type=int, required=True)
+    p_rob.add_argument("-k", type=int, required=True)
+    p_rob.add_argument("--fractions", default="0,0.1,0.2,0.3",
+                       help="comma-separated failure fractions")
+    p_rob.add_argument("--seed", type=int, default=0)
+
+    p_sort = sub.add_parser("sort", help="distributed sort demo on the embedded array")
+    p_sort.add_argument("-d", type=int, required=True)
+    p_sort.add_argument("-k", type=int, required=True)
+    p_sort.add_argument("--seed", type=int, default=1)
+
+    p_render = sub.add_parser("render", help="write the graph (optionally a route) as SVG/DOT")
+    p_render.add_argument("-d", type=int, required=True)
+    p_render.add_argument("-k", type=int, required=True)
+    p_render.add_argument("--directed", action="store_true")
+    p_render.add_argument("--route", nargs=2, metavar=("SRC", "DST"),
+                          help="highlight a shortest route between two sites")
+    p_render.add_argument("--format", default="svg", choices=["svg", "dot"])
+    p_render.add_argument("--output", default="-", help="file path, or - for stdout")
+
+    sub.add_parser("about", help="list every module of the installed package")
+
+    return parser
+
+
+def _cmd_distance(args: argparse.Namespace) -> int:
+    x = parse_word(args.source, args.d)
+    y = parse_word(args.destination, args.d)
+    if len(x) != len(y):
+        print("error: words must have equal length", file=sys.stderr)
+        return 2
+    witness = undirected_witness(x, y)
+    print(
+        format_kv_block(
+            f"DG({args.d}, {len(x)}) distances {args.source} -> {args.destination}",
+            [
+                ("directed", directed_distance(x, y)),
+                ("directed (reverse)", directed_distance(y, x)),
+                ("undirected", witness.distance),
+                ("witness case", witness.case),
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    x = parse_word(args.source, args.d)
+    y = parse_word(args.destination, args.d)
+    path = route(
+        x, y, args.d,
+        directed=args.directed,
+        method=args.method,
+        use_wildcards=not args.no_wildcards,
+    )
+    print(f"path ({len(path)} hops): {format_path(path) or '(empty)'}")
+    trace = path_words(x, path, args.d)
+    print("trace:", " -> ".join(format_word(w) for w in trace))
+    return 0
+
+
+def _cmd_average(args: argparse.Namespace) -> int:
+    rows = []
+    for k in range(1, args.k + 1):
+        n = args.d**k
+        closed = directed_average_distance_closed_form(args.d, k)
+        if n * n <= args.max_pairs:
+            exact_directed = directed_average_distance_exact(args.d, k)
+            exact_undirected = undirected_average_distance_exact(args.d, k)
+            rows.append((k, n, closed, exact_directed, closed - exact_directed, exact_undirected))
+        else:
+            rows.append((k, n, closed, float("nan"), float("nan"), float("nan")))
+    print(
+        format_table(
+            ["k", "N", "eq(5)", "directed exact", "eq(5) - exact", "undirected exact"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_structure(args: argparse.Namespace) -> int:
+    graph = DeBruijnGraph(args.d, args.k, directed=args.directed)
+    report = structural_report(graph)
+    print(format_kv_block(f"{graph!r}", sorted(report.items())))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.router == "optimal":
+        router = BidirectionalOptimalRouter()
+        bidirectional = True
+    elif args.router == "optimal-unidirectional":
+        router = UnidirectionalOptimalRouter()
+        bidirectional = False
+    else:
+        router = TrivialRouter()
+        bidirectional = True
+    simulator = Simulator(args.d, args.k, bidirectional=bidirectional)
+    workload = uniform_random(args.d, args.k, args.cycles, args.rate, random.Random(args.seed))
+    stats = run_workload(simulator, router, workload)
+    print(format_kv_block(f"DN({args.d},{args.k}) {router.name}", sorted(stats.summary().items())))
+    return 0
+
+
+def _cmd_sequence(args: argparse.Namespace) -> int:
+    from repro.graphs.sequences import debruijn_sequence_euler, debruijn_sequence_lyndon
+
+    builder = debruijn_sequence_lyndon if args.method == "fkm" else debruijn_sequence_euler
+    sequence = builder(args.d, args.k)
+    print(format_word(sequence))
+    print(f"# B({args.d},{args.k}) via {args.method}: length {len(sequence)}, "
+          f"every length-{args.k} word appears exactly once cyclically")
+    return 0
+
+
+def _cmd_disjoint_paths(args: argparse.Namespace) -> int:
+    from repro.graphs.debruijn import undirected_graph
+    from repro.network.faults import vertex_disjoint_paths
+
+    x = parse_word(args.source, args.d)
+    y = parse_word(args.destination, args.d)
+    if len(x) != len(y):
+        print("error: words must have equal length", file=sys.stderr)
+        return 2
+    graph = undirected_graph(args.d, len(x))
+    paths = vertex_disjoint_paths(graph, x, y)
+    print(f"{len(paths)} internally vertex-disjoint routes "
+          f"(tolerance bound d-1 = {args.d - 1}):")
+    for path in paths:
+        print("  " + " -> ".join(format_word(w) for w in path))
+    return 0
+
+
+def _cmd_broadcast(args: argparse.Namespace) -> int:
+    from repro.network.broadcast import (
+        broadcast_lower_bound,
+        simulate_tree_broadcast,
+        simulate_unicast_broadcast,
+    )
+    from repro.network.router import BidirectionalOptimalRouter
+
+    root = parse_word(args.root, args.d) if args.root else (0,) * args.k
+    _, tree_time = simulate_tree_broadcast(args.d, args.k, root)
+    _, unicast_time = simulate_unicast_broadcast(
+        args.d, args.k, root, BidirectionalOptimalRouter()
+    )
+    print(format_kv_block(
+        f"one-to-all broadcast from {format_word(root)} in DN({args.d},{args.k})",
+        [
+            ("sites", args.d**args.k),
+            ("lower bound (eccentricity)", broadcast_lower_bound(args.d, args.k, root)),
+            ("tree-relay makespan", tree_time),
+            ("unicast-storm makespan", unicast_time),
+            ("speedup", unicast_time / tree_time),
+        ],
+    ))
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from repro.analysis.moore import comparison_rows
+
+    rows = [
+        (row.family, row.d, row.diameter, row.order, row.moore_bound, row.efficiency)
+        for row in comparison_rows(args.d, args.k)
+    ]
+    print(format_table(
+        ["family", "degree", "diameter", "vertices", "Moore bound", "efficiency"], rows))
+    if args.shootout:
+        from repro.analysis.comparison import shootout
+
+        profiles = shootout(args.d**args.k)
+        print()
+        print(format_table(
+            ["family", "vertices", "degree", "diameter", "mean distance", "degree growth"],
+            [(p.family, p.vertices, p.degree, p.diameter, p.mean_distance, p.degree_growth)
+             for p in profiles], precision=2))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import markdown_report, run_all, run_experiment
+
+    if args.only:
+        results = [run_experiment(args.only)]
+    else:
+        results = run_all()
+    if args.markdown:
+        rendered = markdown_report(results)
+    else:
+        rendered = "\n\n".join(result.to_text() for result in results)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
+    return 0
+
+
+def _cmd_congestion(args: argparse.Namespace) -> int:
+    from repro.analysis.load import adversarial_patterns, congestion
+    from repro.network.router import BidirectionalOptimalRouter, TrivialRouter
+
+    rows = []
+    for pattern, demands in adversarial_patterns(args.d, args.k).items():
+        for label, router in [
+            ("optimal", BidirectionalOptimalRouter(use_wildcards=False)),
+            ("trivial", TrivialRouter()),
+        ]:
+            r = congestion(demands, router, args.d)
+            rows.append((pattern, label, r.demands, r.mean_hops, r.max_load, r.fairness))
+    print(format_table(
+        ["pattern", "router", "demands", "mean hops", "max link load", "fairness"], rows))
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from repro.analysis.robustness import random_failure_sweep
+
+    fractions = tuple(float(f) for f in args.fractions.split(",") if f.strip())
+    rows = [
+        (p.failure_fraction, p.failed_count, p.component_fraction,
+         p.reachable_fraction, p.mean_stretch, p.max_stretch)
+        for p in random_failure_sweep(args.d, args.k, fractions, seed=args.seed)
+    ]
+    print(format_table(
+        ["failure fraction", "failed", "largest component",
+         "reachable pairs", "mean stretch", "max stretch"], rows))
+    return 0
+
+
+def _cmd_sort(args: argparse.Namespace) -> int:
+    from repro.network.sorting import odd_even_transposition_sort, worst_case_rounds
+
+    n = args.d**args.k
+    rng = random.Random(args.seed)
+    keys = [rng.randrange(10 * n) for _ in range(n)]
+    result = odd_even_transposition_sort(args.d, args.k, keys)
+    ok = list(result.final_keys) == sorted(keys)
+    print(format_kv_block(
+        f"odd-even transposition sort on DN({args.d},{args.k})",
+        [
+            ("sites", n),
+            ("rounds used", result.rounds_used),
+            ("worst case", worst_case_rounds(n)),
+            ("messages", result.messages),
+            ("sorted correctly", ok),
+        ],
+    ))
+    return 0 if ok else 1
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.analysis.dot import graph_to_dot
+    from repro.analysis.svg import graph_to_svg
+    from repro.graphs.debruijn import DeBruijnGraph
+
+    graph = DeBruijnGraph(args.d, args.k, directed=args.directed)
+    trace = None
+    if args.route:
+        x = parse_word(args.route[0], args.d)
+        y = parse_word(args.route[1], args.d)
+        trace = path_words(x, route(x, y, args.d, directed=args.directed,
+                                    use_wildcards=False), args.d)
+    if args.format == "svg":
+        rendered = graph_to_svg(graph, highlight_path=trace)
+    else:
+        rendered = graph_to_dot(graph, highlight_path=trace)
+    if args.output == "-":
+        print(rendered)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.output} ({len(rendered)} bytes)")
+    return 0
+
+
+def _cmd_about(args: argparse.Namespace) -> int:
+    from repro.inventory import render_inventory
+
+    print(render_inventory())
+    return 0
+
+
+_COMMANDS = {
+    "distance": _cmd_distance,
+    "route": _cmd_route,
+    "average-distance": _cmd_average,
+    "structure": _cmd_structure,
+    "simulate": _cmd_simulate,
+    "sequence": _cmd_sequence,
+    "disjoint-paths": _cmd_disjoint_paths,
+    "broadcast": _cmd_broadcast,
+    "topology": _cmd_topology,
+    "experiments": _cmd_experiments,
+    "congestion": _cmd_congestion,
+    "robustness": _cmd_robustness,
+    "sort": _cmd_sort,
+    "render": _cmd_render,
+    "about": _cmd_about,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``debruijn-routing`` console script."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

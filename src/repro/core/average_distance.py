@@ -1,0 +1,146 @@
+"""Average inter-vertex distances (paper Equation (5) and Figure 2).
+
+The paper derives a closed form for the directed graph's average distance,
+
+    δ(d, k) = Σ_{i=1..k} i · α^{k-i} · (1-α),   α = 1/d
+            = k − (1 − α^k) · α / (1 − α),                          (5)
+
+by assigning probability ``α^{k-i}(1-α)`` to distance ``i``.  That model
+treats "overlap ≥ s" as the single event "suffix_s(X) == prefix_s(Y)" of
+probability ``α^s``; the events are in fact not nested (an overlap of
+length 2 does not require one of length 1), so (5) is an *upper bound* that
+exceeds the exact average slightly.  This module provides both the paper's
+closed form and exact/sampled ground truth, and the benches record the gap
+(see EXPERIMENTS.md, experiment E2).
+
+For the undirected graph the paper gives no formula — Figure 2 plots
+numerical averages.  :func:`undirected_average_distance_exact` regenerates
+the exact values by full enumeration (feasible for d^k up to a few
+thousand) and :func:`undirected_average_distance_sampled` extends the
+series by uniform pair sampling.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.core.distance import directed_distance, undirected_distance
+from repro.core.word import iter_words, random_word, validate_parameters
+
+
+def directed_average_distance_closed_form(d: int, k: int) -> float:
+    """The paper's Equation (5): ``δ(d, k) = k − (1 − α^k)·α/(1 − α)``.
+
+    >>> directed_average_distance_closed_form(2, 3)  # k - 1 + 1/2^k
+    2.125
+    """
+    validate_parameters(d, k)
+    alpha = 1.0 / d
+    return k - (1.0 - alpha**k) * alpha / (1.0 - alpha)
+
+
+def directed_distance_distribution_model(d: int, k: int) -> Dict[int, float]:
+    """The distance distribution the paper's Eq. (5) sums: P(D=i)=α^{k-i}(1-α).
+
+    Includes the mass ``P(D=0) = α^k`` (the probability ``X == Y``); the
+    masses sum to 1 exactly.
+    """
+    validate_parameters(d, k)
+    alpha = 1.0 / d
+    dist = {0: alpha**k}
+    for i in range(1, k + 1):
+        dist[i] = alpha ** (k - i) * (1.0 - alpha)
+    return dist
+
+
+def directed_average_distance_exact(d: int, k: int) -> float:
+    """Exact mean of D(X, Y) over all ordered pairs, by full enumeration.
+
+    O(N² k) time with N = d^k — intended for small graphs; the numpy path
+    in :mod:`repro.analysis.exact` scales further.
+    """
+    validate_parameters(d, k)
+    total = 0
+    count = 0
+    words = list(iter_words(d, k))
+    for x in words:
+        for y in words:
+            total += directed_distance(x, y)
+            count += 1
+    return total / count
+
+
+def directed_distance_distribution_exact(d: int, k: int) -> Dict[int, float]:
+    """Exact distribution of D(X, Y) over uniform ordered pairs."""
+    validate_parameters(d, k)
+    counts: Dict[int, int] = {}
+    words = list(iter_words(d, k))
+    for x in words:
+        for y in words:
+            dist = directed_distance(x, y)
+            counts[dist] = counts.get(dist, 0) + 1
+    n_pairs = len(words) ** 2
+    return {dist: cnt / n_pairs for dist, cnt in sorted(counts.items())}
+
+
+def undirected_average_distance_exact(d: int, k: int) -> float:
+    """Exact mean undirected distance over all ordered pairs (Figure 2).
+
+    Enumerates all N² pairs with the O(k) suffix-tree distance when
+    profitable; practical up to N = d^k of a few thousand.
+    """
+    validate_parameters(d, k)
+    total = 0
+    count = 0
+    words = list(iter_words(d, k))
+    for x in words:
+        for y in words:
+            total += undirected_distance(x, y)
+            count += 1
+    return total / count
+
+
+def undirected_distance_distribution_exact(d: int, k: int) -> Dict[int, float]:
+    """Exact distribution of the undirected distance over uniform pairs."""
+    validate_parameters(d, k)
+    counts: Dict[int, int] = {}
+    words = list(iter_words(d, k))
+    for x in words:
+        for y in words:
+            dist = undirected_distance(x, y)
+            counts[dist] = counts.get(dist, 0) + 1
+    n_pairs = len(words) ** 2
+    return {dist: cnt / n_pairs for dist, cnt in sorted(counts.items())}
+
+
+def undirected_average_distance_sampled(
+    d: int, k: int, samples: int = 10_000, rng: Optional[random.Random] = None
+) -> float:
+    """Monte-Carlo estimate of the undirected average distance.
+
+    Draws ``samples`` independent uniform ordered pairs; the standard error
+    is at most ``k / (2 · sqrt(samples))`` since distances lie in [0, k].
+    """
+    validate_parameters(d, k)
+    generator = rng if rng is not None else random.Random()
+    total = 0
+    for _ in range(samples):
+        x = random_word(d, k, generator)
+        y = random_word(d, k, generator)
+        total += undirected_distance(x, y)
+    return total / samples
+
+
+def directed_average_distance_sampled(
+    d: int, k: int, samples: int = 10_000, rng: Optional[random.Random] = None
+) -> float:
+    """Monte-Carlo estimate of the directed average distance."""
+    validate_parameters(d, k)
+    generator = rng if rng is not None else random.Random()
+    total = 0
+    for _ in range(samples):
+        x = random_word(d, k, generator)
+        y = random_word(d, k, generator)
+        total += directed_distance(x, y)
+    return total / samples

@@ -1,0 +1,152 @@
+"""Matching functions — the paper's Algorithm 3 (Morris–Pratt machinery).
+
+The undirected distance function (Theorem 2) is phrased in terms of two
+*matching functions* over vertices ``X = x_1 ... x_k`` and ``Y = y_1 ... y_k``
+(paper equations (8) and (9), 1-based):
+
+``l_{i,j}(X, Y)``
+    the longest ``s`` such that ``x_i ... x_{i+s-1} = y_{j-s+1} ... y_j`` —
+    a forward substring of ``X`` anchored at its *start* ``i`` matching a
+    forward substring of ``Y`` anchored at its *end* ``j``.
+
+``r_{i,j}(X, Y)``
+    the longest ``s`` such that ``x_{i-s+1} ... x_i = y_j ... y_{j+s-1}`` —
+    ``X`` anchored at its end ``i``, ``Y`` anchored at its start ``j``.
+
+This module computes one full row ``l_{i,1..k}`` in O(k) with the
+Morris–Pratt failure function, exactly as the paper's Algorithm 3: build the
+failure function ``c_{i,*}`` of the pattern ``x_i ... x_k`` (lines 1-7), then
+stream ``Y`` through it (lines 8-14), falling back through ``c`` on
+mismatches and after full-pattern matches.
+
+All public functions use **0-based indices**; ``l(i, j)`` here equals the
+paper's ``l_{i+1, j+1}``.  Brute-force references (straight from the
+definitions) back the tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+Digits = Sequence[int]
+
+
+def failure_function(pattern: Digits) -> List[int]:
+    """Morris–Pratt failure function of ``pattern``.
+
+    ``fail[j]`` is the length of the longest *proper* prefix of
+    ``pattern[: j + 1]`` that is also a suffix of it.  This is the paper's
+    ``c_{i, i+j}`` for the pattern ``x_i ... x_k`` (Algorithm 3, lines 1-7).
+
+    >>> failure_function((0, 1, 0, 0, 1, 0, 1))
+    [0, 0, 1, 1, 2, 3, 2]
+    """
+    n = len(pattern)
+    fail = [0] * n
+    length = 0
+    for j in range(1, n):
+        while length > 0 and pattern[length] != pattern[j]:
+            length = fail[length - 1]
+        if pattern[length] == pattern[j]:
+            length += 1
+        fail[j] = length
+    return fail
+
+
+def matching_row_l(x: Digits, y: Digits, i: int) -> List[int]:
+    """Row ``i`` of the l-matching function: ``[l(i, 0), ..., l(i, k-1)]``.
+
+    ``l(i, j)`` is the longest length ``s`` with
+    ``x[i : i + s] == y[j - s + 1 : j + 1]`` — the Morris–Pratt match state
+    of the pattern ``x[i:]`` after consuming ``y[: j + 1]``.  Runs in O(k)
+    time and space (the paper's Algorithm 3, lines 8-14).
+    """
+    pattern = tuple(x[i:])
+    m = len(pattern)
+    fail = failure_function(pattern)
+    row: List[int] = []
+    state = 0
+    for digit in y:
+        if state == m:
+            # Full pattern matched at the previous position (paper line 10:
+            # "if l_{i,j-1} = k-i+1 then h = c_{i,k}"): fall back before
+            # consuming the next digit.
+            state = fail[state - 1] if m > 0 else 0
+        while state > 0 and pattern[state] != digit:
+            state = fail[state - 1]
+        if m > 0 and pattern[state] == digit:
+            state += 1
+        row.append(state)
+    return row
+
+
+def matching_function_l(x: Digits, y: Digits) -> List[List[int]]:
+    """All rows of the l-matching function: ``L[i][j] == l(i, j)``.
+
+    O(k^2) time and space; Algorithm 2 of the paper iterates over the rows
+    one at a time to stay in O(k) space (see
+    :func:`repro.core.routing.shortest_path_undirected`).
+    """
+    k = len(x)
+    return [matching_row_l(x, y, i) for i in range(k)]
+
+
+def matching_row_r(x: Digits, y: Digits, i: int) -> List[int]:
+    """Row ``i`` of the r-matching function: ``[r(i, 0), ..., r(i, k-1)]``.
+
+    ``r(i, j)`` is the longest length ``s`` with
+    ``x[i - s + 1 : i + 1] == y[j : j + s]``.  Computed through the
+    reduction ``r(i, j)(X, Y) = l(k-1-i, k-1-j)(reversed X, reversed Y)``,
+    which the paper notes makes the computations of ``r`` "analogous to
+    those of ``l``".  O(k) time and space.
+    """
+    k = len(x)
+    xr = tuple(reversed(x))
+    yr = tuple(reversed(y))
+    reversed_row = matching_row_l(xr, yr, k - 1 - i)
+    return [reversed_row[k - 1 - j] for j in range(k)]
+
+
+def matching_function_r(x: Digits, y: Digits) -> List[List[int]]:
+    """All rows of the r-matching function: ``R[i][j] == r(i, j)``."""
+    k = len(x)
+    return [matching_row_r(x, y, i) for i in range(k)]
+
+
+def l_brute(x: Digits, y: Digits, i: int, j: int) -> int:
+    """``l(i, j)`` straight from definition (8); O(k^2) — test oracle only."""
+    best = 0
+    limit = min(j + 1, len(x) - i)
+    for s in range(1, limit + 1):
+        if tuple(x[i : i + s]) == tuple(y[j - s + 1 : j + 1]):
+            best = s
+    return best
+
+
+def r_brute(x: Digits, y: Digits, i: int, j: int) -> int:
+    """``r(i, j)`` straight from definition (9); O(k^2) — test oracle only."""
+    best = 0
+    limit = min(i + 1, len(y) - j)
+    for s in range(1, limit + 1):
+        if tuple(x[i - s + 1 : i + 1]) == tuple(y[j : j + s]):
+            best = s
+    return best
+
+
+def common_substrings_brute(x: Digits, y: Digits) -> List[Tuple[int, int, int]]:
+    """All maximal-at-anchor forward common substrings ``(a, b, s)``.
+
+    ``(a, b, s)`` means ``x[a : a + s] == y[b : b + s]`` with ``s`` maximal
+    for that anchor pair and ``s >= 1``.  O(k^3) — used by tests and by the
+    brute-force undirected distance reference.
+    """
+    out: List[Tuple[int, int, int]] = []
+    kx, ky = len(x), len(y)
+    for a in range(kx):
+        for b in range(ky):
+            s = 0
+            while a + s < kx and b + s < ky and x[a + s] == y[b + s]:
+                s += 1
+            if s >= 1:
+                out.append((a, b, s))
+    return out

@@ -1,0 +1,165 @@
+"""Enumerating, counting and sampling *all* shortest paths.
+
+The paper's algorithms produce one canonical optimal route per pair.  In
+the undirected network there are usually several, and spreading traffic
+over them is the natural continuation of the paper's wildcard remark.
+This module walks the shortest-path DAG implied by the distance function
+(a neighbor ``n`` of ``c`` is on some shortest path to ``y`` iff
+``D(n, y) == D(c, y) − 1``), giving:
+
+* :func:`all_shortest_paths` — full enumeration with a safety cap,
+* :func:`count_shortest_paths` — memoised counting without enumeration,
+* :func:`random_shortest_path` — uniform-at-random sampling by counting.
+
+In the *directed* graph the shortest path is always unique — a length-t
+walk from X must spell ``Y = x_{t+1..k} a_1..a_t``, which pins every
+digit — a fact the tests pin down and the spectral module
+(:mod:`repro.analysis.spectral`) re-derives as ``A^k = J``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.distance import undirected_distance
+from repro.core.routing import Direction, Path, RoutingStep
+from repro.core.word import WordTuple, left_shift, right_shift
+from repro.exceptions import RoutingError
+
+#: Default cap on enumation size; shortest-path counts grow quickly.
+DEFAULT_MAX_PATHS = 10_000
+
+Move = Tuple[Direction, int, WordTuple]  # (shift type, digit, landing vertex)
+
+
+def _optimal_moves(current: WordTuple, target: WordTuple, d: int, remaining: int) -> List[Move]:
+    """Moves from ``current`` that stay on a shortest path to ``target``."""
+    moves: List[Move] = []
+    seen = set()
+    for digit in range(d):
+        landing = left_shift(current, digit)
+        if landing not in seen and undirected_distance(landing, target) == remaining - 1:
+            seen.add(landing)
+            moves.append((Direction.LEFT, digit, landing))
+    for digit in range(d):
+        landing = right_shift(current, digit)
+        if landing not in seen and undirected_distance(landing, target) == remaining - 1:
+            seen.add(landing)
+            moves.append((Direction.RIGHT, digit, landing))
+    return moves
+
+
+def all_shortest_paths(
+    x: WordTuple, y: WordTuple, d: int, max_paths: int = DEFAULT_MAX_PATHS
+) -> List[Path]:
+    """Every shortest routing path from ``x`` to ``y`` (undirected network).
+
+    Paths that reach the same vertex by coincident L/R edges are counted
+    once (per distinct vertex sequence).  Raises :class:`RoutingError` when
+    more than ``max_paths`` exist.
+    """
+    distance = undirected_distance(x, y)
+    results: List[Path] = []
+
+    def extend(current: WordTuple, remaining: int, prefix: Path) -> None:
+        if remaining == 0:
+            results.append(list(prefix))
+            if len(results) > max_paths:
+                raise RoutingError(
+                    f"more than {max_paths} shortest paths from {x!r} to {y!r}"
+                )
+            return
+        for direction, digit, landing in _optimal_moves(current, y, d, remaining):
+            prefix.append(RoutingStep(direction, digit))
+            extend(landing, remaining - 1, prefix)
+            prefix.pop()
+
+    extend(x, distance, [])
+    return results
+
+
+def count_shortest_paths(x: WordTuple, y: WordTuple, d: int) -> int:
+    """Number of distinct shortest vertex sequences from ``x`` to ``y``."""
+    distance = undirected_distance(x, y)
+    memo: Dict[Tuple[WordTuple, int], int] = {}
+
+    def count(current: WordTuple, remaining: int) -> int:
+        if remaining == 0:
+            return 1
+        key = (current, remaining)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        total = sum(
+            count(landing, remaining - 1)
+            for _, _, landing in _optimal_moves(current, y, d, remaining)
+        )
+        memo[key] = total
+        return total
+
+    return count(x, distance)
+
+
+def random_shortest_path(
+    x: WordTuple, y: WordTuple, d: int, rng: Optional[random.Random] = None
+) -> Path:
+    """A uniformly random shortest path, by proportional sampling.
+
+    Each optimal move is taken with probability proportional to the number
+    of shortest completions through it, which makes the resulting path
+    uniform over all shortest vertex sequences.
+    """
+    generator = rng if rng is not None else random.Random()
+    distance = undirected_distance(x, y)
+    memo: Dict[Tuple[WordTuple, int], int] = {}
+
+    def count(current: WordTuple, remaining: int) -> int:
+        if remaining == 0:
+            return 1
+        key = (current, remaining)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        total = sum(
+            count(landing, remaining - 1)
+            for _, _, landing in _optimal_moves(current, y, d, remaining)
+        )
+        memo[key] = total
+        return total
+
+    path: Path = []
+    current = x
+    remaining = distance
+    while remaining > 0:
+        moves = _optimal_moves(current, y, d, remaining)
+        weights = [count(landing, remaining - 1) for _, _, landing in moves]
+        pick = generator.randrange(sum(weights))
+        cumulative = 0
+        for (direction, digit, landing), weight in zip(moves, weights):
+            cumulative += weight
+            if pick < cumulative:
+                path.append(RoutingStep(direction, digit))
+                current = landing
+                remaining -= 1
+                break
+    return path
+
+
+def iter_shortest_path_vertices(
+    x: WordTuple, y: WordTuple, d: int, max_paths: int = DEFAULT_MAX_PATHS
+) -> Iterator[List[WordTuple]]:
+    """Vertex sequences of every shortest path (for analysis/tests)."""
+    from repro.core.routing import path_words
+
+    for path in all_shortest_paths(x, y, d, max_paths):
+        yield path_words(x, path, d)
+
+
+def directed_shortest_path_is_unique(x: WordTuple, y: WordTuple) -> bool:
+    """Always True: the directed shortest walk's digits are forced.
+
+    Kept as an executable statement of the uniqueness fact (tested against
+    exhaustive walk enumeration in the test suite).
+    """
+    return True

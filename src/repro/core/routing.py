@@ -1,0 +1,253 @@
+"""Optimal routing-path generation (the paper's Algorithms 1, 2 and 4).
+
+A routing path is the sequence of ``(a_i, b_i)`` pairs of paper Section 3:
+``a_i`` selects the shift type (0 = type-L left shift, 1 = type-R right
+shift) and ``b_i`` the digit to insert.  The paper remarks that an
+"arbitrary" digit may be encoded by a special symbol ``*`` so that each
+forwarding site can pick any neighbor of the requested type and balance
+traffic; we model that with ``digit=None`` on a :class:`RoutingStep`.
+
+Three generators are provided:
+
+* :func:`shortest_path_unidirectional` — Algorithm 1, O(k).
+* :func:`shortest_path_undirected` with ``method="matching"`` —
+  Algorithm 2, O(k²) time / O(k) space.
+* :func:`shortest_path_undirected` with ``method="suffix_tree"`` —
+  Algorithm 4's role, O(k) time and space.
+
+All generated paths are *shortest*: their length equals the corresponding
+distance function, a fact the test suite checks exhaustively against BFS on
+small graphs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.distance import (
+    Method,
+    UndirectedWitness,
+    directed_distance,
+    undirected_witness,
+)
+from repro.core.word import WordTuple, left_shift, overlap_length, right_shift, validate_word
+from repro.exceptions import RoutingError
+
+
+class Direction(enum.IntEnum):
+    """The shift type of a routing step (the paper's ``a_i`` field)."""
+
+    LEFT = 0  #: type-L move ``X -> X^-(b)``
+    RIGHT = 1  #: type-R move ``X -> X^+(b)``
+
+
+@dataclass(frozen=True)
+class RoutingStep:
+    """One hop of a routing path: shift ``direction``, insert ``digit``.
+
+    ``digit is None`` encodes the paper's wildcard ``*``: the forwarding
+    site may insert any digit (choose any neighbor of the given type).
+    """
+
+    direction: Direction
+    digit: Optional[int]
+
+    @property
+    def is_wildcard(self) -> bool:
+        """True when the inserted digit is left to the forwarding site."""
+        return self.digit is None
+
+    def resolved(self, digit: int) -> "RoutingStep":
+        """A concrete copy of this step with the wildcard filled in."""
+        return RoutingStep(self.direction, digit)
+
+    def __str__(self) -> str:
+        symbol = "*" if self.digit is None else str(self.digit)
+        arrow = "L" if self.direction == Direction.LEFT else "R"
+        return f"{arrow}{symbol}"
+
+
+Path = List[RoutingStep]
+
+#: How to fill wildcard digits when applying a path: a fixed digit, or a
+#: callable receiving (current word, step index) and returning a digit.
+WildcardPolicy = Callable[[WordTuple, int], int]
+
+
+def shortest_path_unidirectional(x: WordTuple, y: WordTuple) -> Path:
+    """Algorithm 1: a shortest path in the uni-directional DN(d, k).
+
+    Returns ``k - l`` left-shift steps carrying the digits
+    ``y_{l+1} ... y_k`` where ``l`` is the longest suffix of ``x`` that is a
+    prefix of ``y`` (empty path when ``x == y``).  O(k) time and space.
+
+    >>> [str(s) for s in shortest_path_unidirectional((0, 1, 1), (1, 1, 0))]
+    ['L0']
+    """
+    if len(x) != len(y):
+        raise RoutingError(f"source {x!r} and destination {y!r} differ in length")
+    if x == y:
+        return []
+    l = overlap_length(x, y)
+    return [RoutingStep(Direction.LEFT, digit) for digit in y[l:]]
+
+
+def shortest_path_undirected(
+    x: WordTuple,
+    y: WordTuple,
+    method: Method = "auto",
+    use_wildcards: bool = True,
+    filler: int = 0,
+) -> Path:
+    """Algorithm 2 / Algorithm 4: a shortest path in the bi-directional DN(d, k).
+
+    ``method`` selects how the Theorem-2 witness is computed (see
+    :func:`repro.core.distance.undirected_witness`); the path construction
+    itself (paper lines 6-9 of Algorithm 2) is shared.  When
+    ``use_wildcards`` is true the "arbitrarily chosen digits" of the paper
+    become wildcard steps; otherwise they are fixed to ``filler``.
+
+    >>> path = shortest_path_undirected((0, 0, 1), (1, 1, 1))
+    >>> len(path)
+    2
+    """
+    if len(x) != len(y):
+        raise RoutingError(f"source {x!r} and destination {y!r} differ in length")
+    if x == y:
+        return []
+    witness = undirected_witness(x, y, method)
+    return path_from_witness(witness, y, use_wildcards=use_wildcards, filler=filler)
+
+
+def path_from_witness(
+    witness: UndirectedWitness,
+    y: WordTuple,
+    use_wildcards: bool = True,
+    filler: int = 0,
+) -> Path:
+    """Materialise Algorithm 2's lines 6-9 from a Theorem-2 witness."""
+    k = len(y)
+    arbitrary = None if use_wildcards else filler
+    steps: Path = []
+    if witness.case == "trivial":
+        # Line 6: the diameter path of k left shifts spelling Y.
+        return [RoutingStep(Direction.LEFT, digit) for digit in y]
+    if witness.case == "l":
+        # Line 8, with (i, j, theta) = (s_1, t_1, θ_1), all 1-based:
+        #   (s1-1) arbitrary left shifts, then right shifts spelling
+        #   y_{t1-θ1} .. y_1, then (k-t1) arbitrary right shifts, then left
+        #   shifts spelling y_{t1+1} .. y_k.
+        i, j, theta = witness.i, witness.j, witness.theta
+        steps.extend(RoutingStep(Direction.LEFT, arbitrary) for _ in range(i - 1))
+        for m in range(j - theta, 0, -1):  # digits y_m, 1-based, descending
+            steps.append(RoutingStep(Direction.RIGHT, y[m - 1]))
+        steps.extend(RoutingStep(Direction.RIGHT, arbitrary) for _ in range(k - j))
+        for m in range(j + 1, k + 1):
+            steps.append(RoutingStep(Direction.LEFT, y[m - 1]))
+        return steps
+    if witness.case == "r":
+        # Line 9, with (i, j, theta) = (s_2, t_2, θ_2), all 1-based:
+        #   (k-s2) arbitrary right shifts, then left shifts spelling
+        #   y_{t2+θ2} .. y_k, then (t2-1) arbitrary left shifts, then right
+        #   shifts spelling y_{t2-1} .. y_1.
+        i, j, theta = witness.i, witness.j, witness.theta
+        steps.extend(RoutingStep(Direction.RIGHT, arbitrary) for _ in range(k - i))
+        for m in range(j + theta, k + 1):
+            steps.append(RoutingStep(Direction.LEFT, y[m - 1]))
+        steps.extend(RoutingStep(Direction.LEFT, arbitrary) for _ in range(j - 1))
+        for m in range(j - 1, 0, -1):
+            steps.append(RoutingStep(Direction.RIGHT, y[m - 1]))
+        return steps
+    raise RoutingError(f"unknown witness case {witness.case!r}")
+
+
+def apply_step(
+    word: WordTuple, step: RoutingStep, d: int, wildcard: WildcardPolicy | int = 0, index: int = 0
+) -> WordTuple:
+    """Apply one routing step to ``word``, resolving a wildcard via ``wildcard``."""
+    digit = step.digit
+    if digit is None:
+        digit = wildcard(word, index) if callable(wildcard) else wildcard
+    validate_word((digit,), d, 1)
+    if step.direction == Direction.LEFT:
+        return left_shift(word, digit)
+    return right_shift(word, digit)
+
+
+def apply_path(
+    x: WordTuple, path: Iterable[RoutingStep], d: int, wildcard: WildcardPolicy | int = 0
+) -> WordTuple:
+    """Apply a whole routing path to ``x`` and return the final word."""
+    word = x
+    for index, step in enumerate(path):
+        word = apply_step(word, step, d, wildcard, index)
+    return word
+
+
+def path_words(
+    x: WordTuple, path: Iterable[RoutingStep], d: int, wildcard: WildcardPolicy | int = 0
+) -> List[WordTuple]:
+    """All intermediate vertices of a path, source first, destination last."""
+    words = [x]
+    for index, step in enumerate(path):
+        words.append(apply_step(words[-1], step, d, wildcard, index))
+    return words
+
+
+def verify_path(
+    x: WordTuple, y: WordTuple, path: Sequence[RoutingStep], d: int, wildcard: WildcardPolicy | int = 0
+) -> bool:
+    """True when applying ``path`` to ``x`` lands exactly on ``y``."""
+    return apply_path(x, path, d, wildcard) == y
+
+
+def route(
+    x: WordTuple,
+    y: WordTuple,
+    d: int,
+    directed: bool = False,
+    method: Method = "auto",
+    use_wildcards: bool = True,
+) -> Path:
+    """Validate the endpoints and produce a shortest routing path.
+
+    The one-call public entry point: picks Algorithm 1 for the directed
+    network and Algorithm 2/4 for the undirected one.
+    """
+    k = len(x)
+    validate_word(x, d, k)
+    validate_word(y, d, k)
+    if directed:
+        return shortest_path_unidirectional(x, y)
+    return shortest_path_undirected(x, y, method=method, use_wildcards=use_wildcards)
+
+
+def path_length_matches_distance(
+    x: WordTuple, y: WordTuple, path: Sequence[RoutingStep], directed: bool = False
+) -> bool:
+    """True when ``len(path)`` equals the corresponding distance function."""
+    if directed:
+        return len(path) == directed_distance(x, y)
+    from repro.core.distance import undirected_distance  # cycle-free local import
+
+    return len(path) == undirected_distance(x, y)
+
+
+def format_path(path: Sequence[RoutingStep]) -> str:
+    """Human-readable rendering, e.g. ``"L0 R* R1 L1"``."""
+    return " ".join(str(step) for step in path)
+
+
+def parse_path(text: str) -> Path:
+    """Inverse of :func:`format_path` (used by the CLI)."""
+    steps: Path = []
+    for token in text.split():
+        if len(token) < 2 or token[0] not in "LR":
+            raise RoutingError(f"malformed step token {token!r}")
+        direction = Direction.LEFT if token[0] == "L" else Direction.RIGHT
+        body = token[1:]
+        digit = None if body == "*" else int(body)
+        steps.append(RoutingStep(direction, digit))
+    return steps

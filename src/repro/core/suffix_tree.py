@@ -1,0 +1,470 @@
+"""Compact suffix trees over integer sequences (the paper's "prefix trees").
+
+The paper's Algorithm 4 uses Weiner's (1973) *compact prefix tree* — the
+tree of shortest unique prefix identifiers of every position of a string,
+with unary chains condensed.  That structure is exactly the compact suffix
+tree; we build it with Ukkonen's online algorithm, which is equally linear
+in time and space and considerably easier to implement correctly.  A naive
+quadratic builder (:func:`build_naive`) plus a canonical-form comparator
+back the property tests.
+
+Symbols are arbitrary hashable, equality-comparable objects; the library
+uses small non-negative ints for d-ary digits and negative ints for the
+endmarkers (the paper's ``⊥`` and ``⊤``).
+
+The routing application needs a *generalized* suffix tree of the two vertex
+labels: :class:`GeneralizedSuffixTree` builds the tree of
+``X · SEP1 · Y · SEP2`` and annotates every node with the minimum and
+maximum start positions of the X- and Y-suffixes below it — the role played
+by the paper's ``p(v)`` and ``q(v)`` leaf minima in Algorithm 4 lines
+3.1/4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+Symbol = int
+Text = Sequence[Symbol]
+
+#: Separator between X and Y in the generalized tree (the paper's ``⊥``).
+SEPARATOR = -1
+#: Terminal endmarker of the generalized tree (the paper's ``⊤``).
+ENDMARKER = -2
+
+
+class Node:
+    """A node of a compact suffix tree.
+
+    The incoming edge is labeled ``text[start:end]``.  The root has
+    ``start == end == 0`` (empty label).  ``depth`` is the *string depth*:
+    the total label length from the root; the paper calls this ``D(v)``.
+    """
+
+    __slots__ = ("children", "start", "end", "link", "depth", "suffix_index")
+
+    def __init__(self, start: int, end: int) -> None:
+        self.children: Dict[Symbol, "Node"] = {}
+        self.start = start
+        self.end = end
+        self.link: Optional["Node"] = None
+        self.depth = 0
+        self.suffix_index = -1  # set on leaves after construction
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no children (a position of the string)."""
+        return not self.children
+
+    def edge_length(self) -> int:
+        """Length of the incoming edge label."""
+        return self.end - self.start
+
+
+class SuffixTree:
+    """Compact suffix tree of ``text``, built online with Ukkonen's algorithm.
+
+    When ``add_sentinel`` is true (the default) a unique terminal symbol is
+    appended so that every suffix ends at a leaf — the paper's endmarker
+    trick ("the use of endmarker guarantees the existence of a unique prefix
+    tree for any given string").
+
+    >>> tree = SuffixTree((0, 1, 0, 0, 1))
+    >>> tree.count_occurrences((0, 1))
+    2
+    >>> sorted(tree.occurrences((0,)))
+    [0, 2, 3]
+    """
+
+    def __init__(self, text: Text, add_sentinel: bool = True) -> None:
+        body = tuple(text)
+        if add_sentinel:
+            sentinel = min(body, default=0) - 1
+            if ENDMARKER < sentinel:
+                sentinel = ENDMARKER - 1
+            body = body + (sentinel,)
+        self.text: Tuple[Symbol, ...] = body
+        self.root = Node(0, 0)
+        self._build()
+        self._annotate()
+
+    # ------------------------------------------------------------------
+    # Construction (Ukkonen 1995)
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        text = self.text
+        n = len(text)
+        root = self.root
+        active_node = root
+        active_edge = 0  # index into text of the active edge's first symbol
+        active_length = 0
+        remainder = 0
+        for i in range(n):
+            remainder += 1
+            pending: Optional[Node] = None  # internal node awaiting a suffix link
+            while remainder > 0:
+                if active_length == 0:
+                    active_edge = i
+                child = active_node.children.get(text[active_edge])
+                if child is None:
+                    leaf = Node(i, n)
+                    active_node.children[text[active_edge]] = leaf
+                    if pending is not None:
+                        pending.link = active_node
+                        pending = None
+                else:
+                    edge_len = child.edge_length()
+                    if active_length >= edge_len:
+                        # Walk down: the active point lies past this edge.
+                        active_edge += edge_len
+                        active_length -= edge_len
+                        active_node = child
+                        continue
+                    if text[child.start + active_length] == text[i]:
+                        # The symbol is already present: rule 3, end phase.
+                        active_length += 1
+                        if pending is not None:
+                            pending.link = active_node
+                        break
+                    split = Node(child.start, child.start + active_length)
+                    active_node.children[text[active_edge]] = split
+                    child.start += active_length
+                    split.children[text[child.start]] = child
+                    leaf = Node(i, n)
+                    split.children[text[i]] = leaf
+                    if pending is not None:
+                        pending.link = split
+                    pending = split
+                remainder -= 1
+                if active_node is root and active_length > 0:
+                    active_length -= 1
+                    active_edge = i - remainder + 1
+                elif active_node is not root:
+                    active_node = active_node.link if active_node.link is not None else root
+
+    def _annotate(self) -> None:
+        """Set string depths everywhere and suffix indices on leaves."""
+        n = len(self.text)
+        stack: List[Tuple[Node, int]] = [(self.root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            node.depth = depth
+            if node.is_leaf:
+                node.suffix_index = n - depth
+            else:
+                for child in node.children.values():
+                    stack.append((child, depth + child.edge_length()))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate all nodes, parents before children (preorder DFS)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def postorder(self) -> Iterator[Node]:
+        """Iterate all nodes, children before parents."""
+        out: List[Node] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(node.children.values())
+        return reversed(out)
+
+    def _locate(self, pattern: Text) -> Optional[Tuple[Node, int]]:
+        """Walk ``pattern`` from the root; return (node, symbols matched on
+        its incoming edge) or None when the pattern does not occur."""
+        node = self.root
+        pos = 0
+        m = len(pattern)
+        while pos < m:
+            child = node.children.get(pattern[pos])
+            if child is None:
+                return None
+            take = min(child.edge_length(), m - pos)
+            if tuple(self.text[child.start : child.start + take]) != tuple(pattern[pos : pos + take]):
+                return None
+            pos += take
+            node = child
+        return node, 0
+
+    def contains(self, pattern: Text) -> bool:
+        """True when ``pattern`` occurs as a substring of the text."""
+        return self._locate(tuple(pattern)) is not None
+
+    def occurrences(self, pattern: Text) -> List[int]:
+        """Start positions of every occurrence of ``pattern``."""
+        located = self._locate(tuple(pattern))
+        if located is None:
+            return []
+        node, _ = located
+        result = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                result.append(current.suffix_index)
+            else:
+                stack.extend(current.children.values())
+        return result
+
+    def count_occurrences(self, pattern: Text) -> int:
+        """Number of occurrences of ``pattern`` in the text."""
+        return len(self.occurrences(pattern))
+
+    def leaf_count(self) -> int:
+        """Number of leaves (== number of suffixes, text length)."""
+        return sum(1 for node in self.nodes() if node.is_leaf)
+
+    def node_count(self) -> int:
+        """Total number of nodes; O(n) for a compact tree (paper Section 3.3)."""
+        return sum(1 for _ in self.nodes())
+
+    def suffix_array(self) -> List[int]:
+        """Suffix start positions in lexicographic order (sentinel included).
+
+        Read off a symbol-ordered DFS of the compact tree — O(n log σ) for
+        the sorting of child symbols.
+        """
+        return self.suffix_array_with_lcp()[0]
+
+    def suffix_array_with_lcp(self) -> Tuple[List[int], List[int]]:
+        """The suffix array plus the LCP of each consecutive suffix pair.
+
+        ``lcp[i]`` is the longest common prefix length of the suffixes at
+        ``sa[i]`` and ``sa[i+1]`` — the string depth of their LCA, captured
+        at the deepest node whose child iteration advances between them.
+        """
+        sa: List[int] = []
+        lcp: List[int] = []
+        next_lcp = 0
+        boundary_set = True  # nothing emitted yet; first leaf has no LCP
+        stack: List[Tuple[Node, List[Node], int]] = [
+            (self.root, self._sorted_children(self.root), 0)
+        ]
+        while stack:
+            node, children, index = stack.pop()
+            if node.is_leaf and node is not self.root:
+                if sa:
+                    lcp.append(next_lcp)
+                sa.append(node.suffix_index)
+                boundary_set = False
+                continue
+            if index < len(children):
+                if index > 0 and not boundary_set:
+                    next_lcp = node.depth
+                    boundary_set = True
+                stack.append((node, children, index + 1))
+                child = children[index]
+                stack.append((child, self._sorted_children(child), 0))
+        return sa, lcp
+
+    def _sorted_children(self, node: Node) -> List[Node]:
+        return [node.children[symbol] for symbol in sorted(node.children)]
+
+    def longest_repeated_substring(self) -> Tuple[Symbol, ...]:
+        """Deepest internal node's path string (the paper's worked example
+        of what prefix trees are good for)."""
+        best: Optional[Node] = None
+        parents: Dict[int, Node] = {}
+        for node in self.nodes():
+            for child in node.children.values():
+                parents[id(child)] = node
+            if not node.is_leaf and node is not self.root:
+                if best is None or node.depth > best.depth:
+                    best = node
+        if best is None:
+            return ()
+        # Reconstruct the path string by climbing to the root.
+        pieces: List[Tuple[Symbol, ...]] = []
+        node = best
+        while node is not self.root:
+            pieces.append(tuple(self.text[node.start : node.end]))
+            node = parents[id(node)]
+        return tuple(sym for piece in reversed(pieces) for sym in piece)
+
+
+def build_naive(text: Text, add_sentinel: bool = True) -> SuffixTree:
+    """Quadratic-time compact suffix tree used as a test oracle.
+
+    Builds an empty :class:`SuffixTree` shell and inserts every suffix by
+    direct descent, splitting edges as needed.  The resulting structure is
+    compared against Ukkonen's via :func:`canonical_form`.
+    """
+    tree = SuffixTree.__new__(SuffixTree)
+    body = tuple(text)
+    if add_sentinel:
+        sentinel = min(body, default=0) - 1
+        if ENDMARKER < sentinel:
+            sentinel = ENDMARKER - 1
+        body = body + (sentinel,)
+    tree.text = body
+    tree.root = Node(0, 0)
+    n = len(body)
+    for start in range(n):
+        node = tree.root
+        pos = start
+        while True:
+            child = node.children.get(body[pos])
+            if child is None:
+                node.children[body[pos]] = Node(pos, n)
+                break
+            matched = 0
+            edge_len = child.edge_length()
+            while (
+                matched < edge_len
+                and pos + matched < n
+                and body[child.start + matched] == body[pos + matched]
+            ):
+                matched += 1
+            if matched == edge_len:
+                node = child
+                pos += matched
+                continue
+            # Split the edge after `matched` symbols.
+            split = Node(child.start, child.start + matched)
+            node.children[body[pos]] = split
+            child.start += matched
+            split.children[body[child.start]] = child
+            split.children[body[pos + matched]] = Node(pos + matched, n)
+            break
+    tree._annotate()
+    return tree
+
+
+def canonical_form(tree: SuffixTree, node: Optional[Node] = None):
+    """A nested-tuple canonical form for structural tree comparison.
+
+    Two compact suffix trees of the same string are identical iff their
+    canonical forms compare equal (children sorted by first edge symbol,
+    edges compared by label content rather than by index).
+    """
+    if node is None:
+        node = tree.root
+    children = []
+    for symbol in sorted(node.children):
+        child = node.children[symbol]
+        label = tuple(tree.text[child.start : child.end])
+        children.append((label, canonical_form(tree, child)))
+    return tuple(children)
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A forward common substring witness ``x[a : a + s] == y[b : b + s]``."""
+
+    a: int
+    b: int
+    s: int
+
+
+class GeneralizedSuffixTree:
+    """Suffix tree of ``X · ⊥ · Y · ⊤`` with per-node leaf aggregates.
+
+    For every node ``v`` the constructor records the minimum and maximum
+    start positions of X-suffixes and Y-suffixes among the leaves below
+    ``v`` (``-1`` when absent).  These are the linear-time analogue of the
+    paper's ``p(v)``/``q(v)`` computations (Algorithm 4, lines 3.1 and 4.1)
+    and suffice to optimise any function of
+    ``(depth, min/max X position, min/max Y position)`` in one traversal.
+    """
+
+    def __init__(self, x: Text, y: Text) -> None:
+        self.x = tuple(x)
+        self.y = tuple(y)
+        combined = self.x + (SEPARATOR,) + self.y + (ENDMARKER,)
+        self.tree = SuffixTree(combined, add_sentinel=False)
+        self._min_x: Dict[int, int] = {}
+        self._max_x: Dict[int, int] = {}
+        self._min_y: Dict[int, int] = {}
+        self._max_y: Dict[int, int] = {}
+        self._aggregate()
+
+    def _classify(self, suffix_index: int) -> Tuple[Optional[int], Optional[int]]:
+        """Map a combined-text suffix start to an (X position, Y position)."""
+        kx = len(self.x)
+        ky = len(self.y)
+        if suffix_index < kx:
+            return suffix_index, None
+        if kx < suffix_index < kx + 1 + ky:
+            return None, suffix_index - kx - 1
+        return None, None  # the ⊥... or ⊤ suffix itself
+
+    def _aggregate(self) -> None:
+        for node in self.tree.postorder():
+            key = id(node)
+            if node.is_leaf:
+                xpos, ypos = self._classify(node.suffix_index)
+                self._min_x[key] = self._max_x[key] = xpos if xpos is not None else -1
+                self._min_y[key] = self._max_y[key] = ypos if ypos is not None else -1
+                continue
+            min_x = max_x = min_y = max_y = -1
+            for child in node.children.values():
+                ckey = id(child)
+                cmin_x, cmax_x = self._min_x[ckey], self._max_x[ckey]
+                cmin_y, cmax_y = self._min_y[ckey], self._max_y[ckey]
+                if cmin_x >= 0 and (min_x < 0 or cmin_x < min_x):
+                    min_x = cmin_x
+                if cmax_x >= 0 and cmax_x > max_x:
+                    max_x = cmax_x
+                if cmin_y >= 0 and (min_y < 0 or cmin_y < min_y):
+                    min_y = cmin_y
+                if cmax_y >= 0 and cmax_y > max_y:
+                    max_y = cmax_y
+            self._min_x[key], self._max_x[key] = min_x, max_x
+            self._min_y[key], self._max_y[key] = min_y, max_y
+
+    def longest_common_substring(self) -> Alignment:
+        """The deepest node covering both strings — an LCS witness.
+
+        Returns the :class:`Alignment` with maximal ``s`` (``s == 0`` with
+        ``a == b == 0`` when the strings share no symbol).
+        """
+        best = Alignment(0, 0, 0)
+        for node in self.tree.nodes():
+            if node.is_leaf or node is self.tree.root:
+                continue
+            key = id(node)
+            if self._min_x[key] >= 0 and self._min_y[key] >= 0 and node.depth > best.s:
+                best = Alignment(self._min_x[key], self._min_y[key], node.depth)
+        return best
+
+    def best_alignments(self) -> Tuple[Optional[Alignment], Optional[Alignment]]:
+        """Witnesses maximising ``2s + (b - a)`` and ``2s + (a - b)``.
+
+        These are exactly the quantities the undirected distance function
+        minimises over (Theorem 2 re-parametrised; see DESIGN.md Section 2):
+        the first drives the paper's ``l``-case (route ``L^p R^q L^r``), the
+        second the ``r``-case (route ``R^p L^q R^r``).  Either is ``None``
+        when the strings share no symbol at all.  O(k) time.
+        """
+        best_l: Optional[Alignment] = None
+        best_l_score = None
+        best_r: Optional[Alignment] = None
+        best_r_score = None
+        for node in self.tree.nodes():
+            if node.is_leaf or node is self.tree.root:
+                continue
+            key = id(node)
+            min_x, max_x = self._min_x[key], self._max_x[key]
+            min_y, max_y = self._min_y[key], self._max_y[key]
+            if min_x < 0 or min_y < 0:
+                continue
+            depth = node.depth
+            score_l = 2 * depth + (max_y - min_x)
+            if best_l_score is None or score_l > best_l_score:
+                best_l_score = score_l
+                best_l = Alignment(min_x, max_y, depth)
+            score_r = 2 * depth + (max_x - min_y)
+            if best_r_score is None or score_r > best_r_score:
+                best_r_score = score_r
+                best_r = Alignment(max_x, min_y, depth)
+        return best_l, best_r

@@ -1,0 +1,6 @@
+"""Distributed hash tables on de Bruijn routing (Koorde) vs Chord."""
+
+from repro.dht.chord import ChordRing
+from repro.dht.koorde import KoordeRing, LookupResult
+
+__all__ = ["ChordRing", "KoordeRing", "LookupResult"]

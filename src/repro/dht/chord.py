@@ -1,0 +1,107 @@
+"""Chord: the logarithmic-degree DHT baseline for the Koorde comparison.
+
+Chord (Stoica et al., 2001) keeps ``b`` *finger* pointers per node —
+``finger[j] = successor(m + 2^j)`` — and routes greedily through the
+closest preceding finger.  It resolves lookups in ~½·log₂N hops but pays
+O(log N) routing state per node; Koorde matches the hop count with O(1)
+state, which is the whole point of building DHTs on de Bruijn graphs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Tuple
+
+from repro.dht.koorde import LookupResult, _in_half_open
+from repro.exceptions import InvalidParameterError, RoutingError
+
+
+class ChordRing:
+    """A static Chord ring over ``0 .. 2^b − 1`` with full finger tables."""
+
+    def __init__(self, bits: int, nodes: Iterable[int]) -> None:
+        if bits < 1:
+            raise InvalidParameterError("need at least a 1-bit identifier space")
+        self.bits = bits
+        self.modulus = 1 << bits
+        unique = sorted(set(nodes))
+        if not unique:
+            raise InvalidParameterError("a ring needs at least one node")
+        for node in unique:
+            if not 0 <= node < self.modulus:
+                raise InvalidParameterError(f"node id {node} outside 0..{self.modulus - 1}")
+        self.nodes: List[int] = unique
+        self._fingers = {node: self._build_fingers(node) for node in unique}
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    def successor(self, ident: int) -> int:
+        """The first node at or after ``ident`` (circularly)."""
+        ident %= self.modulus
+        index = bisect.bisect_left(self.nodes, ident)
+        return self.nodes[0] if index == len(self.nodes) else self.nodes[index]
+
+    def owner(self, key: int) -> int:
+        """The node responsible for ``key``."""
+        return self.successor(key)
+
+    def next_node(self, node: int) -> int:
+        """The ring successor of a node."""
+        index = bisect.bisect_right(self.nodes, node)
+        return self.nodes[0] if index == len(self.nodes) else self.nodes[index]
+
+    def _build_fingers(self, node: int) -> List[int]:
+        return [self.successor((node + (1 << j)) % self.modulus) for j in range(self.bits)]
+
+    def state_size(self) -> int:
+        """Pointers per node: b fingers (successor is finger[0])."""
+        return self.bits
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def _closest_preceding(self, node: int, key: int) -> int:
+        # Standard Chord: the highest finger in the open interval (node, key);
+        # over integer identifiers that is the half-open (node, key-1].
+        target = (key - 1) % self.modulus
+        if target == node:
+            return node
+        for finger in reversed(self._fingers[node]):
+            if finger != node and _in_half_open(finger, node, target, self.modulus):
+                return finger
+        return node
+
+    def lookup(self, start: int, key: int, max_hops: int = 0) -> LookupResult:
+        """Greedy finger routing from ``start`` to the owner of ``key``."""
+        if start not in set(self.nodes):
+            raise InvalidParameterError(f"start {start} is not a ring member")
+        key %= self.modulus
+        limit = max_hops if max_hops > 0 else 4 * self.bits + len(self.nodes)
+        current = start
+        path = [current]
+        for _ in range(limit):
+            nxt = self.next_node(current)
+            if _in_half_open(key, current, nxt, self.modulus):
+                path.append(nxt)
+                return LookupResult(key=key, owner=nxt, hops=len(path) - 1, path=tuple(path))
+            candidate = self._closest_preceding(current, key)
+            if candidate == current:
+                candidate = nxt
+            current = candidate
+            path.append(current)
+        raise RoutingError(f"chord lookup for {key} exceeded {limit} hops")  # pragma: no cover
+
+    def lookup_statistics(self, pairs: Iterable[Tuple[int, int]]) -> Tuple[float, int]:
+        """(mean hops, max hops) over the given (start, key) pairs."""
+        hops = [self.lookup(start, key).hops for start, key in pairs]
+        count = len(hops) or 1
+        return sum(hops) / count, max(hops) if hops else 0
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return f"ChordRing(bits={self.bits}, nodes={len(self.nodes)})"

@@ -1,0 +1,269 @@
+"""Koorde: the de Bruijn network as a distributed hash table.
+
+Koorde (Kaashoek & Karger, IPTPS 2003) is the best-known modern
+descendant of the paper's routing idea: peers live on the ``2^b`` identi-
+fier ring, each keeps **two** pointers — its ring ``successor`` and one
+*de Bruijn finger* ``d(m) = predecessor(2m)`` — and lookups walk left
+shifts of an *imaginary* de Bruijn address exactly as DG(2, b) routing
+would, detouring along successors whenever the imaginary address falls in
+a gap between real nodes.  Constant degree, O(b) = O(log N) hops: the de
+Bruijn degree/diameter trade carried into DHTs.
+
+This module implements the static-membership protocol faithfully:
+
+* :class:`KoordeRing` — sorted node identifiers over ``2^b``;
+* per-node state: ``successor(m)`` and ``debruijn_finger(m)``;
+* :meth:`KoordeRing.lookup` — the three-way rule from the Koorde paper::
+
+      m.lookup(k, kshift, i):
+          if k in (m, successor(m)]:      return successor(m)
+          elif i in (m, successor(m)]:    hop to d(m), shift one bit of
+                                          kshift into i
+          else:                           hop to successor(m)
+
+* the start-imaginary optimisation (choose ``i`` to share m's position
+  while pre-loading high bits of ``k``) is exposed but optional, so tests
+  can pin both the plain and the optimised behaviour.
+
+When every identifier is populated, Koorde hops degenerate into exactly
+the directed de Bruijn left-shift walk of the original paper — a property
+the tests assert.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.exceptions import InvalidParameterError, RoutingError
+
+
+def _in_half_open(value: int, lower: int, upper: int, modulus: int) -> bool:
+    """True when ``value`` lies in the circular interval ``(lower, upper]``."""
+    value %= modulus
+    lower %= modulus
+    upper %= modulus
+    if lower == upper:
+        return True  # a single node owns the whole ring
+    if lower < upper:
+        return lower < value <= upper
+    return value > lower or value <= upper
+
+
+def _in_left_closed(value: int, lower: int, upper: int, modulus: int) -> bool:
+    """True when ``value`` lies in the circular interval ``[lower, upper)``."""
+    value %= modulus
+    lower %= modulus
+    upper %= modulus
+    if lower == upper:
+        return True
+    if lower < upper:
+        return lower <= value < upper
+    return value >= lower or value < upper
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """The outcome of one lookup: owner plus the route taken."""
+
+    key: int
+    owner: int
+    hops: int
+    path: Tuple[int, ...]
+    debruijn_hops: int = 0
+    successor_hops: int = 0
+
+
+class KoordeRing:
+    """A static Koorde ring over the identifier space ``0 .. 2^b − 1``."""
+
+    def __init__(self, bits: int, nodes: Iterable[int]) -> None:
+        if bits < 1:
+            raise InvalidParameterError("need at least a 1-bit identifier space")
+        self.bits = bits
+        self.modulus = 1 << bits
+        unique = sorted(set(nodes))
+        if not unique:
+            raise InvalidParameterError("a ring needs at least one node")
+        for node in unique:
+            if not 0 <= node < self.modulus:
+                raise InvalidParameterError(f"node id {node} outside 0..{self.modulus - 1}")
+        self.nodes: List[int] = unique
+
+    # ------------------------------------------------------------------
+    # Ring geometry
+    # ------------------------------------------------------------------
+
+    def successor(self, ident: int) -> int:
+        """The first node at or after ``ident`` (circularly)."""
+        ident %= self.modulus
+        index = bisect.bisect_left(self.nodes, ident)
+        if index == len(self.nodes):
+            return self.nodes[0]
+        return self.nodes[index]
+
+    def predecessor(self, ident: int) -> int:
+        """The last node strictly before ``ident`` (circularly)."""
+        ident %= self.modulus
+        index = bisect.bisect_left(self.nodes, ident)
+        if index == 0:
+            return self.nodes[-1]
+        return self.nodes[index - 1]
+
+    def owner(self, key: int) -> int:
+        """The node responsible for ``key``: its successor on the ring."""
+        return self.successor(key)
+
+    def next_node(self, node: int) -> int:
+        """The ring successor *of a node* (the node after it)."""
+        index = bisect.bisect_right(self.nodes, node)
+        if index == len(self.nodes):
+            return self.nodes[0]
+        return self.nodes[index]
+
+    def prev_node(self, node: int) -> int:
+        """The ring predecessor *of a node* (the node before it)."""
+        index = bisect.bisect_left(self.nodes, node)
+        if index == 0:
+            return self.nodes[-1]
+        return self.nodes[index - 1]
+
+    def debruijn_finger(self, node: int) -> int:
+        """Koorde's second pointer: ``predecessor(2m)``."""
+        return self.predecessor((2 * node) % self.modulus)
+
+    def state_size(self) -> int:
+        """Pointers per node: successor + de Bruijn finger."""
+        return 2
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def best_start_imaginary(self, node: int, key: int) -> Tuple[int, int]:
+        """The start-imaginary optimisation from the Koorde paper.
+
+        Choose the imaginary address ``i`` as ``node`` with its low ``j``
+        bits replaced by the high ``j`` bits of ``key``, for the largest
+        ``j`` that keeps ``i`` inside ``node``'s imaginary responsibility
+        zone ``[node, next(node))`` — those ``j`` key bits are then
+        pre-consumed, saving ``j`` de Bruijn hops.  Returns
+        ``(i, kshift)`` with the unconsumed key bits left-aligned.
+        ``j = 0`` (``i = node``, ``kshift = key``) always qualifies.
+        """
+        upper = self.next_node(node)
+        for j in range(self.bits, -1, -1):
+            if j == 0:
+                candidate = node
+            elif j == self.bits:
+                candidate = key
+            else:
+                mask = (1 << j) - 1
+                candidate = (node & ~mask) | (key >> (self.bits - j))
+            if _in_left_closed(candidate, node, upper, self.modulus):
+                return candidate, (key << j) % self.modulus
+        return node, key  # pragma: no cover - j = 0 always matches
+
+    def lookup(
+        self,
+        start: int,
+        key: int,
+        optimized_start: bool = True,
+        max_hops: Optional[int] = None,
+    ) -> LookupResult:
+        """Route a lookup from node ``start`` to the owner of ``key``."""
+        if start not in set(self.nodes):
+            raise InvalidParameterError(f"start {start} is not a ring member")
+        key %= self.modulus
+        if optimized_start:
+            i, kshift = self.best_start_imaginary(start, key)
+        else:
+            i, kshift = start, key
+        # Worst-case guard: <= bits de Bruijn hops, each followed by at
+        # most a full successor sweep (pathological placements only).
+        limit = max_hops if max_hops is not None else self.bits * (len(self.nodes) + 2) + 4
+        current = start
+        path = [current]
+        debruijn_hops = 0
+        successor_hops = 0
+        for _ in range(limit):
+            # Rule 0 (local ownership): my predecessor gap is mine.
+            if _in_half_open(key, self.prev_node(current), current, self.modulus):
+                return LookupResult(
+                    key=key, owner=current, hops=len(path) - 1, path=tuple(path),
+                    debruijn_hops=debruijn_hops, successor_hops=successor_hops,
+                )
+            nxt = self.next_node(current)
+            # Rule 1: the key lives in my successor gap — hand it over.
+            if _in_half_open(key, current, nxt, self.modulus):
+                path.append(nxt)
+                return LookupResult(
+                    key=key, owner=nxt, hops=len(path) - 1, path=tuple(path),
+                    debruijn_hops=debruijn_hops, successor_hops=successor_hops + 1,
+                )
+            # Rule 2: I host the imaginary address — take the de Bruijn
+            # hop, shifting the next key bit into the imaginary register.
+            if _in_left_closed(i, current, nxt, self.modulus):
+                top_bit = (kshift >> (self.bits - 1)) & 1
+                i = ((2 * i) + top_bit) % self.modulus
+                kshift = (kshift << 1) % self.modulus
+                current = self.debruijn_finger(current)
+                debruijn_hops += 1
+            # Rule 3: walk the ring toward the imaginary address.
+            else:
+                current = nxt
+                successor_hops += 1
+            path.append(current)
+        raise RoutingError(
+            f"lookup for {key} from {start} exceeded {limit} hops"
+        )
+
+    # ------------------------------------------------------------------
+    # Bulk analytics
+    # ------------------------------------------------------------------
+
+    def lookup_statistics(
+        self, pairs: Iterable[Tuple[int, int]], optimized_start: bool = True
+    ) -> Tuple[float, int, float, float]:
+        """(mean hops, max hops, mean de-Bruijn hops, mean successor hops)."""
+        hops: List[int] = []
+        db: List[int] = []
+        succ: List[int] = []
+        for start, key in pairs:
+            result = self.lookup(start, key, optimized_start=optimized_start)
+            hops.append(result.hops)
+            db.append(result.debruijn_hops)
+            succ.append(result.successor_hops)
+        count = len(hops) or 1
+        return (
+            sum(hops) / count,
+            max(hops) if hops else 0,
+            sum(db) / count,
+            sum(succ) / count,
+        )
+
+    # ------------------------------------------------------------------
+    # Membership changes (static rebuild semantics)
+    # ------------------------------------------------------------------
+
+    def with_node(self, node: int) -> "KoordeRing":
+        """A new ring with ``node`` joined (pointers recomputed).
+
+        Static-membership model: the dynamic join/stabilise protocol of
+        the Koorde paper converges to exactly this pointer state.
+        """
+        return KoordeRing(self.bits, list(self.nodes) + [node])
+
+    def without_node(self, node: int) -> "KoordeRing":
+        """A new ring with ``node`` departed; its keys fall to its successor."""
+        remaining = [n for n in self.nodes if n != node]
+        if not remaining:
+            raise InvalidParameterError("cannot remove the last node")
+        return KoordeRing(self.bits, remaining)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return f"KoordeRing(bits={self.bits}, nodes={len(self.nodes)})"

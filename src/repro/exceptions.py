@@ -1,0 +1,41 @@
+"""Exception hierarchy for the de Bruijn routing library.
+
+All library-raised errors derive from :class:`DeBruijnError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` from bad call signatures,
+etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class DeBruijnError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidWordError(DeBruijnError, ValueError):
+    """A vertex label is not a valid d-ary word of the expected length."""
+
+
+class InvalidParameterError(DeBruijnError, ValueError):
+    """A graph or algorithm parameter (d, k, ...) is out of range."""
+
+
+class RoutingError(DeBruijnError):
+    """A routing path could not be produced or applied."""
+
+
+class WirePathError(RoutingError):
+    """A routing-path field is malformed (bad shift type or digit)."""
+
+
+class SimulationError(DeBruijnError):
+    """The network simulator was driven into an inconsistent state."""
+
+
+class NodeFailedError(SimulationError):
+    """A message was handed to a failed node or link."""
+
+
+class DeliveryError(SimulationError):
+    """A message ended its routing path at the wrong destination."""

@@ -1,0 +1,195 @@
+"""Programmatic regeneration of the paper's quantitative artifacts.
+
+The pytest benches under ``benchmarks/`` are the canonical harness (they
+time things and assert the expected shapes); this module exposes the same
+data products as plain functions so a user — or the
+``debruijn-routing experiments`` subcommand — can regenerate any table
+without pytest, and render the whole set as one Markdown report.
+
+Each experiment function returns an :class:`ExperimentResult` with the
+experiment id, a title, column headers and data rows.  Only the
+deterministic, fast artifacts are included here (E1–E3, E8, E12); the
+timing sweeps and stochastic simulations stay in the bench harness where
+their runtime is accounted for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.analysis.distributions import eq5_comparison_rows, figure2_series
+from repro.analysis.load import adversarial_patterns, congestion
+from repro.analysis.moore import comparison_rows
+from repro.analysis.tables import format_table
+from repro.exceptions import InvalidParameterError
+from repro.graphs.debruijn import DeBruijnGraph
+from repro.graphs.properties import (
+    degree_census,
+    expected_directed_census,
+    expected_undirected_census,
+    structural_report,
+)
+from repro.network.router import BidirectionalOptimalRouter, TrivialRouter
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One regenerated artifact, ready to print or embed."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    notes: str = ""
+
+    def to_text(self, precision: int = 4) -> str:
+        """The table as aligned text (what the CLI prints)."""
+        body = format_table(self.headers, self.rows, precision=precision)
+        parts = [f"{self.experiment_id} — {self.title}", body]
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def to_markdown(self, precision: int = 4) -> str:
+        """The table as GitHub-flavoured Markdown."""
+
+        def cell(value: object) -> str:
+            if isinstance(value, bool):
+                return "yes" if value else "no"
+            if isinstance(value, float):
+                return f"{value:.{precision}f}"
+            return str(value)
+
+        lines = [f"## {self.experiment_id} — {self.title}", ""]
+        lines.append("| " + " | ".join(str(h) for h in self.headers) + " |")
+        lines.append("|" + "---|" * len(self.headers))
+        for row in self.rows:
+            lines.append("| " + " | ".join(cell(c) for c in row) + " |")
+        if self.notes:
+            lines.extend(["", self.notes])
+        return "\n".join(lines)
+
+
+def experiment_e1(grid=((2, 3), (2, 4), (3, 3), (4, 2))) -> ExperimentResult:
+    """Figure 1: structure and degree census of DG(d, k)."""
+    rows = []
+    for d, k in grid:
+        for directed in (True, False):
+            graph = DeBruijnGraph(d, k, directed=directed)
+            census = degree_census(graph)
+            expected = (
+                expected_directed_census(d, k) if directed else expected_undirected_census(d, k)
+            )
+            report = structural_report(graph)
+            rows.append((
+                d, k, "directed" if directed else "undirected",
+                graph.order, report.get("diameter", "-"), graph.size(),
+                str(dict(sorted(census.items(), reverse=True))),
+                census == expected,
+            ))
+    return ExperimentResult(
+        "E1", "Figure 1: structure of DG(d, k)",
+        ["d", "k", "orientation", "N", "diameter", "edges", "census", "matches formula"],
+        rows,
+        "undirected census uses the corrected three-class formula "
+        "(see repro.graphs.properties).",
+    )
+
+
+def experiment_e2(d_values=(2, 3, 4, 5), k_max=8) -> ExperimentResult:
+    """Equation (5) vs exact directed average distance."""
+    rows = eq5_comparison_rows(d_values, k_max)
+    return ExperimentResult(
+        "E2", "Equation (5): directed average distance",
+        ["d", "k", "eq(5)", "exact mean", "gap"],
+        [tuple(row) for row in rows],
+        "finding: (5) is an upper-bound approximation; the gap is positive "
+        "for every k >= 2 and bounded below one hop.",
+    )
+
+
+def experiment_e3(d_values=(2, 3, 4, 5), k_max=10) -> ExperimentResult:
+    """Figure 2: undirected average distance series."""
+    series = figure2_series(d_values, k_max)
+    rows = []
+    for d in d_values:
+        for k, mean in series[d]:
+            rows.append((d, k, mean, mean / k))
+    return ExperimentResult(
+        "E3", "Figure 2: undirected average distance",
+        ["d", "k", "mean distance", "mean / k"],
+        rows,
+        "exact enumeration up to the memory guard; see "
+        "benchmarks/bench_fig2_undirected_average.py for the sampled extension.",
+    )
+
+
+def experiment_e8(grid=((2, 4), (2, 8), (3, 4), (4, 4))) -> ExperimentResult:
+    """Moore-bound efficiency of de Bruijn vs Kautz."""
+    rows = []
+    for d, k in grid:
+        for row in comparison_rows(d, k):
+            rows.append((row.family, d, k, row.order, row.moore_bound, row.efficiency))
+    return ExperimentResult(
+        "E8", "degree/diameter efficiency vs the Moore bound",
+        ["family", "degree", "diameter", "vertices", "Moore bound", "fraction"],
+        rows,
+        "de Bruijn approaches (d-1)/d of the bound, Kautz (d^2-1)/d^2.",
+    )
+
+
+def experiment_e12(d=2, k=6) -> ExperimentResult:
+    """Offline congestion of adversarial permutations."""
+    rows = []
+    for pattern, demands in adversarial_patterns(d, k).items():
+        for label, router in [
+            ("optimal", BidirectionalOptimalRouter(use_wildcards=False)),
+            ("trivial", TrivialRouter()),
+        ]:
+            report = congestion(demands, router, d)
+            rows.append((
+                pattern, label, report.demands, report.mean_hops,
+                report.max_load, report.fairness,
+            ))
+    return ExperimentResult(
+        "E12", f"offline congestion of permutations on DN({d},{k})",
+        ["pattern", "router", "demands", "mean hops", "max link load", "fairness"],
+        rows,
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "E1": experiment_e1,
+    "E2": experiment_e2,
+    "E3": experiment_e3,
+    "E8": experiment_e8,
+    "E12": experiment_e12,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Regenerate one artifact by id (case-insensitive)."""
+    key = experiment_id.upper()
+    runner = EXPERIMENTS.get(key)
+    if runner is None:
+        raise InvalidParameterError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    return runner()
+
+
+def run_all() -> List[ExperimentResult]:
+    """Regenerate every static artifact, in id order."""
+    return [EXPERIMENTS[key]() for key in sorted(EXPERIMENTS, key=lambda s: int(s[1:]))]
+
+
+def markdown_report(results: Sequence[ExperimentResult] = None) -> str:
+    """A single Markdown document covering the requested results."""
+    chosen = list(results) if results is not None else run_all()
+    header = (
+        "# Regenerated experiment tables\n\n"
+        "Produced by `repro.experiments` (static artifacts only; timing "
+        "sweeps live in `benchmarks/`).\n"
+    )
+    return header + "\n\n".join(result.to_markdown() for result in chosen) + "\n"

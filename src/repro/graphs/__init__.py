@@ -1,0 +1,59 @@
+"""de Bruijn graph substrate: explicit graphs, properties, sequences, embeddings."""
+
+from repro.graphs.debruijn import DeBruijnGraph, directed_graph, undirected_graph
+from repro.graphs.generalized import GeneralizedDeBruijnGraph, matches_debruijn
+from repro.graphs.kautz import KautzGraph, validate_kautz_word
+from repro.graphs.properties import (
+    degree_census,
+    diameter,
+    expected_directed_census,
+    expected_undirected_census,
+    is_connected,
+    structural_report,
+)
+from repro.graphs.sequences import (
+    debruijn_sequence_euler,
+    debruijn_sequence_lyndon,
+    hamiltonian_cycle,
+    is_debruijn_sequence,
+    is_hamiltonian_cycle,
+)
+from repro.graphs.shift_register import (
+    LFSR,
+    debruijn_from_m_sequence,
+    is_irreducible,
+    is_primitive,
+    m_sequence,
+    primitive_polynomials,
+)
+from repro.graphs.traversal import bfs_distances, bfs_path, next_hop_table
+
+__all__ = [
+    "DeBruijnGraph",
+    "GeneralizedDeBruijnGraph",
+    "KautzGraph",
+    "LFSR",
+    "debruijn_from_m_sequence",
+    "is_irreducible",
+    "is_primitive",
+    "m_sequence",
+    "primitive_polynomials",
+    "matches_debruijn",
+    "validate_kautz_word",
+    "bfs_distances",
+    "bfs_path",
+    "debruijn_sequence_euler",
+    "debruijn_sequence_lyndon",
+    "degree_census",
+    "diameter",
+    "directed_graph",
+    "expected_directed_census",
+    "expected_undirected_census",
+    "hamiltonian_cycle",
+    "is_connected",
+    "is_debruijn_sequence",
+    "is_hamiltonian_cycle",
+    "next_hop_table",
+    "structural_report",
+    "undirected_graph",
+]

@@ -1,0 +1,185 @@
+"""The de Bruijn graph DG(d, k) as an explicit graph object.
+
+The routing core (:mod:`repro.core`) never materialises the graph — that is
+the whole point of address-computable routing.  This module provides the
+explicit view needed by everything else: BFS oracles, structural property
+checks (Figure 1), the network simulator's topology, and the examples.
+
+Following paper Section 1:
+
+* the **directed** DG(d, k) has the arcs ``X -> X^-(a)`` (equivalently
+  ``X^+(a) -> X``) for every vertex ``X`` and digit ``a`` — ``N·d`` arcs
+  counted with multiplicity, including ``d`` self-loops at the constant
+  words;
+* the **undirected** DG(d, k) forgets the arc directions; after removing
+  *redundant* edges (self-loops and coincident pairs) the paper's degree
+  census emerges (see :mod:`repro.graphs.properties`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.core.word import (
+    WordTuple,
+    iter_words,
+    left_shift,
+    right_shift,
+    validate_parameters,
+    validate_word,
+)
+
+Edge = Tuple[WordTuple, WordTuple]
+
+
+class DeBruijnGraph:
+    """DG(d, k), directed or undirected, with implicit neighbor iteration.
+
+    The graph is never stored; vertices are generated on demand and
+    neighbor queries are O(d).  ``to_adjacency`` materialises a dict view
+    for small graphs.
+
+    >>> g = DeBruijnGraph(2, 3)
+    >>> g.order
+    8
+    >>> sorted(g.out_neighbors((0, 1, 1)))
+    [(1, 1, 0), (1, 1, 1)]
+    """
+
+    def __init__(self, d: int, k: int, directed: bool = True) -> None:
+        validate_parameters(d, k)
+        self.d = d
+        self.k = k
+        self.directed = directed
+
+    # ------------------------------------------------------------------
+    # Vertex set
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Number of vertices, ``N = d**k``."""
+        return self.d**self.k
+
+    def vertices(self) -> Iterator[WordTuple]:
+        """All vertices in lexicographic order."""
+        return iter_words(self.d, self.k)
+
+    def is_vertex(self, word: WordTuple) -> bool:
+        """True when ``word`` is a valid vertex label of this graph."""
+        try:
+            validate_word(word, self.d, self.k)
+        except Exception:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Neighborhoods
+    # ------------------------------------------------------------------
+
+    def out_neighbors(self, word: WordTuple) -> Set[WordTuple]:
+        """Distinct type-L successors ``X^-(a)`` (directed out-neighbors)."""
+        return {left_shift(word, a) for a in range(self.d)}
+
+    def in_neighbors(self, word: WordTuple) -> Set[WordTuple]:
+        """Distinct type-R predecessors ``X^+(a)`` (directed in-neighbors)."""
+        return {right_shift(word, a) for a in range(self.d)}
+
+    def neighbors(self, word: WordTuple, include_self: bool = False) -> Set[WordTuple]:
+        """Distinct neighbors for the chosen orientation.
+
+        For the directed graph these are the out-neighbors; for the
+        undirected graph, the union of both shift directions.  Self-loops
+        (at the constant words) are dropped unless ``include_self``.
+        """
+        if self.directed:
+            result = self.out_neighbors(word)
+        else:
+            result = self.out_neighbors(word) | self.in_neighbors(word)
+        if not include_self:
+            result.discard(word)
+        return result
+
+    def degree(self, word: WordTuple) -> int:
+        """Degree after removing redundant edges (paper Section 1).
+
+        Directed: out-degree plus in-degree over *distinct* arcs with
+        self-loops removed.  Undirected: the number of distinct non-self
+        neighbors (coincident type-L/type-R edges counted once).
+        """
+        if self.directed:
+            outs = self.out_neighbors(word) - {word}
+            ins = self.in_neighbors(word) - {word}
+            return len(outs) + len(ins)
+        return len(self.neighbors(word))
+
+    # ------------------------------------------------------------------
+    # Edge set
+    # ------------------------------------------------------------------
+
+    def arcs_with_multiplicity(self) -> Iterator[Edge]:
+        """All ``N·d`` arcs ``X -> X^-(a)``, loops and duplicates included."""
+        for word in self.vertices():
+            for a in range(self.d):
+                yield word, left_shift(word, a)
+
+    def edges(self) -> Iterator[Edge]:
+        """Simple edge set: redundant arcs removed (paper Section 1).
+
+        Directed: distinct non-loop arcs ``X -> X^-(a)``.  Undirected:
+        distinct non-loop unordered pairs, each yielded once with the
+        lexicographically smaller endpoint first.
+        """
+        if self.directed:
+            for word in self.vertices():
+                for succ in sorted(self.out_neighbors(word)):
+                    if succ != word:
+                        yield word, succ
+            return
+        seen: Set[Edge] = set()
+        for word in self.vertices():
+            for nbr in self.neighbors(word):
+                pair = (word, nbr) if word <= nbr else (nbr, word)
+                if pair not in seen:
+                    seen.add(pair)
+                    yield pair
+
+    def size(self) -> int:
+        """Number of simple edges/arcs (after redundancy removal)."""
+        return sum(1 for _ in self.edges())
+
+    def has_edge(self, u: WordTuple, v: WordTuple) -> bool:
+        """True when ``u -> v`` (directed) or ``u ~ v`` (undirected), u != v."""
+        if u == v:
+            return False
+        if self.directed:
+            return v in self.out_neighbors(u)
+        return v in self.neighbors(u)
+
+    def to_adjacency(self) -> Dict[WordTuple, List[WordTuple]]:
+        """Materialised adjacency lists (sorted) — small graphs only."""
+        return {word: sorted(self.neighbors(word)) for word in self.vertices()}
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+
+    def __contains__(self, word: WordTuple) -> bool:
+        return self.is_vertex(word)
+
+    def __len__(self) -> int:
+        return self.order
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return f"DeBruijnGraph(d={self.d}, k={self.k}, {kind})"
+
+
+def directed_graph(d: int, k: int) -> DeBruijnGraph:
+    """The directed DG(d, k) (uni-directional network topology)."""
+    return DeBruijnGraph(d, k, directed=True)
+
+
+def undirected_graph(d: int, k: int) -> DeBruijnGraph:
+    """The undirected DG(d, k) (bi-directional network topology)."""
+    return DeBruijnGraph(d, k, directed=False)

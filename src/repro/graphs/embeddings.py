@@ -1,0 +1,127 @@
+"""Embeddings of standard topologies into DG(d, k) (Samatham–Pradhan).
+
+Paper Section 1: "the binary de Bruijn network allows one to represent
+various usual architectures such as linear arrays, rings, complete binary
+trees and shuffle-exchange networks".  This module realises each of those
+claims constructively:
+
+* **ring / linear array** — a Hamiltonian cycle/path (dilation 1),
+* **complete d-ary tree** of depth ``k - 1`` — dilation 1 via left-shift
+  edges on words ``0^(k-1-j) 1 b_1 ... b_j``,
+* **shuffle-exchange** — each SE move is emulated by at most 2 de Bruijn
+  hops (shuffle = 1 left shift; exchange = right shift + left shift).
+
+Every embedding returns explicit vertex maps or hop sequences that the
+tests validate edge-by-edge against the graph's adjacency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.routing import Direction, Path, RoutingStep
+from repro.core.word import WordTuple, validate_parameters, validate_word
+from repro.exceptions import InvalidParameterError
+from repro.graphs.sequences import hamiltonian_cycle
+
+#: A tree node is addressed by its root path: () is the root, path + (b,)
+#: is its b-th child.
+TreePath = Tuple[int, ...]
+
+
+def embed_ring(d: int, k: int) -> List[WordTuple]:
+    """A dilation-1 ring on all ``d**k`` vertices (Hamiltonian cycle)."""
+    return hamiltonian_cycle(d, k)
+
+
+def embed_linear_array(d: int, k: int) -> List[WordTuple]:
+    """A dilation-1 linear array on all ``d**k`` vertices."""
+    return hamiltonian_cycle(d, k)
+
+
+def embed_complete_tree(d: int, k: int, arity: int = 2) -> Dict[TreePath, WordTuple]:
+    """Embed the complete ``arity``-ary tree of depth ``k - 1`` into DG(d, k).
+
+    Tree node with root path ``(b_1, ..., b_j)`` maps to the word
+    ``0^(k-1-j) 1 b_1 ... b_j``; each parent-child pair is joined by a
+    single left-shift edge, so the dilation is 1.  Requires ``arity <= d``
+    and ``d >= 2`` (the marker digit 1 must exist).
+
+    >>> tree = embed_complete_tree(2, 3)
+    >>> tree[()]
+    (0, 0, 1)
+    >>> tree[(1,)]
+    (0, 1, 1)
+    """
+    validate_parameters(d, k)
+    if arity > d:
+        raise InvalidParameterError(f"cannot embed an {arity}-ary tree in DG({d}, {k})")
+    mapping: Dict[TreePath, WordTuple] = {}
+
+    def visit(path: TreePath) -> None:
+        j = len(path)
+        word = (0,) * (k - 1 - j) + (1,) + path
+        mapping[path] = word
+        if j < k - 1:
+            for branch in range(arity):
+                visit(path + (branch,))
+
+    visit(())
+    return mapping
+
+
+def tree_parent_edge(mapping: Dict[TreePath, WordTuple], path: TreePath) -> Tuple[WordTuple, WordTuple]:
+    """The (parent word, child word) pair for a non-root tree node."""
+    if not path:
+        raise InvalidParameterError("the root has no parent edge")
+    return mapping[path[:-1]], mapping[path]
+
+
+def shuffle(word: WordTuple) -> WordTuple:
+    """The shuffle-exchange 'shuffle': cyclic left rotation."""
+    return word[1:] + (word[0],)
+
+
+def exchange(word: WordTuple, d: int = 2) -> WordTuple:
+    """The shuffle-exchange 'exchange': complement the last digit (binary)."""
+    validate_word(word, max(d, 2), len(word))
+    if d != 2:
+        raise InvalidParameterError("the exchange operation is defined for binary words")
+    return word[:-1] + (1 - word[-1],)
+
+
+def shuffle_route(word: WordTuple) -> Path:
+    """de Bruijn hops realising a shuffle: one left shift inserting x_1."""
+    return [RoutingStep(Direction.LEFT, word[0])]
+
+
+def exchange_route(word: WordTuple) -> Path:
+    """de Bruijn hops realising an exchange: right shift then left shift.
+
+    ``X -> X^+(*) -> (X^+(*))^-`` re-enters on the complemented last digit:
+    two hops, matching the distance-2 lower bound whenever
+    ``x_1 ... x_{k-1}`` is not completable in one hop.
+    """
+    flipped = 1 - word[-1]
+    return [RoutingStep(Direction.RIGHT, None), RoutingStep(Direction.LEFT, flipped)]
+
+
+def emulate_shuffle_exchange(word: WordTuple, operations: str) -> List[Path]:
+    """Hop sequences emulating a string of SE operations ('s'/'e').
+
+    Each 's' costs 1 de Bruijn hop and each 'e' costs 2, so any
+    shuffle-exchange computation runs on DN(2, k) with slowdown at most 2
+    (the Samatham–Pradhan emulation claim).
+    """
+    routes: List[Path] = []
+    current = word
+    for op in operations:
+        if op == "s":
+            routes.append(shuffle_route(current))
+            current = shuffle(current)
+        elif op == "e":
+            routes.append(exchange_route(current))
+            current = exchange(current)
+        else:
+            raise InvalidParameterError(f"unknown shuffle-exchange op {op!r}; use 's' or 'e'")
+    return routes

@@ -1,0 +1,153 @@
+"""Generalized de Bruijn graphs GDB(n, d) (Imase–Itoh; Reddy–Pradhan–Kuhl).
+
+The paper motivates DG(d, k) as "nearly optimal graphs that minimize the
+diameter, given the number of vertices and the degree" citing Imase and
+Itoh [4].  Imase–Itoh's actual construction works for *any* vertex count
+``n``, not just powers of d: vertices are the residues ``0..n-1`` with
+arcs
+
+    u  ->  (d·u + a) mod n,      a = 0..d-1.
+
+When ``n = d^k`` this is exactly the directed DG(d, k) in integer
+encoding.  The analogue of the paper's Property 1 holds in a pleasingly
+arithmetic form: the set of vertices reachable from ``u`` in exactly ``t``
+steps is the cyclic interval ``[d^t·u, d^t·u + d^t) mod n``, so
+
+    D(u, v) = min { t >= 0 : (v − d^t·u) mod n < d^t },
+
+and the route digits are the base-d expansion of ``(v − d^t·u) mod n`` —
+an O(diameter) routing rule with no tables, mirroring Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Set, Tuple
+
+from repro.exceptions import InvalidParameterError, RoutingError
+
+
+def _validate(n: int, d: int) -> None:
+    if not isinstance(d, int) or isinstance(d, bool) or d < 2:
+        raise InvalidParameterError(f"degree d must be an int >= 2, got {d!r}")
+    if not isinstance(n, int) or isinstance(n, bool) or n < 2:
+        raise InvalidParameterError(f"order n must be an int >= 2, got {n!r}")
+
+
+def _validate_vertex(n: int, u: int) -> None:
+    if not isinstance(u, int) or isinstance(u, bool) or not 0 <= u < n:
+        raise InvalidParameterError(f"vertex {u!r} is not in 0..{n - 1}")
+
+
+class GeneralizedDeBruijnGraph:
+    """GDB(n, d): n vertices of out-degree d with ``u -> (d·u + a) mod n``."""
+
+    def __init__(self, n: int, d: int) -> None:
+        _validate(n, d)
+        self.n = n
+        self.d = d
+
+    @property
+    def order(self) -> int:
+        """Number of vertices."""
+        return self.n
+
+    def vertices(self) -> Iterator[int]:
+        """All vertices ``0..n-1``."""
+        return iter(range(self.n))
+
+    def out_neighbors(self, u: int) -> Set[int]:
+        """Distinct successors of ``u``."""
+        _validate_vertex(self.n, u)
+        return {(self.d * u + a) % self.n for a in range(self.d)}
+
+    def in_neighbors(self, v: int) -> Set[int]:
+        """Distinct predecessors of ``v``: the ``u`` with ``d·u + a ≡ v``.
+
+        For each residue ``r = v − a`` the congruence ``d·u ≡ r (mod n)``
+        is solved by lifting: ``u = (r + m·n) / d`` for the ``m`` that make
+        the numerator divisible — at most d lifts need checking.
+        """
+        _validate_vertex(self.n, v)
+        result: Set[int] = set()
+        for a in range(self.d):
+            r = (v - a) % self.n
+            for m in range(self.d):
+                numerator = r + m * self.n
+                if numerator % self.d == 0:
+                    u = (numerator // self.d) % self.n
+                    if (self.d * u + a) % self.n == v:
+                        result.add(u)
+        return result
+
+    def neighbors(self, u: int) -> Set[int]:
+        """Out-neighbors (the BFS helpers expect this name)."""
+        return self.out_neighbors(u)
+
+    def diameter_bound(self) -> int:
+        """``ceil(log_d n)`` — after that many steps the reach interval
+        covers every vertex."""
+        t = 0
+        reach = 1
+        while reach < self.n:
+            reach *= self.d
+            t += 1
+        return t
+
+    def distance(self, u: int, v: int) -> int:
+        """Shortest path length via the cyclic-interval characterisation."""
+        _validate_vertex(self.n, u)
+        _validate_vertex(self.n, v)
+        power = 1  # d^t
+        position = u  # d^t · u mod n
+        for t in range(self.diameter_bound() + 1):
+            if (v - position) % self.n < power:
+                return t
+            power *= self.d
+            position = (position * self.d) % self.n
+        raise RoutingError(f"no route from {u} to {v} within the diameter bound")
+
+    def route(self, u: int, v: int) -> List[int]:
+        """The digits ``a_1..a_t`` of a shortest route (Algorithm-1 analogue).
+
+        Applying ``u -> d·u + a_i mod n`` for each digit in order lands on
+        ``v``; the list length equals :meth:`distance`.
+        """
+        t = self.distance(u, v)
+        offset = (v - pow(self.d, t, self.n) * u) % self.n
+        digits: List[int] = []
+        for _ in range(t):
+            offset, digit = divmod(offset, self.d)
+            digits.append(digit)
+        if offset:
+            raise RoutingError("internal error: offset does not fit in t digits")
+        digits.reverse()
+        return digits
+
+    def apply_route(self, u: int, digits: List[int]) -> int:
+        """Walk the route digits from ``u`` and return the endpoint."""
+        current = u
+        for digit in digits:
+            if not 0 <= digit < self.d:
+                raise RoutingError(f"digit {digit!r} out of range 0..{self.d - 1}")
+            current = (self.d * current + digit) % self.n
+        return current
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """All distinct non-loop arcs."""
+        for u in range(self.n):
+            for v in sorted(self.out_neighbors(u)):
+                if v != u:
+                    yield u, v
+
+    def __repr__(self) -> str:
+        return f"GeneralizedDeBruijnGraph(n={self.n}, d={self.d})"
+
+
+def matches_debruijn(n: int, d: int) -> bool:
+    """True when GDB(n, d) coincides with a classical DG(d, k)."""
+    k = 0
+    power = 1
+    while power < n:
+        power *= d
+        k += 1
+    return power == n

@@ -1,0 +1,180 @@
+"""Kautz graphs K(d, k) — the de Bruijn family's denser sibling.
+
+The Kautz graph is the classical companion of DG(d, k) in the
+degree/diameter literature the paper draws on: vertices are length-k
+words over a (d+1)-symbol alphabet with **no two consecutive symbols
+equal**, giving ``N = d^k + d^(k-1)`` vertices of out-degree d with
+diameter k — strictly more vertices than DG(d, k) at the same degree and
+diameter.
+
+The point of carrying it in this repository: the paper's Property 1
+argument transfers *verbatim*.  A left shift appends a digit different
+from the current last symbol, and the proof that ``D(X, Y) = k − l`` (l =
+longest suffix of X that is a prefix of Y) never needs more: when the
+overlap is ``l``, the next appended digit ``y_{l+1}`` automatically
+differs from the register's last symbol ``x_k = y_l`` because ``Y`` is
+itself a valid Kautz word.  So the same O(k) Morris–Pratt machinery routes
+Kautz networks too — tested against BFS like everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Set, Tuple
+
+from repro.core.word import WordTuple, overlap_length
+from repro.exceptions import InvalidParameterError, InvalidWordError, RoutingError
+
+
+def validate_kautz_word(word: WordTuple, d: int, k: int) -> WordTuple:
+    """Check ``word`` is a vertex of K(d, k): d+1 symbols, no repeats."""
+    if d < 2 or k < 1:
+        raise InvalidParameterError(f"K(d, k) needs d >= 2, k >= 1; got ({d}, {k})")
+    w = tuple(word)
+    if len(w) != k:
+        raise InvalidWordError(f"expected length {k}, got {w!r}")
+    for symbol in w:
+        if not isinstance(symbol, int) or isinstance(symbol, bool) or not 0 <= symbol <= d:
+            raise InvalidWordError(f"symbol {symbol!r} of {w!r} is not in 0..{d}")
+    for left, right in zip(w, w[1:]):
+        if left == right:
+            raise InvalidWordError(f"{w!r} repeats a symbol consecutively")
+    return w
+
+
+class KautzGraph:
+    """K(d, k): out-degree d, diameter k, ``d^k + d^(k-1)`` vertices."""
+
+    def __init__(self, d: int, k: int) -> None:
+        if d < 2 or k < 1:
+            raise InvalidParameterError(f"K(d, k) needs d >= 2, k >= 1; got ({d}, {k})")
+        self.d = d
+        self.k = k
+
+    @property
+    def order(self) -> int:
+        """``d^k + d^(k-1)`` vertices."""
+        return self.d**self.k + self.d ** (self.k - 1)
+
+    def vertices(self) -> Iterator[WordTuple]:
+        """All Kautz words, lexicographically."""
+
+        def extend(prefix: Tuple[int, ...]) -> Iterator[WordTuple]:
+            if len(prefix) == self.k:
+                yield prefix
+                return
+            for symbol in range(self.d + 1):
+                if not prefix or symbol != prefix[-1]:
+                    yield from extend(prefix + (symbol,))
+
+        yield from extend(())
+
+    def out_neighbors(self, word: WordTuple) -> Set[WordTuple]:
+        """The d successors: append any symbol other than the last."""
+        validate_kautz_word(word, self.d, self.k)
+        return {word[1:] + (a,) for a in range(self.d + 1) if a != word[-1]}
+
+    def in_neighbors(self, word: WordTuple) -> Set[WordTuple]:
+        """The d predecessors: prepend any symbol other than the first."""
+        validate_kautz_word(word, self.d, self.k)
+        return {(a,) + word[:-1] for a in range(self.d + 1) if a != word[0]}
+
+    def neighbors(self, word: WordTuple) -> Set[WordTuple]:
+        """Out-neighbors (BFS helpers expect this name)."""
+        return self.out_neighbors(word)
+
+    def distance(self, x: WordTuple, y: WordTuple) -> int:
+        """``k − l`` exactly as the paper's Property 1 (see module doc)."""
+        validate_kautz_word(x, self.d, self.k)
+        validate_kautz_word(y, self.d, self.k)
+        return self.k - overlap_length(x, y)
+
+    def route(self, x: WordTuple, y: WordTuple) -> List[int]:
+        """Digits of the shortest route: spell ``y`` past the overlap."""
+        distance = self.distance(x, y)
+        digits = list(y[self.k - distance :])
+        # Sanity: the first appended digit never collides with the last
+        # register symbol (guaranteed by Y's own validity when l >= 1, and
+        # checked here for l = 0).
+        if digits and distance == self.k and digits[0] == x[-1]:
+            raise RoutingError(
+                f"route from {x!r} to {y!r} is blocked; "
+                "this cannot happen for valid Kautz words"
+            )
+        return digits
+
+    def apply_route(self, x: WordTuple, digits: List[int]) -> WordTuple:
+        """Walk the route from ``x``, validating every shift."""
+        current = validate_kautz_word(x, self.d, self.k)
+        for digit in digits:
+            if digit == current[-1]:
+                raise RoutingError(f"appending {digit} to {current!r} repeats a symbol")
+            current = current[1:] + (digit,)
+        return current
+
+    def edges(self) -> Iterator[Tuple[WordTuple, WordTuple]]:
+        """All arcs (Kautz graphs have no self-loops by construction)."""
+        for word in self.vertices():
+            for nxt in sorted(self.out_neighbors(word)):
+                yield word, nxt
+
+    def __repr__(self) -> str:
+        return f"KautzGraph(d={self.d}, k={self.k})"
+
+
+def kautz_sequence(d: int, k: int) -> Tuple[int, ...]:
+    """A Kautz sequence: the cyclic analogue of B(d, k) for K(d, k).
+
+    An Eulerian circuit of K(d, k−1) spells a cyclic sequence of length
+    ``d^k + d^(k-1)`` over ``d+1`` symbols with no two adjacent symbols
+    equal (cyclically), whose length-k windows enumerate every Kautz word
+    exactly once.  For ``k = 1`` the sequence is simply ``0..d`` (every
+    1-window once, adjacent symbols distinct cyclically).
+    """
+    if d < 2 or k < 1:
+        raise InvalidParameterError(f"K(d, k) needs d >= 2, k >= 1; got ({d}, {k})")
+    if k == 1:
+        return tuple(range(d + 1))
+    graph = KautzGraph(d, k - 1)
+    start = next(graph.vertices())
+    # Hierholzer over the d out-arcs of each K(d, k-1) vertex; arcs are
+    # consumed in ascending appended-symbol order for determinism.
+    consumed: dict = {}
+    stack = [start]
+    spelled: List[int] = []
+    while stack:
+        vertex = stack[-1]
+        options = [a for a in range(d + 1) if a != vertex[-1]]
+        index = consumed.get(vertex, 0)
+        if index < len(options):
+            consumed[vertex] = index + 1
+            stack.append(vertex[1:] + (options[index],))
+        else:
+            stack.pop()
+            if stack:
+                spelled.append(vertex[-1])
+    spelled.reverse()
+    expected = d**k + d ** (k - 1)
+    if len(spelled) != expected:  # pragma: no cover - structural guarantee
+        raise InvalidParameterError(
+            f"Eulerian circuit spelled {len(spelled)} symbols, expected {expected}"
+        )
+    return tuple(spelled)
+
+
+def is_kautz_sequence(sequence: Tuple[int, ...], d: int, k: int) -> bool:
+    """True when every Kautz word appears exactly once as a cyclic window."""
+    expected = d**k + d ** (k - 1)
+    if len(sequence) != expected:
+        return False
+    extended = tuple(sequence) + tuple(sequence[: k - 1])
+    seen = set()
+    for i in range(expected):
+        window = extended[i : i + k]
+        try:
+            validate_kautz_word(window, d, k)
+        except InvalidWordError:
+            return False
+        if window in seen:
+            return False
+        seen.add(window)
+    return len(seen) == expected

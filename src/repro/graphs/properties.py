@@ -1,0 +1,140 @@
+"""Structural properties of DG(d, k) — the paper's Section 1 facts.
+
+Implements the degree census behind Figure 1's discussion, the diameter
+claim, edge counts, and the line-digraph recursion (DG(d, k+1) is the line
+digraph of DG(d, k)), each checkable against explicit enumeration.
+
+A note on the undirected census: the scanned paper reads "there exist
+``N − d²`` vertices of degree ``2d − 1`` and ``d`` vertices of degree
+``2d − 2``", which cannot be the whole story (the two classes do not cover
+the graph).  Exhaustive enumeration (see tests) shows the correct census
+for ``k >= 2``:
+
+* ``N − d²`` vertices of degree ``2d`` (generic words),
+* ``d² − d`` vertices of degree ``2d − 1`` (non-constant alternating words
+  ``xyxy...``, whose single coincident L/R edge pair merges), and
+* ``d`` vertices of degree ``2d − 2`` (constant words, which lose a
+  self-loop on each side).
+
+:func:`expected_undirected_census` returns that corrected census.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Tuple
+
+from repro.core.word import WordTuple
+from repro.graphs.debruijn import DeBruijnGraph
+from repro.graphs.traversal import bfs_distances
+from repro.exceptions import InvalidParameterError
+
+
+def degree_census(graph: DeBruijnGraph) -> Dict[int, int]:
+    """Map ``degree -> number of vertices`` after redundancy removal."""
+    return dict(Counter(graph.degree(v) for v in graph.vertices()))
+
+
+def expected_directed_census(d: int, k: int) -> Dict[int, int]:
+    """The paper's directed census: N−d vertices of degree 2d, d of 2d−2.
+
+    For ``k == 1`` every vertex is "constant", so all ``d`` vertices have
+    degree ``2d − 2`` and the generic class is empty; the same formula
+    covers it since ``N − d == 0``.
+    """
+    n = d**k
+    census = {2 * d: n - d, 2 * d - 2: d}
+    return {deg: cnt for deg, cnt in census.items() if cnt > 0}
+
+
+def expected_undirected_census(d: int, k: int) -> Dict[int, int]:
+    """Corrected undirected census (see module docstring); requires k >= 2."""
+    if k < 2:
+        raise InvalidParameterError("the undirected census formula needs k >= 2")
+    n = d**k
+    census = {2 * d: n - d * d, 2 * d - 1: d * d - d, 2 * d - 2: d}
+    return {deg: cnt for deg, cnt in census.items() if cnt > 0}
+
+
+def count_arcs_with_multiplicity(graph: DeBruijnGraph) -> int:
+    """``N · d`` — the paper's raw arc count before redundancy removal."""
+    return sum(1 for _ in graph.arcs_with_multiplicity())
+
+
+def self_loop_vertices(graph: DeBruijnGraph) -> Iterable[WordTuple]:
+    """The ``d`` constant words, each carrying a self-loop."""
+    for digit in range(graph.d):
+        yield (digit,) * graph.k
+
+
+def diameter(graph: DeBruijnGraph) -> int:
+    """Exact diameter by BFS from every vertex (paper: equal to k).
+
+    O(N² d) — intended for the small graphs the tests and Figure-1 bench
+    use; the paper proves the value is ``k`` for every DG(d, k).
+    """
+    best = 0
+    for source in graph.vertices():
+        distances = bfs_distances(graph, source)
+        if len(distances) != graph.order:
+            raise InvalidParameterError("graph is not strongly connected")
+        best = max(best, max(distances.values()))
+    return best
+
+
+def eccentricity(graph: DeBruijnGraph, source: WordTuple) -> int:
+    """Largest BFS distance from ``source`` (must reach every vertex)."""
+    distances = bfs_distances(graph, source)
+    if len(distances) != graph.order:
+        raise InvalidParameterError("graph is not strongly connected")
+    return max(distances.values())
+
+
+def is_connected(graph: DeBruijnGraph) -> bool:
+    """True when every vertex is reachable from every other.
+
+    For the directed graph this checks strong connectivity via BFS from a
+    single vertex plus BFS on the reverse graph (in-neighbors).
+    """
+    source = next(graph.vertices())
+    forward = bfs_distances(graph, source)
+    if len(forward) != graph.order:
+        return False
+    if not graph.directed:
+        return True
+    backward = bfs_distances(graph, source, neighbor_fn=graph.in_neighbors)
+    return len(backward) == graph.order
+
+
+def line_digraph_vertex_map(d: int, k: int) -> Dict[Tuple[WordTuple, WordTuple], WordTuple]:
+    """The isomorphism arc-of-DG(d,k) -> vertex-of-DG(d,k+1).
+
+    The arc ``X -> X^-(a)`` maps to the word ``(x_1, ..., x_k, a)``.  The
+    returned dict covers all ``N·d`` arcs (loops included, as the line
+    digraph construction demands); tests verify the map is a digraph
+    isomorphism onto DG(d, k+1).
+    """
+    graph = DeBruijnGraph(d, k, directed=True)
+    mapping: Dict[Tuple[WordTuple, WordTuple], WordTuple] = {}
+    for tail, head in graph.arcs_with_multiplicity():
+        mapping[(tail, head)] = tail + (head[-1],)
+    return mapping
+
+
+def structural_report(graph: DeBruijnGraph) -> Dict[str, object]:
+    """Everything the Figure-1 bench prints for one graph."""
+    census = degree_census(graph)
+    report: Dict[str, object] = {
+        "d": graph.d,
+        "k": graph.k,
+        "directed": graph.directed,
+        "order": graph.order,
+        "raw_arcs": count_arcs_with_multiplicity(graph),
+        "simple_edges": graph.size(),
+        "degree_census": census,
+        "self_loops": sum(1 for _ in self_loop_vertices(graph)),
+        "connected": is_connected(graph),
+    }
+    if graph.order <= 4096:
+        report["diameter"] = diameter(graph)
+    return report

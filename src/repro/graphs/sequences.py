@@ -1,0 +1,138 @@
+"""de Bruijn sequences and Hamiltonian cycles of DG(d, k).
+
+Paper Section 1 lists "the existence of multiple Hamiltonian paths" (de
+Bruijn 1946; Etzion–Lempel 1984) among the network's attractive features: a
+Hamiltonian cycle of DG(d, k) is exactly a de Bruijn sequence B(d, k), and
+it is what the ring/linear-array embeddings of
+:mod:`repro.graphs.embeddings` are built on.
+
+Two independent constructions are provided (and cross-checked in tests):
+
+* :func:`debruijn_sequence_lyndon` — the Fredricksen–Kessler–Maiorana
+  (FKM) construction: concatenate, in lexicographic order, the Lyndon
+  words whose length divides ``k``.  O(d^k) total work.
+* :func:`debruijn_sequence_euler` — Hierholzer's algorithm on DG(d, k-1),
+  whose Eulerian circuits spell exactly the B(d, k) sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.core.word import WordTuple, validate_parameters
+from repro.exceptions import InvalidParameterError
+
+
+def lyndon_words(d: int, max_length: int) -> Iterator[Tuple[int, ...]]:
+    """All Lyndon words over ``{0..d-1}`` of length <= ``max_length``.
+
+    Generated in lexicographic order by Duval's algorithm.  A Lyndon word
+    is strictly smaller than all of its proper rotations.
+    """
+    validate_parameters(d, max_length)
+    w = [-1]
+    while w:
+        w[-1] += 1
+        yield tuple(w)
+        m = len(w)
+        while len(w) < max_length:
+            w.append(w[-m])
+        while w and w[-1] == d - 1:
+            w.pop()
+
+
+def debruijn_sequence_lyndon(d: int, k: int) -> Tuple[int, ...]:
+    """B(d, k) by the FKM theorem: concatenated Lyndon words of dividing length.
+
+    The result has length ``d**k`` and every length-``k`` word occurs
+    exactly once cyclically.
+
+    >>> debruijn_sequence_lyndon(2, 3)
+    (0, 0, 0, 1, 0, 1, 1, 1)
+    """
+    validate_parameters(d, k)
+    sequence: List[int] = []
+    for word in lyndon_words(d, k):
+        if k % len(word) == 0:
+            sequence.extend(word)
+    return tuple(sequence)
+
+
+def debruijn_sequence_euler(d: int, k: int) -> Tuple[int, ...]:
+    """B(d, k) by Hierholzer's algorithm on DG(d, k-1).
+
+    Every vertex of DG(d, k-1) has out-degree ``d`` = in-degree ``d`` and
+    the graph is strongly connected, so an Eulerian circuit exists; the
+    digits appended along it spell a de Bruijn sequence.  For ``k == 1``
+    the sequence is just ``0, 1, ..., d-1``.
+    """
+    validate_parameters(d, k)
+    if k == 1:
+        return tuple(range(d))
+    start: WordTuple = (0,) * (k - 1)
+    # next_digit[v] = smallest unused out-digit at v; arcs are consumed in
+    # increasing digit order which makes the output deterministic.
+    next_digit: Dict[WordTuple, int] = {}
+    stack: List[WordTuple] = [start]
+    spelled: List[int] = []
+    while stack:
+        vertex = stack[-1]
+        digit = next_digit.get(vertex, 0)
+        if digit < d:
+            next_digit[vertex] = digit + 1
+            stack.append(vertex[1:] + (digit,))
+        else:
+            stack.pop()
+            if stack:
+                spelled.append(vertex[-1])
+    spelled.reverse()
+    if len(spelled) != d**k:
+        raise InvalidParameterError(
+            f"Eulerian circuit spelled {len(spelled)} digits, expected {d**k}"
+        )
+    return tuple(spelled)
+
+
+def windows(sequence: Sequence[int], k: int) -> Iterator[WordTuple]:
+    """All ``len(sequence)`` cyclic length-``k`` windows of ``sequence``."""
+    n = len(sequence)
+    extended = tuple(sequence) + tuple(sequence[: k - 1])
+    for i in range(n):
+        yield extended[i : i + k]
+
+
+def is_debruijn_sequence(sequence: Sequence[int], d: int, k: int) -> bool:
+    """True when every word of DG(d, k) appears exactly once cyclically."""
+    if len(sequence) != d**k:
+        return False
+    seen = set()
+    for window in windows(sequence, k):
+        if window in seen or any(not 0 <= digit < d for digit in window):
+            return False
+        seen.add(window)
+    return len(seen) == d**k
+
+
+def hamiltonian_cycle(d: int, k: int) -> List[WordTuple]:
+    """A Hamiltonian cycle of the directed DG(d, k): its d^k vertices in order.
+
+    Consecutive vertices (cyclically) are joined by left-shift arcs; this
+    is the cyclic window sequence of a de Bruijn sequence B(d, k).
+    """
+    return list(windows(debruijn_sequence_lyndon(d, k), k))
+
+
+def hamiltonian_path(d: int, k: int) -> List[WordTuple]:
+    """A Hamiltonian path (the cycle cut open at an arbitrary point)."""
+    return hamiltonian_cycle(d, k)
+
+
+def is_hamiltonian_cycle(cycle: Sequence[WordTuple], d: int, k: int) -> bool:
+    """True when ``cycle`` visits every vertex once along left-shift arcs."""
+    if len(cycle) != d**k or len(set(cycle)) != d**k:
+        return False
+    for index, vertex in enumerate(cycle):
+        nxt = cycle[(index + 1) % len(cycle)]
+        if vertex[1:] != nxt[:-1]:
+            return False
+    return True

@@ -1,0 +1,221 @@
+"""Shift registers and m-sequences: the paper's own picture of DG(d, k).
+
+"This corresponds to the state graph of a shift register of length k using
+d-ary digits.  A shift register goes from a state to another by doing a
+shift operation."  (Paper §1.)  This module makes that correspondence
+executable for the binary case:
+
+* a *linear feedback shift register* (LFSR) walks a deterministic cycle
+  inside DG(2, k) — each state's successor is one particular left shift;
+* when the feedback polynomial is **primitive** over GF(2), the walk is an
+  *m-sequence* visiting all ``2^k − 1`` nonzero states — a Hamiltonian
+  cycle of DG(2, k) minus the all-zeros vertex;
+* inserting a single extra 0 into an m-sequence at the ``0^{k-1}`` window
+  yields a full de Bruijn sequence B(2, k) — the classical construction
+  behind Etzion–Lempel-style generators, cross-checked here against the
+  FKM and Eulerian constructions of :mod:`repro.graphs.sequences`.
+
+Polynomials over GF(2) are represented as integer bitmasks with bit i
+holding the coefficient of x^i (so ``0b10011`` is ``x^4 + x + 1``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.core.word import WordTuple
+from repro.exceptions import InvalidParameterError
+
+Polynomial = int
+
+
+def polynomial_degree(poly: Polynomial) -> int:
+    """Degree of a GF(2) polynomial bitmask (-1 for the zero polynomial)."""
+    return poly.bit_length() - 1
+
+
+def polynomial_multiply(a: Polynomial, b: Polynomial) -> Polynomial:
+    """Carry-less product of two GF(2) polynomials."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def polynomial_mod(a: Polynomial, modulus: Polynomial) -> Polynomial:
+    """Remainder of ``a`` modulo ``modulus`` over GF(2)."""
+    if modulus == 0:
+        raise InvalidParameterError("cannot reduce modulo the zero polynomial")
+    deg_m = polynomial_degree(modulus)
+    while polynomial_degree(a) >= deg_m:
+        a ^= modulus << (polynomial_degree(a) - deg_m)
+    return a
+
+
+def polynomial_pow_mod(base: Polynomial, exponent: int, modulus: Polynomial) -> Polynomial:
+    """``base**exponent mod modulus`` over GF(2), by square-and-multiply."""
+    result = 1
+    base = polynomial_mod(base, modulus)
+    while exponent:
+        if exponent & 1:
+            result = polynomial_mod(polynomial_multiply(result, base), modulus)
+        base = polynomial_mod(polynomial_multiply(base, base), modulus)
+        exponent >>= 1
+    return result
+
+
+def _prime_factors(n: int) -> List[int]:
+    factors = []
+    candidate = 2
+    while candidate * candidate <= n:
+        if n % candidate == 0:
+            factors.append(candidate)
+            while n % candidate == 0:
+                n //= candidate
+        candidate += 1
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def is_irreducible(poly: Polynomial) -> bool:
+    """Rabin's test for irreducibility over GF(2)."""
+    degree = polynomial_degree(poly)
+    if degree <= 0:
+        return False
+    x = 0b10
+    # x^(2^degree) == x (mod poly) ...
+    power = x
+    for _ in range(degree):
+        power = polynomial_mod(polynomial_multiply(power, power), poly)
+    if power != polynomial_mod(x, poly):
+        return False
+    # ... and x^(2^(degree/p)) != x for every prime divisor p of degree.
+    for prime in _prime_factors(degree):
+        power = x
+        for _ in range(degree // prime):
+            power = polynomial_mod(polynomial_multiply(power, power), poly)
+        if power == polynomial_mod(x, poly):
+            return False
+    return True
+
+
+def is_primitive(poly: Polynomial) -> bool:
+    """True when ``poly`` is primitive over GF(2) (generates GF(2^k)*)."""
+    degree = polynomial_degree(poly)
+    if degree <= 0 or not poly & 1:  # must have a nonzero constant term
+        return False
+    if not is_irreducible(poly):
+        return False
+    order = (1 << degree) - 1
+    # x must have multiplicative order exactly 2^degree - 1.
+    if polynomial_pow_mod(0b10, order, poly) != 1:
+        return False
+    for prime in _prime_factors(order):
+        if polynomial_pow_mod(0b10, order // prime, poly) == 1:
+            return False
+    return True
+
+
+def primitive_polynomials(degree: int, limit: int = 0) -> List[Polynomial]:
+    """All (or the first ``limit``) primitive polynomials of a degree."""
+    if degree < 1:
+        raise InvalidParameterError("degree must be >= 1")
+    found: List[Polynomial] = []
+    base = 1 << degree
+    for low_bits in range(1, base, 2):  # constant term must be 1
+        poly = base | low_bits
+        if is_primitive(poly):
+            found.append(poly)
+            if limit and len(found) >= limit:
+                break
+    return found
+
+
+class LFSR:
+    """A Fibonacci LFSR: state transitions are left shifts in DG(2, k).
+
+    ``taps`` is the feedback polynomial bitmask (degree k).  The feedback
+    bit is the XOR of the state bits selected by the polynomial's lower
+    coefficients; the new state is ``state[1:] + (feedback,)`` — exactly
+    ``X^-(feedback)``.
+    """
+
+    def __init__(self, taps: Polynomial, state: WordTuple) -> None:
+        self.k = polynomial_degree(taps)
+        if self.k < 1:
+            raise InvalidParameterError(f"feedback polynomial {taps:#x} has no degree")
+        if len(state) != self.k or any(bit not in (0, 1) for bit in state):
+            raise InvalidParameterError(f"state {state!r} is not a binary word of length {self.k}")
+        self.taps = taps
+        self.state = tuple(state)
+
+    def feedback(self) -> int:
+        """The incoming digit of the next left shift.
+
+        With the state window ``(s_n, …, s_{n+k-1})`` and characteristic
+        polynomial ``x^k + c_{k-1}x^{k-1} + … + c_0``, the recurrence is
+        ``s_{n+k} = XOR of c_i · s_{n+i}`` — coefficient ``c_i`` taps
+        ``state[i]``.
+        """
+        bit = 0
+        for i in range(self.k):
+            if (self.taps >> i) & 1:
+                bit ^= self.state[i]
+        return bit
+
+    def step(self) -> WordTuple:
+        """Advance one shift; returns the new state."""
+        self.state = self.state[1:] + (self.feedback(),)
+        return self.state
+
+    def states(self, count: int) -> Iterator[WordTuple]:
+        """The next ``count`` states."""
+        for _ in range(count):
+            yield self.step()
+
+    def period(self, cap: int = 1 << 24) -> int:
+        """Cycle length of the current state's orbit."""
+        start = self.state
+        for steps in range(1, cap + 1):
+            if self.step() == start:
+                return steps
+        raise InvalidParameterError("period exceeded the cap")  # pragma: no cover
+
+
+def m_sequence(taps: Polynomial) -> Tuple[int, ...]:
+    """The maximal-length output sequence of a primitive LFSR.
+
+    Seeded with ``0…01``; the output digit per step is the *incoming*
+    feedback bit, so the sequence of states are the sliding windows.
+    Length ``2^k − 1``; every nonzero k-window appears exactly once.
+    """
+    if not is_primitive(taps):
+        raise InvalidParameterError(f"{taps:#x} is not primitive; no m-sequence")
+    k = polynomial_degree(taps)
+    register = LFSR(taps, (0,) * (k - 1) + (1,))
+    out: List[int] = []
+    for _ in range((1 << k) - 1):
+        out.append(register.feedback())
+        register.step()
+    return tuple(out)
+
+
+def debruijn_from_m_sequence(taps: Polynomial) -> Tuple[int, ...]:
+    """B(2, k) by inserting one 0 into the m-sequence's 0^(k-1) run.
+
+    The m-sequence covers every nonzero window; stretching the unique run
+    of ``k−1`` zeros to ``k`` zeros adds the all-zeros window exactly once.
+    """
+    k = polynomial_degree(taps)
+    seq = list(m_sequence(taps))
+    n = len(seq)
+    # Find the start of the unique cyclic run of k-1 zeros: the position
+    # where the previous symbol is 1 and the next k-1 symbols are 0.
+    for start in range(n):
+        if all(seq[(start + i) % n] == 0 for i in range(k - 1)) and seq[start - 1] == 1:
+            return tuple(seq[:start] + [0] + seq[start:])
+    raise InvalidParameterError("m-sequence lacks its zero run")  # pragma: no cover

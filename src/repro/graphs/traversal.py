@@ -1,0 +1,125 @@
+"""Breadth-first search on (implicit) de Bruijn graphs.
+
+This is the baseline the paper's address-computable routing competes
+against: table-driven shortest paths that cost O(N·d) time to set up and
+O(N) memory per source, versus the O(k) = O(log N) pattern-matching
+algorithms.  It doubles as the test oracle for every distance function.
+
+The functions take anything with ``vertices()``/``neighbors(v)`` (e.g.
+:class:`repro.graphs.debruijn.DeBruijnGraph`) or an explicit neighbor
+function.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.word import WordTuple
+from repro.exceptions import RoutingError
+
+NeighborFn = Callable[[WordTuple], Iterable[WordTuple]]
+
+
+def bfs_distances(
+    graph, source: WordTuple, neighbor_fn: Optional[NeighborFn] = None
+) -> Dict[WordTuple, int]:
+    """Distances from ``source`` to every reachable vertex.
+
+    ``neighbor_fn`` overrides the graph's own neighbor relation (used e.g.
+    for reverse BFS or fault-filtered topologies).
+    """
+    nbrs = neighbor_fn if neighbor_fn is not None else graph.neighbors
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        for nxt in nbrs(current):
+            if nxt not in distances:
+                distances[nxt] = distances[current] + 1
+                queue.append(nxt)
+    return distances
+
+
+def bfs_parents(
+    graph, source: WordTuple, neighbor_fn: Optional[NeighborFn] = None
+) -> Dict[WordTuple, Optional[WordTuple]]:
+    """BFS tree parents (``source`` maps to None)."""
+    nbrs = neighbor_fn if neighbor_fn is not None else graph.neighbors
+    parents: Dict[WordTuple, Optional[WordTuple]] = {source: None}
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        for nxt in nbrs(current):
+            if nxt not in parents:
+                parents[nxt] = current
+                queue.append(nxt)
+    return parents
+
+
+def bfs_path(
+    graph,
+    source: WordTuple,
+    target: WordTuple,
+    neighbor_fn: Optional[NeighborFn] = None,
+    avoid: Optional[Iterable[WordTuple]] = None,
+) -> List[WordTuple]:
+    """A shortest vertex sequence from ``source`` to ``target``.
+
+    ``avoid`` removes vertices (e.g. failed nodes) from consideration;
+    raises :class:`RoutingError` when no path survives.
+    """
+    blocked = frozenset(avoid) if avoid is not None else frozenset()
+    if source in blocked or target in blocked:
+        raise RoutingError("source or target is blocked")
+    if source == target:
+        return [source]
+    base_nbrs = neighbor_fn if neighbor_fn is not None else graph.neighbors
+
+    def nbrs(v: WordTuple) -> Iterable[WordTuple]:
+        return (u for u in base_nbrs(v) if u not in blocked)
+
+    parents: Dict[WordTuple, Optional[WordTuple]] = {source: None}
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        for nxt in nbrs(current):
+            if nxt in parents:
+                continue
+            parents[nxt] = current
+            if nxt == target:
+                path = [nxt]
+                while parents[path[-1]] is not None:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            queue.append(nxt)
+    raise RoutingError(f"no path from {source!r} to {target!r} avoiding {len(blocked)} vertices")
+
+
+def next_hop_table(graph, target: WordTuple) -> Dict[WordTuple, WordTuple]:
+    """Table-driven routing baseline: best next hop toward ``target``.
+
+    Built by BFS *from* the target over in-neighbors (directed) or
+    neighbors (undirected), so following the table from any vertex traces a
+    shortest path to ``target``.  O(N) memory per destination — the cost
+    the paper's O(k) algorithms avoid.
+    """
+    reverse_nbrs = graph.in_neighbors if graph.directed else graph.neighbors
+    parents = bfs_parents(graph, target, neighbor_fn=reverse_nbrs)
+    table: Dict[WordTuple, WordTuple] = {}
+    for vertex, parent in parents.items():
+        if parent is not None:
+            # parent is one step closer to target along the reverse BFS,
+            # i.e. the best next hop from `vertex`.
+            table[vertex] = parent
+    return table
+
+
+def eccentricities(graph) -> Dict[WordTuple, int]:
+    """Map vertex -> eccentricity, by BFS from every vertex (small graphs)."""
+    result = {}
+    for vertex in graph.vertices():
+        distances = bfs_distances(graph, vertex)
+        result[vertex] = max(distances.values())
+    return result

@@ -1,0 +1,66 @@
+"""Package self-description: the system inventory, computed from the code.
+
+DESIGN.md lists every subsystem by hand; this module derives the same
+inventory from the package itself (module → first docstring line), so the
+documentation can be checked against reality (see tests) and users can
+ask the installed package what is in it::
+
+    $ debruijn-routing about
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from dataclasses import dataclass
+from typing import List
+
+import repro
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One module's identity card."""
+
+    name: str
+    summary: str
+    public_names: int
+
+
+def iter_module_names() -> List[str]:
+    """Every non-private module under ``repro``, sorted."""
+    return sorted(
+        name
+        for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+        if not name.rsplit(".", 1)[-1].startswith("_")
+    )
+
+
+def inventory() -> List[ModuleInfo]:
+    """Identity cards for every module (imports them all)."""
+    cards: List[ModuleInfo] = []
+    for name in iter_module_names():
+        module = importlib.import_module(name)
+        doc = (module.__doc__ or "").strip().splitlines()
+        summary = doc[0].rstrip(".") if doc else "(undocumented)"
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            exported = [n for n in vars(module) if not n.startswith("_")]
+        cards.append(ModuleInfo(name=name, summary=summary, public_names=len(exported)))
+    return cards
+
+
+def render_inventory() -> str:
+    """The ``about`` listing: one line per module."""
+    cards = inventory()
+    width = max(len(card.name) for card in cards)
+    lines = [f"repro {repro.__version__} — "
+             f"{len(cards)} modules, reproduction of Liu (ICDCS 1990)"]
+    current_package = ""
+    for card in cards:
+        package = card.name.split(".")[1] if "." in card.name else ""
+        if package != current_package:
+            current_package = package
+            lines.append("")
+        lines.append(f"  {card.name:<{width}}  {card.summary}")
+    return "\n".join(lines)

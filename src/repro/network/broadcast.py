@@ -1,0 +1,187 @@
+"""One-to-all broadcast on the de Bruijn network.
+
+The paper's message format includes a BROADCAST control code's worth of
+motivation (multiprocessor collectives live on exactly these networks, cf.
+Samatham–Pradhan), so the simulator grows a broadcast facility:
+
+* :func:`broadcast_tree` — a BFS spanning tree rooted anywhere; depth is
+  the root's eccentricity <= k, so store-and-forward broadcast completes
+  in O(k + d·k) cycles instead of the Θ(N) a naive unicast storm needs at
+  the root's links.
+* :func:`simulate_tree_broadcast` — runs the relay on the discrete-event
+  simulator: each site, upon receiving the payload, forwards it to its
+  tree children (one link transmission each).
+* :func:`simulate_unicast_broadcast` — the strawman: the root unicasts to
+  every site individually; its 2d links serialise ~N/(2d) messages.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.word import WordTuple
+from repro.exceptions import SimulationError
+from repro.graphs.debruijn import DeBruijnGraph
+from repro.network.message import ControlCode, Message
+from repro.network.router import Router, step_between
+from repro.network.simulator import Simulator
+from repro.network.stats import SimulationStats
+
+Tree = Dict[WordTuple, List[WordTuple]]  # parent -> children
+
+
+def broadcast_tree(graph: DeBruijnGraph, root: WordTuple) -> Tree:
+    """A BFS spanning tree of ``graph`` rooted at ``root``.
+
+    Children are ordered deterministically (sorted), which fixes the
+    serialisation order at every site and makes simulations reproducible.
+    """
+    tree: Tree = {root: []}
+    seen = {root}
+    queue = deque([root])
+    while queue:
+        current = queue.popleft()
+        for nxt in sorted(graph.neighbors(current)):
+            if nxt not in seen:
+                seen.add(nxt)
+                tree.setdefault(current, []).append(nxt)
+                tree.setdefault(nxt, [])
+                queue.append(nxt)
+    if len(seen) != graph.order:
+        raise SimulationError("broadcast tree did not span the graph")
+    return tree
+
+
+def tree_depth(tree: Tree, root: WordTuple) -> int:
+    """Longest root-to-leaf hop count."""
+    depth = 0
+    queue = deque([(root, 0)])
+    while queue:
+        node, level = queue.popleft()
+        depth = max(depth, level)
+        for child in tree[node]:
+            queue.append((child, level + 1))
+    return depth
+
+
+class _TreeRelayRouter(Router):
+    """Single-hop routes along tree edges (the relay sends hop by hop)."""
+
+    name = "tree-relay"
+
+    def __init__(self, d: int) -> None:
+        self.d = d
+
+    def plan(self, source: WordTuple, destination: WordTuple):
+        return [step_between(source, destination, self.d)]
+
+
+def simulate_tree_broadcast(
+    d: int, k: int, root: Optional[WordTuple] = None, payload: object = "broadcast"
+) -> Tuple[SimulationStats, float]:
+    """Relay ``payload`` along the BFS tree; returns (stats, makespan).
+
+    Each site forwards to its children in sorted order as soon as the
+    payload arrives; link serialisation (one message per cycle) is the
+    only contention.  Returns the completion time of the slowest site.
+    ``root`` defaults to the all-zeros site.
+    """
+    if root is None:
+        root = (0,) * k
+    graph = DeBruijnGraph(d, k, directed=False)
+    tree = broadcast_tree(graph, root)
+    sim = Simulator(d, k)
+    relay = _TreeRelayRouter(d)
+    completed_at: Dict[WordTuple, float] = {root: 0.0}
+
+    def forward_to_children(message: Message, simulator: Simulator) -> None:
+        site = message.destination
+        completed_at[site] = message.delivered_at
+        for child in tree[site]:
+            simulator.send(site, child, relay, at=simulator.now, payload=payload,
+                           control=ControlCode.BROADCAST)
+
+    sim.on_deliver = forward_to_children
+    for child in tree[root]:
+        sim.send(root, child, relay, at=0.0, payload=payload,
+                 control=ControlCode.BROADCAST)
+    sim.run()
+    if len(completed_at) != graph.order:
+        raise SimulationError("broadcast did not reach every site")
+    return sim.stats, max(completed_at.values())
+
+
+def simulate_unicast_broadcast(
+    d: int, k: int, root: WordTuple, router: Router, payload: object = "broadcast"
+) -> Tuple[SimulationStats, float]:
+    """The strawman: the root unicasts to all N−1 sites at time 0."""
+    graph = DeBruijnGraph(d, k, directed=False)
+    sim = Simulator(d, k)
+    for site in graph.vertices():
+        if site != root:
+            sim.send(root, site, router, at=0.0, payload=payload,
+                     control=ControlCode.BROADCAST)
+    stats = sim.run()
+    if stats.delivered_count != graph.order - 1:
+        raise SimulationError("unicast broadcast lost messages")
+    makespan = max(m.delivered_at for m in stats.delivered)
+    return stats, makespan
+
+
+def simulate_tree_aggregation(
+    d: int, k: int, root: Optional[WordTuple] = None
+) -> Tuple[SimulationStats, float]:
+    """Convergecast: every site's value is reduced up the BFS tree.
+
+    The mirror of :func:`simulate_tree_broadcast`: leaves send their
+    partial results first; each interior site waits for all of its
+    children, combines (modelled as summing hop counts into the payload),
+    then sends one message to its parent.  Returns (stats, completion
+    time at the root).  Aggregation is what makes all-to-one collectives
+    scale: the root receives exactly ``len(children)`` messages instead of
+    N − 1.
+    """
+    if root is None:
+        root = (0,) * k
+    graph = DeBruijnGraph(d, k, directed=False)
+    tree = broadcast_tree(graph, root)
+    parents: Dict[WordTuple, WordTuple] = {}
+    for parent, children in tree.items():
+        for child in children:
+            parents[child] = parent
+    sim = Simulator(d, k)
+    relay = _TreeRelayRouter(d)
+    waiting: Dict[WordTuple, int] = {site: len(children) for site, children in tree.items()}
+    accumulated: Dict[WordTuple, int] = {site: 1 for site in tree}  # own value
+    finished_at: Dict[WordTuple, float] = {}
+
+    def send_up(site: WordTuple, when: float) -> None:
+        if site == root:
+            finished_at[root] = when
+            return
+        sim.send(site, parents[site], relay, at=when,
+                 payload=accumulated[site], control=ControlCode.DATA)
+
+    def on_deliver(message: Message, simulator: Simulator) -> None:
+        site = message.destination
+        accumulated[site] += message.payload
+        waiting[site] -= 1
+        if waiting[site] == 0:
+            send_up(site, simulator.now)
+
+    sim.on_deliver = on_deliver
+    for site, children in tree.items():
+        if not children:  # leaves start immediately
+            send_up(site, 0.0)
+    sim.run()
+    if waiting[root] != 0 or accumulated[root] != graph.order:
+        raise SimulationError("aggregation lost contributions")
+    return sim.stats, finished_at[root]
+
+
+def broadcast_lower_bound(d: int, k: int, root: WordTuple) -> int:
+    """No broadcast finishes before the farthest site can be reached."""
+    from repro.graphs.properties import eccentricity
+
+    return eccentricity(DeBruijnGraph(d, k, directed=False), root)

@@ -1,0 +1,243 @@
+"""Deflection (hot-potato) routing on the uni-directional DN(d, k).
+
+The de Bruijn graph is the classical substrate for bufferless routing:
+every node has in-degree = out-degree = d, so if every resident packet is
+forwarded every cycle, no node can ever hold more than d packets — no
+buffers needed.  Packets that lose the arbitration for their preferred
+output port are *deflected* onto any free port and pay extra hops.
+
+This module implements the synchronous model:
+
+* time advances in lock-step cycles;
+* each node holds at most d packets (one per output port);
+* each packet prefers the port given by Algorithm 1 — the digit
+  ``y_{l+1}`` past the maximal overlap, which is the unique distance-
+  decreasing move in the directed graph;
+* arbitration is by age (oldest first, the standard livelock-resistant
+  policy) or by remaining distance (closest first);
+* a node may inject a new packet whenever it holds fewer than d packets
+  at the start of a cycle.
+
+Everything the store-and-forward simulator measures has an analogue here,
+and benchmark E11 puts the two models side by side.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Literal, Optional, Tuple
+
+from repro.core.word import WordTuple, left_shift, overlap_length, validate_parameters, validate_word
+from repro.exceptions import SimulationError
+
+Priority = Literal["oldest", "closest"]
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One hot-potato packet."""
+
+    destination: WordTuple
+    injected_at: int
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    hops: int = 0
+    deflections: int = 0
+    delivered_at: Optional[int] = None
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Cycles from injection to delivery, or None in flight."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.injected_at
+
+
+def preferred_port(current: WordTuple, destination: WordTuple) -> int:
+    """The unique distance-decreasing output digit (Algorithm 1's move).
+
+    For ``current == destination`` any port works; 0 is returned.
+    """
+    if current == destination:
+        return 0
+    overlap = overlap_length(current, destination)
+    return destination[overlap]
+
+
+@dataclass
+class DeflectionStats:
+    """Aggregate results of a deflection run."""
+
+    delivered: List[Packet] = field(default_factory=list)
+    injected: int = 0
+    rejected_injections: int = 0
+    cycles: int = 0
+    total_deflections: int = 0
+
+    def mean_latency(self) -> float:
+        """Mean delivery latency in cycles."""
+        values = [p.latency for p in self.delivered if p.latency is not None]
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_deflections(self) -> float:
+        """Average number of deflections per delivered packet."""
+        if not self.delivered:
+            return 0.0
+        return sum(p.deflections for p in self.delivered) / len(self.delivered)
+
+    def max_latency(self) -> int:
+        """Worst delivery latency in cycles."""
+        values = [p.latency for p in self.delivered if p.latency is not None]
+        return max(values) if values else 0
+
+    def deflection_rate(self) -> float:
+        """Deflections per hop taken across all delivered packets."""
+        hops = sum(p.hops for p in self.delivered)
+        if hops == 0:
+            return 0.0
+        return sum(p.deflections for p in self.delivered) / hops
+
+
+class DeflectionNetwork:
+    """The synchronous bufferless DN(d, k)."""
+
+    def __init__(self, d: int, k: int, priority: Priority = "oldest") -> None:
+        validate_parameters(d, k)
+        if priority not in ("oldest", "closest"):
+            raise SimulationError(f"unknown arbitration priority {priority!r}")
+        self.d = d
+        self.k = k
+        self.priority = priority
+        self.cycle = 0
+        self._resident: Dict[WordTuple, List[Packet]] = {}
+        self.stats = DeflectionStats()
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+
+    def occupancy(self, node: WordTuple) -> int:
+        """Packets currently parked at ``node``."""
+        return len(self._resident.get(node, []))
+
+    def try_inject(self, source: WordTuple, destination: WordTuple) -> Optional[Packet]:
+        """Inject if an output port is free; returns the packet or None."""
+        validate_word(source, self.d, self.k)
+        validate_word(destination, self.d, self.k)
+        if self.occupancy(source) >= self.d:
+            self.stats.rejected_injections += 1
+            return None
+        packet = Packet(destination, self.cycle)
+        self._resident.setdefault(source, []).append(packet)
+        self.stats.injected += 1
+        return packet
+
+    # ------------------------------------------------------------------
+    # The synchronous cycle
+    # ------------------------------------------------------------------
+
+    def _arbitration_key(self, node: WordTuple):
+        if self.priority == "oldest":
+            return lambda p: (p.injected_at, p.packet_id)
+        return lambda p: (
+            self.k - overlap_length(node, p.destination),
+            p.injected_at,
+            p.packet_id,
+        )
+
+    def step(self) -> None:
+        """Advance one cycle: deliver, arbitrate, forward everything."""
+        next_resident: Dict[WordTuple, List[Packet]] = {}
+        for node, packets in self._resident.items():
+            in_flight: List[Packet] = []
+            for packet in packets:
+                if packet.destination == node:
+                    packet.delivered_at = self.cycle
+                    self.stats.delivered.append(packet)
+                else:
+                    in_flight.append(packet)
+            if len(in_flight) > self.d:  # pragma: no cover - invariant
+                raise SimulationError(f"node {node!r} exceeded its {self.d} ports")
+            in_flight.sort(key=self._arbitration_key(node))
+            free_ports = set(range(self.d))
+            for packet in in_flight:
+                wanted = preferred_port(node, packet.destination)
+                if wanted in free_ports:
+                    port = wanted
+                else:
+                    port = min(free_ports)
+                    packet.deflections += 1
+                    self.stats.total_deflections += 1
+                free_ports.remove(port)
+                packet.hops += 1
+                landing = left_shift(node, port)
+                next_resident.setdefault(landing, []).append(packet)
+        self._resident = next_resident
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+
+    @property
+    def in_flight(self) -> int:
+        """Packets still travelling."""
+        return sum(len(packets) for packets in self._resident.values())
+
+    def drain(self, max_cycles: int = 100_000) -> None:
+        """Step until every packet is delivered (no further injections)."""
+        while self.in_flight:
+            if self.cycle >= max_cycles:
+                raise SimulationError(
+                    f"{self.in_flight} packets still in flight after {max_cycles} cycles"
+                )
+            self.step()
+
+    # ------------------------------------------------------------------
+    # Workload driver
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        workload: Iterable[Tuple[int, WordTuple, WordTuple]],
+        drain: bool = True,
+    ) -> DeflectionStats:
+        """Inject a (cycle, source, destination) stream, then drain.
+
+        Injections scheduled for a cycle the network has already passed
+        are attempted immediately (the stream must be sorted by cycle for
+        faithful timing).
+        """
+        pending = sorted(workload, key=lambda item: item[0])
+        index = 0
+        while index < len(pending) or (drain and self.in_flight):
+            while index < len(pending) and pending[index][0] <= self.cycle:
+                _, source, destination = pending[index]
+                self.try_inject(source, destination)
+                index += 1
+            self.step()
+            if self.cycle > 1_000_000:  # pragma: no cover - runaway guard
+                raise SimulationError("deflection run exceeded one million cycles")
+        return self.stats
+
+
+def uniform_deflection_workload(
+    d: int,
+    k: int,
+    cycles: int,
+    injection_rate: float,
+    rng: Optional[random.Random] = None,
+) -> List[Tuple[int, WordTuple, WordTuple]]:
+    """Bernoulli per-node injections for the synchronous model."""
+    from repro.core.word import iter_words
+
+    generator = rng if rng is not None else random.Random()
+    words = list(iter_words(d, k))
+    events: List[Tuple[int, WordTuple, WordTuple]] = []
+    for cycle in range(cycles):
+        for source in words:
+            if generator.random() < injection_rate:
+                destination = words[generator.randrange(len(words))]
+                if destination != source:
+                    events.append((cycle, source, destination))
+    return events

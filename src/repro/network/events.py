@@ -1,0 +1,62 @@
+"""The discrete-event core: a time-ordered queue of simulator events."""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.word import WordTuple
+from repro.network.message import Message
+
+
+class EventKind(enum.IntEnum):
+    """What happens when an event fires."""
+
+    INJECT = 0  #: a message enters the network at its source site
+    ARRIVE = 1  #: a message arrives at a site and is processed
+    FAIL = 2  #: a site goes down
+    RECOVER = 3  #: a site comes back up
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled occurrence; ordering is (time, sequence number)."""
+
+    time: float
+    seq: int
+    kind: EventKind = field(compare=False)
+    node: WordTuple = field(compare=False)
+    message: Optional[Message] = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A heap of :class:`Event` with FIFO tie-breaking at equal times."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def push(
+        self, time: float, kind: EventKind, node: WordTuple, message: Optional[Message] = None
+    ) -> Event:
+        """Schedule and return a new event."""
+        event = Event(time, next(self._counter), kind, node, message)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Earliest scheduled time, or None when empty."""
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,54 @@
+"""Uni-directional communication links with FIFO serialisation.
+
+Each link carries one message per cycle (its *service time*) and delivers
+after a propagation ``latency``.  Contention therefore shows up as queueing
+delay, which is what the wildcard load-balancing experiment (E6) measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.core.word import WordTuple
+
+
+@dataclass
+class Link:
+    """State of one directed link ``tail -> head``."""
+
+    tail: WordTuple
+    head: WordTuple
+    latency: float = 1.0
+    service_time: float = 1.0
+
+    next_free: float = 0.0
+    carried: int = 0
+    total_queue_delay: float = 0.0
+
+    @property
+    def key(self) -> Tuple[WordTuple, WordTuple]:
+        """Dictionary key of this link."""
+        return self.tail, self.head
+
+    def earliest_departure(self, now: float) -> float:
+        """When a message offered at ``now`` would actually start crossing."""
+        return max(now, self.next_free)
+
+    def transmit(self, now: float) -> float:
+        """Send one message at ``now``; returns its arrival time at ``head``.
+
+        Updates the FIFO serialisation point and the load counters.
+        """
+        departure = self.earliest_departure(now)
+        self.total_queue_delay += departure - now
+        self.next_free = departure + self.service_time
+        self.carried += 1
+        return departure + self.latency
+
+    @property
+    def mean_queue_delay(self) -> float:
+        """Average time messages waited for this link."""
+        if self.carried == 0:
+            return 0.0
+        return self.total_queue_delay / self.carried

@@ -1,0 +1,185 @@
+"""The paper's five-field message and its wire encoding (Section 3).
+
+"When a message is generated, it is composed of five fields: control code,
+source address, destination address, routing path, and the message
+content."  The routing-path field is the list of ``(a_i, b_i)`` pairs that
+:mod:`repro.core.routing` produces; forwarding sites pop pairs off the
+front (see :mod:`repro.network.node`).
+
+The wire format is a compact byte encoding used by the codec round-trip
+tests and the protocol example; the simulator itself passes
+:class:`Message` objects around directly.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.routing import Direction, Path, RoutingStep
+from repro.core.word import WordTuple
+from repro.exceptions import WirePathError
+
+#: Wire byte marking a wildcard digit (the paper's ``*``).
+WILDCARD_BYTE = 0xFF
+
+_message_ids = itertools.count(1)
+
+
+class ControlCode(enum.IntEnum):
+    """The message's control-code field."""
+
+    DATA = 0  #: ordinary payload delivery
+    ACK = 1  #: delivery acknowledgement
+    PING = 2  #: liveness probe (used by the fault-tolerance experiment)
+    BROADCAST = 3  #: one hop of a tree broadcast
+
+
+@dataclass
+class Message:
+    """One in-flight message plus simulator bookkeeping.
+
+    The first five attributes are the paper's five fields; the rest record
+    the journey for the statistics module (injection/delivery times, the
+    sequence of sites visited, and the number of wildcard digits resolved
+    en route).
+    """
+
+    control: ControlCode
+    source: WordTuple
+    destination: WordTuple
+    routing_path: Path
+    payload: object = None
+
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+    injected_at: float = 0.0
+    delivered_at: Optional[float] = None
+    trace: List[WordTuple] = field(default_factory=list)
+    wildcards_resolved: int = 0
+    #: Hop-by-hop mode: when set, the routing-path field stays empty and
+    #: every site asks this router for one locally computed step.
+    hop_router: Optional[object] = None
+
+    @property
+    def hop_count(self) -> int:
+        """Hops taken so far (trace length minus the source entry)."""
+        return max(len(self.trace) - 1, 0)
+
+    @property
+    def latency(self) -> Optional[float]:
+        """End-to-end latency, or None while still in flight."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.injected_at
+
+    @property
+    def remaining_hops(self) -> int:
+        """Routing-path pairs not yet consumed."""
+        return len(self.routing_path)
+
+
+def encode_word(word: WordTuple) -> bytes:
+    """One byte per digit; digits must fit in 0..254."""
+    if any(not 0 <= digit < WILDCARD_BYTE for digit in word):
+        raise WirePathError(f"digits of {word!r} do not fit the wire format")
+    return bytes(word)
+
+
+def decode_word(blob: bytes) -> WordTuple:
+    """Inverse of :func:`encode_word`."""
+    return tuple(blob)
+
+
+def encode_path(path: Path) -> bytes:
+    """Two bytes per step: shift type, then digit (0xFF for ``*``)."""
+    out = bytearray()
+    for step in path:
+        out.append(int(step.direction))
+        if step.digit is None:
+            out.append(WILDCARD_BYTE)
+        else:
+            if not 0 <= step.digit < WILDCARD_BYTE:
+                raise WirePathError(f"digit {step.digit!r} does not fit the wire format")
+            out.append(step.digit)
+    return bytes(out)
+
+
+def decode_path(blob: bytes) -> Path:
+    """Inverse of :func:`encode_path`."""
+    if len(blob) % 2 != 0:
+        raise WirePathError("routing-path field has odd length")
+    steps: Path = []
+    for i in range(0, len(blob), 2):
+        type_byte, digit_byte = blob[i], blob[i + 1]
+        if type_byte not in (0, 1):
+            raise WirePathError(f"bad shift-type byte {type_byte}")
+        digit = None if digit_byte == WILDCARD_BYTE else digit_byte
+        steps.append(RoutingStep(Direction(type_byte), digit))
+    return steps
+
+
+def encode_witness(witness) -> bytes:
+    """Constant-size routing header: the Theorem-2 witness in 4 bytes.
+
+    Because Algorithm 2's whole path is a function of ``(case, i, j, θ)``
+    plus the destination address already present in the message, a source
+    can ship those four small integers instead of the O(k) step list —
+    any site can expand them with
+    :func:`repro.core.routing.path_from_witness`.  Supports k <= 255.
+    """
+    cases = {"trivial": 0, "l": 1, "r": 2}
+    for value in (witness.i, witness.j, witness.theta):
+        if not 0 <= value <= 0xFF:
+            raise WirePathError("witness indices exceed the 1-byte wire format")
+    return bytes([cases[witness.case], witness.i, witness.j, witness.theta])
+
+
+def decode_witness(blob: bytes):
+    """Inverse of :func:`encode_witness`."""
+    from repro.core.distance import UndirectedWitness
+
+    if len(blob) != 4:
+        raise WirePathError("witness header must be exactly 4 bytes")
+    cases = {0: "trivial", 1: "l", 2: "r"}
+    if blob[0] not in cases:
+        raise WirePathError(f"bad witness case byte {blob[0]}")
+    case = cases[blob[0]]
+    i, j, theta = blob[1], blob[2], blob[3]
+    # The distance is recomputable from the indices; carry 0 as a
+    # placeholder and let the expander ignore it.
+    return UndirectedWitness(0, case, i, j, theta)
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialise the five fields (payload must be bytes or str or None)."""
+    payload = message.payload
+    if payload is None:
+        body = b""
+    elif isinstance(payload, bytes):
+        body = payload
+    elif isinstance(payload, str):
+        body = payload.encode("utf-8")
+    else:
+        raise WirePathError("wire payloads must be bytes, str or None")
+    k = len(message.source)
+    path_blob = encode_path(message.routing_path)
+    header = bytes([int(message.control), k, len(path_blob) // 2])
+    return header + encode_word(message.source) + encode_word(message.destination) + path_blob + body
+
+
+def decode_message(blob: bytes) -> Tuple[ControlCode, WordTuple, WordTuple, Path, bytes]:
+    """Inverse of :func:`encode_message`; returns the five fields."""
+    if len(blob) < 3:
+        raise WirePathError("message too short for its header")
+    control = ControlCode(blob[0])
+    k = blob[1]
+    n_steps = blob[2]
+    need = 3 + 2 * k + 2 * n_steps
+    if len(blob) < need:
+        raise WirePathError("message truncated")
+    source = decode_word(blob[3 : 3 + k])
+    destination = decode_word(blob[3 + k : 3 + 2 * k])
+    path = decode_path(blob[3 + 2 * k : need])
+    return control, source, destination, path, blob[need:]

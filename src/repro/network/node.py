@@ -1,0 +1,89 @@
+"""The forwarding rule of a DN(d, k) site (paper Section 3).
+
+"When a site, say X, receives a message, it looks at the routing path
+field.  If it is empty, then the message is destined for this site, and
+the message is accepted.  If, however, the routing path field is not
+empty, the site removes the first element (pair) (a, b) from the field and
+transmits the message to the neighbor with address Z: Z = X^-(b) if a = 0,
+Z = X^+(b) if a = 1."
+
+Wildcard pairs ``(a, *)`` are resolved here: the site asks a cost callback
+(supplied by the simulator, typically "when would that link be free?") for
+each candidate digit and picks the cheapest, realising the paper's remark
+that ``*`` lets traffic "be more or less balanced".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.routing import Direction, RoutingStep
+from repro.core.word import WordTuple, left_shift, right_shift
+from repro.exceptions import DeliveryError
+from repro.network.message import Message
+
+#: Cost oracle for wildcard resolution: (neighbor address) -> cost; lower
+#: is better.  The simulator passes link-availability times.
+CostFn = Callable[[WordTuple], float]
+
+
+@dataclass
+class Node:
+    """One site of the network: an address plus delivery bookkeeping."""
+
+    address: WordTuple
+    d: int
+    failed: bool = False
+    delivered: List[Message] = field(default_factory=list)
+    forwarded_count: int = 0
+
+    def accept(self, message: Message, now: float) -> None:
+        """Terminal delivery: the routing-path field is empty here."""
+        if message.destination != self.address:
+            raise DeliveryError(
+                f"message {message.message_id} for {message.destination!r} "
+                f"ended its path at {self.address!r}"
+            )
+        message.delivered_at = now
+        self.delivered.append(message)
+
+    def forward_target(
+        self, step: RoutingStep, cost_fn: Optional[CostFn] = None
+    ) -> Tuple[WordTuple, RoutingStep]:
+        """Apply one routing pair; returns (next address, concrete step).
+
+        Wildcards pick the digit whose target link is cheapest according to
+        ``cost_fn`` (smallest digit on ties, and when no oracle is given).
+        """
+        shift = left_shift if step.direction == Direction.LEFT else right_shift
+        if not step.is_wildcard:
+            return shift(self.address, step.digit), step
+        best_digit = 0
+        best_cost = None
+        for digit in range(self.d):
+            candidate = shift(self.address, digit)
+            cost = cost_fn(candidate) if cost_fn is not None else 0.0
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_digit = digit
+        return shift(self.address, best_digit), step.resolved(best_digit)
+
+    def process(
+        self, message: Message, now: float, cost_fn: Optional[CostFn] = None
+    ) -> Optional[Tuple[WordTuple, RoutingStep]]:
+        """The paper's per-site rule: accept, or pop a pair and forward.
+
+        Returns None on delivery, else the (next address, concrete step)
+        the simulator should transmit on.
+        """
+        message.trace.append(self.address)
+        if not message.routing_path:
+            self.accept(message, now)
+            return None
+        step = message.routing_path.pop(0)
+        target, concrete = self.forward_target(step, cost_fn)
+        if step.is_wildcard:
+            message.wildcards_resolved += 1
+        self.forwarded_count += 1
+        return target, concrete

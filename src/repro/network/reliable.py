@@ -1,0 +1,186 @@
+"""Reliable delivery over the (lossy) de Bruijn network: ACKs + retransmit.
+
+The paper's message format reserves a control-code field; this module
+puts it to work as a minimal stop-and-wait transport on top of the
+datagram simulator:
+
+* every DATA message carries a transfer id in its payload;
+* the receiving site answers with an ACK routed back to the source;
+* the sender re-transmits any transfer whose ACK has not arrived within
+  ``timeout`` cycles, up to ``max_attempts`` tries.
+
+Losses come from the simulator's fault model (failed sites or links drop
+messages).  With rerouting enabled, the first retransmission after the
+routing layer converges normally succeeds; the tests and the E7 extension
+measure exactly that.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.word import WordTuple
+from repro.exceptions import SimulationError
+from repro.network.message import ControlCode, Message
+from repro.network.router import Router
+from repro.network.simulator import Simulator
+
+_transfer_ids = itertools.count(1)
+
+
+@dataclass
+class Transfer:
+    """One reliable send and its delivery state."""
+
+    transfer_id: int
+    source: WordTuple
+    destination: WordTuple
+    payload: object
+    attempts: int = 0
+    acked_at: Optional[float] = None
+    data_delivered_at: Optional[float] = None
+    gave_up: bool = False
+
+    @property
+    def completed(self) -> bool:
+        """True once the source has the ACK in hand."""
+        return self.acked_at is not None
+
+
+@dataclass
+class TransportStats:
+    """Aggregate outcome of a reliable session."""
+
+    transfers: List[Transfer] = field(default_factory=list)
+    data_sent: int = 0
+    acks_sent: int = 0
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for t in self.transfers if t.completed)
+
+    @property
+    def abandoned(self) -> int:
+        return sum(1 for t in self.transfers if t.gave_up)
+
+    def retransmissions(self) -> int:
+        """Total extra DATA copies beyond first attempts."""
+        return sum(max(t.attempts - 1, 0) for t in self.transfers)
+
+    def mean_completion_time(self) -> float:
+        """Mean time from first send to ACK receipt."""
+        values = [t.acked_at for t in self.transfers if t.acked_at is not None]
+        return sum(values) / len(values) if values else 0.0
+
+
+class ReliableTransport:
+    """Stop-and-wait acknowledgement protocol over a :class:`Simulator`.
+
+    Drive it with :meth:`send` calls, then :meth:`run`; the transport
+    schedules its own retransmission checks through the simulator clock.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        router: Router,
+        timeout: float = 32.0,
+        max_attempts: int = 4,
+    ) -> None:
+        if timeout <= 0 or max_attempts < 1:
+            raise SimulationError("need a positive timeout and at least one attempt")
+        self.simulator = simulator
+        self.router = router
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.stats = TransportStats()
+        self._pending: Dict[int, Transfer] = {}
+        self._retry_checks: List[Tuple[float, int]] = []
+        previous_hook = simulator.on_deliver
+        if previous_hook is not None:
+            raise SimulationError("simulator already has a delivery hook installed")
+        simulator.on_deliver = self._on_deliver
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, source: WordTuple, destination: WordTuple,
+             payload: object = None, at: float = 0.0) -> Transfer:
+        """Start a reliable transfer; returns its tracking object."""
+        transfer = Transfer(next(_transfer_ids), source, destination, payload)
+        self.stats.transfers.append(transfer)
+        self._pending[transfer.transfer_id] = transfer
+        self._transmit(transfer, at)
+        return transfer
+
+    def _transmit(self, transfer: Transfer, at: float) -> None:
+        transfer.attempts += 1
+        self.stats.data_sent += 1
+        self.simulator.send(
+            transfer.source,
+            transfer.destination,
+            self.router,
+            at=at,
+            payload=("DATA", transfer.transfer_id, transfer.payload),
+            control=ControlCode.DATA,
+        )
+        self._retry_checks.append((at + self.timeout, transfer.transfer_id))
+
+    # ------------------------------------------------------------------
+    # Delivery handling
+    # ------------------------------------------------------------------
+
+    def _on_deliver(self, message: Message, simulator: Simulator) -> None:
+        payload = message.payload
+        if not isinstance(payload, tuple) or len(payload) != 3:
+            return  # unrelated traffic sharing the simulator
+        kind, transfer_id, body = payload
+        if kind == "DATA":
+            transfer = self._pending.get(transfer_id)
+            if transfer is not None and transfer.data_delivered_at is None:
+                transfer.data_delivered_at = simulator.now
+            # Always acknowledge (duplicates re-ACK, as stop-and-wait must).
+            self.stats.acks_sent += 1
+            simulator.send(
+                message.destination,
+                message.source,
+                self.router,
+                at=simulator.now,
+                payload=("ACK", transfer_id, None),
+                control=ControlCode.ACK,
+            )
+        elif kind == "ACK":
+            transfer = self._pending.pop(transfer_id, None)
+            if transfer is not None:
+                transfer.acked_at = simulator.now
+
+    # ------------------------------------------------------------------
+    # Driving the clock
+    # ------------------------------------------------------------------
+
+    def run(self) -> TransportStats:
+        """Interleave simulation with timeout checks, in time order.
+
+        The simulator is advanced only up to the next pending timeout, so
+        an impatient timeout genuinely fires while the original copy (or
+        its ACK) is still in flight — exactly stop-and-wait's behaviour.
+        """
+        while self._retry_checks or self.simulator.queue:
+            if not self._retry_checks:
+                self.simulator.run()
+                continue
+            self._retry_checks.sort()
+            due_time, transfer_id = self._retry_checks.pop(0)
+            self.simulator.run(until=due_time)
+            transfer = self._pending.get(transfer_id)
+            if transfer is None:
+                continue  # already acknowledged
+            if transfer.attempts >= self.max_attempts:
+                transfer.gave_up = True
+                self._pending.pop(transfer_id, None)
+                continue
+            self._transmit(transfer, max(due_time, self.simulator.now))
+        return self.stats

@@ -1,0 +1,308 @@
+"""Routing strategies for the DN(d, k) simulator.
+
+A router turns a (source, destination) pair into the routing-path field of
+a message — the list of ``(a_i, b_i)`` pairs of paper Section 3.  The
+strategies span the design space the paper discusses:
+
+* :class:`UnidirectionalOptimalRouter` — Algorithm 1 (O(k), left shifts only).
+* :class:`BidirectionalOptimalRouter` — Algorithm 2 / Algorithm 4 (method
+  selectable), optionally emitting wildcard ``*`` digits for load balance.
+* :class:`TrivialRouter` — the always-k left-shift diameter path the paper
+  uses to prove the diameter bound; the natural strawman baseline.
+* :class:`TableDrivenRouter` — classical BFS next-hop tables: shortest
+  paths without any address arithmetic, at O(N) memory per destination.
+  This is what the paper's O(k) algorithms render unnecessary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.distance import Method
+from repro.core.routing import (
+    Direction,
+    Path,
+    RoutingStep,
+    shortest_path_undirected,
+    shortest_path_unidirectional,
+)
+from repro.core.word import WordTuple, left_shift, right_shift
+from repro.exceptions import RoutingError
+from repro.graphs.debruijn import DeBruijnGraph
+from repro.graphs.traversal import next_hop_table
+
+
+class Router:
+    """Strategy interface: plan the routing-path field for one message."""
+
+    #: Human-readable name used in bench tables.
+    name = "router"
+
+    #: When true the message carries only the destination address and every
+    #: site re-computes the next hop locally (hop-by-hop routing); ``plan``
+    #: is then unused by the simulator.
+    stateless = False
+
+    def plan(self, source: WordTuple, destination: WordTuple) -> Path:
+        """Return the routing path; must land exactly on ``destination``."""
+        raise NotImplementedError
+
+    def next_hop(self, current: WordTuple, destination: WordTuple,
+                 cost_fn=None) -> RoutingStep:
+        """One locally-computed step (stateless mode); default: re-plan.
+
+        ``cost_fn`` (neighbor -> cost) carries the forwarding site's local
+        link state; the base implementation ignores it.
+        """
+        path = self.plan(current, destination)
+        if not path:
+            raise RoutingError(f"already at {destination!r}; no hop to take")
+        return path[0]
+
+    def memory_cells(self) -> int:
+        """State size held by the router (0 for address-computable ones)."""
+        return 0
+
+
+class UnidirectionalOptimalRouter(Router):
+    """Algorithm 1: shortest paths in the uni-directional network."""
+
+    name = "optimal-unidirectional"
+
+    def plan(self, source: WordTuple, destination: WordTuple) -> Path:
+        """Algorithm 1: left shifts past the maximal overlap."""
+        return shortest_path_unidirectional(source, destination)
+
+
+class BidirectionalOptimalRouter(Router):
+    """Algorithm 2 (``method='matching'``) or 4 (``method='suffix_tree'``).
+
+    ``use_wildcards`` keeps the paper's ``*`` digits in the path so that
+    forwarding sites may pick any neighbor of the requested type; the
+    simulator resolves them against instantaneous link queues.
+    """
+
+    def __init__(self, method: Method = "auto", use_wildcards: bool = True) -> None:
+        self.method = method
+        self.use_wildcards = use_wildcards
+        self.name = f"optimal-bidirectional[{method}]"
+
+    def plan(self, source: WordTuple, destination: WordTuple) -> Path:
+        """Algorithm 2/4 route with optional wildcard digits."""
+        return shortest_path_undirected(
+            source, destination, method=self.method, use_wildcards=self.use_wildcards
+        )
+
+
+class RandomMinimalRouter(Router):
+    """A uniformly random shortest path per message.
+
+    The natural continuation of the paper's wildcard remark: where
+    Algorithm 2 leaves only the *arbitrary* digits free, this router
+    randomises over the entire shortest-path DAG, decorrelating the routes
+    of repeated (source, destination) pairs.  Costs more planning time
+    (path counting) — the load-balance payoff is measured in E6.
+    """
+
+    def __init__(self, d: int, seed: int = 0) -> None:
+        import random as _random
+
+        from repro.core.paths import random_shortest_path
+
+        self.d = d
+        self._rng = _random.Random(seed)
+        self._sample = random_shortest_path
+        self.name = "random-minimal"
+
+    def plan(self, source: WordTuple, destination: WordTuple) -> Path:
+        """A fresh uniform sample from the shortest-path DAG."""
+        return self._sample(source, destination, self.d, self._rng)
+
+
+class TrivialRouter(Router):
+    """The diameter path: k left shifts spelling the destination.
+
+    Valid in both network orientations; never shorter than Algorithm 1/2
+    output, which is exactly what the benches quantify.
+    """
+
+    name = "trivial"
+
+    def plan(self, source: WordTuple, destination: WordTuple) -> Path:
+        """The diameter path: k left shifts spelling the destination."""
+        if source == destination:
+            return []
+        return [RoutingStep(Direction.LEFT, digit) for digit in destination]
+
+
+class TableDrivenRouter(Router):
+    """BFS next-hop tables, built lazily per destination and cached.
+
+    Produces shortest paths (it is the baseline oracle in motion) but costs
+    O(N) memory per destination — :meth:`memory_cells` exposes the running
+    total so benches can report the footprint next to the O(1) per-pair
+    cost of the paper's routers.
+    """
+
+    def __init__(self, graph: DeBruijnGraph) -> None:
+        self.graph = graph
+        self.name = f"table-driven[{'uni' if graph.directed else 'bi'}]"
+        self._tables: Dict[WordTuple, Dict[WordTuple, WordTuple]] = {}
+
+    def _table_for(self, destination: WordTuple) -> Dict[WordTuple, WordTuple]:
+        table = self._tables.get(destination)
+        if table is None:
+            table = next_hop_table(self.graph, destination)
+            self._tables[destination] = table
+        return table
+
+    def plan(self, source: WordTuple, destination: WordTuple) -> Path:
+        """Follow the cached BFS next-hop table to the destination."""
+        table = self._table_for(destination)
+        steps: Path = []
+        current = source
+        limit = self.graph.order + 1
+        while current != destination:
+            nxt = table.get(current)
+            if nxt is None:
+                raise RoutingError(f"table has no route from {current!r} to {destination!r}")
+            steps.append(step_between(current, nxt, self.graph.d))
+            current = nxt
+            if len(steps) > limit:  # pragma: no cover - defensive
+                raise RoutingError("next-hop table contains a cycle")
+        return steps
+
+    def memory_cells(self) -> int:
+        """Total next-hop entries cached so far (O(N) per destination)."""
+        return sum(len(table) for table in self._tables.values())
+
+
+class StatelessRouter(Router):
+    """Hop-by-hop routing: messages carry only the destination address.
+
+    This is the other deployment style the paper's O(k) algorithms make
+    viable: instead of the source writing the whole `(a_i, b_i)` path into
+    the message, *every* site runs the distance computation on (its own
+    address, destination) and forwards along any distance-decreasing edge.
+    Costs O(k)–O(k²) compute per hop instead of per message, buys a
+    shorter header and — because each hop re-plans from current truth —
+    free adaptivity when the topology changes underfoot.
+    """
+
+    def __init__(self, bidirectional: bool = True, method="auto") -> None:
+        self.bidirectional = bidirectional
+        self.method = method
+        self.name = f"stateless[{'bi' if bidirectional else 'uni'}]"
+
+    stateless = True
+
+    def plan(self, source: WordTuple, destination: WordTuple) -> Path:
+        """Full path (accounting/tests only; the simulator calls next_hop)."""
+        # Only used for accounting/tests; the simulator calls next_hop.
+        if self.bidirectional:
+            return shortest_path_undirected(source, destination, method=self.method,
+                                            use_wildcards=False)
+        return shortest_path_unidirectional(source, destination)
+
+    def next_hop(self, current: WordTuple, destination: WordTuple,
+                 cost_fn=None) -> RoutingStep:
+        """One distance-decreasing step computed at the current site."""
+        path = self.plan(current, destination)
+        if not path:
+            raise RoutingError(f"already at {destination!r}; no hop to take")
+        return path[0]
+
+
+class AdaptiveGreedyRouter(Router):
+    """Fully adaptive minimal routing: pick the *least-loaded* optimal move.
+
+    Stronger than the paper's wildcard remark: at every hop the site
+    enumerates **all** distance-decreasing neighbors (the shortest-path
+    DAG's out-edges, not just the wildcard positions of one canonical
+    path) and forwards on the one whose outgoing link is free soonest.
+    Still provably minimal — every move decreases the distance by one —
+    but maximally responsive to congestion.
+    """
+
+    stateless = True
+
+    def __init__(self, d: int) -> None:
+        self.d = d
+        self.name = "adaptive-greedy"
+
+    def plan(self, source: WordTuple, destination: WordTuple) -> Path:
+        """Fallback full route (used only outside the simulator)."""
+        return shortest_path_undirected(source, destination, use_wildcards=False)
+
+    def next_hop(self, current: WordTuple, destination: WordTuple,
+                 cost_fn=None) -> RoutingStep:
+        """Cheapest distance-decreasing move according to local link state."""
+        from repro.core.distance import undirected_distance
+        from repro.core.paths import _optimal_moves
+
+        remaining = undirected_distance(current, destination)
+        if remaining == 0:
+            raise RoutingError(f"already at {destination!r}; no hop to take")
+        moves = _optimal_moves(current, destination, self.d, remaining)
+        best = None
+        best_cost = None
+        for direction, digit, landing in moves:
+            cost = cost_fn(landing) if cost_fn is not None else 0.0
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best = RoutingStep(direction, digit)
+        assert best is not None  # remaining >= 1 guarantees a move exists
+        return best
+
+
+class ValiantRouter(Router):
+    """Valiant's two-phase randomised routing: via a random intermediate.
+
+    The classical cure for adversarial permutations: route every message
+    first to a uniformly random site, then on to its destination.  Any
+    fixed traffic pattern becomes two superimposed *uniform* patterns, so
+    no permutation can concentrate load — at the price of up to doubling
+    the path length.  Benchmark E12 measures the trade on the classical
+    adversarial patterns.
+    """
+
+    def __init__(self, d: int, k: int, seed: int = 0,
+                 base: Optional[Router] = None) -> None:
+        import random as _random
+
+        self.d = d
+        self.k = k
+        self._rng = _random.Random(seed)
+        self.base = base if base is not None else BidirectionalOptimalRouter(
+            use_wildcards=False)
+        self.name = "valiant"
+
+    def plan(self, source: WordTuple, destination: WordTuple) -> Path:
+        """Concatenate optimal legs through a fresh random intermediate."""
+        from repro.core.word import random_word
+
+        intermediate = random_word(self.d, self.k, self._rng)
+        return list(self.base.plan(source, intermediate)) + list(
+            self.base.plan(intermediate, destination)
+        )
+
+
+def step_between(u: WordTuple, v: WordTuple, d: int) -> RoutingStep:
+    """The routing step carrying ``u`` to its neighbor ``v``.
+
+    Prefers the type-L encoding when both shift types produce ``v`` (which
+    happens on the coincident edges of alternating words).
+    """
+    if v == left_shift(u, v[-1]):
+        return RoutingStep(Direction.LEFT, v[-1])
+    if v == right_shift(u, v[0]):
+        return RoutingStep(Direction.RIGHT, v[0])
+    raise RoutingError(f"{v!r} is not a de Bruijn neighbor of {u!r}")
+
+
+def vertex_path_to_steps(path_vertices, d: int) -> Path:
+    """Convert a BFS vertex sequence into routing steps."""
+    steps: Path = []
+    for u, v in zip(path_vertices, path_vertices[1:]):
+        steps.append(step_between(u, v, d))
+    return steps

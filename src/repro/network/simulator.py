@@ -1,0 +1,273 @@
+"""Discrete-event simulation of the de Bruijn network DN(d, k).
+
+The simulator realises paper Section 3 end to end: messages carry the
+five-field structure, each site applies the pop-and-forward rule of
+:class:`repro.network.node.Node`, wildcard digits are resolved against
+instantaneous link availability, and links serialise traffic (one message
+per cycle, configurable propagation latency).
+
+Failures: sites may fail and recover on schedule.  A message whose *next
+hop* is down is either re-planned from the current site around the failed
+set (when ``reroute_on_failure``) or dropped and counted; a message at a
+site that fails mid-flight is dropped (the paper's fault model only
+promises connectivity, not lossless delivery).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Set, Tuple
+
+from repro.core.routing import Direction
+from repro.core.word import WordTuple, validate_parameters, validate_word
+from repro.exceptions import SimulationError
+from repro.graphs.debruijn import DeBruijnGraph
+from repro.graphs.traversal import bfs_path
+from repro.network.events import EventKind, EventQueue
+from repro.network.link import Link
+from repro.network.message import ControlCode, Message
+from repro.network.node import Node
+from repro.network.router import Router, vertex_path_to_steps
+from repro.network.stats import SimulationStats
+
+LinkKey = Tuple[WordTuple, WordTuple]
+
+
+class Simulator:
+    """One network instance: topology, sites, links, clock, event queue."""
+
+    def __init__(
+        self,
+        d: int,
+        k: int,
+        bidirectional: bool = True,
+        link_latency: float = 1.0,
+        link_service_time: float = 1.0,
+        reroute_on_failure: bool = False,
+    ) -> None:
+        validate_parameters(d, k)
+        self.d = d
+        self.k = k
+        self.bidirectional = bidirectional
+        self.link_latency = link_latency
+        self.link_service_time = link_service_time
+        self.reroute_on_failure = reroute_on_failure
+        self.graph = DeBruijnGraph(d, k, directed=not bidirectional)
+        self.now = 0.0
+        self.queue = EventQueue()
+        self.stats = SimulationStats()
+        self._nodes: Dict[WordTuple, Node] = {}
+        self._links: Dict[LinkKey, Link] = {}
+        self._failed: Set[WordTuple] = set()
+        self._failed_links: Set[LinkKey] = set()
+        #: Optional hook fired on every delivery (message, simulator).  May
+        #: schedule further sends at >= the current time; used by the
+        #: broadcast relay and available for custom protocols.
+        self.on_deliver: Optional[Callable[[Message, "Simulator"], None]] = None
+        #: Optional observer fired for every processed event (event,
+        #: simulator); read-only by convention — used by tracing.
+        self.on_event: Optional[Callable[[object, "Simulator"], None]] = None
+
+    # ------------------------------------------------------------------
+    # Topology access (lazy: nodes/links materialise on first touch)
+    # ------------------------------------------------------------------
+
+    def node(self, address: WordTuple) -> Node:
+        """The site object at ``address`` (created on first use)."""
+        existing = self._nodes.get(address)
+        if existing is None:
+            validate_word(address, self.d, self.k)
+            existing = Node(address, self.d)
+            self._nodes[address] = existing
+        return existing
+
+    def link(self, tail: WordTuple, head: WordTuple) -> Link:
+        """The directed link ``tail -> head`` (created on first use)."""
+        key = (tail, head)
+        existing = self._links.get(key)
+        if existing is None:
+            existing = Link(tail, head, self.link_latency, self.link_service_time)
+            self._links[key] = existing
+        return existing
+
+    def is_failed(self, address: WordTuple) -> bool:
+        """True while ``address`` is scheduled as down."""
+        return address in self._failed
+
+    def is_link_failed(self, tail: WordTuple, head: WordTuple) -> bool:
+        """True while the directed link ``tail -> head`` is down."""
+        return (tail, head) in self._failed_links
+
+    def fail_link(self, tail: WordTuple, head: WordTuple, both_directions: bool = True) -> None:
+        """Cut a link immediately (and its reverse unless told otherwise)."""
+        self._failed_links.add((tail, head))
+        if both_directions:
+            self._failed_links.add((head, tail))
+
+    def recover_link(self, tail: WordTuple, head: WordTuple, both_directions: bool = True) -> None:
+        """Restore a previously cut link."""
+        self._failed_links.discard((tail, head))
+        if both_directions:
+            self._failed_links.discard((head, tail))
+
+    # ------------------------------------------------------------------
+    # Scheduling API
+    # ------------------------------------------------------------------
+
+    def send(
+        self,
+        source: WordTuple,
+        destination: WordTuple,
+        router: Router,
+        at: float = 0.0,
+        payload: object = None,
+        control: ControlCode = ControlCode.DATA,
+    ) -> Message:
+        """Plan a message with ``router`` and schedule its injection."""
+        validate_word(source, self.d, self.k)
+        validate_word(destination, self.d, self.k)
+        if getattr(router, "stateless", False):
+            # Hop-by-hop mode: the message carries only the destination;
+            # each site computes its own step on arrival.
+            message = Message(control, source, destination, [], payload,
+                              injected_at=at, hop_router=router)
+        else:
+            path = router.plan(source, destination)
+            message = Message(control, source, destination, list(path), payload,
+                              injected_at=at)
+        self.queue.push(at, EventKind.INJECT, source, message)
+        return message
+
+    def fail_node(self, address: WordTuple, at: float = 0.0) -> None:
+        """Schedule ``address`` to go down at time ``at``."""
+        self.queue.push(at, EventKind.FAIL, address)
+
+    def recover_node(self, address: WordTuple, at: float) -> None:
+        """Schedule ``address`` to come back up at time ``at``."""
+        self.queue.push(at, EventKind.RECOVER, address)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> SimulationStats:
+        """Process events (up to ``until``, or to exhaustion) and report."""
+        while self.queue:
+            next_time = self.queue.peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                break
+            event = self.queue.pop()
+            if event.time < self.now - 1e-9:
+                raise SimulationError("event queue went backwards in time")
+            self.now = event.time
+            if self.on_event is not None:
+                self.on_event(event, self)
+            if event.kind == EventKind.FAIL:
+                self._failed.add(event.node)
+            elif event.kind == EventKind.RECOVER:
+                self._failed.discard(event.node)
+            elif event.kind in (EventKind.INJECT, EventKind.ARRIVE):
+                assert event.message is not None
+                self._handle_arrival(event.node, event.message)
+        if until is not None and self.queue:
+            self.stats.horizon = until  # stopped by the time limit
+        else:
+            self.stats.horizon = self.now
+        self._collect_link_stats()
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _handle_arrival(self, address: WordTuple, message: Message) -> None:
+        if self.is_failed(address):
+            self.stats.dropped.append((message, f"site {address!r} is down"))
+            return
+        site = self.node(address)
+
+        def link_cost(neighbor: WordTuple) -> float:
+            if self.is_failed(neighbor) or self.is_link_failed(address, neighbor):
+                return float("inf")
+            return self.link(address, neighbor).earliest_departure(self.now)
+
+        if message.hop_router is not None and address != message.destination:
+            # Stateless mode: materialise exactly one locally-computed step
+            # (with local link state available) for the standard
+            # pop-and-forward rule to consume.
+            step = message.hop_router.next_hop(address, message.destination,
+                                               cost_fn=link_cost)
+            message.routing_path.insert(0, step)
+
+        decision = site.process(message, self.now, link_cost)
+        if decision is None:
+            self.stats.delivered.append(message)
+            if self.on_deliver is not None:
+                self.on_deliver(message, self)
+            return
+        target, _step = decision
+        if not self.bidirectional and _step.direction != Direction.LEFT:
+            # A type-R hop needs a link that the uni-directional network
+            # simply does not have; a router/topology mismatch is a
+            # programming error, not a droppable runtime condition.
+            raise SimulationError(
+                f"message {message.message_id} asked for a right shift at "
+                f"{address!r}, but this network is uni-directional"
+            )
+        if self.is_failed(target) or self.is_link_failed(address, target):
+            if not self._try_reroute(address, message):
+                self.stats.dropped.append((message, f"next hop {target!r} is unreachable"))
+            return
+        arrival = self.link(address, target).transmit(self.now)
+        self.queue.push(arrival, EventKind.ARRIVE, target, message)
+
+    def _try_reroute(self, address: WordTuple, message: Message) -> bool:
+        """Re-plan around the failed set from the current site (E7)."""
+        if not self.reroute_on_failure:
+            return False
+
+        def surviving_neighbors(vertex: WordTuple):
+            return (
+                nbr for nbr in self.graph.neighbors(vertex)
+                if (vertex, nbr) not in self._failed_links
+            )
+
+        try:
+            vertices = bfs_path(
+                self.graph, address, message.destination,
+                neighbor_fn=surviving_neighbors, avoid=self._failed,
+            )
+        except Exception:
+            return False
+        message.routing_path = vertex_path_to_steps(vertices, self.d)
+        self.stats.rerouted += 1
+        if len(vertices) == 1:
+            # Already at the destination: deliver immediately.
+            site = self.node(address)
+            site.accept(message, self.now)
+            self.stats.delivered.append(message)
+            if self.on_deliver is not None:
+                self.on_deliver(message, self)
+            return True
+        nxt = vertices[1]
+        message.routing_path.pop(0)
+        arrival = self.link(address, nxt).transmit(self.now)
+        self.queue.push(arrival, EventKind.ARRIVE, nxt, message)
+        return True
+
+    def _collect_link_stats(self) -> None:
+        for key, link in self._links.items():
+            if link.carried:
+                self.stats.link_loads[key] = link.carried
+                self.stats.link_queue_delays[key] = link.total_queue_delay
+
+
+def run_workload(
+    simulator: Simulator,
+    router: Router,
+    workload: Iterable[Tuple[float, WordTuple, WordTuple]],
+    until: Optional[float] = None,
+) -> SimulationStats:
+    """Inject a (time, source, destination) stream and run to completion."""
+    for at, source, destination in workload:
+        simulator.send(source, destination, router, at=at)
+    return simulator.run(until)

@@ -1,0 +1,170 @@
+"""Measurement collection for network simulations (experiment E6/E7).
+
+Aggregates per-message latencies and hop counts, per-link loads, and drop
+accounting, and turns them into the summary rows the benches print.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.word import WordTuple
+from repro.network.message import Message
+
+
+def percentile(values: List[float], q: float) -> float:
+    """The q-th percentile (0..100) by linear interpolation; 0.0 if empty."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(ordered[low])
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def jain_fairness(values: List[float]) -> float:
+    """Jain's fairness index of a load vector: 1.0 means perfectly even."""
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+@dataclass
+class SimulationStats:
+    """Everything a finished simulation reports."""
+
+    delivered: List[Message] = field(default_factory=list)
+    dropped: List[Tuple[Message, str]] = field(default_factory=list)
+    link_loads: Dict[Tuple[WordTuple, WordTuple], int] = field(default_factory=dict)
+    link_queue_delays: Dict[Tuple[WordTuple, WordTuple], float] = field(default_factory=dict)
+    rerouted: int = 0
+    horizon: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Message-level metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def delivered_count(self) -> int:
+        return len(self.delivered)
+
+    @property
+    def dropped_count(self) -> int:
+        return len(self.dropped)
+
+    def latencies(self) -> List[float]:
+        """End-to-end latencies of delivered messages."""
+        return [m.latency for m in self.delivered if m.latency is not None]
+
+    def hop_counts(self) -> List[int]:
+        """Hop counts of delivered messages."""
+        return [m.hop_count for m in self.delivered]
+
+    def mean_latency(self) -> float:
+        """Mean end-to-end latency of delivered messages."""
+        values = self.latencies()
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_hops(self) -> float:
+        """Mean hop count of delivered messages."""
+        values = self.hop_counts()
+        return sum(values) / len(values) if values else 0.0
+
+    def p95_latency(self) -> float:
+        """95th-percentile latency."""
+        return percentile(self.latencies(), 95.0)
+
+    def max_latency(self) -> float:
+        """Worst delivered latency."""
+        values = self.latencies()
+        return max(values) if values else 0.0
+
+    def throughput(self) -> float:
+        """Delivered messages per cycle over the simulated horizon."""
+        if self.horizon <= 0:
+            return 0.0
+        return self.delivered_count / self.horizon
+
+    # ------------------------------------------------------------------
+    # Link-level metrics
+    # ------------------------------------------------------------------
+
+    def max_link_load(self) -> int:
+        """Messages carried by the hottest link."""
+        return max(self.link_loads.values()) if self.link_loads else 0
+
+    def mean_link_load(self) -> float:
+        """Mean messages per used link."""
+        if not self.link_loads:
+            return 0.0
+        return sum(self.link_loads.values()) / len(self.link_loads)
+
+    def load_fairness(self) -> float:
+        """Jain index over the loads of links that carried anything."""
+        return jain_fairness([float(v) for v in self.link_loads.values()])
+
+    def mean_queue_delay(self) -> float:
+        """Average queueing delay per forwarded message."""
+        total_delay = sum(self.link_queue_delays.values())
+        total_carried = sum(self.link_loads.values())
+        if total_carried == 0:
+            return 0.0
+        return total_delay / total_carried
+
+    # ------------------------------------------------------------------
+    # Steady-state windows
+    # ------------------------------------------------------------------
+
+    def window(self, start: float, end: Optional[float] = None) -> "SimulationStats":
+        """A copy restricted to messages *injected* within [start, end).
+
+        The standard steady-state methodology: discard the warmup and the
+        drain tail so latency statistics reflect equilibrium behaviour.
+        Link-level counters cannot be attributed per window and are left
+        empty in the copy.
+        """
+        upper = end if end is not None else float("inf")
+
+        def inside(message: Message) -> bool:
+            return start <= message.injected_at < upper
+
+        trimmed = SimulationStats(
+            delivered=[m for m in self.delivered if inside(m)],
+            dropped=[(m, why) for m, why in self.dropped if inside(m)],
+            rerouted=self.rerouted,
+            horizon=(min(upper, self.horizon) - start) if self.horizon > start else 0.0,
+        )
+        return trimmed
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        """The flat row the bench tables print."""
+        return {
+            "delivered": float(self.delivered_count),
+            "dropped": float(self.dropped_count),
+            "rerouted": float(self.rerouted),
+            "mean_hops": self.mean_hops(),
+            "mean_latency": self.mean_latency(),
+            "p95_latency": self.p95_latency(),
+            "max_latency": self.max_latency(),
+            "throughput": self.throughput(),
+            "max_link_load": float(self.max_link_load()),
+            "mean_link_load": self.mean_link_load(),
+            "load_fairness": self.load_fairness(),
+            "mean_queue_delay": self.mean_queue_delay(),
+        }

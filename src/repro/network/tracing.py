@@ -1,0 +1,136 @@
+"""Event tracing for simulations: record, summarise, export, visualise.
+
+Attach a :class:`TraceRecorder` before running and every processed event
+(injections, arrivals, failures, recoveries) is captured with its time,
+site and message id.  The recorder can then:
+
+* summarise per-site activity (arrivals handled, first/last activity),
+* follow one message's life (`message_timeline`),
+* render a coarse ASCII activity timeline (sites × time buckets),
+* export everything as JSON lines for external tooling.
+
+Purely observational — the recorder never mutates simulator state.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.word import WordTuple, format_word
+from repro.exceptions import SimulationError
+from repro.network.events import Event, EventKind
+from repro.network.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded event."""
+
+    time: float
+    kind: str
+    site: WordTuple
+    message_id: Optional[int]
+
+    def to_json(self) -> str:
+        """One JSON line."""
+        return json.dumps(
+            {
+                "time": self.time,
+                "kind": self.kind,
+                "site": format_word(self.site),
+                "message_id": self.message_id,
+            },
+            sort_keys=True,
+        )
+
+
+@dataclass
+class SiteActivity:
+    """Aggregate view of one site's participation."""
+
+    events: int = 0
+    first_time: Optional[float] = None
+    last_time: Optional[float] = None
+
+    def record(self, time: float) -> None:
+        """Fold one event time into the aggregate."""
+        self.events += 1
+        if self.first_time is None or time < self.first_time:
+            self.first_time = time
+        if self.last_time is None or time > self.last_time:
+            self.last_time = time
+
+
+class TraceRecorder:
+    """Captures every simulator event through the ``on_event`` hook."""
+
+    def __init__(self, simulator: Simulator) -> None:
+        if simulator.on_event is not None:
+            raise SimulationError("simulator already has an event observer")
+        self.simulator = simulator
+        self.entries: List[TraceEntry] = []
+        simulator.on_event = self._observe
+
+    def _observe(self, event: Event, simulator: Simulator) -> None:
+        self.entries.append(
+            TraceEntry(
+                time=event.time,
+                kind=EventKind(event.kind).name,
+                site=event.node,
+                message_id=event.message.message_id if event.message is not None else None,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def site_activity(self) -> Dict[WordTuple, SiteActivity]:
+        """Per-site event counts and first/last activity times."""
+        activity: Dict[WordTuple, SiteActivity] = {}
+        for entry in self.entries:
+            activity.setdefault(entry.site, SiteActivity()).record(entry.time)
+        return activity
+
+    def message_timeline(self, message_id: int) -> List[TraceEntry]:
+        """Every recorded event touching one message, in order."""
+        return [e for e in self.entries if e.message_id == message_id]
+
+    def busiest_sites(self, top: int = 5) -> List[Tuple[WordTuple, int]]:
+        """The sites that processed the most events."""
+        activity = self.site_activity()
+        ranked = sorted(activity.items(), key=lambda kv: (-kv[1].events, kv[0]))
+        return [(site, act.events) for site, act in ranked[:top]]
+
+    def to_jsonl(self) -> str:
+        """The whole trace as JSON lines."""
+        return "\n".join(entry.to_json() for entry in self.entries)
+
+    def render_timeline(self, buckets: int = 40, max_sites: int = 12) -> str:
+        """ASCII site × time activity map (darker symbol = more events)."""
+        if not self.entries:
+            return "(empty trace)"
+        t_min = min(e.time for e in self.entries)
+        t_max = max(e.time for e in self.entries)
+        span = (t_max - t_min) or 1.0
+        shades = " .:*#"
+        counts: Dict[WordTuple, List[int]] = {}
+        for entry in self.entries:
+            bucket = min(int((entry.time - t_min) / span * buckets), buckets - 1)
+            counts.setdefault(entry.site, [0] * buckets)[bucket] += 1
+        peak = max(max(row) for row in counts.values()) or 1
+        chosen = sorted(counts, key=lambda s: -sum(counts[s]))[:max_sites]
+        lines = [f"time {t_min:g} .. {t_max:g} ({len(self.entries)} events)"]
+        for site in sorted(chosen):
+            row = counts[site]
+            cells = "".join(
+                shades[min(int(c / peak * (len(shades) - 1) + (0 if c == 0 else 1)),
+                           len(shades) - 1)]
+                for c in row
+            )
+            lines.append(f"{format_word(site):>10s} |{cells}|")
+        if len(counts) > max_sites:
+            lines.append(f"  (+{len(counts) - max_sites} quieter sites omitted)")
+        return "\n".join(lines)

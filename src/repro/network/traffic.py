@@ -1,0 +1,190 @@
+"""Workload generators for the DN(d, k) simulation experiments (E6).
+
+Each generator yields ``(time, source, destination)`` injection triples.
+The patterns are the staples of interconnection-network evaluation:
+
+* :func:`uniform_random` — every site injects Bernoulli(p) per cycle to a
+  uniform random other site;
+* :func:`permutation_traffic` — a fixed random permutation (every site
+  talks to exactly one partner);
+* :func:`hotspot` — a fraction of all traffic converges on one site;
+* :func:`bit_reversal` / :func:`complement_traffic` — the classical
+  adversarial address-transform patterns, adapted to d-ary words;
+* :func:`all_pairs_once` — one message per ordered pair (the exact mean
+  distance workload; used to match Figure 2 in simulation).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.word import WordTuple, iter_words, random_word, validate_parameters
+
+Injection = Tuple[float, WordTuple, WordTuple]
+
+
+def uniform_random(
+    d: int,
+    k: int,
+    cycles: int,
+    injection_rate: float,
+    rng: Optional[random.Random] = None,
+) -> Iterator[Injection]:
+    """Bernoulli(``injection_rate``) injections per site per cycle."""
+    validate_parameters(d, k)
+    generator = rng if rng is not None else random.Random()
+    words = list(iter_words(d, k))
+    for t in range(cycles):
+        for source in words:
+            if generator.random() < injection_rate:
+                destination = words[generator.randrange(len(words))]
+                if destination != source:
+                    yield float(t), source, destination
+
+
+def permutation_traffic(
+    d: int,
+    k: int,
+    cycles: int,
+    rng: Optional[random.Random] = None,
+) -> Iterator[Injection]:
+    """Each site sends once per cycle to its fixed random partner."""
+    validate_parameters(d, k)
+    generator = rng if rng is not None else random.Random()
+    words = list(iter_words(d, k))
+    partners = words[:]
+    generator.shuffle(partners)
+    for t in range(cycles):
+        for source, destination in zip(words, partners):
+            if source != destination:
+                yield float(t), source, destination
+
+
+def hotspot(
+    d: int,
+    k: int,
+    cycles: int,
+    injection_rate: float,
+    hotspot_fraction: float = 0.5,
+    target: Optional[WordTuple] = None,
+    rng: Optional[random.Random] = None,
+) -> Iterator[Injection]:
+    """Uniform traffic with ``hotspot_fraction`` redirected to one site."""
+    validate_parameters(d, k)
+    generator = rng if rng is not None else random.Random()
+    words = list(iter_words(d, k))
+    hot = target if target is not None else words[-1]
+    for t in range(cycles):
+        for source in words:
+            if generator.random() >= injection_rate:
+                continue
+            if generator.random() < hotspot_fraction:
+                destination = hot
+            else:
+                destination = words[generator.randrange(len(words))]
+            if destination != source:
+                yield float(t), source, destination
+
+
+def bit_reversal(d: int, k: int, cycles: int = 1) -> Iterator[Injection]:
+    """Every site sends to its digit-reversed address, once per cycle."""
+    validate_parameters(d, k)
+    for t in range(cycles):
+        for source in iter_words(d, k):
+            destination = tuple(reversed(source))
+            if destination != source:
+                yield float(t), source, destination
+
+
+def complement_traffic(d: int, k: int, cycles: int = 1) -> Iterator[Injection]:
+    """Every site sends to its digit-wise complement ``d-1-x_i``."""
+    validate_parameters(d, k)
+    for t in range(cycles):
+        for source in iter_words(d, k):
+            destination = tuple(d - 1 - digit for digit in source)
+            if destination != source:
+                yield float(t), source, destination
+
+
+def all_to_all(d: int, k: int, rounds: int = 1, spacing: float = 0.0) -> Iterator[Injection]:
+    """Total exchange: every site sends to every other site, per round.
+
+    The heaviest classical collective (N·(N−1) messages per round); used
+    to probe aggregate bandwidth limits.  ``spacing`` staggers rounds.
+    """
+    validate_parameters(d, k)
+    words = list(iter_words(d, k))
+    for r in range(rounds):
+        t = r * spacing
+        for source in words:
+            for destination in words:
+                if source != destination:
+                    yield t, source, destination
+
+
+def all_pairs_once(d: int, k: int, spacing: float = 0.0) -> Iterator[Injection]:
+    """One message per ordered pair of distinct sites.
+
+    ``spacing`` > 0 staggers injections to keep contention negligible, so
+    mean hop counts measure pure distance (the Figure-2 cross-check).
+    """
+    validate_parameters(d, k)
+    t = 0.0
+    for source in iter_words(d, k):
+        for destination in iter_words(d, k):
+            if source != destination:
+                yield t, source, destination
+                t += spacing
+
+
+def save_workload(workload: Iterator[Injection], path: str) -> int:
+    """Persist a workload as JSON lines; returns the number of injections.
+
+    Makes experiment inputs reproducible artifacts: generate once, commit
+    the file, replay with :func:`load_workload` anywhere.
+    """
+    import json
+
+    count = 0
+    with open(path, "w") as handle:
+        for at, source, destination in workload:
+            handle.write(json.dumps([at, list(source), list(destination)]) + "\n")
+            count += 1
+    return count
+
+
+def load_workload(path: str) -> List[Injection]:
+    """Inverse of :func:`save_workload`."""
+    import json
+
+    out: List[Injection] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            at, source, destination = json.loads(line)
+            out.append((float(at), tuple(source), tuple(destination)))
+    return out
+
+
+def random_pairs(
+    d: int,
+    k: int,
+    count: int,
+    spacing: float = 0.0,
+    rng: Optional[random.Random] = None,
+) -> List[Injection]:
+    """``count`` uniform random (source, destination) pairs, staggered."""
+    validate_parameters(d, k)
+    generator = rng if rng is not None else random.Random()
+    out: List[Injection] = []
+    t = 0.0
+    while len(out) < count:
+        source = random_word(d, k, generator)
+        destination = random_word(d, k, generator)
+        if source != destination:
+            out.append((t, source, destination))
+            t += spacing
+    return out

@@ -1,0 +1,126 @@
+"""Post-install sanity check: ``python -m repro.selfcheck``.
+
+Runs a fast battery of cross-validations (a miniature of the test suite)
+and prints one line per check.  Useful after installing into a new
+environment or vendoring the package; exits non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, List, Tuple
+
+from repro.core.distance import directed_distance, undirected_distance
+from repro.core.routing import shortest_path_undirected, shortest_path_unidirectional, verify_path
+from repro.core.suffix_tree import SuffixTree, build_naive, canonical_form
+from repro.core.word import iter_words
+from repro.graphs.properties import degree_census, expected_undirected_census
+from repro.graphs.debruijn import undirected_graph
+from repro.graphs.sequences import debruijn_sequence_lyndon, is_debruijn_sequence
+
+
+def _bfs(source, d, directed):
+    from collections import deque
+
+    from repro.core.word import left_shift, right_shift
+
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        nbrs = [left_shift(u, a) for a in range(d)]
+        if not directed:
+            nbrs += [right_shift(u, a) for a in range(d)]
+        for v in nbrs:
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+def check_distances() -> str:
+    """Property 1 / Theorem 2 vs BFS on every pair of DG(2,5)."""
+    d, k = 2, 5
+    for x in iter_words(d, k):
+        directed_oracle = _bfs(x, d, True)
+        undirected_oracle = _bfs(x, d, False)
+        for y in iter_words(d, k):
+            if directed_distance(x, y) != directed_oracle[y]:
+                raise AssertionError(f"directed distance wrong at {x}, {y}")
+            if undirected_distance(x, y) != undirected_oracle[y]:
+                raise AssertionError(f"undirected distance wrong at {x}, {y}")
+    return "Property 1 & Theorem 2 vs BFS on DG(2,5): 1024 pairs OK"
+
+
+def check_routing() -> str:
+    """Algorithms 1/2/4 land on the destination for all DG(2,4) pairs."""
+    d, k = 2, 4
+    count = 0
+    for x in iter_words(d, k):
+        for y in iter_words(d, k):
+            p1 = shortest_path_unidirectional(x, y)
+            p2 = shortest_path_undirected(x, y)
+            if not verify_path(x, y, p1, d) or not verify_path(x, y, p2, d, wildcard=1):
+                raise AssertionError(f"routing failed at {x}, {y}")
+            count += 2
+    return f"Algorithms 1/2/4 landed correctly on {count} routes"
+
+
+def check_suffix_trees() -> str:
+    """Ukkonen vs the naive builder on random texts."""
+    import random
+
+    rng = random.Random(7)
+    for _ in range(50):
+        text = tuple(rng.randrange(3) for _ in range(rng.randrange(1, 40)))
+        if canonical_form(SuffixTree(text)) != canonical_form(build_naive(text)):
+            raise AssertionError(f"Ukkonen != naive on {text}")
+    return "Ukkonen == naive on 50 random texts"
+
+
+def check_sequences() -> str:
+    """FKM de Bruijn sequences are valid."""
+    for d, k in [(2, 5), (3, 3)]:
+        if not is_debruijn_sequence(debruijn_sequence_lyndon(d, k), d, k):
+            raise AssertionError(f"FKM failed at ({d},{k})")
+    return "de Bruijn sequences valid"
+
+
+def check_census() -> str:
+    """Undirected degree census matches the corrected formula."""
+    for d, k in [(2, 4), (3, 3)]:
+        graph = undirected_graph(d, k)
+        if degree_census(graph) != expected_undirected_census(d, k):
+            raise AssertionError(f"census mismatch at ({d},{k})")
+    return "degree census matches the corrected formula"
+
+
+CHECKS: List[Tuple[str, Callable[[], str]]] = [
+    ("distances", check_distances),
+    ("routing", check_routing),
+    ("suffix-trees", check_suffix_trees),
+    ("sequences", check_sequences),
+    ("census", check_census),
+]
+
+
+def main() -> int:
+    """Run all checks; 0 on success."""
+    failures = 0
+    for name, check in CHECKS:
+        try:
+            detail = check()
+        except Exception as exc:  # pragma: no cover - the failure path
+            failures += 1
+            print(f"[FAIL] {name}: {exc}")
+        else:
+            print(f"[ ok ] {name}: {detail}")
+    if failures:
+        print(f"{failures} check(s) failed")
+        return 1
+    print("all self-checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

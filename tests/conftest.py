@@ -1,0 +1,61 @@
+"""Shared fixtures and oracles for the test suite.
+
+The BFS oracles here are written against raw shift operations (not against
+:mod:`repro.graphs`), so graph-module bugs cannot mask core-module bugs.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from itertools import product
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core.word import WordTuple, left_shift, right_shift
+
+#: (d, k) pairs small enough for exhaustive all-pairs checking.
+SMALL_GRAPHS: List[Tuple[int, int]] = [(2, 1), (2, 2), (2, 3), (2, 4), (3, 2), (3, 3), (4, 2)]
+
+#: A slightly larger set used where only per-source BFS is needed.
+MEDIUM_GRAPHS: List[Tuple[int, int]] = SMALL_GRAPHS + [(2, 5), (2, 6), (3, 4), (5, 2)]
+
+
+def all_words(d: int, k: int) -> List[WordTuple]:
+    """Every vertex of DG(d, k), lexicographic."""
+    return [tuple(w) for w in product(range(d), repeat=k)]
+
+
+def bfs_oracle(source: WordTuple, d: int, directed: bool) -> Dict[WordTuple, int]:
+    """Reference BFS distances from ``source`` over raw shift operations."""
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        nbrs = [left_shift(current, a) for a in range(d)]
+        if not directed:
+            nbrs.extend(right_shift(current, a) for a in range(d))
+        for nxt in nbrs:
+            if nxt not in dist:
+                dist[nxt] = dist[current] + 1
+                queue.append(nxt)
+    return dist
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG per test."""
+    return random.Random(0xDEB0)
+
+
+@pytest.fixture(params=SMALL_GRAPHS, ids=lambda p: f"d{p[0]}k{p[1]}")
+def small_graph_params(request) -> Tuple[int, int]:
+    """Parametrised (d, k) for exhaustive checks."""
+    return request.param
+
+
+def random_words(d: int, k: int, count: int, seed: int = 0) -> List[WordTuple]:
+    """Deterministic sample of vertices for larger graphs."""
+    generator = random.Random(seed)
+    return [tuple(generator.randrange(d) for _ in range(k)) for _ in range(count)]

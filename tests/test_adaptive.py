@@ -1,0 +1,85 @@
+"""Tests for the fully adaptive minimal router."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.distance import undirected_distance
+from repro.core.routing import apply_step
+from repro.exceptions import RoutingError
+from repro.network.router import AdaptiveGreedyRouter, BidirectionalOptimalRouter
+from repro.network.simulator import Simulator, run_workload
+from repro.network.traffic import random_pairs
+from tests.conftest import all_words
+
+
+def test_next_hop_is_always_distance_decreasing():
+    router = AdaptiveGreedyRouter(2)
+    for x in all_words(2, 4):
+        for y in all_words(2, 4):
+            if x == y:
+                continue
+            step = router.next_hop(x, y)
+            landing = apply_step(x, step, 2)
+            assert undirected_distance(landing, y) == undirected_distance(x, y) - 1
+
+
+def test_next_hop_at_destination_raises():
+    with pytest.raises(RoutingError):
+        AdaptiveGreedyRouter(2).next_hop((0, 1), (0, 1))
+
+
+def test_cost_fn_steers_the_choice():
+    router = AdaptiveGreedyRouter(2)
+    x, y = (0, 0, 0, 0), (1, 1, 1, 1)
+    # Multiple optimal moves exist; penalise each in turn and verify the
+    # router avoids the expensive one.
+    baseline = router.next_hop(x, y)
+    expensive = apply_step(x, baseline, 2)
+    steered = router.next_hop(x, y, cost_fn=lambda nbr: 100.0 if nbr == expensive else 1.0)
+    assert apply_step(x, steered, 2) != expensive
+
+
+def test_adaptive_hops_equal_distance_in_simulation():
+    d, k = 2, 4
+    sim = Simulator(d, k)
+    router = AdaptiveGreedyRouter(d)
+    x, y = (0, 1, 1, 0), (1, 0, 0, 1)
+    message = sim.send(x, y, router)
+    sim.run()
+    assert message.hop_count == undirected_distance(x, y)
+
+
+def test_adaptive_full_workload_optimal_and_balanced():
+    d, k = 2, 5
+    workload = random_pairs(d, k, count=250, spacing=0.3, rng=random.Random(8))
+    sim_fixed = Simulator(d, k)
+    stats_fixed = run_workload(sim_fixed, BidirectionalOptimalRouter(use_wildcards=False),
+                               list(workload))
+    sim_adaptive = Simulator(d, k)
+    stats_adaptive = run_workload(sim_adaptive, AdaptiveGreedyRouter(d), list(workload))
+    assert stats_adaptive.delivered_count == stats_fixed.delivered_count == 250
+    # Minimality preserved...
+    assert stats_adaptive.mean_hops() == pytest.approx(stats_fixed.mean_hops())
+    # ...and the hottest link is never hotter than the canonical path's.
+    # (Jain fairness may dip slightly: greedy tie-breaking is deterministic
+    # and prefers low digits, which skews the *overall* spread even while
+    # it shaves the peak — the metric that bounds queueing.)
+    assert stats_adaptive.max_link_load() <= stats_fixed.max_link_load()
+
+
+def test_adaptive_avoids_congested_first_link():
+    d, k = 2, 4
+    sim = Simulator(d, k)
+    router = AdaptiveGreedyRouter(d)
+    # Pre-load one outgoing link of the source so its cost is high.
+    x, y = (0, 0, 0, 0), (1, 1, 1, 1)
+    busy_neighbor = apply_step(x, router.next_hop(x, y), d)
+    link = sim.link(x, busy_neighbor)
+    link.next_free = 50.0  # artificially congested
+    message = sim.send(x, y, router, at=0.0)
+    sim.run()
+    assert message.trace[1] != busy_neighbor  # detoured around the backlog
+    assert message.hop_count == undirected_distance(x, y)  # still minimal

@@ -1,0 +1,145 @@
+"""Tests for Equation (5) and the average-distance numerics (E2/E3 backing)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.average_distance import (
+    directed_average_distance_closed_form,
+    directed_average_distance_exact,
+    directed_average_distance_sampled,
+    directed_distance_distribution_exact,
+    directed_distance_distribution_model,
+    undirected_average_distance_exact,
+    undirected_average_distance_sampled,
+    undirected_distance_distribution_exact,
+)
+from repro.exceptions import InvalidParameterError
+
+
+# ----------------------------------------------------------------------
+# Equation (5) closed form
+# ----------------------------------------------------------------------
+
+
+def test_closed_form_binary_special_case():
+    # Paper: δ(2, k) = k − 1 + 1/2^k.
+    for k in range(1, 10):
+        expected = k - 1 + 1.0 / 2**k
+        assert directed_average_distance_closed_form(2, k) == pytest.approx(expected)
+
+
+def test_closed_form_matches_summation_definition():
+    # δ(d, k) = Σ i α^{k-i} ᾱ, the pre-simplification form.
+    for d in (2, 3, 5):
+        for k in range(1, 8):
+            alpha = 1.0 / d
+            expected = sum(i * alpha ** (k - i) * (1 - alpha) for i in range(1, k + 1))
+            assert directed_average_distance_closed_form(d, k) == pytest.approx(expected)
+
+
+def test_closed_form_increases_with_k():
+    values = [directed_average_distance_closed_form(3, k) for k in range(1, 8)]
+    assert values == sorted(values)
+
+
+def test_closed_form_rejects_bad_parameters():
+    with pytest.raises(InvalidParameterError):
+        directed_average_distance_closed_form(1, 3)
+
+
+# ----------------------------------------------------------------------
+# The model distribution behind (5)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("d,k", [(2, 3), (3, 2), (4, 3)])
+def test_model_distribution_sums_to_one(d, k):
+    dist = directed_distance_distribution_model(d, k)
+    assert sum(dist.values()) == pytest.approx(1.0)
+    assert dist[0] == pytest.approx((1.0 / d) ** k)
+
+
+def test_model_mean_equals_closed_form():
+    for d, k in [(2, 4), (3, 3)]:
+        dist = directed_distance_distribution_model(d, k)
+        mean = sum(i * p for i, p in dist.items())
+        assert mean == pytest.approx(directed_average_distance_closed_form(d, k))
+
+
+# ----------------------------------------------------------------------
+# Exact enumeration, and the reproduction finding that (5) overestimates
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("d,k", [(2, 2), (2, 3), (2, 4), (3, 2), (3, 3), (4, 2)])
+def test_eq5_is_a_strict_upper_bound_for_k_at_least_2(d, k):
+    exact = directed_average_distance_exact(d, k)
+    closed = directed_average_distance_closed_form(d, k)
+    assert closed > exact
+    # ... but never by more than one hop at these sizes.
+    assert closed - exact < 1.0
+
+
+def test_eq5_exact_at_k1():
+    # For k = 1 "overlap >= 1" really is the single event x == y, so the
+    # model distribution is exact and (5) agrees with enumeration.
+    assert directed_average_distance_exact(2, 1) == pytest.approx(
+        directed_average_distance_closed_form(2, 1)
+    )
+
+
+def test_exact_directed_known_value():
+    # Enumerated by hand-checked script: DG(2, 3) has mean 1.84375.
+    assert directed_average_distance_exact(2, 3) == pytest.approx(1.84375)
+
+
+def test_exact_undirected_known_value():
+    # Cross-checked against all-pairs BFS: DG(2, 3) has mean 1.4375.
+    assert undirected_average_distance_exact(2, 3) == pytest.approx(1.4375)
+
+
+def test_undirected_mean_below_directed_mean():
+    for d, k in [(2, 3), (2, 4), (3, 3)]:
+        assert undirected_average_distance_exact(d, k) < directed_average_distance_exact(d, k)
+
+
+@pytest.mark.parametrize("kind", ["directed", "undirected"])
+def test_exact_distributions_sum_to_one(kind):
+    fn = (
+        directed_distance_distribution_exact
+        if kind == "directed"
+        else undirected_distance_distribution_exact
+    )
+    dist = fn(2, 4)
+    assert sum(dist.values()) == pytest.approx(1.0)
+    assert all(0 <= value <= 4 for value in dist)
+    assert dist[0] == pytest.approx(1.0 / 16)  # only X == Y has distance 0
+
+
+# ----------------------------------------------------------------------
+# Sampling estimators
+# ----------------------------------------------------------------------
+
+
+def test_sampled_directed_close_to_exact():
+    rng = random.Random(1234)
+    exact = directed_average_distance_exact(2, 5)
+    sampled = directed_average_distance_sampled(2, 5, samples=4000, rng=rng)
+    assert abs(sampled - exact) < 5 * 5 / (2 * math.sqrt(4000)) + 0.05
+
+
+def test_sampled_undirected_close_to_exact():
+    rng = random.Random(99)
+    exact = undirected_average_distance_exact(2, 5)
+    sampled = undirected_average_distance_sampled(2, 5, samples=4000, rng=rng)
+    assert abs(sampled - exact) < 0.2
+
+
+def test_sampling_is_reproducible_with_seed():
+    a = undirected_average_distance_sampled(2, 6, samples=300, rng=random.Random(5))
+    b = undirected_average_distance_sampled(2, 6, samples=300, rng=random.Random(5))
+    assert a == b

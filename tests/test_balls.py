@@ -1,0 +1,74 @@
+"""Tests for the reachability-ball analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.balls import (
+    ball_deficit_rows,
+    directed_ball_profile,
+    mean_ball_profile,
+    model_ball_profile,
+)
+from repro.core.distance import directed_distance
+from repro.core.word import iter_words
+
+
+def test_profile_endpoints():
+    profile = directed_ball_profile((0, 1, 1), 2)
+    assert profile[0] == 1
+    assert profile[-1] == 8  # ball_k is the whole graph
+
+
+def test_profile_is_monotone_and_bounded():
+    for x in iter_words(2, 4):
+        profile = directed_ball_profile(x, 2)
+        assert profile == sorted(profile)
+        for t, size in enumerate(profile):
+            # Union bound: at most 1 + d + ... + d^t words within t steps.
+            assert size <= sum(2**j for j in range(t + 1))
+            # And at least the model's d^t (the exact-t layer alone).
+            assert size >= 2**t or t == len(x)
+
+
+def test_profile_matches_distance_function():
+    d, k = 2, 4
+    for x in iter_words(d, k):
+        profile = directed_ball_profile(x, d)
+        for t in range(k + 1):
+            expected = sum(1 for y in iter_words(d, k) if directed_distance(x, y) <= t)
+            assert profile[t] == expected
+
+
+def test_constant_word_has_smallest_radius1_ball():
+    # 000...'s self-loop wastes one of its d out-edges, so its radius-1
+    # ball (self + d-1 others) is the smallest possible.
+    d, k = 2, 5
+    const_profile = directed_ball_profile((0,) * k, d)
+    assert const_profile[1] == d  # self + (d-1) fresh neighbors
+    for x in iter_words(d, k):
+        profile = directed_ball_profile(x, d)
+        assert profile[1] >= const_profile[1]
+
+
+def test_mean_profile_between_model_and_union_bound():
+    d, k = 2, 5
+    mean = mean_ball_profile(d, k)
+    model = model_ball_profile(d, k)
+    for t in range(k + 1):
+        assert mean[t] >= model[t] - 1e-9
+        assert mean[t] <= sum(d**j for j in range(t + 1)) + 1e-9
+
+
+def test_deficit_rows_explain_eq5_gap():
+    rows = ball_deficit_rows(2, 5)
+    # Ratio is exactly 1 at the endpoints and strictly above in between.
+    assert rows[0][3] == pytest.approx(1.0)
+    assert rows[-1][3] == pytest.approx(1.0)
+    for t, mean, model, ratio in rows[1:-1]:
+        assert ratio > 1.0
+        assert mean == pytest.approx(model * ratio)
+
+
+def test_model_profile_values():
+    assert model_ball_profile(3, 3) == [1, 3, 9, 27]

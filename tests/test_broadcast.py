@@ -1,0 +1,123 @@
+"""Tests for one-to-all broadcast on DN(d, k)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.graphs.debruijn import undirected_graph
+from repro.network.broadcast import (
+    broadcast_lower_bound,
+    broadcast_tree,
+    simulate_tree_broadcast,
+    simulate_unicast_broadcast,
+    tree_depth,
+)
+from repro.network.router import BidirectionalOptimalRouter
+
+
+@pytest.mark.parametrize("d,k", [(2, 3), (2, 4), (3, 2)])
+def test_broadcast_tree_spans_and_uses_edges(d, k):
+    graph = undirected_graph(d, k)
+    root = (0,) * k
+    tree = broadcast_tree(graph, root)
+    assert set(tree) == set(graph.vertices())
+    children = [c for kids in tree.values() for c in kids]
+    assert len(children) == graph.order - 1  # every non-root has one parent
+    assert len(set(children)) == graph.order - 1
+    for parent, kids in tree.items():
+        for child in kids:
+            assert graph.has_edge(parent, child)
+
+
+def test_tree_depth_is_root_eccentricity():
+    graph = undirected_graph(2, 4)
+    root = (0, 1, 0, 1)
+    tree = broadcast_tree(graph, root)
+    assert tree_depth(tree, root) == broadcast_lower_bound(2, 4, root)
+
+
+@pytest.mark.parametrize("d,k", [(2, 3), (2, 4), (2, 5), (3, 3)])
+def test_tree_broadcast_reaches_everyone(d, k):
+    stats, makespan = simulate_tree_broadcast(d, k, (0,) * k)
+    assert stats.delivered_count == d**k - 1
+    assert stats.dropped_count == 0
+    assert makespan >= broadcast_lower_bound(d, k, (0,) * k)
+
+
+def test_tree_broadcast_makespan_is_logarithmic_not_linear():
+    d, k = 2, 6  # 64 sites
+    _, makespan = simulate_tree_broadcast(d, k)
+    # Depth <= k and each site serialises <= 2d child sends: the makespan
+    # is O(d·k), far below the ~N/(2d) a unicast storm pays at the root.
+    assert makespan <= 2 * d * k
+    n = d**k
+    assert makespan < n / (2 * d)
+
+
+def test_unicast_broadcast_bottlenecks_at_root():
+    d, k = 2, 5
+    root = (0,) * k
+    stats, makespan = simulate_unicast_broadcast(d, k, root, BidirectionalOptimalRouter())
+    assert stats.delivered_count == d**k - 1
+    # The root's out-links carry all N-1 copies: makespan >= (N-1)/(2d).
+    assert makespan >= (d**k - 1) / (2 * d)
+
+
+def test_tree_beats_unicast_broadcast():
+    d, k = 2, 5
+    root = (0,) * k
+    _, tree_time = simulate_tree_broadcast(d, k, root)
+    _, unicast_time = simulate_unicast_broadcast(d, k, root, BidirectionalOptimalRouter())
+    assert tree_time < unicast_time
+
+
+def test_default_root_argument_signature():
+    with pytest.raises(TypeError):
+        simulate_tree_broadcast(2)  # k is required
+
+
+def test_on_deliver_hook_fires_for_plain_sends():
+    from repro.network.simulator import Simulator
+
+    sim = Simulator(2, 3)
+    seen = []
+    sim.on_deliver = lambda message, s: seen.append(message.destination)
+    sim.send((0, 0, 1), (1, 1, 1), BidirectionalOptimalRouter())
+    sim.run()
+    assert seen == [(1, 1, 1)]
+
+
+@pytest.mark.parametrize("d,k", [(2, 3), (2, 4), (3, 2), (2, 6)])
+def test_tree_aggregation_counts_every_site(d, k):
+    from repro.network.broadcast import simulate_tree_aggregation
+
+    stats, completion = simulate_tree_aggregation(d, k)
+    # Every non-root site sends exactly one combined message up.
+    assert stats.delivered_count == d**k - 1
+    assert completion >= broadcast_lower_bound(d, k, (0,) * k)
+
+
+def test_aggregation_root_receives_few_messages():
+    from repro.graphs.debruijn import undirected_graph
+    from repro.network.broadcast import simulate_tree_aggregation
+
+    d, k = 2, 5
+    stats, _ = simulate_tree_aggregation(d, k)
+    root = (0,) * k
+    root_in = sum(load for (tail, head), load in stats.link_loads.items() if head == root)
+    # Aggregation: the root hears only from its tree children (<= 2d),
+    # not from all N-1 sites.
+    assert root_in <= 2 * d
+
+
+def test_aggregation_completion_beats_naive_all_to_one():
+    from repro.network.broadcast import simulate_tree_aggregation, simulate_unicast_broadcast
+    from repro.network.router import BidirectionalOptimalRouter
+
+    d, k = 2, 5
+    _, aggregated = simulate_tree_aggregation(d, k)
+    # Naive all-to-one has the same cost structure as one-to-all unicast
+    # (root links serialise N-1 messages); reuse the unicast strawman.
+    _, naive = simulate_unicast_broadcast(d, k, (0,) * k, BidirectionalOptimalRouter())
+    assert aggregated < naive

@@ -1,0 +1,198 @@
+"""Tests for the ``debruijn-routing`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_distance_command(capsys):
+    assert main(["distance", "-d", "2", "0110", "1110"]) == 0
+    out = capsys.readouterr().out
+    assert "directed: 4" in out
+    assert "undirected: 2" in out
+
+
+def test_distance_command_rejects_length_mismatch(capsys):
+    assert main(["distance", "-d", "2", "01", "111"]) == 2
+    assert "equal length" in capsys.readouterr().err
+
+
+def test_route_command_undirected(capsys):
+    assert main(["route", "-d", "2", "0110", "1110"]) == 0
+    out = capsys.readouterr().out
+    assert "path (2 hops):" in out
+    assert out.strip().endswith("1110")
+
+
+def test_route_command_directed(capsys):
+    assert main(["route", "-d", "2", "--directed", "0110", "1110"]) == 0
+    out = capsys.readouterr().out
+    assert "path (4 hops):" in out
+    assert "R" not in out.split("trace:")[0].replace("routing", "")  # left shifts only
+
+
+def test_route_command_no_wildcards(capsys):
+    assert main(["route", "-d", "2", "--no-wildcards", "0110", "1110"]) == 0
+    assert "*" not in capsys.readouterr().out
+
+
+def test_route_command_method_selection(capsys):
+    assert main(["route", "-d", "2", "--method", "suffix_tree", "0110", "1110"]) == 0
+    assert "path (2 hops):" in capsys.readouterr().out
+
+
+def test_route_same_vertex(capsys):
+    assert main(["route", "-d", "2", "011", "011"]) == 0
+    assert "(empty)" in capsys.readouterr().out
+
+
+def test_average_distance_command(capsys):
+    assert main(["average-distance", "-d", "2", "-k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "eq(5)" in out
+    assert "2.1250" in out  # δ(2,3)
+    assert "1.8438" in out  # exact directed mean
+
+
+def test_average_distance_skips_large_graphs(capsys):
+    assert main(["average-distance", "-d", "2", "-k", "4", "--max-pairs", "20"]) == 0
+    assert "nan" in capsys.readouterr().out
+
+
+def test_structure_command(capsys):
+    assert main(["structure", "-d", "2", "-k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "order: 8" in out
+    assert "diameter: 3" in out
+
+
+def test_structure_command_directed(capsys):
+    assert main(["structure", "-d", "2", "-k", "3", "--directed"]) == 0
+    assert "simple_edges: 14" in capsys.readouterr().out
+
+
+def test_simulate_command(capsys):
+    assert main(["simulate", "-d", "2", "-k", "3", "--cycles", "20", "--rate", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "delivered:" in out
+    assert "mean_hops:" in out
+
+
+def test_simulate_trivial_router(capsys):
+    assert main(["simulate", "-d", "2", "-k", "3", "--router", "trivial",
+                 "--cycles", "10", "--rate", "0.2"]) == 0
+    assert "trivial" in capsys.readouterr().out
+
+
+def test_simulate_unidirectional_router(capsys):
+    assert main(["simulate", "-d", "2", "-k", "3", "--router", "optimal-unidirectional",
+                 "--cycles", "10", "--rate", "0.2"]) == 0
+    assert "optimal-unidirectional" in capsys.readouterr().out
+
+
+def test_missing_subcommand_exits():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_subcommand_exits():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_sequence_command_fkm(capsys):
+    assert main(["sequence", "-d", "2", "-k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "00010111" in out
+
+
+def test_sequence_command_euler(capsys):
+    assert main(["sequence", "-d", "2", "-k", "3", "--method", "euler"]) == 0
+    out = capsys.readouterr().out
+    assert "length 8" in out
+
+
+def test_disjoint_paths_command(capsys):
+    assert main(["disjoint-paths", "-d", "2", "001", "110"]) == 0
+    out = capsys.readouterr().out
+    assert "vertex-disjoint routes" in out
+    assert "001" in out and "110" in out
+
+
+def test_disjoint_paths_rejects_mismatch(capsys):
+    assert main(["disjoint-paths", "-d", "2", "001", "11"]) == 2
+
+
+def test_broadcast_command(capsys):
+    assert main(["broadcast", "-d", "2", "-k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "tree-relay makespan" in out
+    assert "speedup" in out
+
+
+def test_broadcast_command_custom_root(capsys):
+    assert main(["broadcast", "-d", "2", "-k", "3", "--root", "010"]) == 0
+    assert "010" in capsys.readouterr().out
+
+
+def test_topology_command(capsys):
+    assert main(["topology", "-d", "2", "-k", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Kautz" in out and "Moore" in out
+
+
+def test_congestion_command(capsys):
+    assert main(["congestion", "-d", "2", "-k", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "bit-reversal" in out and "optimal" in out
+
+
+def test_robustness_command(capsys):
+    assert main(["robustness", "-d", "2", "-k", "4", "--fractions", "0,0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "largest component" in out
+    assert "0.2" in out
+
+
+def test_sort_command(capsys):
+    assert main(["sort", "-d", "2", "-k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "sorted correctly: yes" in out
+
+
+def test_selfcheck_module(capsys):
+    from repro.selfcheck import main as selfcheck_main
+
+    assert selfcheck_main() == 0
+    out = capsys.readouterr().out
+    assert "all self-checks passed" in out
+    assert out.count("[ ok ]") == 5
+
+
+def test_render_command_svg_stdout(capsys):
+    assert main(["render", "-d", "2", "-k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("<svg")
+
+
+def test_render_command_dot_with_route(capsys):
+    assert main(["render", "-d", "2", "-k", "3", "--format", "dot",
+                 "--route", "001", "111"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("graph")
+    assert "penwidth=2" in out
+
+
+def test_render_command_to_file(tmp_path, capsys):
+    target = tmp_path / "g.svg"
+    assert main(["render", "-d", "2", "-k", "2", "--output", str(target)]) == 0
+    assert target.exists()
+    assert target.read_text().startswith("<svg")
+
+
+def test_topology_shootout_flag(capsys):
+    assert main(["topology", "-d", "2", "-k", "6", "--shootout"]) == 0
+    out = capsys.readouterr().out
+    assert "hypercube" in out and "ring" in out and "degree growth" in out

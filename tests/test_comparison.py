@@ -1,0 +1,91 @@
+"""Tests for the interconnect-family comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparison import (
+    TopologyProfile,
+    debruijn_profile,
+    hypercube_profile,
+    kautz_profile,
+    ring_profile,
+    shootout,
+    torus_profile,
+)
+from repro.exceptions import InvalidParameterError
+
+
+def test_ring_profile_small_cases():
+    profile = ring_profile(8)
+    assert profile.degree == 2
+    assert profile.diameter == 4
+    # Distances from any vertex of C8: 0,1,1,2,2,3,3,4 -> mean 2.
+    assert profile.mean_distance == pytest.approx(2.0)
+
+
+def test_torus_profile():
+    profile = torus_profile(4)
+    assert profile.vertices == 16
+    assert profile.degree == 4
+    assert profile.diameter == 4
+    # Per-axis mean on C4 is (0+1+2+1)/4 = 1.0; two axes -> 2.0.
+    assert profile.mean_distance == pytest.approx(2.0)
+
+
+def test_hypercube_profile():
+    profile = hypercube_profile(6)
+    assert profile.vertices == 64
+    assert profile.degree == 6 and profile.diameter == 6
+    assert profile.mean_distance == pytest.approx(3.0)
+    assert profile.degree_growth == "O(log N)"
+
+
+def test_debruijn_profile_uses_exact_mean_when_possible():
+    from repro.analysis.exact import undirected_average_distance
+
+    profile = debruijn_profile(2, 5)
+    assert profile.vertices == 32
+    assert profile.degree == 4 and profile.diameter == 5
+    assert profile.mean_distance == pytest.approx(undirected_average_distance(2, 5))
+
+
+def test_kautz_profile_sampled_mean_below_diameter():
+    profile = kautz_profile(2, 4)
+    assert profile.vertices == 24
+    assert 0 < profile.mean_distance <= profile.diameter
+
+
+def test_shootout_shapes_the_argument():
+    profiles = shootout(64)
+    by_family = {p.family.split(" ")[0]: p for p in profiles}
+    ring = by_family["ring"]
+    torus = by_family["2D"]
+    hypercube = by_family["hypercube"]
+    debruijn = by_family["de"]
+    # Fixed-degree families with polynomial diameter...
+    assert ring.diameter > hypercube.diameter
+    assert torus.diameter > hypercube.diameter
+    # ...the hypercube pays growing degree for its log diameter...
+    assert hypercube.degree_growth == "O(log N)"
+    # ...and de Bruijn gets the log diameter at fixed degree.
+    assert debruijn.degree_growth == "O(1)"
+    assert debruijn.diameter == hypercube.diameter
+    assert debruijn.degree == 4 < hypercube.degree + 1
+
+
+def test_guards():
+    with pytest.raises(InvalidParameterError):
+        ring_profile(2)
+    with pytest.raises(InvalidParameterError):
+        torus_profile(1)
+    with pytest.raises(InvalidParameterError):
+        hypercube_profile(0)
+    with pytest.raises(InvalidParameterError):
+        shootout(4)
+
+
+def test_profile_dataclass_frozen():
+    profile = ring_profile(8)
+    with pytest.raises(AttributeError):
+        profile.degree = 9  # type: ignore[misc]

@@ -1,0 +1,217 @@
+"""Tests for the bufferless deflection-routing model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.distance import directed_distance
+from repro.core.word import iter_words, left_shift
+from repro.exceptions import SimulationError
+from repro.network.deflection import (
+    DeflectionNetwork,
+    preferred_port,
+    uniform_deflection_workload,
+)
+
+
+# ----------------------------------------------------------------------
+# Preferred port = Algorithm 1's move
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("d,k", [(2, 3), (2, 4), (3, 2)])
+def test_preferred_port_decreases_distance(d, k):
+    words = list(iter_words(d, k))
+    for x in words:
+        for y in words:
+            if x == y:
+                continue
+            port = preferred_port(x, y)
+            landing = left_shift(x, port)
+            assert directed_distance(landing, y) == directed_distance(x, y) - 1
+
+
+def test_preferred_port_at_destination_is_zero():
+    assert preferred_port((0, 1), (0, 1)) == 0
+
+
+# ----------------------------------------------------------------------
+# Single-packet behaviour
+# ----------------------------------------------------------------------
+
+
+def test_lone_packet_travels_shortest_path():
+    net = DeflectionNetwork(2, 4)
+    x, y = (0, 1, 1, 0), (1, 0, 0, 1)
+    packet = net.try_inject(x, y)
+    net.drain()
+    assert packet.delivered_at is not None
+    assert packet.deflections == 0
+    assert packet.hops == directed_distance(x, y)
+    # One hop per cycle and delivery checked at cycle start: latency == hops.
+    assert packet.latency == packet.hops
+
+
+def test_packet_to_self_delivered_next_cycle():
+    net = DeflectionNetwork(2, 3)
+    packet = net.try_inject((0, 1, 1), (0, 1, 1))
+    net.drain()
+    assert packet.delivered_at == 0
+    assert packet.hops == 0
+
+
+def test_injection_respects_port_capacity():
+    d, k = 2, 3
+    net = DeflectionNetwork(d, k)
+    source = (0, 0, 1)
+    accepted = [net.try_inject(source, (1, 1, 0)) for _ in range(d + 2)]
+    assert sum(1 for p in accepted if p is not None) == d
+    assert net.stats.rejected_injections == 2
+
+
+# ----------------------------------------------------------------------
+# Contention and deflections
+# ----------------------------------------------------------------------
+
+
+def test_contending_packets_deflect_but_deliver():
+    d, k = 2, 4
+    net = DeflectionNetwork(d, k)
+    # Two packets at the same node wanting the same output port.
+    source = (0, 0, 0, 0)
+    target = (1, 1, 1, 1)
+    p1 = net.try_inject(source, target)
+    p2 = net.try_inject(source, target)
+    net.drain()
+    assert p1.delivered_at is not None and p2.delivered_at is not None
+    assert p1.deflections + p2.deflections >= 1
+    # The loser pays extra hops.
+    assert max(p1.hops, p2.hops) > directed_distance(source, target)
+
+
+def test_oldest_first_priority_wins_arbitration():
+    d, k = 2, 4
+    net = DeflectionNetwork(d, k, priority="oldest")
+    source = (0, 0, 0, 0)
+    target = (1, 1, 1, 1)
+    old = net.try_inject(source, target)
+    net.step()
+    # Inject a younger rival at the node the old packet reached.
+    # (Find it: old packet moved to left_shift(source, 1).)
+    current = left_shift(source, preferred_port(source, target))
+    young = net.try_inject(current, target)
+    net.drain()
+    assert old.deflections == 0  # the senior packet is never deflected
+    assert young.delivered_at is not None
+
+
+def test_closest_first_priority_accepted():
+    net = DeflectionNetwork(2, 3, priority="closest")
+    net.try_inject((0, 0, 1), (1, 1, 1))
+    net.drain()
+    assert net.stats.delivered
+
+
+def test_unknown_priority_rejected():
+    with pytest.raises(SimulationError):
+        DeflectionNetwork(2, 3, priority="fifo")
+
+
+# ----------------------------------------------------------------------
+# Conservation and capacity invariants under load
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("priority", ["oldest", "closest"])
+def test_uniform_load_conservation(priority):
+    d, k = 2, 4
+    net = DeflectionNetwork(d, k, priority=priority)
+    workload = uniform_deflection_workload(d, k, cycles=30, injection_rate=0.2,
+                                           rng=random.Random(42))
+    stats = net.run(workload)
+    assert stats.injected + stats.rejected_injections == len(workload)
+    assert len(stats.delivered) == stats.injected  # drained completely
+    assert net.in_flight == 0
+    for packet in stats.delivered:
+        assert packet.hops >= 0
+        assert packet.latency >= 1 or packet.hops == 0
+
+
+def test_occupancy_never_exceeds_ports():
+    d, k = 2, 3
+    net = DeflectionNetwork(d, k)
+    workload = uniform_deflection_workload(d, k, cycles=50, injection_rate=0.5,
+                                           rng=random.Random(7))
+    pending = sorted(workload)
+    index = 0
+    while index < len(pending) or net.in_flight:
+        while index < len(pending) and pending[index][0] <= net.cycle:
+            _, s, t = pending[index]
+            net.try_inject(s, t)
+            index += 1
+        for node in list(net._resident):
+            assert net.occupancy(node) <= d
+        net.step()
+        if net.cycle > 10_000:
+            pytest.fail("drain did not complete")
+
+
+def test_deflection_rate_grows_with_load():
+    d, k = 2, 4
+    light = DeflectionNetwork(d, k)
+    light.run(uniform_deflection_workload(d, k, 40, 0.05, random.Random(1)))
+    heavy = DeflectionNetwork(d, k)
+    heavy.run(uniform_deflection_workload(d, k, 40, 0.6, random.Random(1)))
+    assert heavy.stats.deflection_rate() > light.stats.deflection_rate()
+    assert heavy.stats.mean_latency() > light.stats.mean_latency()
+
+
+def test_stats_empty_network():
+    net = DeflectionNetwork(2, 3)
+    assert net.stats.mean_latency() == 0.0
+    assert net.stats.deflection_rate() == 0.0
+    assert net.stats.max_latency() == 0
+    net.drain()  # no packets: trivially done
+    assert net.cycle == 0
+
+
+# ----------------------------------------------------------------------
+# Property-based fuzzing
+# ----------------------------------------------------------------------
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@given(
+    st.integers(0, 2**31 - 1),
+    st.sampled_from(["oldest", "closest"]),
+    st.floats(0.05, 0.7),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_deflection_runs_conserve_and_deliver(seed, priority, rate):
+    d, k = 2, 3
+    net = DeflectionNetwork(d, k, priority=priority)
+    workload = uniform_deflection_workload(d, k, cycles=15, injection_rate=rate,
+                                           rng=random.Random(seed))
+    stats = net.run(workload)
+    assert stats.injected + stats.rejected_injections == len(workload)
+    assert len(stats.delivered) == stats.injected
+    assert net.in_flight == 0
+    for packet in stats.delivered:
+        assert packet.deflections <= packet.hops
+        assert packet.latency == packet.delivered_at - packet.injected_at
+
+
+def test_sustained_load_age_priority_bounds_worst_latency():
+    # Under continuous heavy injection, oldest-first arbitration keeps the
+    # worst packet latency bounded (no starvation) — checked on a fixed
+    # seed with a generous cap.
+    d, k = 2, 4
+    net = DeflectionNetwork(d, k, priority="oldest")
+    stats = net.run(uniform_deflection_workload(d, k, cycles=120, injection_rate=0.5,
+                                                rng=random.Random(77)))
+    assert stats.max_latency() < 12 * k

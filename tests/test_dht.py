@@ -1,0 +1,231 @@
+"""Tests for the Koorde DHT and the Chord baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.chord import ChordRing
+from repro.dht.koorde import KoordeRing, _in_half_open
+from repro.exceptions import InvalidParameterError
+
+RING_CASES = st.integers(3, 8).flatmap(
+    lambda bits: st.tuples(
+        st.just(bits),
+        st.sets(st.integers(0, (1 << bits) - 1), min_size=1, max_size=min(40, 1 << bits)),
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# Circular interval arithmetic
+# ----------------------------------------------------------------------
+
+
+def test_half_open_interval_plain_and_wrapping():
+    assert _in_half_open(5, 3, 7, 16)
+    assert _in_half_open(7, 3, 7, 16)
+    assert not _in_half_open(3, 3, 7, 16)
+    # Wrapping interval (14, 2]:
+    assert _in_half_open(15, 14, 2, 16)
+    assert _in_half_open(1, 14, 2, 16)
+    assert not _in_half_open(7, 14, 2, 16)
+
+
+def test_half_open_degenerate_full_ring():
+    assert _in_half_open(9, 4, 4, 16)
+
+
+# ----------------------------------------------------------------------
+# Ring geometry
+# ----------------------------------------------------------------------
+
+
+def test_successor_predecessor_owner():
+    ring = KoordeRing(4, [1, 5, 9, 13])
+    assert ring.successor(5) == 5
+    assert ring.successor(6) == 9
+    assert ring.successor(14) == 1  # wraps
+    assert ring.predecessor(5) == 1
+    assert ring.predecessor(1) == 13
+    assert ring.owner(15) == 1
+    assert ring.next_node(13) == 1
+
+
+def test_debruijn_finger_is_predecessor_of_double():
+    ring = KoordeRing(4, [1, 5, 9, 13])
+    for node in ring.nodes:
+        assert ring.debruijn_finger(node) == ring.predecessor((2 * node) % 16)
+
+
+def test_invalid_rings_rejected():
+    with pytest.raises(InvalidParameterError):
+        KoordeRing(0, [0])
+    with pytest.raises(InvalidParameterError):
+        KoordeRing(3, [])
+    with pytest.raises(InvalidParameterError):
+        KoordeRing(3, [9])
+    with pytest.raises(InvalidParameterError):
+        ChordRing(3, [9])
+
+
+# ----------------------------------------------------------------------
+# Koorde lookup correctness
+# ----------------------------------------------------------------------
+
+
+@given(RING_CASES, st.data())
+@settings(max_examples=300, deadline=None)
+def test_koorde_lookup_finds_the_owner(case, data):
+    bits, nodes = case
+    ring = KoordeRing(bits, nodes)
+    start = data.draw(st.sampled_from(ring.nodes))
+    key = data.draw(st.integers(0, ring.modulus - 1))
+    for optimized in (False, True):
+        result = ring.lookup(start, key, optimized_start=optimized)
+        assert result.owner == ring.owner(key)
+        assert result.path[0] == start
+        assert result.path[-1] == result.owner
+        assert result.hops == len(result.path) - 1
+        assert result.debruijn_hops + result.successor_hops == result.hops
+
+
+@given(RING_CASES, st.data())
+@settings(max_examples=200, deadline=None)
+def test_koorde_hop_structure(case, data):
+    # Koorde takes at most `bits` de Bruijn hops (one per key bit), plus
+    # successor detours; the O(log N) expectation for *random* rings is
+    # asserted statistically in benchmarks/bench_dht.py, while here we pin
+    # the structural bounds that hold for every (even adversarial) ring.
+    bits, nodes = case
+    ring = KoordeRing(bits, nodes)
+    start = data.draw(st.sampled_from(ring.nodes))
+    key = data.draw(st.integers(0, ring.modulus - 1))
+    result = ring.lookup(start, key, optimized_start=True)
+    assert result.debruijn_hops <= bits
+    assert result.hops <= bits * (len(ring.nodes) + 2) + 4
+
+
+def test_koorde_every_pair_small_ring():
+    ring = KoordeRing(5, [0, 3, 7, 11, 18, 25, 29])
+    for start in ring.nodes:
+        for key in range(32):
+            result = ring.lookup(start, key)
+            assert result.owner == ring.owner(key), (start, key)
+
+
+def test_koorde_full_population_hop_structure():
+    bits = 4
+    ring = KoordeRing(bits, range(1 << bits))
+    result = ring.lookup(3, 11, optimized_start=False)
+    assert result.owner == 11
+    # With every identifier populated: exactly <= bits de Bruijn hops, and
+    # each needs at most two successor corrections (the finger is
+    # predecessor(2m) = 2m - 1; the new imaginary is 2m or 2m + 1).
+    assert result.debruijn_hops <= bits
+    assert result.successor_hops <= 2 * bits + 1
+
+
+def test_koorde_lookup_requires_member_start():
+    ring = KoordeRing(4, [1, 5])
+    with pytest.raises(InvalidParameterError):
+        ring.lookup(2, 7)
+
+
+def test_koorde_statistics_shape(rng):
+    ring = KoordeRing(8, rng.sample(range(256), 40))
+    pairs = [(rng.choice(ring.nodes), rng.randrange(256)) for _ in range(100)]
+    mean_hops, max_hops, mean_db, mean_succ = ring.lookup_statistics(pairs)
+    assert 0 < mean_hops <= max_hops
+    assert mean_db + mean_succ == pytest.approx(mean_hops)
+
+
+# ----------------------------------------------------------------------
+# Chord baseline
+# ----------------------------------------------------------------------
+
+
+@given(RING_CASES, st.data())
+@settings(max_examples=300, deadline=None)
+def test_chord_lookup_finds_the_owner(case, data):
+    bits, nodes = case
+    ring = ChordRing(bits, nodes)
+    start = data.draw(st.sampled_from(ring.nodes))
+    key = data.draw(st.integers(0, ring.modulus - 1))
+    result = ring.lookup(start, key)
+    assert result.owner == ring.owner(key)
+    assert result.path[0] == start
+
+
+@given(RING_CASES, st.data())
+@settings(max_examples=200, deadline=None)
+def test_chord_hop_bound_logarithmic(case, data):
+    bits, nodes = case
+    ring = ChordRing(bits, nodes)
+    start = data.draw(st.sampled_from(ring.nodes))
+    key = data.draw(st.integers(0, ring.modulus - 1))
+    assert ring.lookup(start, key).hops <= bits + 1
+
+
+def test_state_size_contrast():
+    bits = 10
+    nodes = random.Random(3).sample(range(1 << bits), 50)
+    koorde = KoordeRing(bits, nodes)
+    chord = ChordRing(bits, nodes)
+    assert koorde.state_size() == 2  # constant degree
+    assert chord.state_size() == bits  # logarithmic degree
+
+
+def test_koorde_and_chord_agree_on_ownership(rng):
+    bits = 7
+    nodes = rng.sample(range(128), 20)
+    koorde = KoordeRing(bits, nodes)
+    chord = ChordRing(bits, nodes)
+    for _ in range(200):
+        key = rng.randrange(128)
+        assert koorde.owner(key) == chord.owner(key)
+
+
+# ----------------------------------------------------------------------
+# Membership changes
+# ----------------------------------------------------------------------
+
+
+def test_join_takes_over_its_key_range():
+    ring = KoordeRing(6, [10, 30, 50])
+    assert ring.owner(20) == 30
+    grown = ring.with_node(22)
+    assert grown.owner(20) == 22  # the joiner now owns (10, 22]
+    assert grown.owner(25) == 30  # the rest of the old range stays put
+    # Lookups from every node still resolve correctly.
+    for start in grown.nodes:
+        for key in range(64):
+            assert grown.lookup(start, key).owner == grown.owner(key)
+
+
+def test_leave_hands_keys_to_successor():
+    ring = KoordeRing(6, [10, 30, 50])
+    shrunk = ring.without_node(30)
+    assert shrunk.owner(20) == 50  # 30's old range falls to its successor
+    for start in shrunk.nodes:
+        for key in range(64):
+            assert shrunk.lookup(start, key).owner == shrunk.owner(key)
+
+
+def test_cannot_empty_the_ring():
+    from repro.exceptions import InvalidParameterError as IPE
+
+    ring = KoordeRing(4, [5])
+    with pytest.raises(IPE):
+        ring.without_node(5)
+
+
+def test_join_leave_roundtrip_restores_pointers():
+    ring = KoordeRing(6, [3, 19, 44, 60])
+    roundtrip = ring.with_node(33).without_node(33)
+    assert roundtrip.nodes == ring.nodes
+    assert [roundtrip.debruijn_finger(n) for n in roundtrip.nodes] == \
+        [ring.debruijn_finger(n) for n in ring.nodes]

@@ -1,0 +1,57 @@
+"""Meta-test: every public item in the library carries a docstring.
+
+Deliverable (e) of the reproduction demands doc comments on every public
+item; this test makes the requirement executable so it cannot rot.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.rsplit(".", 1)[-1].startswith("_")
+)
+
+
+def _public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.getmodule(obj) is not module:
+            continue  # re-exports are documented at their definition site
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            yield name, obj
+
+
+def test_module_list_is_nonempty():
+    assert len(MODULES) > 25
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), f"{module_name} lacks a docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_functions_and_classes_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in _public_members(module):
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(obj):
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if inspect.isfunction(meth) and not (meth.__doc__ and meth.__doc__.strip()):
+                    undocumented.append(f"{name}.{meth_name}")
+    assert not undocumented, f"{module_name}: missing docstrings on {undocumented}"

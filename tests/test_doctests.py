@@ -1,0 +1,32 @@
+"""Run every inline ``>>>`` example in the library as a doctest.
+
+The docstrings are part of the public contract; this keeps their examples
+executable forever.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+
+import pytest
+
+from repro.inventory import iter_module_names
+
+MODULES = iter_module_names()
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False, optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, f"{module_name}: {results.failed} doctest failure(s)"
+
+
+def test_some_modules_actually_have_doctests():
+    total_attempted = 0
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        results = doctest.testmod(module, verbose=False)
+        total_attempted += results.attempted
+    assert total_attempted >= 10  # the examples exist and ran

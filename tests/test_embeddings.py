@@ -1,0 +1,139 @@
+"""Tests for the Samatham–Pradhan embeddings."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.routing import apply_path
+from repro.exceptions import InvalidParameterError
+from repro.graphs.debruijn import undirected_graph
+from repro.graphs.embeddings import (
+    embed_complete_tree,
+    embed_linear_array,
+    embed_ring,
+    emulate_shuffle_exchange,
+    exchange,
+    exchange_route,
+    shuffle,
+    shuffle_route,
+    tree_parent_edge,
+)
+
+
+# ----------------------------------------------------------------------
+# Ring / linear array
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("d,k", [(2, 3), (2, 4), (3, 2), (3, 3)])
+def test_ring_embedding_has_dilation_one(d, k):
+    g = undirected_graph(d, k)
+    ring = embed_ring(d, k)
+    assert len(ring) == d**k and len(set(ring)) == d**k
+    for u, v in zip(ring, ring[1:] + ring[:1]):
+        # Dilation 1 means consecutive ring nodes are graph neighbors
+        # (or coincide via a loop edge at constant words — which cannot
+        # happen on a Hamiltonian cycle since vertices are distinct).
+        assert g.has_edge(u, v)
+
+
+def test_linear_array_is_the_cut_ring():
+    array = embed_linear_array(2, 3)
+    g = undirected_graph(2, 3)
+    for u, v in zip(array, array[1:]):
+        assert g.has_edge(u, v)
+
+
+# ----------------------------------------------------------------------
+# Complete trees
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("d,k,arity", [(2, 3, 2), (2, 4, 2), (3, 3, 2), (3, 3, 3), (3, 4, 2)])
+def test_tree_embedding_is_injective_with_dilation_one(d, k, arity):
+    g = undirected_graph(d, k)
+    tree = embed_complete_tree(d, k, arity)
+    expected_size = sum(arity**j for j in range(k))
+    assert len(tree) == expected_size
+    assert len(set(tree.values())) == expected_size  # injective
+    for path in tree:
+        if path:
+            parent_word, child_word = tree_parent_edge(tree, path)
+            assert g.has_edge(parent_word, child_word)
+
+
+def test_tree_root_and_leaves_shape():
+    tree = embed_complete_tree(2, 3)
+    assert tree[()] == (0, 0, 1)
+    # Depth k-1 nodes spell 1 followed by their path.
+    assert tree[(0, 1)] == (1, 0, 1)
+    assert tree[(1, 1)] == (1, 1, 1)
+
+
+def test_tree_rejects_excess_arity():
+    with pytest.raises(InvalidParameterError):
+        embed_complete_tree(2, 3, arity=3)
+
+
+def test_tree_parent_edge_rejects_root():
+    tree = embed_complete_tree(2, 3)
+    with pytest.raises(InvalidParameterError):
+        tree_parent_edge(tree, ())
+
+
+# ----------------------------------------------------------------------
+# Shuffle-exchange emulation
+# ----------------------------------------------------------------------
+
+
+def test_shuffle_is_cyclic_rotation():
+    assert shuffle((0, 1, 1)) == (1, 1, 0)
+
+
+def test_exchange_flips_last_bit():
+    assert exchange((0, 1, 1)) == (0, 1, 0)
+
+
+def test_exchange_requires_binary():
+    with pytest.raises(InvalidParameterError):
+        exchange((0, 1, 2), d=3)
+
+
+def test_shuffle_route_is_one_de_bruijn_hop():
+    word = (0, 1, 1)
+    route = shuffle_route(word)
+    assert len(route) == 1
+    assert apply_path(word, route, 2) == shuffle(word)
+
+
+@given(st.lists(st.integers(0, 1), min_size=2, max_size=10).map(tuple))
+@settings(max_examples=200)
+def test_exchange_route_is_two_hops_and_correct(word):
+    route = exchange_route(word)
+    assert len(route) == 2
+    for fill in (0, 1):
+        assert apply_path(word, route, 2, wildcard=fill) == exchange(word)
+
+
+@given(
+    st.lists(st.integers(0, 1), min_size=2, max_size=8).map(tuple),
+    st.text(alphabet="se", min_size=0, max_size=12),
+)
+@settings(max_examples=200)
+def test_emulation_tracks_the_shuffle_exchange_machine(word, ops):
+    routes = emulate_shuffle_exchange(word, ops)
+    assert len(routes) == len(ops)
+    current = word
+    for op, route in zip(ops, routes):
+        expected = shuffle(current) if op == "s" else exchange(current)
+        assert apply_path(current, route, 2, wildcard=0) == expected
+        current = expected
+    # Total slowdown is at most 2 hops per SE move.
+    assert sum(len(r) for r in routes) <= 2 * len(ops)
+
+
+def test_emulation_rejects_unknown_ops():
+    with pytest.raises(InvalidParameterError):
+        emulate_shuffle_exchange((0, 1), "sx")

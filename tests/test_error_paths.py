@@ -1,0 +1,167 @@
+"""Systematic exercise of the library's error branches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    DeBruijnError,
+    DeliveryError,
+    InvalidParameterError,
+    InvalidWordError,
+    RoutingError,
+    SimulationError,
+    WirePathError,
+)
+
+
+def test_exception_hierarchy():
+    assert issubclass(InvalidWordError, DeBruijnError)
+    assert issubclass(InvalidWordError, ValueError)
+    assert issubclass(InvalidParameterError, DeBruijnError)
+    assert issubclass(WirePathError, RoutingError)
+    assert issubclass(DeliveryError, SimulationError)
+    assert issubclass(SimulationError, DeBruijnError)
+
+
+def test_router_topology_mismatch_raises():
+    from repro.network.router import BidirectionalOptimalRouter
+    from repro.network.simulator import Simulator
+
+    sim = Simulator(2, 3, bidirectional=False)
+    # This pair's optimal bidirectional route genuinely needs a right shift.
+    sim.send((0, 1, 1, ), (0, 0, 1), BidirectionalOptimalRouter(use_wildcards=False))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_unidirectional_router_on_unidirectional_network_is_fine():
+    from repro.network.router import UnidirectionalOptimalRouter
+    from repro.network.simulator import Simulator
+
+    sim = Simulator(2, 3, bidirectional=False)
+    sim.send((0, 1, 1), (0, 0, 1), UnidirectionalOptimalRouter())
+    stats = sim.run()
+    assert stats.delivered_count == 1
+
+
+def test_simulator_rejects_invalid_addresses():
+    from repro.network.router import TrivialRouter
+    from repro.network.simulator import Simulator
+
+    sim = Simulator(2, 3)
+    with pytest.raises(InvalidWordError):
+        sim.send((0, 1, 2), (0, 0, 1), TrivialRouter())
+    with pytest.raises(InvalidWordError):
+        sim.send((0, 1, 1), (0, 0), TrivialRouter())
+
+
+def test_simulator_rejects_bad_parameters():
+    from repro.network.simulator import Simulator
+
+    with pytest.raises(InvalidParameterError):
+        Simulator(1, 3)
+
+
+def test_node_rejects_wrong_terminal_site():
+    from repro.network.message import ControlCode, Message
+    from repro.network.node import Node
+
+    node = Node((0, 0, 0), d=2)
+    message = Message(ControlCode.DATA, (0, 0, 1), (1, 1, 1), [])
+    with pytest.raises(DeliveryError):
+        node.process(message, now=0.0)
+
+
+def test_witness_path_unknown_case_rejected():
+    from repro.core.distance import UndirectedWitness
+    from repro.core.routing import path_from_witness
+
+    bogus = UndirectedWitness(1, "l", 1, 1, 1)
+    object.__setattr__(bogus, "case", "zigzag")
+    with pytest.raises(RoutingError):
+        path_from_witness(bogus, (0, 1, 0))
+
+
+def test_step_application_validates_digit():
+    from repro.core.routing import Direction, RoutingStep, apply_step
+
+    with pytest.raises(InvalidWordError):
+        apply_step((0, 1), RoutingStep(Direction.LEFT, 5), d=2)
+    with pytest.raises(InvalidWordError):
+        apply_step((0, 1), RoutingStep(Direction.LEFT, None), d=2, wildcard=7)
+
+
+def test_suffix_tree_guards():
+    from repro.analysis.spectral import adjacency_matrix
+
+    with pytest.raises(InvalidParameterError):
+        adjacency_matrix(2, 15)  # over the dense-matrix guard
+
+
+def test_broadcast_tree_requires_connected_component():
+    from repro.exceptions import SimulationError as SimError
+    from repro.graphs.debruijn import undirected_graph
+    from repro.network.broadcast import broadcast_tree
+
+    class Disconnected:
+        """A graph stub whose neighbor relation strands most vertices."""
+
+        def __init__(self):
+            self._real = undirected_graph(2, 3)
+            self.order = self._real.order
+
+        def vertices(self):
+            return self._real.vertices()
+
+        def neighbors(self, v):
+            return set()  # nobody reaches anybody
+
+    with pytest.raises(SimError):
+        broadcast_tree(Disconnected(), (0, 0, 0))
+
+
+def test_gdb_route_internal_validation():
+    from repro.graphs.generalized import GeneralizedDeBruijnGraph
+
+    graph = GeneralizedDeBruijnGraph(10, 2)
+    with pytest.raises(InvalidParameterError):
+        graph.distance(0, 12)
+
+
+def test_koorde_lookup_hop_limit_raises():
+    from repro.dht.koorde import KoordeRing
+
+    ring = KoordeRing(6, [1, 17, 40, 55])
+    with pytest.raises(RoutingError):
+        ring.lookup(1, 50, max_hops=1)
+
+
+def test_textplot_and_tables_handle_empty():
+    from repro.analysis.tables import format_table
+    from repro.analysis.textplot import render_plot
+
+    assert render_plot({}) == "(no data)"
+    text = format_table(["a"], [])
+    assert "a" in text
+
+
+def test_lfsr_rejects_degenerate_polynomial():
+    from repro.graphs.shift_register import LFSR
+
+    with pytest.raises(InvalidParameterError):
+        LFSR(0, (0, 1))
+
+
+def test_sorting_rejects_wrong_count():
+    from repro.network.sorting import odd_even_transposition_sort
+
+    with pytest.raises(InvalidParameterError):
+        odd_even_transposition_sort(2, 3, [1, 2])
+
+
+def test_deflection_guard_on_priority():
+    from repro.network.deflection import DeflectionNetwork
+
+    with pytest.raises(SimulationError):
+        DeflectionNetwork(2, 3, priority="lifo")

@@ -1,0 +1,166 @@
+"""Direct unit tests for the event queue and the statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.events import Event, EventKind, EventQueue
+from repro.network.message import ControlCode, Message
+from repro.network.stats import SimulationStats, jain_fairness, percentile
+
+
+# ----------------------------------------------------------------------
+# EventQueue
+# ----------------------------------------------------------------------
+
+
+def test_events_pop_in_time_order():
+    queue = EventQueue()
+    queue.push(5.0, EventKind.ARRIVE, (0, 1))
+    queue.push(1.0, EventKind.INJECT, (0, 0))
+    queue.push(3.0, EventKind.FAIL, (1, 1))
+    times = [queue.pop().time for _ in range(3)]
+    assert times == [1.0, 3.0, 5.0]
+
+
+def test_equal_times_are_fifo():
+    queue = EventQueue()
+    first = queue.push(2.0, EventKind.INJECT, (0, 0))
+    second = queue.push(2.0, EventKind.INJECT, (0, 1))
+    assert queue.pop() is first
+    assert queue.pop() is second
+
+
+def test_peek_time_and_len():
+    queue = EventQueue()
+    assert queue.peek_time() is None
+    assert not queue
+    queue.push(4.0, EventKind.RECOVER, (0,))
+    assert queue.peek_time() == 4.0
+    assert len(queue) == 1
+    assert bool(queue)
+
+
+def test_event_carries_message():
+    message = Message(ControlCode.DATA, (0,), (1,), [])
+    queue = EventQueue()
+    event = queue.push(0.0, EventKind.ARRIVE, (1,), message)
+    assert event.message is message
+    assert event.kind == EventKind.ARRIVE
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=50))
+@settings(max_examples=100)
+def test_queue_is_a_stable_sort(times):
+    queue = EventQueue()
+    events = [queue.push(t, EventKind.INJECT, (0,)) for t in times]
+    popped = [queue.pop() for _ in range(len(times))]
+    assert [e.time for e in popped] == sorted(times)
+    # Stability: equal times preserve insertion order.
+    for earlier, later in zip(popped, popped[1:]):
+        if earlier.time == later.time:
+            assert events.index(earlier) < events.index(later)
+
+
+# ----------------------------------------------------------------------
+# percentile / fairness
+# ----------------------------------------------------------------------
+
+
+def test_percentile_edges():
+    assert percentile([], 95) == 0.0
+    assert percentile([7.0], 50) == 7.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 0) == 1.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 100) == 4.0
+
+
+def test_percentile_interpolates():
+    assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+    assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+
+@given(st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+                min_size=1, max_size=40))
+@settings(max_examples=150)
+def test_percentile_within_data_range(values):
+    for q in (0, 25, 50, 75, 95, 100):
+        result = percentile(values, q)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+def test_jain_fairness_extremes():
+    assert jain_fairness([]) == 1.0
+    assert jain_fairness([0.0, 0.0]) == 1.0
+    assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+    # One busy link among n idle ones scores 1/n.
+    assert jain_fairness([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e3, allow_nan=False),
+                min_size=1, max_size=30))
+@settings(max_examples=150)
+def test_jain_fairness_bounds(values):
+    score = jain_fairness(values)
+    assert 0.0 <= score <= 1.0 + 1e-9
+
+
+# ----------------------------------------------------------------------
+# SimulationStats
+# ----------------------------------------------------------------------
+
+
+def _delivered_message(latency: float, hops: int) -> Message:
+    message = Message(ControlCode.DATA, (0,) * hops if hops else (0,), (1,), [])
+    message.injected_at = 0.0
+    message.delivered_at = latency
+    message.trace = [(i,) for i in range(hops + 1)]
+    return message
+
+
+def test_stats_summary_keys_and_values():
+    stats = SimulationStats()
+    stats.delivered = [_delivered_message(2.0, 2), _delivered_message(4.0, 4)]
+    stats.link_loads = {((0,), (1,)): 3, ((1,), (0,)): 1}
+    stats.horizon = 10.0
+    summary = stats.summary()
+    assert summary["delivered"] == 2.0
+    assert summary["mean_latency"] == pytest.approx(3.0)
+    assert summary["mean_hops"] == pytest.approx(3.0)
+    assert summary["max_link_load"] == 3.0
+    assert summary["throughput"] == pytest.approx(0.2)
+
+
+def test_stats_empty_defaults():
+    stats = SimulationStats()
+    assert stats.mean_latency() == 0.0
+    assert stats.mean_hops() == 0.0
+    assert stats.p95_latency() == 0.0
+    assert stats.max_latency() == 0.0
+    assert stats.throughput() == 0.0
+    assert stats.max_link_load() == 0
+    assert stats.mean_link_load() == 0.0
+    assert stats.load_fairness() == 1.0
+    assert stats.mean_queue_delay() == 0.0
+
+
+def test_window_filters_by_injection_time():
+    stats = SimulationStats()
+    early = _delivered_message(2.0, 2)
+    early.injected_at = 1.0
+    late = _delivered_message(9.0, 2)
+    late.injected_at = 8.0
+    stats.delivered = [early, late]
+    stats.horizon = 10.0
+    window = stats.window(5.0)
+    assert window.delivered == [late]
+    assert window.horizon == pytest.approx(5.0)
+    bounded = stats.window(0.0, 5.0)
+    assert bounded.delivered == [early]
+
+
+def test_window_of_empty_stats():
+    window = SimulationStats().window(0.0, 10.0)
+    assert window.delivered_count == 0
+    assert window.mean_latency() == 0.0

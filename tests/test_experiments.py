@@ -1,0 +1,146 @@
+"""Tests for the programmatic experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    markdown_report,
+    run_all,
+    run_experiment,
+)
+
+
+def test_registry_covers_static_artifacts():
+    assert set(EXPERIMENTS) == {"E1", "E2", "E3", "E8", "E12"}
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_each_experiment_produces_consistent_table(experiment_id):
+    result = run_experiment(experiment_id)
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment_id == experiment_id
+    assert result.rows
+    assert all(len(row) == len(result.headers) for row in result.rows)
+
+
+def test_run_experiment_is_case_insensitive():
+    assert run_experiment("e2").experiment_id == "E2"
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(InvalidParameterError):
+        run_experiment("E99")
+
+
+def test_e1_census_always_matches():
+    result = run_experiment("E1")
+    matches_column = [row[-1] for row in result.rows]
+    assert all(matches_column)
+
+
+def test_e2_gap_positive_beyond_k1():
+    result = run_experiment("E2")
+    for d, k, closed, exact, gap in result.rows:
+        if k >= 2:
+            assert gap > 0
+
+
+def test_e12_optimal_never_longer():
+    result = run_experiment("E12")
+    by_pattern = {}
+    for pattern, router, demands, mean_hops, max_load, fairness in result.rows:
+        by_pattern.setdefault(pattern, {})[router] = mean_hops
+    for pattern, values in by_pattern.items():
+        assert values["optimal"] <= values["trivial"] + 1e-9
+
+
+def test_run_all_sorted_by_id():
+    results = run_all()
+    ids = [result.experiment_id for result in results]
+    assert ids == sorted(ids, key=lambda s: int(s[1:]))
+
+
+def test_text_rendering():
+    text = run_experiment("E8").to_text()
+    assert text.startswith("E8 —")
+    assert "Moore" in text
+
+
+def test_markdown_rendering_and_report():
+    markdown = run_experiment("E1").to_markdown()
+    assert markdown.startswith("## E1")
+    assert markdown.count("|") > 10
+    report = markdown_report()
+    assert report.startswith("# Regenerated experiment tables")
+    for experiment_id in EXPERIMENTS:
+        assert f"## {experiment_id}" in report
+
+
+def test_cli_experiments_subcommand(capsys):
+    from repro.cli import main
+
+    assert main(["experiments", "--only", "E8"]) == 0
+    out = capsys.readouterr().out
+    assert "Moore" in out
+    assert main(["experiments", "--only", "E8", "--markdown"]) == 0
+    assert "## E8" in capsys.readouterr().out
+
+
+def test_cli_experiments_output_file(tmp_path, capsys):
+    from repro.cli import main
+
+    target = tmp_path / "report.md"
+    assert main(["experiments", "--only", "E8", "--markdown",
+                 "--output", str(target)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    assert target.read_text().startswith("# Regenerated experiment tables")
+
+
+# ----------------------------------------------------------------------
+# Inventory and pinned reproduction values
+# ----------------------------------------------------------------------
+
+
+def test_inventory_covers_the_package():
+    from repro.inventory import inventory, iter_module_names, render_inventory
+
+    names = iter_module_names()
+    assert "repro.core.distance" in names
+    assert "repro.dht.koorde" in names
+    cards = inventory()
+    assert len(cards) == len(names)
+    assert all(card.summary != "(undocumented)" for card in cards)
+    listing = render_inventory()
+    assert "repro.core.routing" in listing
+    assert "ICDCS 1990" in listing
+
+
+def test_cli_about(capsys):
+    from repro.cli import main
+
+    assert main(["about"]) == 0
+    out = capsys.readouterr().out
+    assert "repro.network.simulator" in out
+
+
+def test_pinned_reproduction_values():
+    """Regression anchors: exact numbers this reproduction stands on."""
+    from repro.analysis.exact import directed_average_distance, undirected_average_distance
+    from repro.core.average_distance import directed_average_distance_closed_form
+
+    # E2 anchors (exact fractions).
+    assert directed_average_distance_closed_form(2, 3) == 2.125
+    assert directed_average_distance(2, 3) == pytest.approx(1.84375)
+    assert directed_average_distance(2, 4) == pytest.approx(2.65625)
+    # E3 anchors.
+    assert undirected_average_distance(2, 3) == pytest.approx(1.4375)
+    assert undirected_average_distance(2, 4) == pytest.approx(2.0078125)
+    # E1 anchors: DG(2,3) edges.
+    from repro.graphs.debruijn import directed_graph, undirected_graph
+
+    assert directed_graph(2, 3).size() == 14
+    assert undirected_graph(2, 3).size() == 13

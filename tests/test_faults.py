@@ -1,0 +1,191 @@
+"""Tests for fault tolerance (Pradhan–Reddy claim, experiment E7)."""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.graphs.debruijn import undirected_graph
+from repro.network.faults import (
+    FaultAwareRouter,
+    is_connected_after_failures,
+    survives_failures,
+    vertex_disjoint_paths,
+)
+from repro.network.router import BidirectionalOptimalRouter, TrivialRouter
+from repro.network.simulator import Simulator
+from tests.conftest import all_words, random_words
+
+
+# ----------------------------------------------------------------------
+# Connectivity under failures
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("d,k", [(2, 3), (2, 4), (3, 2)])
+def test_any_single_pair_survives_d_minus_1_failures(d, k):
+    """Exhaustive over small graphs: removing any d-1 vertices keeps the
+    undirected network connected (the cited Pradhan-Reddy tolerance)."""
+    g = undirected_graph(d, k)
+    words = all_words(d, k)
+    for failed in combinations(words, d - 1):
+        assert is_connected_after_failures(g, failed), failed
+
+
+def test_d_failures_can_disconnect():
+    # d = 2: killing both neighbors that separate a corner can cut DG(2, 3).
+    # Vertex 000 has neighbors {001, 100}; killing them isolates it.
+    g = undirected_graph(2, 3)
+    assert not is_connected_after_failures(g, [(0, 0, 1), (1, 0, 0)])
+
+
+def test_survives_failures_specific_pair():
+    g = undirected_graph(2, 3)
+    assert survives_failures(g, (0, 0, 1), (1, 1, 1), [(0, 1, 1)])
+    assert not survives_failures(g, (0, 0, 0), (1, 1, 1), [(0, 0, 1), (1, 0, 0)])
+
+
+def test_is_connected_with_nearly_all_failed():
+    g = undirected_graph(2, 2)
+    words = all_words(2, 2)
+    assert is_connected_after_failures(g, words[:-1])  # one survivor
+
+
+# ----------------------------------------------------------------------
+# Vertex-disjoint paths
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("d,k", [(2, 3), (2, 4), (3, 2), (3, 3)])
+def test_at_least_d_minus_1_disjoint_paths(d, k):
+    g = undirected_graph(d, k)
+    pairs = [(x, y) for x in random_words(d, k, 6, seed=1) for y in random_words(d, k, 6, seed=2)]
+    for x, y in pairs:
+        if x == y:
+            continue
+        paths = vertex_disjoint_paths(g, x, y)
+        assert len(paths) >= d - 1, (x, y, paths)
+        # Internal disjointness.
+        interiors = [set(p[1:-1]) for p in paths]
+        for a, b in combinations(range(len(interiors)), 2):
+            assert not (interiors[a] & interiors[b])
+        for p in paths:
+            assert p[0] == x and p[-1] == y
+            for u, v in zip(p, p[1:]):
+                assert g.has_edge(u, v)
+
+
+def test_disjoint_paths_max_paths_cap():
+    g = undirected_graph(2, 4)
+    paths = vertex_disjoint_paths(g, (0, 0, 0, 1), (1, 0, 1, 1), max_paths=2)
+    assert len(paths) <= 2
+
+
+def test_disjoint_paths_between_adjacent_vertices_include_direct_edge():
+    g = undirected_graph(2, 3)
+    paths = vertex_disjoint_paths(g, (0, 0, 1), (0, 1, 1))
+    assert [(0, 0, 1), (0, 1, 1)] in paths
+    assert len(paths) >= 2  # the direct edge plus at least one detour
+
+
+# ----------------------------------------------------------------------
+# Fault-aware routing
+# ----------------------------------------------------------------------
+
+
+def test_fault_aware_router_avoids_failed_set():
+    g = undirected_graph(2, 3)
+    healthy = FaultAwareRouter(g).plan((0, 0, 1), (1, 1, 1))
+    router = FaultAwareRouter(g, failed={(0, 1, 1)})
+    path = router.plan((0, 0, 1), (1, 1, 1))
+    from repro.core.routing import path_words
+
+    visited = path_words((0, 0, 1), path, 2)
+    assert (0, 1, 1) not in visited
+    assert visited[-1] == (1, 1, 1)
+    assert len(path) >= len(healthy)
+
+
+def test_fault_aware_router_raises_when_cut_off():
+    from repro.exceptions import RoutingError
+
+    g = undirected_graph(2, 3)
+    router = FaultAwareRouter(g, failed={(0, 0, 1), (1, 0, 0)})
+    with pytest.raises(RoutingError):
+        router.plan((0, 0, 0), (1, 1, 1))
+
+
+# ----------------------------------------------------------------------
+# Simulator integration
+# ----------------------------------------------------------------------
+
+
+def test_message_through_failed_site_is_dropped_without_rerouting():
+    sim = Simulator(2, 3, reroute_on_failure=False)
+    sim.fail_node((0, 1, 1), at=0.0)
+    # 001 -> 111 shortest route passes 011.
+    sim.send((0, 0, 1), (1, 1, 1), TrivialRouter(), at=1.0)
+    stats = sim.run()
+    assert stats.delivered_count + stats.dropped_count == 1
+
+
+def test_reroute_on_failure_delivers_around_fault():
+    sim = Simulator(2, 3, reroute_on_failure=True)
+    router = BidirectionalOptimalRouter(use_wildcards=False)
+    base_path = router.plan((0, 0, 1), (1, 1, 1))
+    from repro.core.routing import path_words
+
+    midpoint = path_words((0, 0, 1), base_path, 2)[1]
+    sim.fail_node(midpoint, at=0.0)
+    message = sim.send((0, 0, 1), (1, 1, 1), router, at=1.0)
+    stats = sim.run()
+    assert stats.delivered_count == 1
+    assert stats.rerouted >= 1
+    assert midpoint not in message.trace
+
+
+def test_failed_destination_drops_message():
+    sim = Simulator(2, 3, reroute_on_failure=True)
+    sim.fail_node((1, 1, 1), at=0.0)
+    sim.send((0, 0, 1), (1, 1, 1), BidirectionalOptimalRouter(), at=1.0)
+    stats = sim.run()
+    assert stats.delivered_count == 0
+    assert stats.dropped_count == 1
+
+
+def test_recovery_restores_delivery():
+    sim = Simulator(2, 3, reroute_on_failure=False)
+    sim.fail_node((1, 1, 1), at=0.0)
+    sim.recover_node((1, 1, 1), at=10.0)
+    sim.send((0, 0, 1), (1, 1, 1), BidirectionalOptimalRouter(), at=20.0)
+    stats = sim.run()
+    assert stats.delivered_count == 1
+
+
+def test_messages_before_failure_unaffected():
+    sim = Simulator(2, 3, reroute_on_failure=False)
+    sim.send((0, 0, 1), (1, 1, 1), BidirectionalOptimalRouter(), at=0.0)
+    sim.fail_node((1, 1, 1), at=50.0)
+    stats = sim.run()
+    assert stats.delivered_count == 1
+
+
+def test_random_fault_storm_accounting(rng):
+    d, k = 2, 4
+    sim = Simulator(d, k, reroute_on_failure=True)
+    words = all_words(d, k)
+    for w in rng.sample(words, 3):
+        sim.fail_node(w, at=0.0)
+    router = BidirectionalOptimalRouter()
+    sent = 0
+    for _ in range(100):
+        x, y = rng.choice(words), rng.choice(words)
+        if x != y:
+            sim.send(x, y, router, at=float(rng.randrange(50)))
+            sent += 1
+    stats = sim.run()
+    assert stats.delivered_count + stats.dropped_count == sent
+    for message in stats.delivered:
+        assert message.trace[-1] == message.destination

@@ -1,0 +1,125 @@
+"""Hypothesis fuzzing across module boundaries: codec and simulator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.routing import Direction, RoutingStep
+from repro.exceptions import WirePathError
+from repro.network.message import (
+    ControlCode,
+    Message,
+    decode_message,
+    decode_path,
+    encode_message,
+)
+from repro.network.router import BidirectionalOptimalRouter
+from repro.network.simulator import Simulator
+
+WORDS = st.integers(2, 5).flatmap(
+    lambda d: st.integers(1, 8).flatmap(
+        lambda k: st.lists(st.integers(0, d - 1), min_size=k, max_size=k).map(tuple)
+    )
+)
+
+STEPS = st.lists(
+    st.builds(
+        RoutingStep,
+        st.sampled_from([Direction.LEFT, Direction.RIGHT]),
+        st.one_of(st.none(), st.integers(0, 200)),
+    ),
+    max_size=20,
+)
+
+PAYLOADS = st.one_of(st.none(), st.binary(max_size=64), st.text(max_size=32))
+
+
+@given(
+    st.sampled_from(list(ControlCode)),
+    WORDS,
+    STEPS,
+    PAYLOADS,
+)
+@settings(max_examples=300)
+def test_message_codec_roundtrip_fuzz(control, word, steps, payload):
+    message = Message(control, word, word, list(steps), payload)
+    blob = encode_message(message)
+    got_control, got_src, got_dst, got_path, got_body = decode_message(blob)
+    assert got_control == control
+    assert got_src == word and got_dst == word
+    assert got_path == steps
+    if payload is None:
+        assert got_body == b""
+    elif isinstance(payload, bytes):
+        assert got_body == payload
+    else:
+        assert got_body.decode("utf-8") == payload
+
+
+@given(st.binary(max_size=64))
+@settings(max_examples=300)
+def test_decoder_never_crashes_uncontrolled(blob):
+    """Arbitrary bytes either decode or raise WirePathError/ValueError."""
+    try:
+        decode_message(blob)
+    except (WirePathError, ValueError):
+        pass
+
+
+@given(st.binary(max_size=40))
+@settings(max_examples=200)
+def test_path_decoder_is_total(blob):
+    try:
+        steps = decode_path(blob)
+    except WirePathError:
+        return
+    assert all(isinstance(step, RoutingStep) for step in steps)
+
+
+PAIR_LISTS = st.integers(2, 3).flatmap(
+    lambda d: st.integers(2, 4).flatmap(
+        lambda k: st.tuples(
+            st.just((d, k)),
+            st.lists(
+                st.tuples(
+                    st.lists(st.integers(0, d - 1), min_size=k, max_size=k).map(tuple),
+                    st.lists(st.integers(0, d - 1), min_size=k, max_size=k).map(tuple),
+                ),
+                min_size=1,
+                max_size=15,
+            ),
+        )
+    )
+)
+
+
+@given(PAIR_LISTS)
+@settings(max_examples=100, deadline=None)
+def test_simulator_invariants_under_random_workloads(args):
+    (d, k), pairs = args
+    sim = Simulator(d, k)
+    router = BidirectionalOptimalRouter()
+    sent = 0
+    for index, (x, y) in enumerate(pairs):
+        sim.send(x, y, router, at=float(index % 5))
+        sent += 1
+    stats = sim.run()
+    # Conservation.
+    assert stats.delivered_count + stats.dropped_count == sent
+    assert stats.dropped_count == 0  # no failures injected
+    graph_d = d
+    for message in stats.delivered:
+        # Trace starts at the source, ends at the destination.
+        assert message.trace[0] == message.source
+        assert message.trace[-1] == message.destination
+        # Every consecutive trace pair is a single de Bruijn shift.
+        for u, v in zip(message.trace, message.trace[1:]):
+            assert v[: k - 1] == u[1:] or v[1:] == u[: k - 1], (u, v)
+        # Latency at least hops (unit link latency) and delivery after injection.
+        assert message.latency is not None
+        assert message.latency >= message.hop_count - 1e-9
+        assert message.delivered_at >= message.injected_at
+    # Link loads account exactly for the hops taken.
+    assert sum(stats.link_loads.values()) == sum(m.hop_count for m in stats.delivered)

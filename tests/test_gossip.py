@@ -1,0 +1,80 @@
+"""Tests for push gossip on the de Bruijn network."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.network.gossip import GossipResult, mean_rounds_to_cover, push_gossip
+
+
+def test_single_run_informs_everyone():
+    result = push_gossip(2, 4, (0,) * 4, rng=random.Random(1))
+    assert result.coverage == 1.0
+    assert result.informed == result.population == 16
+    assert result.rounds >= math.ceil(math.log2(16))  # doubling bound
+    assert result.messages >= result.informed - 1
+
+
+def test_coverage_by_round_is_monotone():
+    result = push_gossip(2, 5, (0,) * 5, rng=random.Random(2))
+    coverage = result.coverage_by_round
+    assert coverage[0] == 1
+    assert list(coverage) == sorted(coverage)
+    assert coverage[-1] == result.population
+
+
+def test_rounds_lower_bound_doubling():
+    # At most doubling per round: rounds >= log2(N).
+    for k in (3, 4, 5, 6):
+        result = push_gossip(2, k, (0,) * k, rng=random.Random(k))
+        assert result.rounds >= math.ceil(math.log2(2**k))
+
+
+def test_logarithmic_scaling_in_expectation():
+    small = mean_rounds_to_cover(2, 4, trials=10, seed=3)  # 16 sites
+    large = mean_rounds_to_cover(2, 7, trials=10, seed=3)  # 128 sites
+    # 8x the population should cost far less than 8x the rounds.
+    assert large < 3 * small
+
+
+def test_gossip_with_failures_covers_surviving_component():
+    failed = [(0, 0, 0, 1), (1, 1, 1, 0)]
+    result = push_gossip(2, 4, (0,) * 4, rng=random.Random(5), failed=failed)
+    assert result.population == 14
+    assert result.coverage == 1.0
+
+
+def test_gossip_with_isolating_failures_targets_component_only():
+    # Killing 001 and 100 isolates 000: its component is itself.
+    failed = [(0, 0, 1), (1, 0, 0)]
+    result = push_gossip(2, 3, (0, 0, 0), rng=random.Random(6), failed=failed)
+    assert result.population == 1
+    assert result.coverage == 1.0
+    assert result.rounds == 0
+
+
+def test_dead_source_rejected():
+    with pytest.raises(InvalidParameterError):
+        push_gossip(2, 3, (0, 0, 0), failed=[(0, 0, 0)])
+
+
+def test_round_limit_caps_runaway():
+    result = push_gossip(2, 6, (0,) * 6, rng=random.Random(9), max_rounds=2)
+    assert result.rounds == 2
+    assert result.coverage < 1.0
+
+
+def test_deterministic_with_seed():
+    a = push_gossip(2, 5, (0,) * 5, rng=random.Random(11))
+    b = push_gossip(2, 5, (0,) * 5, rng=random.Random(11))
+    assert a == b
+
+
+def test_result_dataclass_fields():
+    result = GossipResult(rounds=3, messages=10, informed=8, population=8,
+                          coverage_by_round=(1, 2, 4, 8))
+    assert result.coverage == 1.0

@@ -1,0 +1,201 @@
+"""Tests for :mod:`repro.graphs.debruijn` and :mod:`repro.graphs.properties`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graphs.debruijn import DeBruijnGraph, directed_graph, undirected_graph
+from repro.graphs.properties import (
+    count_arcs_with_multiplicity,
+    degree_census,
+    diameter,
+    eccentricity,
+    expected_directed_census,
+    expected_undirected_census,
+    is_connected,
+    line_digraph_vertex_map,
+    self_loop_vertices,
+    structural_report,
+)
+
+CENSUS_GRAPHS = [(2, 2), (2, 3), (2, 4), (3, 2), (3, 3), (4, 2)]
+
+
+# ----------------------------------------------------------------------
+# Basic shape
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("d,k", [(2, 3), (3, 2), (5, 2)])
+def test_order_and_vertex_enumeration(d, k):
+    g = DeBruijnGraph(d, k)
+    assert g.order == d**k
+    assert len(list(g.vertices())) == d**k
+    assert len(g) == d**k
+
+
+def test_is_vertex():
+    g = DeBruijnGraph(2, 3)
+    assert g.is_vertex((0, 1, 1))
+    assert (0, 1, 1) in g
+    assert not g.is_vertex((0, 2, 1))
+    assert not g.is_vertex((0, 1))
+
+
+def test_out_in_neighbors_figure1():
+    # Figure 1(a): directed DG(2, 3).
+    g = directed_graph(2, 3)
+    assert g.out_neighbors((0, 1, 1)) == {(1, 1, 0), (1, 1, 1)}
+    assert g.in_neighbors((0, 1, 1)) == {(0, 0, 1), (1, 0, 1)}
+
+
+def test_undirected_neighbors_merge_both_types():
+    g = undirected_graph(2, 3)
+    assert g.neighbors((0, 1, 1)) == {(1, 1, 0), (1, 1, 1), (0, 0, 1), (1, 0, 1)}
+
+
+def test_self_loops_dropped_by_default_kept_on_request():
+    g = undirected_graph(2, 3)
+    assert (0, 0, 0) not in g.neighbors((0, 0, 0))
+    assert (0, 0, 0) in g.neighbors((0, 0, 0), include_self=True)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(InvalidParameterError):
+        DeBruijnGraph(1, 3)
+    with pytest.raises(InvalidParameterError):
+        DeBruijnGraph(2, 0)
+
+
+# ----------------------------------------------------------------------
+# Edges and arc counts (paper Section 1)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("d,k", CENSUS_GRAPHS)
+def test_raw_arc_count_is_Nd(d, k):
+    g = directed_graph(d, k)
+    assert count_arcs_with_multiplicity(g) == d**k * d
+
+
+def test_directed_simple_edges_count():
+    # N·d arcs minus the d self-loops (no coincident distinct arcs exist in
+    # the one-step left-shift relation).
+    g = directed_graph(2, 3)
+    assert g.size() == 16 - 2
+
+
+def test_undirected_simple_edges_figure1b():
+    # Figure 1(b): hand count of undirected DG(2, 3) gives 13 edges
+    # (16 arcs, minus 2 loops, minus coincidences: 01..10 pairings).
+    assert undirected_graph(2, 3).size() == 13
+
+
+def test_edges_are_valid_and_unique():
+    for g in (directed_graph(2, 3), undirected_graph(3, 2)):
+        edges = list(g.edges())
+        assert len(edges) == len(set(edges))
+        for u, v in edges:
+            assert u != v
+            assert g.has_edge(u, v)
+
+
+def test_has_edge_directed_orientation_matters():
+    g = directed_graph(2, 3)
+    assert g.has_edge((0, 0, 1), (0, 1, 1))
+    assert not g.has_edge((0, 1, 1), (0, 0, 1))
+
+
+def test_undirected_adjacency_is_symmetric():
+    g = undirected_graph(2, 4)
+    adjacency = g.to_adjacency()
+    for u, nbrs in adjacency.items():
+        for v in nbrs:
+            assert u in adjacency[v]
+
+
+# ----------------------------------------------------------------------
+# Degree census (Figure 1 / E1)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("d,k", CENSUS_GRAPHS)
+def test_directed_census_matches_paper_formula(d, k):
+    assert degree_census(directed_graph(d, k)) == expected_directed_census(d, k)
+
+
+@pytest.mark.parametrize("d,k", CENSUS_GRAPHS)
+def test_undirected_census_matches_corrected_formula(d, k):
+    assert degree_census(undirected_graph(d, k)) == expected_undirected_census(d, k)
+
+
+def test_directed_census_k1_all_vertices_constant():
+    assert degree_census(directed_graph(3, 1)) == {4: 3}
+    assert expected_directed_census(3, 1) == {4: 3}
+
+
+def test_undirected_census_formula_requires_k2():
+    with pytest.raises(InvalidParameterError):
+        expected_undirected_census(2, 1)
+
+
+def test_self_loop_vertices_are_the_constants():
+    assert set(self_loop_vertices(DeBruijnGraph(3, 2))) == {(0, 0), (1, 1), (2, 2)}
+
+
+# ----------------------------------------------------------------------
+# Diameter and connectivity (paper Section 2 preamble)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("d,k", [(2, 2), (2, 3), (2, 4), (3, 2), (3, 3)])
+@pytest.mark.parametrize("directed", [True, False])
+def test_diameter_is_k(d, k, directed):
+    assert diameter(DeBruijnGraph(d, k, directed=directed)) == k
+
+
+def test_eccentricity_of_constant_word_is_k():
+    # Paper: distance from (0,...,0) to (1,...,1) is k.
+    assert eccentricity(directed_graph(2, 4), (0, 0, 0, 0)) == 4
+
+
+@pytest.mark.parametrize("d,k", [(2, 3), (3, 2), (2, 5)])
+@pytest.mark.parametrize("directed", [True, False])
+def test_connectivity(d, k, directed):
+    assert is_connected(DeBruijnGraph(d, k, directed=directed))
+
+
+# ----------------------------------------------------------------------
+# Line digraph recursion
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("d,k", [(2, 2), (2, 3), (3, 2)])
+def test_line_digraph_is_isomorphic_to_next_k(d, k):
+    mapping = line_digraph_vertex_map(d, k)
+    # Bijection onto the vertices of DG(d, k+1).
+    images = set(mapping.values())
+    assert len(images) == d ** (k + 1)
+    # Arc adjacency in the line digraph == left-shift adjacency of images:
+    # arcs e1 = (u, v), e2 = (v, w) chain iff image(e2) is a left shift of
+    # image(e1).
+    bigger = directed_graph(d, k + 1)
+    for (u1, v1), image1 in mapping.items():
+        for (u2, v2), image2 in mapping.items():
+            chains = v1 == u2
+            adjacent = image2 in bigger.out_neighbors(image1)
+            assert chains == adjacent
+
+
+def test_structural_report_keys():
+    report = structural_report(undirected_graph(2, 3))
+    assert report["order"] == 8
+    assert report["diameter"] == 3
+    assert report["connected"] is True
+    assert report["degree_census"] == {4: 4, 3: 2, 2: 2}
+
+
+def test_repr_mentions_orientation():
+    assert "undirected" in repr(undirected_graph(2, 3))
+    assert "directed" in repr(directed_graph(2, 3))

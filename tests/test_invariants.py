@@ -1,0 +1,115 @@
+"""Cross-cutting property tests: the symmetries of the de Bruijn graph.
+
+These invariants are not stated in the paper but follow from its setup,
+and they make unusually strong property tests because they relate the
+distance function to itself under graph automorphisms:
+
+* **alphabet relabeling**: any permutation σ of {0..d-1} applied digitwise
+  is an automorphism of DG(d, k), so distances are invariant;
+* **reversal**: digit-reversal maps L-shifts to R-shifts; it is an
+  automorphism of the *undirected* graph and an anti-automorphism of the
+  directed one (it reverses arcs);
+* **shift relations**: one application of any shift changes any distance
+  by at most 1 (the graph metric is 1-Lipschitz along edges).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distance import directed_distance, undirected_distance
+from repro.core.routing import shortest_path_undirected, shortest_path_unidirectional
+from repro.core.word import left_shift, right_shift
+
+PAIRS = st.integers(min_value=2, max_value=4).flatmap(
+    lambda d: st.integers(min_value=1, max_value=10).flatmap(
+        lambda k: st.tuples(
+            st.just(d),
+            st.lists(st.integers(0, d - 1), min_size=k, max_size=k).map(tuple),
+            st.lists(st.integers(0, d - 1), min_size=k, max_size=k).map(tuple),
+            st.permutations(list(range(d))),
+        )
+    )
+)
+
+
+def _relabel(word, sigma):
+    return tuple(sigma[digit] for digit in word)
+
+
+@given(PAIRS)
+@settings(max_examples=300, deadline=None)
+def test_distances_invariant_under_alphabet_relabeling(args):
+    d, x, y, sigma = args
+    assert directed_distance(x, y) == directed_distance(_relabel(x, sigma), _relabel(y, sigma))
+    assert undirected_distance(x, y) == undirected_distance(
+        _relabel(x, sigma), _relabel(y, sigma)
+    )
+
+
+@given(PAIRS)
+@settings(max_examples=300, deadline=None)
+def test_reversal_is_undirected_automorphism(args):
+    _, x, y, _ = args
+    xr, yr = tuple(reversed(x)), tuple(reversed(y))
+    assert undirected_distance(x, y) == undirected_distance(xr, yr)
+
+
+@given(PAIRS)
+@settings(max_examples=300, deadline=None)
+def test_reversal_reverses_directed_arcs(args):
+    # reversal is an anti-automorphism: D(x̄, ȳ) = D(y, x).
+    _, x, y, _ = args
+    xr, yr = tuple(reversed(x)), tuple(reversed(y))
+    assert directed_distance(xr, yr) == directed_distance(y, x)
+
+
+@given(PAIRS, st.integers(0, 3), st.booleans())
+@settings(max_examples=300, deadline=None)
+def test_metric_is_lipschitz_along_edges(args, digit_seed, go_left):
+    d, x, y, _ = args
+    digit = digit_seed % d
+    neighbor = left_shift(x, digit) if go_left else right_shift(x, digit)
+    base = undirected_distance(x, y)
+    assert abs(undirected_distance(neighbor, y) - base) <= 1
+
+
+@given(PAIRS)
+@settings(max_examples=200, deadline=None)
+def test_directed_distance_drops_by_one_along_optimal_first_hop(args):
+    d, x, y, _ = args
+    if x == y:
+        return
+    path = shortest_path_unidirectional(x, y)
+    first = left_shift(x, path[0].digit)
+    assert directed_distance(first, y) == directed_distance(x, y) - 1
+
+
+@given(PAIRS)
+@settings(max_examples=200, deadline=None)
+def test_undirected_distance_drops_along_every_optimal_hop(args):
+    d, x, y, _ = args
+    if x == y:
+        return
+    path = shortest_path_undirected(x, y, use_wildcards=False)
+    current = x
+    remaining = undirected_distance(x, y)
+    for step in path:
+        current = (
+            left_shift(current, step.digit)
+            if step.direction == 0
+            else right_shift(current, step.digit)
+        )
+        remaining -= 1
+        assert undirected_distance(current, y) == remaining
+
+
+@given(PAIRS)
+@settings(max_examples=200, deadline=None)
+def test_distance_to_left_shift_is_at_most_one(args):
+    d, x, _, _ = args
+    for digit in range(d):
+        assert undirected_distance(x, left_shift(x, digit)) <= 1
+        assert undirected_distance(x, right_shift(x, digit)) <= 1
+        assert directed_distance(x, left_shift(x, digit)) <= 1

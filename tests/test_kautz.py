@@ -1,0 +1,165 @@
+"""Tests for Kautz graphs K(d, k) and the Property-1 transfer."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+
+from repro.exceptions import InvalidParameterError, InvalidWordError, RoutingError
+from repro.graphs.kautz import KautzGraph, validate_kautz_word
+
+CASES = [(2, 2), (2, 3), (2, 4), (3, 2), (3, 3), (4, 2)]
+
+
+def _bfs(graph: KautzGraph, source):
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.out_neighbors(u):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+# ----------------------------------------------------------------------
+# Word validation and structure
+# ----------------------------------------------------------------------
+
+
+def test_validate_accepts_kautz_words():
+    assert validate_kautz_word((0, 1, 0), 2, 3) == (0, 1, 0)
+    assert validate_kautz_word((2, 0, 2), 2, 3) == (2, 0, 2)
+
+
+@pytest.mark.parametrize("word", [(0, 0, 1), (0, 1, 1), (0, 1), (0, 1, 3)])
+def test_validate_rejects_bad_words(word):
+    with pytest.raises(InvalidWordError):
+        validate_kautz_word(word, 2, 3)
+
+
+def test_invalid_parameters():
+    with pytest.raises(InvalidParameterError):
+        KautzGraph(1, 3)
+    with pytest.raises(InvalidParameterError):
+        KautzGraph(2, 0)
+
+
+@pytest.mark.parametrize("d,k", CASES)
+def test_order_formula(d, k):
+    graph = KautzGraph(d, k)
+    vertices = list(graph.vertices())
+    assert len(vertices) == d**k + d ** (k - 1) == graph.order
+    assert len(set(vertices)) == graph.order
+    for word in vertices:
+        validate_kautz_word(word, d, k)
+
+
+@pytest.mark.parametrize("d,k", CASES)
+def test_degrees_are_exactly_d(d, k):
+    graph = KautzGraph(d, k)
+    for word in graph.vertices():
+        assert len(graph.out_neighbors(word)) == d
+        assert len(graph.in_neighbors(word)) == d
+
+
+def test_no_self_loops():
+    graph = KautzGraph(2, 3)
+    for u, v in graph.edges():
+        assert u != v
+
+
+def test_in_out_consistency():
+    graph = KautzGraph(2, 3)
+    for u in graph.vertices():
+        for v in graph.out_neighbors(u):
+            assert u in graph.in_neighbors(v)
+
+
+# ----------------------------------------------------------------------
+# Property 1 transfers: distance and routing vs BFS
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("d,k", CASES)
+def test_distance_formula_matches_bfs_all_pairs(d, k):
+    graph = KautzGraph(d, k)
+    vertices = list(graph.vertices())
+    for x in vertices:
+        oracle = _bfs(graph, x)
+        for y in vertices:
+            assert graph.distance(x, y) == oracle[y], (x, y)
+
+
+@pytest.mark.parametrize("d,k", CASES)
+def test_route_is_optimal_and_valid(d, k):
+    graph = KautzGraph(d, k)
+    vertices = list(graph.vertices())
+    for x in vertices:
+        for y in vertices:
+            digits = graph.route(x, y)
+            assert len(digits) == graph.distance(x, y)
+            assert graph.apply_route(x, digits) == y
+
+
+@pytest.mark.parametrize("d,k", CASES)
+def test_diameter_is_k(d, k):
+    graph = KautzGraph(d, k)
+    vertices = list(graph.vertices())
+    worst = 0
+    for x in vertices:
+        oracle = _bfs(graph, x)
+        assert len(oracle) == graph.order  # strongly connected
+        worst = max(worst, max(oracle.values()))
+    assert worst == k
+
+
+def test_kautz_beats_debruijn_at_same_degree_diameter():
+    # The reason Kautz matters: more vertices for the same (degree, diameter).
+    for d, k in CASES:
+        assert KautzGraph(d, k).order > d**k
+
+
+def test_apply_route_rejects_repeat():
+    graph = KautzGraph(2, 3)
+    with pytest.raises(RoutingError):
+        graph.apply_route((0, 1, 2), [2])
+
+
+def test_distance_zero_iff_equal():
+    graph = KautzGraph(2, 3)
+    assert graph.distance((0, 1, 0), (0, 1, 0)) == 0
+    assert graph.distance((0, 1, 0), (0, 1, 2)) > 0
+
+
+# ----------------------------------------------------------------------
+# Kautz sequences
+# ----------------------------------------------------------------------
+
+
+def test_kautz_sequence_k1():
+    from repro.graphs.kautz import is_kautz_sequence, kautz_sequence
+
+    assert kautz_sequence(2, 1) == (0, 1, 2)
+    assert is_kautz_sequence((0, 1, 2), 2, 1)
+
+
+@pytest.mark.parametrize("d,k", [(2, 2), (2, 3), (2, 4), (3, 2), (3, 3)])
+def test_kautz_sequences_are_valid(d, k):
+    from repro.graphs.kautz import is_kautz_sequence, kautz_sequence
+
+    seq = kautz_sequence(d, k)
+    assert len(seq) == d**k + d ** (k - 1)
+    assert is_kautz_sequence(seq, d, k)
+    # No two adjacent symbols equal, cyclically.
+    for a, b in zip(seq, seq[1:] + seq[:1]):
+        assert a != b
+
+
+def test_is_kautz_sequence_rejects_bad_inputs():
+    from repro.graphs.kautz import is_kautz_sequence
+
+    assert not is_kautz_sequence((0, 1, 2), 2, 2)  # wrong length
+    assert not is_kautz_sequence((0, 0, 1, 2, 1, 2), 2, 2)  # repeat adjacency

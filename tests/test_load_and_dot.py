@@ -1,0 +1,142 @@
+"""Tests for static congestion analysis and DOT export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dot import graph_to_dot, route_to_dot, suffix_tree_to_dot
+from repro.analysis.load import (
+    adversarial_patterns,
+    congestion,
+    link_loads,
+    path_links,
+    permutation_demands,
+)
+from repro.core.routing import Direction, RoutingStep
+from repro.core.suffix_tree import SuffixTree
+from repro.core.word import iter_words
+from repro.graphs.debruijn import directed_graph, undirected_graph
+from repro.network.router import BidirectionalOptimalRouter, TrivialRouter
+
+
+# ----------------------------------------------------------------------
+# path_links
+# ----------------------------------------------------------------------
+
+
+def test_path_links_follow_the_trace():
+    path = [RoutingStep(Direction.LEFT, 1), RoutingStep(Direction.RIGHT, 0)]
+    links = path_links((0, 0, 0), path, 2)
+    assert links == [((0, 0, 0), (0, 0, 1)), ((0, 0, 1), (0, 0, 0))]
+
+
+def test_path_links_resolve_wildcards_to_zero():
+    path = [RoutingStep(Direction.LEFT, None)]
+    assert path_links((0, 1, 1), path, 2) == [((0, 1, 1), (1, 1, 0))]
+
+
+# ----------------------------------------------------------------------
+# Congestion
+# ----------------------------------------------------------------------
+
+
+def test_link_loads_count_shared_links():
+    router = TrivialRouter()
+    demands = [((0, 0, 0), (1, 1, 1)), ((0, 0, 0), (1, 1, 1))]
+    loads = link_loads(demands, router, 2)
+    assert all(load == 2 for load in loads.values())
+    assert len(loads) == 3
+
+
+def test_congestion_report_consistency():
+    router = BidirectionalOptimalRouter(use_wildcards=False)
+    demands = [(x, y) for x in iter_words(2, 3) for y in iter_words(2, 3) if x != y]
+    report = congestion(demands, router, 2)
+    assert report.demands == 56
+    assert report.total_hops == sum(len(router.plan(x, y)) for x, y in demands)
+    assert report.max_load >= report.mean_load > 0
+    assert 0 < report.fairness <= 1
+    assert report.mean_hops == pytest.approx(report.total_hops / 56)
+
+
+def test_optimal_congestion_no_worse_total_than_trivial():
+    d, k = 2, 4
+    demands = [(x, tuple(reversed(x))) for x in iter_words(d, k) if x != tuple(reversed(x))]
+    optimal = congestion(demands, BidirectionalOptimalRouter(use_wildcards=False), d)
+    trivial = congestion(demands, TrivialRouter(), d)
+    assert optimal.total_hops < trivial.total_hops
+    assert optimal.mean_hops < trivial.mean_hops
+
+
+def test_permutation_demands_skip_fixed_points():
+    demands = permutation_demands(2, 3, lambda w: tuple(reversed(w)))
+    assert all(x != y for x, y in demands)
+    # Palindromes of length 3 over {0,1}: 000, 010, 101, 111 -> 4 fixed.
+    assert len(demands) == 8 - 4
+
+
+def test_adversarial_patterns_cover_the_classics():
+    patterns = adversarial_patterns(2, 4)
+    assert set(patterns) == {"bit-reversal", "complement", "cyclic-shift", "swap-halves"}
+    for demands in patterns.values():
+        assert demands
+        assert all(x != y for x, y in demands)
+
+
+def test_empty_demand_set():
+    report = congestion([], TrivialRouter(), 2)
+    assert report.demands == 0 and report.max_load == 0 and report.mean_hops == 0.0
+
+
+# ----------------------------------------------------------------------
+# DOT export
+# ----------------------------------------------------------------------
+
+
+def test_graph_to_dot_directed_structure():
+    dot = graph_to_dot(directed_graph(2, 2))
+    assert dot.startswith("digraph")
+    assert '"00" -> "01"' in dot
+    assert dot.rstrip().endswith("}")
+
+
+def test_graph_to_dot_undirected_uses_edge_op():
+    dot = graph_to_dot(undirected_graph(2, 2))
+    assert dot.startswith("graph")
+    assert "--" in dot and "->" not in dot.replace("--", "")
+
+
+def test_graph_to_dot_highlighting():
+    trace = [(0, 0), (0, 1), (1, 1)]
+    dot = graph_to_dot(undirected_graph(2, 2), highlight_path=trace)
+    assert "lightblue" in dot
+    assert "penwidth=2" in dot
+
+
+def test_route_to_dot_chain():
+    dot = route_to_dot([(0, 0, 1), (0, 1, 1), (1, 1, 1)])
+    assert '"001" -> "011"' in dot
+    assert "hop 2" in dot
+
+
+def test_route_to_dot_single_vertex():
+    dot = route_to_dot([(0, 1)])
+    assert '"01"' in dot
+
+
+def test_suffix_tree_to_dot_labels():
+    tree = SuffixTree((0, 1, 0))
+    dot = suffix_tree_to_dot(tree)
+    assert dot.startswith("digraph")
+    assert "label=" in dot
+    # Leaves carry their suffix index as a label.
+    assert 'label="0"' in dot
+
+
+def test_dot_outputs_are_parseable_brackets():
+    for dot in (
+        graph_to_dot(directed_graph(2, 2)),
+        route_to_dot([(0, 0), (0, 1)]),
+        suffix_tree_to_dot(SuffixTree((0, 1))),
+    ):
+        assert dot.count("{") == dot.count("}") == 1

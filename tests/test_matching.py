@@ -1,0 +1,181 @@
+"""Unit tests for :mod:`repro.core.matching` — Algorithm 3."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import (
+    common_substrings_brute,
+    failure_function,
+    l_brute,
+    matching_function_l,
+    matching_function_r,
+    matching_row_l,
+    matching_row_r,
+    r_brute,
+)
+
+
+def _failure_brute(pattern):
+    n = len(pattern)
+    out = []
+    for j in range(n):
+        best = 0
+        for s in range(1, j + 1):
+            if pattern[:s] == pattern[j - s + 1 : j + 1]:
+                best = s
+        out.append(best)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Failure function (paper Algorithm 3 lines 1-7)
+# ----------------------------------------------------------------------
+
+
+def test_failure_function_known_value():
+    assert failure_function((0, 1, 0, 0, 1, 0, 1)) == [0, 0, 1, 1, 2, 3, 2]
+
+
+def test_failure_function_all_equal_digits():
+    assert failure_function((1, 1, 1, 1)) == [0, 1, 2, 3]
+
+
+def test_failure_function_no_repeats():
+    assert failure_function((0, 1, 2, 3)) == [0, 0, 0, 0]
+
+
+def test_failure_function_empty_and_single():
+    assert failure_function(()) == []
+    assert failure_function((5,)) == [0]
+
+
+@given(st.lists(st.integers(0, 2), min_size=1, max_size=30))
+@settings(max_examples=300)
+def test_failure_function_matches_brute(pattern):
+    assert failure_function(tuple(pattern)) == _failure_brute(tuple(pattern))
+
+
+@given(st.lists(st.integers(0, 1), min_size=2, max_size=40))
+@settings(max_examples=200)
+def test_failure_function_values_are_proper_prefixes(pattern):
+    fail = failure_function(tuple(pattern))
+    for j, value in enumerate(fail):
+        assert 0 <= value <= j
+        assert tuple(pattern[:value]) == tuple(pattern[j - value + 1 : j + 1])
+
+
+# ----------------------------------------------------------------------
+# Matching function rows (paper Algorithm 3 lines 8-14)
+# ----------------------------------------------------------------------
+
+WORD_PAIRS = st.integers(min_value=2, max_value=4).flatmap(
+    lambda d: st.integers(min_value=1, max_value=10).flatmap(
+        lambda k: st.tuples(
+            st.lists(st.integers(0, d - 1), min_size=k, max_size=k).map(tuple),
+            st.lists(st.integers(0, d - 1), min_size=k, max_size=k).map(tuple),
+        )
+    )
+)
+
+
+@given(WORD_PAIRS)
+@settings(max_examples=300)
+def test_matching_row_l_matches_definition(pair):
+    x, y = pair
+    k = len(x)
+    for i in range(k):
+        row = matching_row_l(x, y, i)
+        assert row == [l_brute(x, y, i, j) for j in range(k)]
+
+
+@given(WORD_PAIRS)
+@settings(max_examples=300)
+def test_matching_row_r_matches_definition(pair):
+    x, y = pair
+    k = len(x)
+    for i in range(k):
+        row = matching_row_r(x, y, i)
+        assert row == [r_brute(x, y, i, j) for j in range(k)]
+
+
+def test_matching_function_l_shape():
+    table = matching_function_l((0, 1, 0), (1, 0, 1))
+    assert len(table) == 3 and all(len(row) == 3 for row in table)
+
+
+def test_matching_l_identity_full_match():
+    # l(0, k-1) must be k when x == y (drives D(X, X) = 0 in Theorem 2).
+    x = (0, 1, 1, 0)
+    assert matching_function_l(x, x)[0][3] == 4
+
+
+def test_matching_l_handles_pattern_longer_than_prefix():
+    # s is capped by j+1 (cannot match more of Y than has been read).
+    x = (0, 0, 0)
+    y = (0, 0, 0)
+    row = matching_row_l(x, y, 0)
+    assert row == [1, 2, 3]
+
+
+def test_matching_l_full_match_then_continue():
+    # After a full pattern match, Algorithm 3 line 10 falls back through
+    # the failure function rather than over-running the pattern.
+    x = (0, 1, 1)  # pattern x[1:] = (1, 1) when i = 1
+    y = (1, 1, 1)
+    row = matching_row_l(x, y, 1)
+    assert row == [1, 2, 2]
+
+
+def test_matching_r_is_l_on_reversed_words():
+    x, y = (0, 1, 1, 0), (1, 1, 0, 1)
+    k = len(x)
+    xr, yr = tuple(reversed(x)), tuple(reversed(y))
+    table_r = matching_function_r(x, y)
+    table_l_rev = matching_function_l(xr, yr)
+    for i in range(k):
+        for j in range(k):
+            assert table_r[i][j] == table_l_rev[k - 1 - i][k - 1 - j]
+
+
+def test_l_and_r_brute_are_consistent_transposes():
+    # r_{i,j}(X, Y) matches X-suffix to Y-prefix; swapping the roles of the
+    # words and anchors turns it into an l-match: r(i,j)(X,Y)=l(j,i)(Y,X).
+    x, y = (0, 1, 2, 0), (2, 0, 1, 1)
+    for i in range(4):
+        for j in range(4):
+            assert r_brute(x, y, i, j) == l_brute(y, x, j, i)
+
+
+# ----------------------------------------------------------------------
+# Common substrings (used by the distance reformulation)
+# ----------------------------------------------------------------------
+
+
+def test_common_substrings_brute_finds_maximal_anchors():
+    subs = common_substrings_brute((0, 1), (1, 0))
+    assert ((0, 1, 1) in subs) and ((1, 0, 1) in subs)
+    assert len(subs) == 2
+
+
+def test_common_substrings_empty_when_disjoint_alphabets():
+    assert common_substrings_brute((0, 0), (1, 1)) == []
+
+
+def test_common_substrings_full_word_on_equal_inputs():
+    subs = common_substrings_brute((0, 1, 0), (0, 1, 0))
+    assert (0, 0, 3) in subs
+
+
+@given(WORD_PAIRS)
+@settings(max_examples=200)
+def test_common_substrings_are_genuine_matches(pair):
+    x, y = pair
+    for a, b, s in common_substrings_brute(x, y):
+        assert s >= 1
+        assert x[a : a + s] == y[b : b + s]
+        # maximality at the anchor
+        if a + s < len(x) and b + s < len(y):
+            assert x[a + s] != y[b + s]

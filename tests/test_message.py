@@ -1,0 +1,192 @@
+"""Tests for the five-field message and its wire codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.routing import Direction, RoutingStep
+from repro.exceptions import WirePathError
+from repro.network.message import (
+    ControlCode,
+    Message,
+    decode_message,
+    decode_path,
+    decode_word,
+    encode_message,
+    encode_path,
+    encode_word,
+)
+
+STEPS = st.lists(
+    st.tuples(st.sampled_from([Direction.LEFT, Direction.RIGHT]),
+              st.one_of(st.none(), st.integers(0, 9))).map(lambda t: RoutingStep(*t)),
+    min_size=0,
+    max_size=12,
+)
+
+
+def _message(path=None, payload=None):
+    return Message(
+        ControlCode.DATA,
+        (0, 1, 1),
+        (1, 1, 0),
+        path if path is not None else [RoutingStep(Direction.LEFT, 0)],
+        payload,
+    )
+
+
+# ----------------------------------------------------------------------
+# Message bookkeeping
+# ----------------------------------------------------------------------
+
+
+def test_message_ids_are_unique():
+    assert _message().message_id != _message().message_id
+
+
+def test_hop_count_counts_trace_minus_source():
+    m = _message()
+    assert m.hop_count == 0
+    m.trace.extend([(0, 1, 1), (1, 1, 0)])
+    assert m.hop_count == 1
+
+
+def test_latency_none_until_delivery():
+    m = _message()
+    m.injected_at = 3.0
+    assert m.latency is None
+    m.delivered_at = 7.5
+    assert m.latency == 4.5
+
+
+def test_remaining_hops_tracks_path():
+    m = _message(path=[RoutingStep(Direction.LEFT, 0), RoutingStep(Direction.RIGHT, 1)])
+    assert m.remaining_hops == 2
+
+
+# ----------------------------------------------------------------------
+# Wire codec
+# ----------------------------------------------------------------------
+
+
+def test_word_codec_roundtrip():
+    assert decode_word(encode_word((0, 5, 254))) == (0, 5, 254)
+
+
+def test_word_codec_rejects_oversized_digit():
+    with pytest.raises(WirePathError):
+        encode_word((0, 255))
+
+
+@given(STEPS)
+@settings(max_examples=200)
+def test_path_codec_roundtrip(steps):
+    assert decode_path(encode_path(steps)) == steps
+
+
+def test_path_codec_wildcard_byte():
+    blob = encode_path([RoutingStep(Direction.RIGHT, None)])
+    assert blob == bytes([1, 0xFF])
+
+
+def test_decode_path_rejects_odd_blob():
+    with pytest.raises(WirePathError):
+        decode_path(b"\x00")
+
+
+def test_decode_path_rejects_bad_type_byte():
+    with pytest.raises(WirePathError):
+        decode_path(bytes([7, 0]))
+
+
+def test_encode_path_rejects_oversized_digit():
+    with pytest.raises(WirePathError):
+        encode_path([RoutingStep(Direction.LEFT, 255)])
+
+
+@pytest.mark.parametrize("payload", [None, b"abc", "héllo"])
+def test_message_codec_roundtrip(payload):
+    m = _message(
+        path=[RoutingStep(Direction.LEFT, 1), RoutingStep(Direction.RIGHT, None)],
+        payload=payload,
+    )
+    control, source, destination, path, body = decode_message(encode_message(m))
+    assert control == ControlCode.DATA
+    assert source == (0, 1, 1)
+    assert destination == (1, 1, 0)
+    assert path == m.routing_path
+    if payload is None:
+        assert body == b""
+    elif isinstance(payload, bytes):
+        assert body == payload
+    else:
+        assert body.decode("utf-8") == payload
+
+
+def test_message_codec_rejects_object_payload():
+    with pytest.raises(WirePathError):
+        encode_message(_message(payload={"not": "bytes"}))
+
+
+def test_decode_message_rejects_truncation():
+    blob = encode_message(_message())
+    with pytest.raises(WirePathError):
+        decode_message(blob[:4])
+    with pytest.raises(WirePathError):
+        decode_message(b"\x00")
+
+
+def test_control_codes_cover_paper_roles():
+    assert {c.name for c in ControlCode} == {"DATA", "ACK", "PING", "BROADCAST"}
+
+
+# ----------------------------------------------------------------------
+# Constant-size witness headers
+# ----------------------------------------------------------------------
+
+
+def test_witness_header_roundtrip():
+    from repro.core.distance import UndirectedWitness
+    from repro.network.message import decode_witness, encode_witness
+
+    for case, i, j, theta in [("trivial", 0, 0, 0), ("l", 3, 7, 2), ("r", 5, 1, 4)]:
+        witness = UndirectedWitness(0, case, i, j, theta)
+        blob = encode_witness(witness)
+        assert len(blob) == 4
+        got = decode_witness(blob)
+        assert (got.case, got.i, got.j, got.theta) == (case, i, j, theta)
+
+
+def test_witness_header_expands_to_the_same_route():
+    from repro.core.distance import undirected_witness
+    from repro.core.routing import path_from_witness
+    from repro.network.message import decode_witness, encode_witness
+
+    x, y = (0, 1, 1, 0, 1, 0), (1, 1, 0, 1, 1, 0)
+    witness = undirected_witness(x, y)
+    wire = decode_witness(encode_witness(witness))
+    direct = path_from_witness(witness, y)
+    expanded = path_from_witness(wire, y)
+    assert expanded == direct
+    from repro.core.routing import verify_path
+
+    assert verify_path(x, y, expanded, 2)
+
+
+def test_witness_header_rejects_oversized_index():
+    from repro.core.distance import UndirectedWitness
+    from repro.network.message import encode_witness
+
+    with pytest.raises(WirePathError):
+        encode_witness(UndirectedWitness(0, "l", 300, 1, 1))
+
+
+def test_witness_header_rejects_malformed_blob():
+    from repro.network.message import decode_witness
+
+    with pytest.raises(WirePathError):
+        decode_witness(b"\x00\x00")
+    with pytest.raises(WirePathError):
+        decode_witness(bytes([9, 0, 0, 0]))

@@ -1,0 +1,64 @@
+"""Tests for the degree/diameter near-optimality analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.moore import (
+    TopologyRow,
+    asymptotic_efficiency,
+    comparison_rows,
+    directed_moore_bound,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graphs.kautz import KautzGraph
+
+
+def test_moore_bound_values():
+    assert directed_moore_bound(2, 0) == 1
+    assert directed_moore_bound(2, 3) == 1 + 2 + 4 + 8
+    assert directed_moore_bound(3, 2) == 1 + 3 + 9
+
+
+def test_moore_bound_rejects_bad_parameters():
+    with pytest.raises(InvalidParameterError):
+        directed_moore_bound(0, 2)
+    with pytest.raises(InvalidParameterError):
+        directed_moore_bound(2, -1)
+
+
+@pytest.mark.parametrize("d,k", [(2, 3), (2, 6), (3, 3), (4, 2)])
+def test_comparison_rows_orders_and_bounds(d, k):
+    debruijn, kautz = comparison_rows(d, k)
+    assert debruijn.order == d**k
+    assert kautz.order == KautzGraph(d, k).order
+    assert debruijn.order < kautz.order <= kautz.moore_bound
+    assert 0 < debruijn.efficiency < kautz.efficiency <= 1.0
+
+
+def test_efficiency_approaches_asymptote():
+    d = 2
+    limit = asymptotic_efficiency(d)
+    assert limit == pytest.approx(0.5)
+    previous_gap = None
+    for k in range(2, 10):
+        debruijn, _ = comparison_rows(d, k)
+        gap = abs(debruijn.efficiency - limit)
+        if previous_gap is not None:
+            assert gap < previous_gap  # converges monotonically
+        previous_gap = gap
+    assert previous_gap < 0.01
+
+
+def test_kautz_efficiency_asymptote():
+    # Kautz approaches (d^2 - 1)/d^2 of the Moore bound.
+    d = 3
+    debruijn, kautz = comparison_rows(d, 8)
+    assert kautz.efficiency == pytest.approx((d * d - 1) / (d * d), abs=1e-3)
+    assert debruijn.efficiency == pytest.approx((d - 1) / d, abs=1e-3)
+
+
+def test_topology_row_is_frozen():
+    row = TopologyRow("x", 2, 3, 8, 15)
+    with pytest.raises(AttributeError):
+        row.order = 9  # type: ignore[misc]

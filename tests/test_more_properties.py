@@ -1,0 +1,141 @@
+"""Late-pass property tests aimed at the thinner-covered modules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+# ----------------------------------------------------------------------
+# Queueing model
+# ----------------------------------------------------------------------
+
+
+@given(st.floats(0.1, 5.0), st.floats(0.1, 5.0), st.floats(0.001, 0.02))
+@settings(max_examples=100)
+def test_prediction_monotone_in_distance_and_rate(distance_a, distance_b, rate):
+    from repro.analysis.queueing import predict_uniform_latency
+
+    lo, hi = sorted((distance_a, distance_b))
+    p_lo = predict_uniform_latency(64, 252, rate, lo)
+    p_hi = predict_uniform_latency(64, 252, rate, hi)
+    assert p_hi.latency >= p_lo.latency - 1e-12
+
+
+@given(st.floats(0.0, 0.95))
+@settings(max_examples=100)
+def test_md1_wait_monotone(utilisation):
+    from repro.analysis.queueing import md1_wait
+
+    assert md1_wait(utilisation) <= md1_wait(min(utilisation + 0.01, 0.99)) + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Moore bound
+# ----------------------------------------------------------------------
+
+
+@given(st.integers(2, 6), st.integers(1, 12))
+@settings(max_examples=100)
+def test_moore_rows_consistent(d, k):
+    from repro.analysis.moore import comparison_rows, directed_moore_bound
+
+    debruijn, kautz = comparison_rows(d, k)
+    assert debruijn.moore_bound == kautz.moore_bound == directed_moore_bound(d, k)
+    assert debruijn.order < kautz.order <= kautz.moore_bound
+    assert debruijn.order * (d + 1) == kautz.order * d  # K = DB·(d+1)/d
+
+
+# ----------------------------------------------------------------------
+# Witness wire header
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.sampled_from(["trivial", "l", "r"]),
+    st.integers(0, 255),
+    st.integers(0, 255),
+    st.integers(0, 255),
+)
+@settings(max_examples=200)
+def test_witness_header_roundtrip_fuzz(case, i, j, theta):
+    from repro.core.distance import UndirectedWitness
+    from repro.network.message import decode_witness, encode_witness
+
+    witness = UndirectedWitness(0, case, i, j, theta)
+    decoded = decode_witness(encode_witness(witness))
+    assert (decoded.case, decoded.i, decoded.j, decoded.theta) == (case, i, j, theta)
+
+
+# ----------------------------------------------------------------------
+# Shortest-path counting consistency
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.integers(2, 3).flatmap(
+        lambda d: st.integers(2, 6).flatmap(
+            lambda k: st.tuples(
+                st.just(d),
+                st.lists(st.integers(0, d - 1), min_size=k, max_size=k).map(tuple),
+                st.lists(st.integers(0, d - 1), min_size=k, max_size=k).map(tuple),
+            )
+        )
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_random_shortest_path_lies_in_enumeration(args):
+    import random
+
+    from repro.core.paths import all_shortest_paths, count_shortest_paths, random_shortest_path
+
+    d, x, y = args
+    count = count_shortest_paths(x, y, d)
+    assert count >= 1
+    if count <= 200:
+        enumerated = {tuple(p) for p in all_shortest_paths(x, y, d)}
+        assert len(enumerated) == count
+        sampled = tuple(random_shortest_path(x, y, d, random.Random(1)))
+        assert sampled in enumerated
+
+
+# ----------------------------------------------------------------------
+# Sequences under larger alphabets
+# ----------------------------------------------------------------------
+
+
+@given(st.integers(2, 6), st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_sequences_valid_for_wider_alphabets(d, k):
+    from repro.graphs.sequences import (
+        debruijn_sequence_euler,
+        debruijn_sequence_lyndon,
+        is_debruijn_sequence,
+    )
+
+    assert is_debruijn_sequence(debruijn_sequence_lyndon(d, k), d, k)
+    assert is_debruijn_sequence(debruijn_sequence_euler(d, k), d, k)
+
+
+# ----------------------------------------------------------------------
+# Table rendering
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(-999, 999), st.floats(-1e3, 1e3, allow_nan=False)),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=100)
+def test_format_table_alignment_invariants(rows):
+    from repro.analysis.tables import format_table
+
+    text = format_table(["a", "b"], rows)
+    lines = text.splitlines()
+    assert len(lines) == len(rows) + 2
+    # No trailing whitespace, and the rule line matches the header width.
+    assert all(line == line.rstrip() for line in lines)
+    assert set(lines[1]) <= {"-", " "}

@@ -1,0 +1,123 @@
+"""Tests for the per-site forwarding rule and the link contention model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.routing import Direction, RoutingStep
+from repro.exceptions import DeliveryError
+from repro.network.link import Link
+from repro.network.message import ControlCode, Message
+from repro.network.node import Node
+
+
+def _msg(path, destination=(1, 1, 0)):
+    return Message(ControlCode.DATA, (0, 1, 1), destination, list(path))
+
+
+# ----------------------------------------------------------------------
+# Node: the paper's pop-and-forward rule
+# ----------------------------------------------------------------------
+
+
+def test_empty_path_is_accepted_at_destination():
+    node = Node((1, 1, 0), d=2)
+    message = _msg([])
+    assert node.process(message, now=5.0) is None
+    assert message.delivered_at == 5.0
+    assert node.delivered == [message]
+    assert message.trace == [(1, 1, 0)]
+
+
+def test_empty_path_at_wrong_site_raises():
+    node = Node((0, 0, 0), d=2)
+    with pytest.raises(DeliveryError):
+        node.process(_msg([]), now=0.0)
+
+
+def test_forward_pops_first_pair_and_shifts():
+    node = Node((0, 1, 1), d=2)
+    message = _msg([RoutingStep(Direction.LEFT, 0), RoutingStep(Direction.RIGHT, 1)])
+    target, step = node.process(message, now=0.0)
+    assert target == (1, 1, 0)  # X^-(0)
+    assert step == RoutingStep(Direction.LEFT, 0)
+    assert message.remaining_hops == 1
+    assert node.forwarded_count == 1
+
+
+def test_forward_right_shift():
+    node = Node((0, 1, 1), d=2)
+    target, _ = node.process(_msg([RoutingStep(Direction.RIGHT, 1)]), now=0.0)
+    assert target == (1, 0, 1)  # X^+(1)
+
+
+def test_wildcard_resolution_prefers_cheapest_link():
+    node = Node((0, 1, 1), d=2)
+    message = _msg([RoutingStep(Direction.LEFT, None)])
+    # X^-(0) = (1,1,0), X^-(1) = (1,1,1); make digit 1 cheaper.
+    costs = {(1, 1, 0): 10.0, (1, 1, 1): 1.0}
+    target, step = node.process(message, now=0.0, cost_fn=costs.__getitem__)
+    assert target == (1, 1, 1)
+    assert step == RoutingStep(Direction.LEFT, 1)
+    assert message.wildcards_resolved == 1
+
+
+def test_wildcard_resolution_ties_pick_smallest_digit():
+    node = Node((0, 1, 1), d=3)
+    target, step = node.forward_target(RoutingStep(Direction.LEFT, None))
+    assert step.digit == 0
+    assert target == (1, 1, 0)
+
+
+def test_trace_records_every_visited_site():
+    node_a = Node((0, 1, 1), d=2)
+    node_b = Node((1, 1, 0), d=2)
+    message = _msg([RoutingStep(Direction.LEFT, 0)])
+    node_a.process(message, now=0.0)
+    node_b.process(message, now=1.0)
+    assert message.trace == [(0, 1, 1), (1, 1, 0)]
+    assert message.hop_count == 1
+
+
+# ----------------------------------------------------------------------
+# Link: FIFO serialisation and latency
+# ----------------------------------------------------------------------
+
+
+def test_uncontended_link_delivers_after_latency():
+    link = Link((0, 0), (0, 1), latency=3.0, service_time=1.0)
+    assert link.transmit(10.0) == 13.0
+    assert link.carried == 1
+    assert link.total_queue_delay == 0.0
+
+
+def test_contended_link_serialises():
+    link = Link((0, 0), (0, 1), latency=1.0, service_time=1.0)
+    first = link.transmit(0.0)
+    second = link.transmit(0.0)
+    third = link.transmit(0.0)
+    assert (first, second, third) == (1.0, 2.0, 3.0)
+    assert link.total_queue_delay == 0.0 + 1.0 + 2.0
+    assert link.mean_queue_delay == 1.0
+
+
+def test_link_idle_gap_resets_queue():
+    link = Link((0, 0), (0, 1))
+    link.transmit(0.0)
+    assert link.transmit(100.0) == 101.0
+    assert link.total_queue_delay == 0.0
+
+
+def test_earliest_departure_reflects_backlog():
+    link = Link((0, 0), (0, 1))
+    assert link.earliest_departure(5.0) == 5.0
+    link.transmit(5.0)
+    assert link.earliest_departure(5.0) == 6.0
+
+
+def test_mean_queue_delay_zero_when_unused():
+    assert Link((0,), (1,)).mean_queue_delay == 0.0
+
+
+def test_link_key():
+    assert Link((0, 1), (1, 1)).key == ((0, 1), (1, 1))

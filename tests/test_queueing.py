@@ -1,0 +1,76 @@
+"""Tests for the analytic queueing model, including against the simulator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.exact import undirected_average_distance
+from repro.analysis.queueing import (
+    LatencyPrediction,
+    md1_wait,
+    predict_uniform_latency,
+    saturation_rate,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graphs.debruijn import undirected_graph
+from repro.network.router import BidirectionalOptimalRouter
+from repro.network.simulator import Simulator, run_workload
+from repro.network.traffic import uniform_random
+
+
+def test_md1_wait_values():
+    assert md1_wait(0.0) == 0.0
+    assert md1_wait(0.5) == pytest.approx(0.5)
+    assert md1_wait(0.9) == pytest.approx(4.5)
+
+
+def test_md1_wait_rejects_saturation():
+    with pytest.raises(InvalidParameterError):
+        md1_wait(1.0)
+    with pytest.raises(InvalidParameterError):
+        md1_wait(-0.1)
+
+
+def test_prediction_structure():
+    pred = predict_uniform_latency(64, 252, 0.05, 3.4)
+    assert isinstance(pred, LatencyPrediction)
+    assert pred.latency >= pred.mean_distance  # waiting only adds
+    assert 0 < pred.link_utilisation < 1
+
+
+def test_prediction_monotone_in_rate():
+    latencies = [predict_uniform_latency(64, 252, rate, 3.4).latency
+                 for rate in (0.01, 0.05, 0.2, 0.5)]
+    assert latencies == sorted(latencies)
+
+
+def test_prediction_raises_at_saturation():
+    rate = saturation_rate(64, 252, 3.4)
+    with pytest.raises(InvalidParameterError):
+        predict_uniform_latency(64, 252, rate * 1.01, 3.4)
+    predict_uniform_latency(64, 252, rate * 0.99, 3.4)  # just below is fine
+
+
+def test_guards():
+    with pytest.raises(InvalidParameterError):
+        predict_uniform_latency(0, 10, 0.1, 2.0)
+    with pytest.raises(InvalidParameterError):
+        saturation_rate(10, 0, 2.0)
+
+
+def test_prediction_tracks_simulator_below_saturation():
+    d, k = 2, 5
+    graph = undirected_graph(d, k)
+    n_links = 2 * graph.size()  # each undirected edge = two directed links
+    delta = undirected_average_distance(d, k)
+    rate = 0.08
+    prediction = predict_uniform_latency(graph.order, n_links, rate, delta)
+    sim = Simulator(d, k)
+    workload = list(uniform_random(d, k, cycles=300, injection_rate=rate,
+                                   rng=random.Random(17)))
+    stats = run_workload(sim, BidirectionalOptimalRouter(), workload)
+    measured = stats.mean_latency()
+    # The crude model should land within 35% of the simulator here.
+    assert measured == pytest.approx(prediction.latency, rel=0.35)

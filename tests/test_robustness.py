@@ -1,0 +1,79 @@
+"""Tests for the random-failure robustness analysis."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.robustness import (
+    RobustnessPoint,
+    path_stretch_samples,
+    random_failure_sweep,
+    reachable_pair_fraction,
+    survivor_component_fraction,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graphs.debruijn import undirected_graph
+
+
+def test_no_failures_is_fully_connected():
+    graph = undirected_graph(2, 4)
+    assert survivor_component_fraction(graph, set()) == 1.0
+    assert reachable_pair_fraction(graph, set()) == 1.0
+
+
+def test_isolating_cut_shrinks_component():
+    graph = undirected_graph(2, 3)
+    # Killing 001 and 100 isolates 000 from the rest.
+    failed = {(0, 0, 1), (1, 0, 0)}
+    fraction = survivor_component_fraction(graph, failed)
+    assert fraction == pytest.approx(5 / 6)  # 6 survivors, component of 5
+    reachable = reachable_pair_fraction(graph, failed)
+    assert reachable == pytest.approx((5 * 4) / (6 * 5))
+
+
+def test_sampled_reachability_close_to_exact():
+    graph = undirected_graph(2, 4)
+    failed = {(0, 0, 0, 1), (1, 0, 0, 0), (0, 1, 1, 0)}
+    exact = reachable_pair_fraction(graph, failed)
+    sampled = reachable_pair_fraction(graph, failed, sample_pairs=600,
+                                      rng=random.Random(5))
+    assert abs(exact - sampled) < 0.1
+
+
+def test_stretch_is_at_least_one():
+    graph = undirected_graph(2, 4)
+    failed = {(0, 1, 0, 1), (1, 0, 1, 0)}
+    stretches = path_stretch_samples(graph, failed, 40, random.Random(3))
+    assert stretches
+    assert all(s >= 1.0 - 1e-9 for s in stretches)
+
+
+def test_no_failures_stretch_is_exactly_one():
+    graph = undirected_graph(2, 4)
+    stretches = path_stretch_samples(graph, set(), 30, random.Random(1))
+    assert all(s == pytest.approx(1.0) for s in stretches)
+
+
+def test_sweep_shape_and_monotonicity():
+    rows = random_failure_sweep(2, 5, fractions=(0.0, 0.1, 0.3), stretch_samples=30)
+    assert [r.failure_fraction for r in rows] == [0.0, 0.1, 0.3]
+    assert all(isinstance(r, RobustnessPoint) for r in rows)
+    assert rows[0].component_fraction == 1.0
+    assert rows[0].mean_stretch == pytest.approx(1.0)
+    # Reachability can only degrade as more sites die (same seed family).
+    assert rows[-1].reachable_fraction <= rows[0].reachable_fraction + 1e-9
+
+
+def test_sweep_rejects_bad_fraction():
+    with pytest.raises(InvalidParameterError):
+        random_failure_sweep(2, 3, fractions=(1.0,))
+
+
+def test_everything_failed_edge_cases():
+    graph = undirected_graph(2, 2)
+    everyone = set(graph.vertices())
+    assert survivor_component_fraction(graph, everyone) == 0.0
+    assert reachable_pair_fraction(graph, everyone) == 1.0  # vacuous
+    assert path_stretch_samples(graph, everyone, 5) == []

@@ -1,0 +1,171 @@
+"""Tests for de Bruijn sequences and Hamiltonian cycles."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.debruijn import directed_graph
+from repro.graphs.sequences import (
+    debruijn_sequence_euler,
+    debruijn_sequence_lyndon,
+    hamiltonian_cycle,
+    hamiltonian_path,
+    is_debruijn_sequence,
+    is_hamiltonian_cycle,
+    lyndon_words,
+    windows,
+)
+
+GRID = [(2, 1), (2, 2), (2, 3), (2, 4), (2, 5), (3, 2), (3, 3), (4, 2), (5, 2)]
+
+
+# ----------------------------------------------------------------------
+# Lyndon words
+# ----------------------------------------------------------------------
+
+
+def test_lyndon_words_binary_up_to_3():
+    words = list(lyndon_words(2, 3))
+    assert words == [(0,), (0, 0, 1), (0, 1), (0, 1, 1), (1,)]
+
+
+def test_lyndon_words_are_lexicographically_sorted():
+    words = list(lyndon_words(3, 4))
+    assert words == sorted(words)
+    assert len(words) == len(set(words))
+
+
+@given(st.integers(2, 4), st.integers(1, 6))
+@settings(max_examples=40, deadline=None)
+def test_lyndon_words_are_strictly_smallest_rotations(d, n):
+    for word in lyndon_words(d, n):
+        rotations = [word[i:] + word[:i] for i in range(1, len(word))]
+        assert all(word < rot for rot in rotations)
+
+
+def test_lyndon_word_count_binary_length_6():
+    # Necklace counting: binary Lyndon words of length exactly 6 number 9.
+    assert sum(1 for w in lyndon_words(2, 6) if len(w) == 6) == 9
+
+
+# ----------------------------------------------------------------------
+# de Bruijn sequences, two constructions
+# ----------------------------------------------------------------------
+
+
+def test_fkm_binary_order3_known_value():
+    assert debruijn_sequence_lyndon(2, 3) == (0, 0, 0, 1, 0, 1, 1, 1)
+
+
+def test_euler_binary_order3_is_valid():
+    assert is_debruijn_sequence(debruijn_sequence_euler(2, 3), 2, 3)
+
+
+@pytest.mark.parametrize("d,k", GRID)
+def test_fkm_sequences_are_valid(d, k):
+    seq = debruijn_sequence_lyndon(d, k)
+    assert len(seq) == d**k
+    assert is_debruijn_sequence(seq, d, k)
+
+
+@pytest.mark.parametrize("d,k", GRID)
+def test_euler_sequences_are_valid(d, k):
+    seq = debruijn_sequence_euler(d, k)
+    assert len(seq) == d**k
+    assert is_debruijn_sequence(seq, d, k)
+
+
+def test_the_two_constructions_may_differ_but_both_count():
+    # Both are de Bruijn sequences; equality is not required (there are
+    # many B(d, k)), but each must contain every window exactly once.
+    fkm = debruijn_sequence_lyndon(2, 4)
+    euler = debruijn_sequence_euler(2, 4)
+    assert is_debruijn_sequence(fkm, 2, 4)
+    assert is_debruijn_sequence(euler, 2, 4)
+    assert set(windows(fkm, 4)) == set(windows(euler, 4))
+
+
+def test_is_debruijn_sequence_rejects_wrong_length():
+    assert not is_debruijn_sequence((0, 1), 2, 3)
+
+
+def test_is_debruijn_sequence_rejects_duplicates():
+    assert not is_debruijn_sequence((0, 0, 0, 0, 0, 1, 1, 1), 2, 3)
+
+
+def test_is_debruijn_sequence_rejects_bad_digits():
+    assert not is_debruijn_sequence((0, 0, 0, 2, 0, 1, 1, 1), 2, 3)
+
+
+# ----------------------------------------------------------------------
+# Hamiltonian cycles (the paper's "multiple Hamiltonian paths" feature)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("d,k", GRID)
+def test_hamiltonian_cycle_is_valid(d, k):
+    cycle = hamiltonian_cycle(d, k)
+    assert is_hamiltonian_cycle(cycle, d, k)
+
+
+def test_hamiltonian_cycle_uses_graph_arcs():
+    g = directed_graph(2, 3)
+    cycle = hamiltonian_cycle(2, 3)
+    for u, v in zip(cycle, cycle[1:] + cycle[:1]):
+        # Every consecutive pair is a left-shift arc (possibly a loop at
+        # the constant words, which the simple edge set drops but the arc
+        # multiset contains).
+        assert v in g.out_neighbors(u)
+
+
+def test_hamiltonian_path_covers_all_vertices():
+    path = hamiltonian_path(3, 2)
+    assert len(path) == 9 and len(set(path)) == 9
+
+
+def test_is_hamiltonian_cycle_rejects_shuffled_order():
+    cycle = hamiltonian_cycle(2, 3)
+    broken = [cycle[0]] + cycle[2:] + [cycle[1]]
+    assert not is_hamiltonian_cycle(broken, 2, 3)
+
+
+def test_windows_wrap_cyclically():
+    seq = (0, 0, 1, 1)
+    assert list(windows(seq, 2)) == [(0, 0), (0, 1), (1, 1), (1, 0)]
+
+
+def test_lyndon_counts_match_moebius_formula():
+    # Number of Lyndon words of length exactly n over d symbols is
+    # (1/n) * sum over divisors e of n of mu(e) * d^(n/e).
+    def moebius(n):
+        result = 1
+        p = 2
+        while p * p <= n:
+            if n % p == 0:
+                n //= p
+                if n % p == 0:
+                    return 0
+                result = -result
+            else:
+                p += 1
+        if n > 1:
+            result = -result
+        return result
+
+    for d in (2, 3):
+        for n in range(1, 8):
+            expected = sum(
+                moebius(e) * d ** (n // e) for e in range(1, n + 1) if n % e == 0
+            ) // n
+            actual = sum(1 for w in lyndon_words(d, n) if len(w) == n)
+            assert actual == expected, (d, n)
+
+
+def test_fkm_lengths_sum_to_dk():
+    # The FKM theorem implies the lengths of Lyndon words with length
+    # dividing k sum to exactly d^k.
+    for d, k in [(2, 5), (3, 3), (2, 6)]:
+        total = sum(len(w) for w in lyndon_words(d, k) if k % len(w) == 0)
+        assert total == d**k

@@ -1,0 +1,176 @@
+"""Tests for GF(2) polynomials, LFSRs, m-sequences and the B(2,k) bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.word import left_shift
+from repro.exceptions import InvalidParameterError
+from repro.graphs.sequences import is_debruijn_sequence, windows
+from repro.graphs.shift_register import (
+    LFSR,
+    debruijn_from_m_sequence,
+    is_irreducible,
+    is_primitive,
+    m_sequence,
+    polynomial_degree,
+    polynomial_mod,
+    polynomial_multiply,
+    polynomial_pow_mod,
+    primitive_polynomials,
+)
+
+# x^4 + x + 1 and x^3 + x + 1: textbook primitive polynomials.
+P4 = 0b10011
+P3 = 0b1011
+
+
+# ----------------------------------------------------------------------
+# GF(2) polynomial arithmetic
+# ----------------------------------------------------------------------
+
+
+def test_degree():
+    assert polynomial_degree(0) == -1
+    assert polynomial_degree(1) == 0
+    assert polynomial_degree(P4) == 4
+
+
+def test_multiply_known_products():
+    # (x + 1)^2 = x^2 + 1 over GF(2)
+    assert polynomial_multiply(0b11, 0b11) == 0b101
+    # x * (x^2 + x + 1) = x^3 + x^2 + x
+    assert polynomial_multiply(0b10, 0b111) == 0b1110
+
+
+def test_mod_known_remainders():
+    # x^4 mod (x^4 + x + 1) = x + 1
+    assert polynomial_mod(0b10000, P4) == 0b11
+    assert polynomial_mod(0b101, 0b101) == 0
+
+
+def test_mod_rejects_zero_modulus():
+    with pytest.raises(InvalidParameterError):
+        polynomial_mod(0b101, 0)
+
+
+def test_pow_mod_matches_repeated_multiplication():
+    value = 1
+    for exponent in range(10):
+        assert polynomial_pow_mod(0b10, exponent, P4) == value
+        value = polynomial_mod(polynomial_multiply(value, 0b10), P4)
+
+
+# ----------------------------------------------------------------------
+# Irreducibility and primitivity
+# ----------------------------------------------------------------------
+
+
+def test_known_irreducibles():
+    assert is_irreducible(0b111)  # x^2+x+1
+    assert is_irreducible(P3)
+    assert is_irreducible(P4)
+    assert not is_irreducible(0b101)  # x^2+1 = (x+1)^2
+    assert not is_irreducible(0b110)  # x^2+x = x(x+1)
+    assert not is_irreducible(1)
+
+
+def test_known_primitives():
+    assert is_primitive(0b111)
+    assert is_primitive(P3)
+    assert is_primitive(P4)
+    # x^4 + x^3 + x^2 + x + 1 is irreducible but NOT primitive (order 5).
+    assert is_irreducible(0b11111)
+    assert not is_primitive(0b11111)
+
+
+def test_primitive_polynomial_counts():
+    # The number of degree-n primitive polynomials is φ(2^n − 1)/n.
+    assert len(primitive_polynomials(2)) == 1
+    assert len(primitive_polynomials(3)) == 2
+    assert len(primitive_polynomials(4)) == 2
+    assert len(primitive_polynomials(5)) == 6
+
+
+def test_primitive_polynomials_limit():
+    assert len(primitive_polynomials(5, limit=2)) == 2
+
+
+def test_primitive_polynomials_rejects_bad_degree():
+    with pytest.raises(InvalidParameterError):
+        primitive_polynomials(0)
+
+
+# ----------------------------------------------------------------------
+# LFSR walks are left-shift walks in DG(2, k)
+# ----------------------------------------------------------------------
+
+
+def test_lfsr_steps_are_de_bruijn_left_shifts():
+    register = LFSR(P4, (0, 0, 0, 1))
+    previous = register.state
+    for state in register.states(20):
+        assert state == left_shift(previous, state[-1])
+        previous = state
+
+
+def test_lfsr_primitive_period_is_maximal():
+    register = LFSR(P4, (0, 0, 0, 1))
+    assert register.period() == 15
+    register3 = LFSR(P3, (0, 0, 1))
+    assert register3.period() == 7
+
+
+def test_lfsr_zero_state_is_fixed():
+    register = LFSR(P4, (0, 0, 0, 0))
+    assert register.step() == (0, 0, 0, 0)
+
+
+def test_lfsr_nonprimitive_period_divides():
+    # x^4+x^3+x^2+x+1 has order 5: every nonzero orbit has length 5.
+    register = LFSR(0b11111, (0, 0, 0, 1))
+    assert register.period() == 5
+
+
+def test_lfsr_validates_inputs():
+    with pytest.raises(InvalidParameterError):
+        LFSR(1, (0, 1))
+    with pytest.raises(InvalidParameterError):
+        LFSR(P4, (0, 1))
+    with pytest.raises(InvalidParameterError):
+        LFSR(P4, (0, 1, 2, 0))
+
+
+# ----------------------------------------------------------------------
+# m-sequences and the de Bruijn bridge
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("taps,k", [(P3, 3), (P4, 4), (0b100101, 5)])
+def test_m_sequence_covers_all_nonzero_windows(taps, k):
+    assert is_primitive(taps)
+    seq = m_sequence(taps)
+    assert len(seq) == 2**k - 1
+    seen = set(windows(seq, k))
+    assert len(seen) == 2**k - 1
+    assert (0,) * k not in seen
+
+
+def test_m_sequence_rejects_nonprimitive():
+    with pytest.raises(InvalidParameterError):
+        m_sequence(0b11111)
+
+
+@pytest.mark.parametrize("taps,k", [(P3, 3), (P4, 4), (0b100101, 5)])
+def test_debruijn_from_m_sequence_is_valid(taps, k):
+    seq = debruijn_from_m_sequence(taps)
+    assert is_debruijn_sequence(seq, 2, k)
+
+
+def test_three_constructions_agree_on_window_sets():
+    from repro.graphs.sequences import debruijn_sequence_lyndon
+
+    k = 4
+    via_lfsr = debruijn_from_m_sequence(P4)
+    via_fkm = debruijn_sequence_lyndon(2, k)
+    assert set(windows(via_lfsr, k)) == set(windows(via_fkm, k))

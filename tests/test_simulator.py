@@ -1,0 +1,347 @@
+"""Tests for the discrete-event DN(d, k) simulator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.distance import directed_distance, undirected_distance
+from repro.graphs.debruijn import directed_graph, undirected_graph
+from repro.network.router import (
+    BidirectionalOptimalRouter,
+    TableDrivenRouter,
+    TrivialRouter,
+    UnidirectionalOptimalRouter,
+    step_between,
+    vertex_path_to_steps,
+)
+from repro.network.simulator import Simulator, run_workload
+from repro.network.traffic import (
+    all_pairs_once,
+    bit_reversal,
+    complement_traffic,
+    hotspot,
+    permutation_traffic,
+    random_pairs,
+    uniform_random,
+)
+from repro.exceptions import RoutingError
+from tests.conftest import all_words
+
+
+# ----------------------------------------------------------------------
+# Routers in isolation
+# ----------------------------------------------------------------------
+
+
+def test_step_between_left_and_right():
+    from repro.core.routing import Direction
+
+    step = step_between((0, 0, 1), (0, 1, 1), 2)
+    assert step.direction == Direction.LEFT and step.digit == 1
+    step = step_between((0, 1, 1), (0, 0, 1), 2)
+    assert step.direction == Direction.RIGHT and step.digit == 0
+
+
+def test_step_between_rejects_non_neighbor():
+    with pytest.raises(RoutingError):
+        step_between((0, 0, 0), (1, 1, 1), 2)
+
+
+def test_vertex_path_to_steps_roundtrip():
+    from repro.core.routing import apply_path
+
+    vertices = [(0, 0, 1), (0, 1, 1), (1, 1, 0), (1, 0, 0)]
+    steps = vertex_path_to_steps(vertices, 2)
+    assert apply_path(vertices[0], steps, 2) == vertices[-1]
+
+
+@pytest.mark.parametrize("d,k", [(2, 3), (3, 2)])
+def test_table_router_produces_shortest_paths(d, k):
+    g = undirected_graph(d, k)
+    router = TableDrivenRouter(g)
+    for x in all_words(d, k):
+        for y in all_words(d, k):
+            path = router.plan(x, y)
+            assert len(path) == undirected_distance(x, y)
+    assert router.memory_cells() > 0
+
+
+def test_table_router_directed():
+    g = directed_graph(2, 3)
+    router = TableDrivenRouter(g)
+    for x in all_words(2, 3):
+        for y in all_words(2, 3):
+            assert len(router.plan(x, y)) == directed_distance(x, y)
+
+
+def test_optimal_routers_report_zero_memory():
+    assert BidirectionalOptimalRouter().memory_cells() == 0
+    assert UnidirectionalOptimalRouter().memory_cells() == 0
+
+
+def test_trivial_router_always_k_hops():
+    router = TrivialRouter()
+    assert len(router.plan((0, 1, 1), (1, 1, 0))) == 3
+    assert router.plan((0, 1, 1), (0, 1, 1)) == []
+
+
+# ----------------------------------------------------------------------
+# Single-message simulations
+# ----------------------------------------------------------------------
+
+
+def test_single_message_delivery_trace_and_latency():
+    sim = Simulator(2, 3)
+    message = sim.send((0, 1, 1), (1, 1, 0), BidirectionalOptimalRouter(), at=2.0)
+    stats = sim.run()
+    assert stats.delivered_count == 1
+    assert message.delivered_at is not None
+    assert message.trace[0] == (0, 1, 1)
+    assert message.trace[-1] == (1, 1, 0)
+    # Uncontended: latency = hops * link latency.
+    assert message.latency == message.hop_count * 1.0
+    assert message.hop_count == undirected_distance((0, 1, 1), (1, 1, 0))
+
+
+def test_self_message_delivers_immediately():
+    sim = Simulator(2, 3)
+    message = sim.send((0, 1, 1), (0, 1, 1), BidirectionalOptimalRouter(), at=1.0)
+    stats = sim.run()
+    assert stats.delivered_count == 1
+    assert message.latency == 0.0
+
+
+def test_unidirectional_network_uses_algorithm1():
+    sim = Simulator(2, 4, bidirectional=False)
+    x, y = (0, 1, 1, 0), (1, 1, 0, 0)
+    message = sim.send(x, y, UnidirectionalOptimalRouter())
+    sim.run()
+    assert message.hop_count == directed_distance(x, y)
+
+
+def test_trivial_router_takes_k_hops_in_simulation():
+    sim = Simulator(2, 4)
+    message = sim.send((0, 1, 1, 0), (1, 1, 0, 0), TrivialRouter())
+    sim.run()
+    assert message.hop_count == 4
+
+
+def test_contention_adds_queueing_delay():
+    sim = Simulator(2, 3)
+    router = TrivialRouter()
+    # Two messages fight over the same first link (000 -> 001).
+    m1 = sim.send((0, 0, 0), (0, 0, 1), router, at=0.0)
+    m2 = sim.send((0, 0, 0), (0, 0, 1), router, at=0.0)
+    sim.run()
+    latencies = sorted([m1.latency, m2.latency])
+    assert latencies[0] < latencies[1]
+    assert sim.stats.mean_queue_delay() > 0.0
+
+
+def test_link_loads_are_recorded():
+    sim = Simulator(2, 3)
+    sim.send((0, 0, 1), (1, 1, 1), BidirectionalOptimalRouter())
+    stats = sim.run()
+    assert sum(stats.link_loads.values()) == stats.delivered[0].hop_count
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+
+
+def test_uniform_workload_everything_delivered():
+    sim = Simulator(2, 3)
+    workload = list(uniform_random(2, 3, cycles=20, injection_rate=0.2, rng=random.Random(1)))
+    stats = run_workload(sim, BidirectionalOptimalRouter(), workload)
+    assert stats.delivered_count == len(workload)
+    assert stats.dropped_count == 0
+    assert stats.throughput() > 0
+
+
+def test_all_pairs_once_mean_hops_equals_mean_distance():
+    d, k = 2, 3
+    sim = Simulator(d, k, link_latency=1.0)
+    # Huge spacing: zero contention, hop counts are pure distances.
+    workload = list(all_pairs_once(d, k, spacing=10.0))
+    stats = run_workload(sim, BidirectionalOptimalRouter(), workload)
+    n = d**k
+    expected_mean = (  # mean over ordered distinct pairs
+        sum(undirected_distance(x, y) for x in all_words(d, k) for y in all_words(d, k))
+        / (n * n - n)
+    )
+    assert stats.mean_hops() == pytest.approx(expected_mean)
+
+
+def test_permutation_traffic_shape():
+    events = list(permutation_traffic(2, 3, cycles=2, rng=random.Random(3)))
+    sources = [s for _, s, _ in events]
+    assert len(events) <= 2 * 8
+    assert all(s != t for _, s, t in events)
+    # Same partner in both cycles.
+    half = len(events) // 2
+    assert events[:half] == [(t - 1.0, s, d) for t, s, d in events[half:]]
+
+
+def test_hotspot_traffic_targets_hotspot():
+    events = list(hotspot(2, 3, cycles=50, injection_rate=1.0, hotspot_fraction=1.0,
+                          target=(1, 1, 1), rng=random.Random(0)))
+    assert events
+    assert all(dst == (1, 1, 1) for _, _, dst in events)
+
+
+def test_bit_reversal_and_complement_patterns():
+    reversal = list(bit_reversal(2, 3))
+    assert all(dst == tuple(reversed(src)) for _, src, dst in reversal)
+    complement = list(complement_traffic(2, 3))
+    assert all(dst == tuple(1 - digit for digit in src) for _, src, dst in complement)
+    # Palindromes / self-complementary words are skipped.
+    assert all(src != dst for _, src, dst in reversal + complement)
+
+
+def test_random_pairs_deterministic_and_distinct():
+    a = random_pairs(2, 4, count=10, rng=random.Random(7))
+    b = random_pairs(2, 4, count=10, rng=random.Random(7))
+    assert a == b
+    assert all(s != t for _, s, t in a)
+
+
+def test_run_until_limits_horizon():
+    sim = Simulator(2, 3)
+    sim.send((0, 0, 0), (1, 1, 1), TrivialRouter(), at=100.0)
+    stats = sim.run(until=10.0)
+    assert stats.delivered_count == 0
+    stats = sim.run()
+    assert stats.delivered_count == 1
+
+
+# ----------------------------------------------------------------------
+# Wildcard load balancing (the paper's * remark)
+# ----------------------------------------------------------------------
+
+
+def test_wildcards_spread_load_at_least_as_fairly():
+    d, k = 2, 5
+    workload = random_pairs(d, k, count=300, rng=random.Random(11))
+    sim_wild = Simulator(d, k)
+    stats_wild = run_workload(sim_wild, BidirectionalOptimalRouter(use_wildcards=True), list(workload))
+    sim_fixed = Simulator(d, k)
+    stats_fixed = run_workload(sim_fixed, BidirectionalOptimalRouter(use_wildcards=False), list(workload))
+    assert stats_wild.delivered_count == stats_fixed.delivered_count == 300
+    # Same shortest-path lengths either way...
+    assert stats_wild.mean_hops() == pytest.approx(stats_fixed.mean_hops())
+    # ...but wildcard resolution must not concentrate load more than the
+    # all-zeros filler does.
+    assert stats_wild.max_link_load() <= stats_fixed.max_link_load()
+
+
+def test_random_minimal_router_optimal_but_diverse():
+    from repro.network.router import RandomMinimalRouter
+
+    d, k = 2, 5
+    router = RandomMinimalRouter(d, seed=3)
+    x, y = (0, 0, 0, 0, 0), (1, 1, 1, 1, 1)
+    from repro.core.distance import undirected_distance
+    from repro.core.routing import apply_path
+
+    expected = undirected_distance(x, y)
+    routes = set()
+    for _ in range(40):
+        path = router.plan(x, y)
+        assert len(path) == expected
+        assert apply_path(x, path, d) == y
+        routes.add(tuple(path))
+    assert len(routes) > 1  # genuinely randomised
+
+
+def test_random_minimal_router_in_simulation():
+    import random as _random
+
+    from repro.network.router import BidirectionalOptimalRouter, RandomMinimalRouter
+
+    d, k = 2, 5
+    workload = random_pairs(d, k, count=150, rng=_random.Random(5))
+    sim_fixed = Simulator(d, k)
+    stats_fixed = run_workload(sim_fixed, BidirectionalOptimalRouter(use_wildcards=False),
+                               list(workload))
+    sim_random = Simulator(d, k)
+    stats_random = run_workload(sim_random, RandomMinimalRouter(d, seed=5), list(workload))
+    assert stats_random.delivered_count == stats_fixed.delivered_count == 150
+    assert stats_random.mean_hops() == pytest.approx(stats_fixed.mean_hops())
+
+
+def test_all_to_all_pattern_counts():
+    from repro.network.traffic import all_to_all
+
+    events = list(all_to_all(2, 3, rounds=2, spacing=50.0))
+    n = 8
+    assert len(events) == 2 * n * (n - 1)
+    assert all(s != t for _, s, t in events)
+    times = {t for t, _, _ in events}
+    assert times == {0.0, 50.0}
+
+
+def test_all_to_all_simulation_delivers_everything():
+    from repro.network.traffic import all_to_all
+
+    sim = Simulator(2, 3)
+    stats = run_workload(sim, BidirectionalOptimalRouter(), list(all_to_all(2, 3)))
+    assert stats.delivered_count == 8 * 7
+    assert stats.dropped_count == 0
+
+
+def test_valiant_router_reaches_destination_with_two_legs():
+    from repro.network.router import ValiantRouter
+    from repro.core.routing import apply_path
+    from repro.core.distance import undirected_distance
+
+    d, k = 2, 5
+    router = ValiantRouter(d, k, seed=3)
+    x, y = (0, 1, 1, 0, 1), (1, 0, 0, 1, 0)
+    for _ in range(20):
+        path = router.plan(x, y)
+        assert apply_path(x, path, d) == y
+        assert len(path) <= 2 * k  # two optimal legs
+        assert len(path) >= undirected_distance(x, y) or len(path) == 0
+
+
+def test_valiant_router_randomises_per_message():
+    from repro.network.router import ValiantRouter
+
+    router = ValiantRouter(2, 5, seed=9)
+    x, y = (0, 0, 0, 0, 0), (1, 1, 1, 1, 1)
+    plans = {tuple(router.plan(x, y)) for _ in range(20)}
+    assert len(plans) > 1
+
+
+def test_valiant_in_simulation_delivers():
+    from repro.network.router import ValiantRouter
+
+    d, k = 2, 4
+    sim = Simulator(d, k)
+    workload = random_pairs(d, k, count=50, spacing=1.0, rng=random.Random(2))
+    stats = run_workload(sim, ValiantRouter(d, k, seed=4), workload)
+    assert stats.delivered_count == 50
+    assert stats.mean_hops() <= 2 * k
+
+
+def test_workload_save_load_roundtrip(tmp_path):
+    from repro.network.traffic import load_workload, save_workload
+
+    original = random_pairs(2, 4, count=25, spacing=0.5, rng=random.Random(3))
+    path = tmp_path / "workload.jsonl"
+    count = save_workload(iter(original), str(path))
+    assert count == 25
+    restored = load_workload(str(path))
+    assert restored == original
+    # Replaying the restored workload gives identical results.
+    sim_a = Simulator(2, 4)
+    stats_a = run_workload(sim_a, BidirectionalOptimalRouter(use_wildcards=False),
+                           list(original))
+    sim_b = Simulator(2, 4)
+    stats_b = run_workload(sim_b, BidirectionalOptimalRouter(use_wildcards=False),
+                           restored)
+    assert stats_a.mean_hops() == stats_b.mean_hops()
+    assert stats_a.mean_latency() == stats_b.mean_latency()

@@ -1,0 +1,100 @@
+"""Tests for distributed odd–even transposition sort on the embedded array."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.graphs.embeddings import embed_linear_array
+from repro.network.sorting import (
+    is_sorted,
+    odd_even_transposition_sort,
+    sort_trace,
+    worst_case_rounds,
+)
+
+
+def test_reverse_order_sorts_in_n_rounds():
+    d, k = 2, 3
+    n = d**k
+    keys = list(range(n))[::-1]
+    result = odd_even_transposition_sort(d, k, keys)
+    assert result.final_keys == tuple(range(n))
+    assert result.rounds_used <= worst_case_rounds(n)
+
+
+def test_already_sorted_stops_after_two_quiet_rounds():
+    result = odd_even_transposition_sort(2, 3, list(range(8)))
+    assert result.final_keys == tuple(range(8))
+    assert result.rounds_used == 2  # one even and one odd sweep, no swaps
+
+
+def test_messages_are_counted_per_handshake():
+    d, k = 2, 3
+    result = odd_even_transposition_sort(d, k, list(range(8)))
+    # Round 0 compares pairs (0,1),(2,3),(4,5),(6,7): 4 handshakes.
+    # Round 1 compares (1,2),(3,4),(5,6): 3 handshakes.  2 msgs each.
+    assert result.messages == 2 * (4 + 3)
+
+
+def test_placement_maps_sites_to_sorted_keys():
+    d, k = 2, 3
+    keys = [5, 2, 7, 0, 6, 1, 4, 3]
+    result = odd_even_transposition_sort(d, k, keys)
+    array = embed_linear_array(d, k)
+    assert [result.placement[site] for site in array] == sorted(keys)
+
+
+@given(st.lists(st.integers(-100, 100), min_size=8, max_size=8))
+@settings(max_examples=200)
+def test_sorts_any_input_dg23(keys):
+    result = odd_even_transposition_sort(2, 3, keys)
+    assert list(result.final_keys) == sorted(keys)
+
+
+@pytest.mark.parametrize("d,k", [(2, 3), (2, 4), (3, 2), (2, 5)])
+def test_sorts_random_inputs_various_sizes(d, k):
+    rng = random.Random(d * 10 + k)
+    n = d**k
+    keys = [rng.randrange(1000) for _ in range(n)]
+    result = odd_even_transposition_sort(d, k, keys)
+    assert list(result.final_keys) == sorted(keys)
+    assert result.rounds_used <= n
+
+
+def test_duplicate_keys_handled():
+    result = odd_even_transposition_sort(2, 3, [3, 3, 1, 1, 2, 2, 0, 0])
+    assert list(result.final_keys) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+def test_wrong_key_count_rejected():
+    with pytest.raises(InvalidParameterError):
+        odd_even_transposition_sort(2, 3, [1, 2, 3])
+
+
+def test_sort_trace_converges_and_has_n_plus_1_states():
+    keys = [7, 6, 5, 4, 3, 2, 1, 0]
+    trace = sort_trace(2, 3, keys)
+    assert len(trace) == 9
+    assert trace[0] == tuple(keys)
+    assert is_sorted(trace[-1])
+
+
+def test_worst_case_rounds_guard():
+    assert worst_case_rounds(8) == 8
+    with pytest.raises(InvalidParameterError):
+        worst_case_rounds(0)
+
+
+def test_zero_one_principle_exhaustive_dg23():
+    # The 0-1 principle: a comparison network sorts all inputs iff it
+    # sorts all 0/1 inputs.  Check every 0/1 vector at n = 8.
+    from itertools import product
+
+    for bits in product((0, 1), repeat=8):
+        result = odd_even_transposition_sort(2, 3, list(bits))
+        assert is_sorted(result.final_keys), bits

@@ -1,0 +1,82 @@
+"""Tests for the spectral/walk-counting module (A^k = J)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectral import (
+    adjacency_matrix,
+    property1_in_matrix_form,
+    spectrum,
+    verify_walk_identity,
+    walk_count_matrix,
+)
+from repro.exceptions import InvalidParameterError
+
+GRID = [(2, 2), (2, 3), (2, 4), (3, 2), (3, 3), (4, 2)]
+
+
+@pytest.mark.parametrize("d,k", GRID)
+def test_adjacency_rows_sum_to_d(d, k):
+    matrix = adjacency_matrix(d, k)
+    assert (matrix.sum(axis=1) == d).all()
+    assert (matrix.sum(axis=0) == d).all()  # in-degree d as well
+
+
+def test_adjacency_loops_at_constant_words():
+    matrix = adjacency_matrix(2, 3)
+    assert matrix[0, 0] == 1  # 000 -> 000
+    assert matrix[7, 7] == 1  # 111 -> 111
+    assert matrix[1, 1] == 0
+
+
+@pytest.mark.parametrize("d,k", GRID)
+def test_a_to_the_k_is_all_ones(d, k):
+    assert verify_walk_identity(d, k)
+
+
+@pytest.mark.parametrize("d,k", [(2, 3), (3, 2)])
+def test_beyond_diameter_walk_counts_are_uniform(d, k):
+    for extra in (1, 2):
+        power = walk_count_matrix(d, k, k + extra)
+        assert (power == d**extra).all()
+
+
+@pytest.mark.parametrize("d,k", GRID)
+def test_spectrum_is_d_plus_zeros(d, k):
+    eigenvalues = spectrum(d, k)
+    assert eigenvalues[0] == pytest.approx(d, abs=1e-8)
+    # A − its rank-one part is nilpotent; numerically, eigenvalues of a
+    # nilpotent matrix perturb like machine_eps**(1/k), so the tolerance
+    # must be generous (1e-16**(1/4) ≈ 1e-4; give 100x headroom).
+    assert np.abs(eigenvalues[1:]).max() < 0.05
+
+
+@pytest.mark.parametrize("d,k", [(2, 3), (2, 4), (3, 2), (3, 3)])
+def test_property1_matrix_form(d, k):
+    assert property1_in_matrix_form(d, k)
+
+
+def test_exact_distance_walk_nonmonotonicity_exists():
+    # A pair with D(x, y) = s that has NO walk of some length t in (s, k):
+    # documents why property1_in_matrix_form uses an argmin, not a
+    # threshold.  x = 010, y = 101: D = 1, but no walk of length 2
+    # (x_3 != y_1 would need 0 = ... check via the walk matrix).
+    walks2 = walk_count_matrix(2, 3, 2)
+    from repro.analysis.exact import directed_distance_matrix
+
+    distances = directed_distance_matrix(2, 3)
+    mask = (distances < 2) & (walks2 == 0)
+    assert mask.any()
+
+
+def test_walk_matrix_t0_is_identity():
+    assert (walk_count_matrix(2, 3, 0) == np.eye(8, dtype=np.int64)).all()
+
+
+def test_guards():
+    with pytest.raises(InvalidParameterError):
+        adjacency_matrix(2, 20)
+    with pytest.raises(InvalidParameterError):
+        walk_count_matrix(2, 3, -1)

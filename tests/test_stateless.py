@@ -1,0 +1,89 @@
+"""Tests for hop-by-hop (destination-only) routing."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.distance import directed_distance, undirected_distance
+from repro.exceptions import RoutingError
+from repro.network.router import BidirectionalOptimalRouter, StatelessRouter
+from repro.network.simulator import Simulator, run_workload
+from repro.network.traffic import random_pairs
+from tests.conftest import all_words
+
+
+def test_next_hop_decreases_distance():
+    router = StatelessRouter()
+    x, y = (0, 1, 1, 0), (1, 0, 0, 1)
+    step = router.next_hop(x, y)
+    from repro.core.routing import apply_step
+
+    landing = apply_step(x, step, 2)
+    assert undirected_distance(landing, y) == undirected_distance(x, y) - 1
+
+
+def test_next_hop_at_destination_raises():
+    with pytest.raises(RoutingError):
+        StatelessRouter().next_hop((0, 1), (0, 1))
+
+
+def test_stateless_message_carries_no_path():
+    sim = Simulator(2, 4)
+    message = sim.send((0, 1, 1, 0), (1, 0, 0, 1), StatelessRouter())
+    assert message.routing_path == []
+    assert message.hop_router is not None
+    sim.run()
+    assert message.delivered_at is not None
+
+
+@pytest.mark.parametrize("bidirectional", [True, False])
+def test_stateless_hops_equal_distance(bidirectional):
+    d, k = 2, 3
+    sim_kwargs = {"bidirectional": bidirectional}
+    router = StatelessRouter(bidirectional=bidirectional)
+    dist_fn = undirected_distance if bidirectional else directed_distance
+    sim = Simulator(d, k, **sim_kwargs)
+    targets = []
+    t = 0.0
+    for x in all_words(d, k):
+        for y in all_words(d, k):
+            if x != y:
+                targets.append((sim.send(x, y, router, at=t), dist_fn(x, y)))
+                t += 8.0
+    sim.run()
+    for message, expected in targets:
+        assert message.hop_count == expected
+
+
+def test_stateless_equals_source_routed_under_load():
+    d, k = 2, 4
+    workload = random_pairs(d, k, count=80, spacing=2.0, rng=random.Random(3))
+    sim_a = Simulator(d, k)
+    stats_a = run_workload(sim_a, StatelessRouter(), list(workload))
+    sim_b = Simulator(d, k)
+    stats_b = run_workload(sim_b, BidirectionalOptimalRouter(use_wildcards=False),
+                           list(workload))
+    assert stats_a.delivered_count == stats_b.delivered_count == 80
+    assert stats_a.mean_hops() == pytest.approx(stats_b.mean_hops())
+
+
+def test_stateless_adapts_to_midroute_knowledge():
+    # The defining property: each hop re-plans from the *current* vertex,
+    # so the route self-corrects however the packet got there.  Force a
+    # message onto an off-path vertex by delivering it there and resending.
+    router = StatelessRouter()
+    x, y = (0, 0, 0, 0), (1, 1, 1, 1)
+    detour = (0, 1, 0, 1)
+    hops_from_detour = undirected_distance(detour, y)
+    sim = Simulator(2, 4)
+    message = sim.send(detour, y, router)
+    sim.run()
+    assert message.hop_count == hops_from_detour
+
+
+def test_stateless_router_plan_still_usable():
+    router = StatelessRouter(bidirectional=False)
+    path = router.plan((0, 1, 1), (1, 1, 0))
+    assert len(path) == directed_distance((0, 1, 1), (1, 1, 0))

@@ -1,0 +1,251 @@
+"""Unit tests for :mod:`repro.core.suffix_tree` (Ukkonen vs naive oracle)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import common_substrings_brute
+from repro.core.suffix_tree import (
+    Alignment,
+    GeneralizedSuffixTree,
+    SuffixTree,
+    build_naive,
+    canonical_form,
+)
+
+TEXTS = st.lists(st.integers(0, 3), min_size=1, max_size=40).map(tuple)
+BINARY_TEXTS = st.lists(st.integers(0, 1), min_size=1, max_size=60).map(tuple)
+
+
+def _substrings(text):
+    out = set()
+    for i in range(len(text)):
+        for j in range(i + 1, len(text) + 1):
+            out.add(text[i:j])
+    return out
+
+
+# ----------------------------------------------------------------------
+# Construction correctness (Ukkonen == naive)
+# ----------------------------------------------------------------------
+
+
+@given(TEXTS)
+@settings(max_examples=300, deadline=None)
+def test_ukkonen_equals_naive_construction(text):
+    fast = SuffixTree(text)
+    slow = build_naive(text)
+    assert canonical_form(fast) == canonical_form(slow)
+
+
+@given(BINARY_TEXTS)
+@settings(max_examples=200, deadline=None)
+def test_ukkonen_equals_naive_binary(text):
+    assert canonical_form(SuffixTree(text)) == canonical_form(build_naive(text))
+
+
+def test_known_tree_abab():
+    tree = SuffixTree((0, 1, 0, 1))
+    assert tree.leaf_count() == 5  # 4 suffixes + sentinel suffix
+    assert tree.count_occurrences((0, 1)) == 2
+    assert tree.count_occurrences((0, 1, 0)) == 1
+
+
+def test_all_distinct_symbols():
+    tree = SuffixTree((0, 1, 2, 3))
+    # Root with 5 leaf children (4 symbols + sentinel): 6 nodes total.
+    assert tree.node_count() == 6
+
+
+def test_repetitive_text():
+    tree = SuffixTree((0,) * 10)
+    assert tree.count_occurrences((0, 0, 0)) == 8
+
+
+# ----------------------------------------------------------------------
+# Queries against string oracles
+# ----------------------------------------------------------------------
+
+
+@given(TEXTS)
+@settings(max_examples=150, deadline=None)
+def test_contains_matches_substring_oracle(text):
+    tree = SuffixTree(text)
+    for sub in list(_substrings(text))[:50]:
+        assert tree.contains(sub)
+    assert not tree.contains(text + (9,))
+
+
+@given(BINARY_TEXTS)
+@settings(max_examples=150, deadline=None)
+def test_occurrences_match_scan_oracle(text):
+    tree = SuffixTree(text)
+    for pattern in [(0,), (1,), (0, 1), (1, 0), (0, 0, 1)]:
+        expected = [
+            i for i in range(len(text) - len(pattern) + 1) if text[i : i + len(pattern)] == pattern
+        ]
+        assert sorted(tree.occurrences(pattern)) == expected
+
+
+def test_occurrences_of_absent_pattern_is_empty():
+    assert SuffixTree((0, 0, 1)).occurrences((1, 1)) == []
+
+
+@given(TEXTS)
+@settings(max_examples=150, deadline=None)
+def test_leaf_suffix_indices_are_a_permutation(text):
+    tree = SuffixTree(text)
+    indices = sorted(node.suffix_index for node in tree.nodes() if node.is_leaf)
+    assert indices == list(range(len(text) + 1))  # +1 for the sentinel
+
+
+@given(TEXTS)
+@settings(max_examples=150, deadline=None)
+def test_compactness_linear_node_count(text):
+    # A compact suffix tree over n+1 leaves has at most 2(n+1) nodes
+    # (every internal node has >= 2 children) — the paper's O(n) claim.
+    tree = SuffixTree(text)
+    n_leaves = len(text) + 1
+    assert tree.node_count() <= 2 * n_leaves
+    for node in tree.nodes():
+        if node is not tree.root and not node.is_leaf:
+            assert len(node.children) >= 2
+
+
+def test_longest_repeated_substring_known():
+    # "banana" pattern over ints: 0 1 2 1 2 1 -> longest repeat "1 2 1"
+    tree = SuffixTree((0, 1, 2, 1, 2, 1))
+    assert tree.longest_repeated_substring() == (1, 2, 1)
+
+
+def test_longest_repeated_substring_no_repeat():
+    assert SuffixTree((0, 1, 2)).longest_repeated_substring() == ()
+
+
+@given(BINARY_TEXTS)
+@settings(max_examples=150, deadline=None)
+def test_longest_repeated_substring_matches_brute(text):
+    tree = SuffixTree(text)
+    result = tree.longest_repeated_substring()
+    best = 0
+    for sub in _substrings(text):
+        count = sum(
+            1 for i in range(len(text) - len(sub) + 1) if text[i : i + len(sub)] == sub
+        )
+        if count >= 2:
+            best = max(best, len(sub))
+    assert len(result) == best
+    if result:
+        occurrences = tree.occurrences(result)
+        assert len(occurrences) >= 2
+
+
+# ----------------------------------------------------------------------
+# Generalized tree and alignments
+# ----------------------------------------------------------------------
+
+PAIRS = st.integers(min_value=2, max_value=3).flatmap(
+    lambda d: st.integers(min_value=1, max_value=12).flatmap(
+        lambda k: st.tuples(
+            st.lists(st.integers(0, d - 1), min_size=k, max_size=k).map(tuple),
+            st.lists(st.integers(0, d - 1), min_size=k, max_size=k).map(tuple),
+        )
+    )
+)
+
+
+def test_generalized_tree_lcs_known():
+    tree = GeneralizedSuffixTree((0, 1, 1, 0), (1, 1, 1, 0))
+    lcs = tree.longest_common_substring()
+    assert lcs.s == 3
+    assert (0, 1, 1, 0)[lcs.a : lcs.a + 3] == (1, 1, 1, 0)[lcs.b : lcs.b + 3]
+
+
+def test_generalized_tree_no_common_symbol():
+    tree = GeneralizedSuffixTree((0, 0), (1, 1))
+    assert tree.longest_common_substring() == Alignment(0, 0, 0)
+    best_l, best_r = tree.best_alignments()
+    assert best_l is None and best_r is None
+
+
+@given(PAIRS)
+@settings(max_examples=200, deadline=None)
+def test_lcs_matches_brute_force(pair):
+    x, y = pair
+    tree = GeneralizedSuffixTree(x, y)
+    lcs = tree.longest_common_substring()
+    brute_best = max((s for _, _, s in common_substrings_brute(x, y)), default=0)
+    assert lcs.s == brute_best
+    if lcs.s:
+        assert x[lcs.a : lcs.a + lcs.s] == y[lcs.b : lcs.b + lcs.s]
+
+
+@given(PAIRS)
+@settings(max_examples=200, deadline=None)
+def test_best_alignments_match_brute_force(pair):
+    x, y = pair
+    tree = GeneralizedSuffixTree(x, y)
+    best_l, best_r = tree.best_alignments()
+    subs = common_substrings_brute(x, y)
+    if not subs:
+        assert best_l is None and best_r is None
+        return
+    expect_l = max(2 * s + (b - a) for a, b, s in subs)
+    expect_r = max(2 * s + (a - b) for a, b, s in subs)
+    assert best_l is not None and best_r is not None
+    assert 2 * best_l.s + (best_l.b - best_l.a) == expect_l
+    assert 2 * best_r.s + (best_r.a - best_r.b) == expect_r
+    # The witnesses must be genuine common substrings.
+    assert x[best_l.a : best_l.a + best_l.s] == y[best_l.b : best_l.b + best_l.s]
+    assert x[best_r.a : best_r.a + best_r.s] == y[best_r.b : best_r.b + best_r.s]
+
+
+# ----------------------------------------------------------------------
+# Suffix array and LCP extraction
+# ----------------------------------------------------------------------
+
+
+def _brute_sa_lcp(text):
+    n = len(text)
+    sa = sorted(range(n), key=lambda i: text[i:])
+    lcp = []
+    for a, b in zip(sa, sa[1:]):
+        s = 0
+        while a + s < n and b + s < n and text[a + s] == text[b + s]:
+            s += 1
+        lcp.append(s)
+    return sa, lcp
+
+
+def test_suffix_array_known_banana_like():
+    tree = SuffixTree((1, 2, 3, 2, 3, 2))  # "abcbcb"-ish
+    sa, lcp = tree.suffix_array_with_lcp()
+    expected_sa, expected_lcp = _brute_sa_lcp(tree.text)
+    assert sa == expected_sa
+    assert lcp == expected_lcp
+
+
+@given(TEXTS)
+@settings(max_examples=200, deadline=None)
+def test_suffix_array_matches_brute(text):
+    tree = SuffixTree(text)
+    sa, lcp = tree.suffix_array_with_lcp()
+    expected_sa, expected_lcp = _brute_sa_lcp(tree.text)
+    assert sa == expected_sa
+    assert lcp == expected_lcp
+
+
+@given(BINARY_TEXTS)
+@settings(max_examples=150, deadline=None)
+def test_suffix_array_is_permutation(text):
+    tree = SuffixTree(text)
+    sa = tree.suffix_array()
+    assert sorted(sa) == list(range(len(text) + 1))
+
+
+def test_lcp_length_is_one_less_than_sa():
+    tree = SuffixTree((0, 1, 0, 1))
+    sa, lcp = tree.suffix_array_with_lcp()
+    assert len(lcp) == len(sa) - 1

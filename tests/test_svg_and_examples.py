@@ -1,0 +1,77 @@
+"""Tests for the SVG renderer, plus smoke tests running every example."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.svg import graph_to_svg, route_to_svg
+from repro.core.routing import path_words, shortest_path_undirected
+from repro.graphs.debruijn import directed_graph, undirected_graph
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+# ----------------------------------------------------------------------
+# SVG rendering
+# ----------------------------------------------------------------------
+
+
+def test_svg_document_structure():
+    svg = graph_to_svg(undirected_graph(2, 3))
+    assert svg.startswith("<svg")
+    assert svg.rstrip().endswith("</svg>")
+    assert svg.count("<circle") == 8
+    assert svg.count("<text") == 8
+    assert "011" in svg
+
+
+def test_svg_edge_count_matches_graph():
+    graph = directed_graph(2, 3)
+    svg = graph_to_svg(graph)
+    assert svg.count('<path class="edge"') == graph.size()
+
+
+def test_svg_highlighting():
+    x, y = (0, 0, 1), (1, 1, 1)
+    trace = path_words(x, shortest_path_undirected(x, y, use_wildcards=False), 2)
+    svg = route_to_svg(undirected_graph(2, 3), trace)
+    assert svg.count('class="node-hl"') == len(trace)
+    assert svg.count('class="edge-hl"') == len(trace) - 1
+
+
+def test_svg_no_highlight_classes_without_path():
+    svg = graph_to_svg(undirected_graph(2, 3))
+    assert 'class="node-hl"' not in svg
+    assert 'class="edge-hl"' not in svg
+
+
+def test_svg_size_parameter():
+    svg = graph_to_svg(undirected_graph(2, 2), size=300)
+    assert 'width="300"' in svg
+
+
+# ----------------------------------------------------------------------
+# Every example runs clean
+# ----------------------------------------------------------------------
+
+
+def test_examples_directory_is_complete():
+    assert len(EXAMPLES) >= 11
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{script} produced no output"

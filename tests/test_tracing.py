@@ -1,0 +1,101 @@
+"""Tests for the simulation trace recorder."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.network.router import BidirectionalOptimalRouter
+from repro.network.simulator import Simulator, run_workload
+from repro.network.tracing import TraceRecorder
+from repro.network.traffic import random_pairs
+
+
+def _traced_run(pairs=30, seed=4):
+    sim = Simulator(2, 4)
+    recorder = TraceRecorder(sim)
+    workload = random_pairs(2, 4, count=pairs, spacing=1.0, rng=random.Random(seed))
+    stats = run_workload(sim, BidirectionalOptimalRouter(), workload)
+    return recorder, stats
+
+
+def test_trace_captures_every_hop():
+    recorder, stats = _traced_run()
+    # One INJECT per message plus one ARRIVE per hop plus the final arrive.
+    injects = [e for e in recorder.entries if e.kind == "INJECT"]
+    arrives = [e for e in recorder.entries if e.kind == "ARRIVE"]
+    assert len(injects) == stats.delivered_count
+    assert len(arrives) == sum(m.hop_count for m in stats.delivered)
+
+
+def test_trace_times_are_monotone():
+    recorder, _ = _traced_run()
+    times = [e.time for e in recorder.entries]
+    assert times == sorted(times)
+
+
+def test_message_timeline_follows_the_trace():
+    recorder, stats = _traced_run(pairs=5)
+    message = max(stats.delivered, key=lambda m: m.hop_count)
+    timeline = recorder.message_timeline(message.message_id)
+    assert [e.site for e in timeline] == message.trace
+    assert timeline[0].kind == "INJECT"
+    assert all(e.kind == "ARRIVE" for e in timeline[1:])
+
+
+def test_site_activity_counts_match_entries():
+    recorder, _ = _traced_run()
+    activity = recorder.site_activity()
+    assert sum(a.events for a in activity.values()) == len(recorder.entries)
+    for act in activity.values():
+        assert act.first_time <= act.last_time
+
+
+def test_busiest_sites_ranked():
+    recorder, _ = _traced_run()
+    ranked = recorder.busiest_sites(top=3)
+    assert len(ranked) <= 3
+    counts = [count for _, count in ranked]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_jsonl_round_trips():
+    recorder, _ = _traced_run(pairs=4)
+    lines = recorder.to_jsonl().splitlines()
+    assert len(lines) == len(recorder.entries)
+    for line in lines:
+        parsed = json.loads(line)
+        assert set(parsed) == {"time", "kind", "site", "message_id"}
+
+
+def test_failure_events_are_recorded():
+    sim = Simulator(2, 3)
+    recorder = TraceRecorder(sim)
+    sim.fail_node((1, 1, 1), at=2.0)
+    sim.recover_node((1, 1, 1), at=5.0)
+    sim.run()
+    kinds = [e.kind for e in recorder.entries]
+    assert kinds == ["FAIL", "RECOVER"]
+
+
+def test_render_timeline_contains_sites():
+    recorder, _ = _traced_run()
+    art = recorder.render_timeline(buckets=20, max_sites=4)
+    assert "events" in art
+    assert "|" in art
+
+
+def test_render_timeline_empty():
+    sim = Simulator(2, 3)
+    recorder = TraceRecorder(sim)
+    assert recorder.render_timeline() == "(empty trace)"
+
+
+def test_double_attach_rejected():
+    sim = Simulator(2, 3)
+    TraceRecorder(sim)
+    with pytest.raises(SimulationError):
+        TraceRecorder(sim)

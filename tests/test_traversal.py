@@ -1,0 +1,114 @@
+"""Tests for :mod:`repro.graphs.traversal` — the BFS substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distance import directed_distance, undirected_distance
+from repro.exceptions import RoutingError
+from repro.graphs.debruijn import directed_graph, undirected_graph
+from repro.graphs.traversal import (
+    bfs_distances,
+    bfs_parents,
+    bfs_path,
+    eccentricities,
+    next_hop_table,
+)
+from tests.conftest import all_words
+
+
+@pytest.mark.parametrize("d,k", [(2, 3), (2, 4), (3, 2)])
+def test_bfs_distances_match_distance_functions(d, k):
+    gd = directed_graph(d, k)
+    gu = undirected_graph(d, k)
+    for x in all_words(d, k):
+        dd = bfs_distances(gd, x)
+        du = bfs_distances(gu, x)
+        for y in all_words(d, k):
+            assert dd[y] == directed_distance(x, y)
+            assert du[y] == undirected_distance(x, y)
+
+
+def test_bfs_distances_with_custom_neighbor_fn():
+    g = directed_graph(2, 3)
+    # Reverse BFS: distances *to* the source along arcs.
+    backward = bfs_distances(g, (0, 1, 1), neighbor_fn=g.in_neighbors)
+    for y in all_words(2, 3):
+        assert backward[y] == directed_distance(y, (0, 1, 1))
+
+
+def test_bfs_parents_form_a_tree():
+    g = undirected_graph(2, 3)
+    parents = bfs_parents(g, (0, 0, 0))
+    assert parents[(0, 0, 0)] is None
+    for vertex, parent in parents.items():
+        if parent is not None:
+            assert g.has_edge(parent, vertex)
+
+
+@pytest.mark.parametrize("d,k", [(2, 3), (3, 2)])
+def test_bfs_path_is_shortest_and_valid(d, k):
+    g = undirected_graph(d, k)
+    for x in all_words(d, k):
+        for y in all_words(d, k):
+            path = bfs_path(g, x, y)
+            assert path[0] == x and path[-1] == y
+            assert len(path) - 1 == undirected_distance(x, y)
+            for u, v in zip(path, path[1:]):
+                assert g.has_edge(u, v)
+
+
+def test_bfs_path_same_vertex():
+    g = undirected_graph(2, 3)
+    assert bfs_path(g, (0, 1, 1), (0, 1, 1)) == [(0, 1, 1)]
+
+
+def test_bfs_path_respects_avoid_set():
+    g = undirected_graph(2, 3)
+    direct = bfs_path(g, (0, 0, 1), (1, 1, 1))
+    blocked = direct[1]  # remove the midpoint of the shortest route
+    detour = bfs_path(g, (0, 0, 1), (1, 1, 1), avoid=[blocked])
+    assert blocked not in detour
+    assert len(detour) >= len(direct)
+
+
+def test_bfs_path_raises_when_blocked_everywhere():
+    g = undirected_graph(2, 2)
+    others = [w for w in all_words(2, 2) if w not in ((0, 0), (1, 1))]
+    with pytest.raises(RoutingError):
+        bfs_path(g, (0, 0), (1, 1), avoid=others)
+
+
+def test_bfs_path_rejects_blocked_endpoints():
+    g = undirected_graph(2, 2)
+    with pytest.raises(RoutingError):
+        bfs_path(g, (0, 0), (1, 1), avoid=[(0, 0)])
+
+
+@pytest.mark.parametrize("directed", [True, False])
+def test_next_hop_table_routes_optimally(directed):
+    d, k = 2, 3
+    g = directed_graph(d, k) if directed else undirected_graph(d, k)
+    dist_fn = directed_distance if directed else undirected_distance
+    for target in all_words(d, k):
+        table = next_hop_table(g, target)
+        for source in all_words(d, k):
+            if source == target:
+                continue
+            hop = table[source]
+            assert g.has_edge(source, hop)
+            assert dist_fn(hop, target) == dist_fn(source, target) - 1
+
+
+def test_next_hop_table_omits_target():
+    g = undirected_graph(2, 3)
+    table = next_hop_table(g, (1, 1, 1))
+    assert (1, 1, 1) not in table
+
+
+def test_eccentricities_all_equal_diameter_for_small_graph():
+    # Every vertex of DG(2, 2) reaches everything within k = 2.
+    g = undirected_graph(2, 2)
+    eccs = eccentricities(g)
+    assert max(eccs.values()) == 2
+    assert all(1 <= e <= 2 for e in eccs.values())
