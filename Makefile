@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples lint all clean
+.PHONY: install test bench bench-smoke examples lint all clean
 
 install:
 	pip install -e .
@@ -12,6 +12,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/ -q -k smoke
 
 examples:
 	@for script in examples/*.py; do \

@@ -49,7 +49,10 @@ def test_router_comparison_uniform_traffic(benchmark, report):
 
     def run_all():
         routers = [
-            BidirectionalOptimalRouter(),
+            # cache_size=0: this ablation measures the *required* memory of
+            # address-computable routing (the paper's zero-table claim), so
+            # the optional RouteCache memoization (E17) is switched off.
+            BidirectionalOptimalRouter(cache_size=0),
             TableDrivenRouter(undirected_graph(D, K)),
             TrivialRouter(),
         ]

@@ -31,14 +31,19 @@ Quickstart::
 from repro.core import (
     Direction,
     GeneralizedSuffixTree,
+    PackedSpace,
+    RouteCache,
     RoutingStep,
     SuffixTree,
     Word,
     apply_path,
+    distance_matrix,
+    undirected_distances_many,
     directed_average_distance_closed_form,
     directed_distance,
     format_path,
     iter_words,
+    parse_path,
     parse_word,
     random_word,
     route,
@@ -64,6 +69,8 @@ __all__ = [
     "GeneralizedSuffixTree",
     "InvalidParameterError",
     "InvalidWordError",
+    "PackedSpace",
+    "RouteCache",
     "RoutingError",
     "RoutingStep",
     "SimulationError",
@@ -73,14 +80,17 @@ __all__ = [
     "apply_path",
     "directed_average_distance_closed_form",
     "directed_distance",
+    "distance_matrix",
     "format_path",
     "iter_words",
+    "parse_path",
     "parse_word",
     "random_word",
     "route",
     "shortest_path_undirected",
     "shortest_path_unidirectional",
     "undirected_distance",
+    "undirected_distances_many",
     "undirected_witness",
     "verify_path",
 ]

@@ -3,10 +3,12 @@
 Re-exports the high-level names; see the submodules for the full APIs:
 
 * :mod:`repro.core.word` — d-ary words and shift operations,
+* :mod:`repro.core.packed` — words as base-d ints with O(1) shift arithmetic,
 * :mod:`repro.core.matching` — Algorithm 3 (Morris–Pratt matching functions),
 * :mod:`repro.core.distance` — Property 1 and Theorem 2 distance functions,
+* :mod:`repro.core.batch` — batch/streaming distance engines over packed words,
 * :mod:`repro.core.suffix_tree` — compact suffix trees (Weiner/Ukkonen),
-* :mod:`repro.core.routing` — Algorithms 1, 2 and 4,
+* :mod:`repro.core.routing` — Algorithms 1, 2 and 4, plus the RouteCache,
 * :mod:`repro.core.average_distance` — Equation (5) and Figure 2 numerics.
 """
 
@@ -16,6 +18,15 @@ from repro.core.average_distance import (
     undirected_average_distance_exact,
     undirected_average_distance_sampled,
 )
+from repro.core.batch import (
+    average_distance_packed,
+    directed_distances_many,
+    distance_matrix,
+    distances_row,
+    equation5_crosscheck,
+    undirected_distances_many,
+)
+from repro.core.packed import PackedSpace
 from repro.core.distance import (
     UndirectedWitness,
     directed_distance,
@@ -30,6 +41,7 @@ from repro.core.paths import (
 from repro.core.routing import (
     Direction,
     Path,
+    RouteCache,
     RoutingStep,
     apply_path,
     format_path,
@@ -41,12 +53,23 @@ from repro.core.routing import (
     verify_path,
 )
 from repro.core.suffix_tree import GeneralizedSuffixTree, SuffixTree
-from repro.core.word import Word, WordTuple, iter_words, parse_word, random_word
+from repro.core.word import (
+    Word,
+    WordTuple,
+    from_packed,
+    iter_words,
+    packed_space,
+    parse_word,
+    random_word,
+    to_packed,
+)
 
 __all__ = [
     "Direction",
     "GeneralizedSuffixTree",
+    "PackedSpace",
     "Path",
+    "RouteCache",
     "RoutingStep",
     "SuffixTree",
     "UndirectedWitness",
@@ -54,8 +77,17 @@ __all__ = [
     "WordTuple",
     "all_shortest_paths",
     "apply_path",
+    "average_distance_packed",
     "count_shortest_paths",
     "random_shortest_path",
+    "directed_distances_many",
+    "distance_matrix",
+    "distances_row",
+    "equation5_crosscheck",
+    "from_packed",
+    "packed_space",
+    "to_packed",
+    "undirected_distances_many",
     "directed_average_distance_closed_form",
     "directed_average_distance_exact",
     "directed_distance",

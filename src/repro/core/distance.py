@@ -39,10 +39,24 @@ from repro.core.word import WordTuple, overlap_length
 from repro.exceptions import InvalidWordError
 
 #: k at or below which the O(k^2) matching method beats the suffix tree's
-#: constant factor.  benchmarks/bench_complexity_scaling.py measures the
-#: crossover between k = 8 (matching ~1.7x faster) and k = 16 (suffix tree
-#: ~1.3x faster) on CPython 3.11.
-AUTO_METHOD_CUTOVER = 12
+#: constant factor.  Measured (not guessed): the crossover sweep of
+#: benchmarks/bench_routing_throughput.py times undirected_witness via
+#: both methods on 300 random d=2 pairs per k (best of 3 repetitions).
+#: On this container's CPython, matching wins clearly through k=10
+#: (ratio 0.64-0.85) and the two methods stay within ~25% of each other
+#: for k=12-20, so the exact crossing is noise-limited inside that band;
+#: 14 is its midpoint, and the bench asserts the constant stays inside
+#: the band.  Re-run the bench to recalibrate on new hardware (the
+#: measurement lands in BENCH_routing_throughput.json and
+#: EXPERIMENTS.md E17).
+AUTO_METHOD_CUTOVER = 14
+
+#: When true, ``undirected_witness(method="brute")`` re-derives the
+#: distance from the O(k^3) definition and asserts it against the witness.
+#: Off by default: the brute re-check doubles (or worse) the cost of every
+#: brute call, which is exactly what the test-oracle path does not need
+#: when it is itself the thing under test.
+BRUTE_CHECKS_WITNESS = False
 
 Method = Literal["auto", "suffix_tree", "matching", "brute"]
 
@@ -159,10 +173,13 @@ def undirected_witness(x: WordTuple, y: WordTuple, method: Method = "auto") -> U
     if method == "suffix_tree":
         return undirected_witness_suffix_tree(x, y)
     if method == "brute":
-        distance = undirected_distance_brute(x, y)
+        # The witness is computed once; the O(k^3) definitional distance
+        # is only re-derived as a cross-check under the debug flag.
         witness = undirected_witness_matching(x, y)
-        if witness.distance != distance:  # pragma: no cover - defensive
-            raise AssertionError("brute and matching methods disagree")
+        if BRUTE_CHECKS_WITNESS:
+            distance = undirected_distance_brute(x, y)
+            if witness.distance != distance:  # pragma: no cover - defensive
+                raise AssertionError("brute and matching methods disagree")
         return witness
     raise ValueError(f"unknown method {method!r}")
 

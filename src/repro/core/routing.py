@@ -23,8 +23,9 @@ small graphs.
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.distance import (
     Method,
@@ -203,6 +204,79 @@ def verify_path(
     return apply_path(x, path, d, wildcard) == y
 
 
+#: Cache key: (source, destination, directed, method, use_wildcards).
+RouteKey = Tuple[WordTuple, WordTuple, bool, str, bool]
+
+
+class RouteCache:
+    """A bounded LRU of planned routing paths, with hit/miss accounting.
+
+    Route planning is a pure function of ``(x, y, method, use_wildcards)``
+    — witnesses and paths are deterministic — so steady-state traffic
+    with repeated (source, destination) pairs need not recompute them.
+    Entries are stored as immutable tuples; :meth:`get` hands back a fresh
+    list so callers may mutate their copy (the simulator pops steps off
+    the routing-path field in flight).
+
+    >>> cache = RouteCache(maxsize=2)
+    >>> route((0, 1), (1, 0), d=2, cache=cache) == route((0, 1), (1, 0), d=2, cache=cache)
+    True
+    >>> cache.hits, cache.misses
+    (1, 1)
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_entries")
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[RouteKey, Tuple[RoutingStep, ...]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: RouteKey) -> Optional[Path]:
+        """The cached path for ``key`` (as a fresh list), or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return list(entry)
+
+    def put(self, key: RouteKey, path: Sequence[RoutingStep]) -> None:
+        """Store ``path`` under ``key``, evicting the LRU entry if full."""
+        self._entries[key] = tuple(path)
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """The flat counter row benches and simulator stats report."""
+        return {
+            "entries": float(len(self._entries)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hit_rate,
+        }
+
+
 def route(
     x: WordTuple,
     y: WordTuple,
@@ -210,18 +284,30 @@ def route(
     directed: bool = False,
     method: Method = "auto",
     use_wildcards: bool = True,
+    cache: Optional[RouteCache] = None,
 ) -> Path:
     """Validate the endpoints and produce a shortest routing path.
 
     The one-call public entry point: picks Algorithm 1 for the directed
-    network and Algorithm 2/4 for the undirected one.
+    network and Algorithm 2/4 for the undirected one.  When ``cache`` is
+    given, repeated calls with the same endpoints and options are served
+    from it (see :class:`RouteCache`).
     """
     k = len(x)
     validate_word(x, d, k)
     validate_word(y, d, k)
+    if cache is not None:
+        key = (x, y, directed, str(method), use_wildcards)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
     if directed:
-        return shortest_path_unidirectional(x, y)
-    return shortest_path_undirected(x, y, method=method, use_wildcards=use_wildcards)
+        path = shortest_path_unidirectional(x, y)
+    else:
+        path = shortest_path_undirected(x, y, method=method, use_wildcards=use_wildcards)
+    if cache is not None:
+        cache.put(key, path)
+    return path
 
 
 def path_length_matches_distance(
@@ -240,14 +326,36 @@ def format_path(path: Sequence[RoutingStep]) -> str:
     return " ".join(str(step) for step in path)
 
 
-def parse_path(text: str) -> Path:
-    """Inverse of :func:`format_path` (used by the CLI)."""
+def parse_path(text: str, d: Optional[int] = None) -> Path:
+    """Inverse of :func:`format_path` (used by the CLI).
+
+    A step token is ``L`` or ``R`` followed by either ``*`` (a wildcard)
+    or a plain decimal digit body — exactly what :func:`format_path`
+    emits.  Anything else (``"Lx"``, ``"L+1"``, ``"L1_2"``, a bare
+    ``"L"``) raises :class:`RoutingError` naming the offending token;
+    ``int()``'s permissiveness (underscores, signs, surrounding space)
+    is deliberately not inherited.  When ``d`` is given, digits are
+    additionally range-checked against the alphabet, so e.g. ``"L12"``
+    is rejected on a binary network but accepted for d >= 13.
+    """
     steps: Path = []
     for token in text.split():
         if len(token) < 2 or token[0] not in "LR":
             raise RoutingError(f"malformed step token {token!r}")
         direction = Direction.LEFT if token[0] == "L" else Direction.RIGHT
         body = token[1:]
-        digit = None if body == "*" else int(body)
+        if body == "*":
+            digit: Optional[int] = None
+        else:
+            if not body.isascii() or not body.isdigit():
+                raise RoutingError(
+                    f"malformed digit body in step token {token!r} "
+                    "(expected '*' or a decimal digit string)"
+                )
+            digit = int(body)
+            if d is not None and digit >= d:
+                raise RoutingError(
+                    f"digit {digit} of step token {token!r} is not in 0..{d - 1}"
+                )
         steps.append(RoutingStep(direction, digit))
     return steps

@@ -5,7 +5,6 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.core.word import WordTuple
@@ -21,39 +20,80 @@ class EventKind(enum.IntEnum):
     RECOVER = 3  #: a site comes back up
 
 
-@dataclass(order=True)
 class Event:
-    """One scheduled occurrence; ordering is (time, sequence number)."""
+    """One scheduled occurrence; ordering is (time, sequence number).
 
-    time: float
-    seq: int
-    kind: EventKind = field(compare=False)
-    node: WordTuple = field(compare=False)
-    message: Optional[Message] = field(compare=False, default=None)
+    A plain ``__slots__`` class on the simulator's hottest path: the heap
+    orders raw ``(time, seq)`` tuples (compared in C), so events carry no
+    comparison methods and no per-instance dict.
+    """
+
+    __slots__ = ("time", "seq", "kind", "node", "message")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        kind: EventKind,
+        node: WordTuple,
+        message: Optional[Message] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.kind = kind
+        self.node = node
+        self.message = message
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(time={self.time!r}, seq={self.seq!r}, kind={self.kind!r}, "
+            f"node={self.node!r}, message={self.message!r})"
+        )
 
 
 class EventQueue:
-    """A heap of :class:`Event` with FIFO tie-breaking at equal times."""
+    """A heap of scheduled events with FIFO tie-breaking at equal times.
+
+    Entries are either ``(time, seq, event)`` triples (the :meth:`push`
+    API, which returns the :class:`Event` so callers can hold on to it)
+    or raw ``(time, seq, kind, node, message)`` tuples (the :meth:`schedule`
+    fast path, which defers building the Event object until someone —
+    :meth:`pop` or an observer — actually needs one).  Either way heap
+    sifting compares machine floats and ints directly instead of calling
+    back into Python; ``seq`` is unique so comparisons never reach the
+    payload.  Both choices are measurably faster under heavy traffic (E17).
+    """
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[Tuple] = []
         self._counter = itertools.count()
 
     def push(
         self, time: float, kind: EventKind, node: WordTuple, message: Optional[Message] = None
     ) -> Event:
-        """Schedule and return a new event."""
-        event = Event(time, next(self._counter), kind, node, message)
-        heapq.heappush(self._heap, event)
+        """Schedule and return a new event (the same object comes back
+        out of :meth:`pop`)."""
+        seq = next(self._counter)
+        event = Event(time, seq, kind, node, message)
+        heapq.heappush(self._heap, (time, seq, event))
         return event
+
+    def schedule(
+        self, time: float, kind: EventKind, node: WordTuple, message: Optional[Message] = None
+    ) -> None:
+        """Schedule without materialising an :class:`Event` (hot path)."""
+        heapq.heappush(self._heap, (time, next(self._counter), kind, node, message))
 
     def pop(self) -> Event:
         """Remove and return the earliest event."""
-        return heapq.heappop(self._heap)
+        entry = heapq.heappop(self._heap)
+        if len(entry) == 3:
+            return entry[2]
+        return Event(*entry)
 
     def peek_time(self) -> Optional[float]:
         """Earliest scheduled time, or None when empty."""
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def __len__(self) -> int:
         return len(self._heap)

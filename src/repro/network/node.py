@@ -78,12 +78,23 @@ class Node:
         the simulator should transmit on.
         """
         message.trace.append(self.address)
-        if not message.routing_path:
+        path = message.routing_path
+        if not path:
             self.accept(message, now)
             return None
-        step = message.routing_path.pop(0)
-        target, concrete = self.forward_target(step, cost_fn)
-        if step.is_wildcard:
+        step = path.pop(0)
+        digit = step.digit
+        if digit is None:
+            # Wildcard: delegate to the cost-aware resolution.
+            target, concrete = self.forward_target(step, cost_fn)
             message.wildcards_resolved += 1
+        else:
+            # Concrete step: shift inline (the simulator's hottest path).
+            address = self.address
+            if step.direction is Direction.LEFT:
+                target = address[1:] + (digit,)
+            else:
+                target = (digit,) + address[:-1]
+            concrete = step
         self.forwarded_count += 1
         return target, concrete

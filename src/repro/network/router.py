@@ -22,6 +22,7 @@ from repro.core.distance import Method
 from repro.core.routing import (
     Direction,
     Path,
+    RouteCache,
     RoutingStep,
     shortest_path_undirected,
     shortest_path_unidirectional,
@@ -80,18 +81,43 @@ class BidirectionalOptimalRouter(Router):
     ``use_wildcards`` keeps the paper's ``*`` digits in the path so that
     forwarding sites may pick any neighbor of the requested type; the
     simulator resolves them against instantaneous link queues.
+
+    Planning is memoized through a bounded :class:`RouteCache` (planning
+    is deterministic per (source, destination, method, use_wildcards), so
+    steady-state traffic with repeated OD pairs skips the witness
+    computation entirely).  ``cache_size=0`` disables caching — the
+    uncached baseline the throughput bench measures against.
     """
 
-    def __init__(self, method: Method = "auto", use_wildcards: bool = True) -> None:
+    def __init__(
+        self,
+        method: Method = "auto",
+        use_wildcards: bool = True,
+        cache_size: int = 4096,
+    ) -> None:
         self.method = method
         self.use_wildcards = use_wildcards
+        self.cache = RouteCache(cache_size) if cache_size > 0 else None
         self.name = f"optimal-bidirectional[{method}]"
 
     def plan(self, source: WordTuple, destination: WordTuple) -> Path:
         """Algorithm 2/4 route with optional wildcard digits."""
-        return shortest_path_undirected(
+        cache = self.cache
+        if cache is not None:
+            key = (source, destination, False, str(self.method), self.use_wildcards)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+        path = shortest_path_undirected(
             source, destination, method=self.method, use_wildcards=self.use_wildcards
         )
+        if cache is not None:
+            cache.put(key, path)
+        return path
+
+    def memory_cells(self) -> int:
+        """Cached path entries currently held (bounded by ``cache_size``)."""
+        return len(self.cache) if self.cache is not None else 0
 
 
 class RandomMinimalRouter(Router):

@@ -15,6 +15,7 @@ promises connectivity, not lossless delivery).
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Callable, Dict, Iterable, Optional, Set, Tuple
 
 from repro.core.routing import Direction
@@ -22,7 +23,7 @@ from repro.core.word import WordTuple, validate_parameters, validate_word
 from repro.exceptions import SimulationError
 from repro.graphs.debruijn import DeBruijnGraph
 from repro.graphs.traversal import bfs_path
-from repro.network.events import EventKind, EventQueue
+from repro.network.events import Event, EventKind, EventQueue
 from repro.network.link import Link
 from repro.network.message import ControlCode, Message
 from repro.network.node import Node
@@ -59,6 +60,7 @@ class Simulator:
         self._links: Dict[LinkKey, Link] = {}
         self._failed: Set[WordTuple] = set()
         self._failed_links: Set[LinkKey] = set()
+        self._validated: Set[WordTuple] = set()  # addresses already checked
         #: Optional hook fired on every delivery (message, simulator).  May
         #: schedule further sends at >= the current time; used by the
         #: broadcast relay and available for custom protocols.
@@ -88,6 +90,12 @@ class Simulator:
             existing = Link(tail, head, self.link_latency, self.link_service_time)
             self._links[key] = existing
         return existing
+
+    def _validate_address(self, address: WordTuple) -> None:
+        """Validate an address once; repeated senders skip the digit walk."""
+        if address not in self._validated:
+            validate_word(address, self.d, self.k)
+            self._validated.add(address)
 
     def is_failed(self, address: WordTuple) -> bool:
         """True while ``address`` is scheduled as down."""
@@ -123,8 +131,8 @@ class Simulator:
         control: ControlCode = ControlCode.DATA,
     ) -> Message:
         """Plan a message with ``router`` and schedule its injection."""
-        validate_word(source, self.d, self.k)
-        validate_word(destination, self.d, self.k)
+        self._validate_address(source)
+        self._validate_address(destination)
         if getattr(router, "stateless", False):
             # Hop-by-hop mode: the message carries only the destination;
             # each site computes its own step on arrival.
@@ -151,23 +159,36 @@ class Simulator:
 
     def run(self, until: Optional[float] = None) -> SimulationStats:
         """Process events (up to ``until``, or to exhaustion) and report."""
-        while self.queue:
-            next_time = self.queue.peek_time()
-            if until is not None and next_time is not None and next_time > until:
+        # The hot loop works on raw heap entries (see EventQueue: either
+        # (time, seq, event) or (time, seq, kind, node, message)); an
+        # Event object is only materialised when an observer wants one.
+        heap = self.queue._heap
+        handle_arrival = self._handle_arrival
+        while heap:
+            if until is not None and heap[0][0] > until:
                 break
-            event = self.queue.pop()
-            if event.time < self.now - 1e-9:
+            entry = heappop(heap)
+            time = entry[0]
+            if time < self.now - 1e-9:
                 raise SimulationError("event queue went backwards in time")
-            self.now = event.time
+            self.now = time
+            if len(entry) == 5:
+                kind, node, message = entry[2], entry[3], entry[4]
+                event = None
+            else:
+                event = entry[2]
+                kind, node, message = event.kind, event.node, event.message
             if self.on_event is not None:
+                if event is None:
+                    event = Event(time, entry[1], kind, node, message)
                 self.on_event(event, self)
-            if event.kind == EventKind.FAIL:
-                self._failed.add(event.node)
-            elif event.kind == EventKind.RECOVER:
-                self._failed.discard(event.node)
-            elif event.kind in (EventKind.INJECT, EventKind.ARRIVE):
-                assert event.message is not None
-                self._handle_arrival(event.node, event.message)
+            if kind <= EventKind.ARRIVE:  # INJECT / ARRIVE: the hot cases
+                assert message is not None
+                handle_arrival(node, message)
+            elif kind == EventKind.FAIL:
+                self._failed.add(node)
+            elif kind == EventKind.RECOVER:
+                self._failed.discard(node)
         if until is not None and self.queue:
             self.stats.horizon = until  # stopped by the time limit
         else:
@@ -180,45 +201,87 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _handle_arrival(self, address: WordTuple, message: Message) -> None:
-        if self.is_failed(address):
+        if self._failed and address in self._failed:
             self.stats.dropped.append((message, f"site {address!r} is down"))
             return
-        site = self.node(address)
+        site = self._nodes.get(address)
+        if site is None:
+            site = self.node(address)
 
-        def link_cost(neighbor: WordTuple) -> float:
-            if self.is_failed(neighbor) or self.is_link_failed(address, neighbor):
-                return float("inf")
-            return self.link(address, neighbor).earliest_departure(self.now)
+        path = message.routing_path
+        if message.hop_router is None and path and path[0].digit is not None:
+            # Fast path: a concrete next step needs no cost oracle, so the
+            # pop-and-forward arithmetic of :meth:`Node.process` is inlined
+            # here (same rule, same bookkeeping — the method call per hop
+            # is what profiles flag, E17).
+            message.trace.append(address)
+            step = path.pop(0)
+            digit = step.digit
+            if step.direction is Direction.LEFT:
+                target = address[1:] + (digit,)
+            else:
+                if not self.bidirectional:
+                    raise SimulationError(
+                        f"message {message.message_id} asked for a right "
+                        f"shift at {address!r}, but this network is "
+                        f"uni-directional"
+                    )
+                target = (digit,) + address[:-1]
+            site.forwarded_count += 1
+        else:
+            # The cost oracle is only needed for wildcard resolution and
+            # stateless hop planning.
+            def link_cost(neighbor: WordTuple) -> float:
+                if self.is_failed(neighbor) or self.is_link_failed(address, neighbor):
+                    return float("inf")
+                return self.link(address, neighbor).earliest_departure(self.now)
 
-        if message.hop_router is not None and address != message.destination:
-            # Stateless mode: materialise exactly one locally-computed step
-            # (with local link state available) for the standard
-            # pop-and-forward rule to consume.
-            step = message.hop_router.next_hop(address, message.destination,
-                                               cost_fn=link_cost)
-            message.routing_path.insert(0, step)
+            if message.hop_router is not None and address != message.destination:
+                # Stateless mode: materialise exactly one locally-computed
+                # step (with local link state available) for the standard
+                # pop-and-forward rule to consume.
+                step = message.hop_router.next_hop(address, message.destination,
+                                                   cost_fn=link_cost)
+                message.routing_path.insert(0, step)
 
-        decision = site.process(message, self.now, link_cost)
-        if decision is None:
-            self.stats.delivered.append(message)
-            if self.on_deliver is not None:
-                self.on_deliver(message, self)
-            return
-        target, _step = decision
-        if not self.bidirectional and _step.direction != Direction.LEFT:
-            # A type-R hop needs a link that the uni-directional network
-            # simply does not have; a router/topology mismatch is a
-            # programming error, not a droppable runtime condition.
-            raise SimulationError(
-                f"message {message.message_id} asked for a right shift at "
-                f"{address!r}, but this network is uni-directional"
-            )
-        if self.is_failed(target) or self.is_link_failed(address, target):
+            decision = site.process(message, self.now, link_cost)
+            if decision is None:
+                self.stats.delivered.append(message)
+                if self.on_deliver is not None:
+                    self.on_deliver(message, self)
+                return
+            target, _step = decision
+            if not self.bidirectional and _step.direction != Direction.LEFT:
+                # A type-R hop needs a link that the uni-directional network
+                # simply does not have; a router/topology mismatch is a
+                # programming error, not a droppable runtime condition.
+                raise SimulationError(
+                    f"message {message.message_id} asked for a right shift "
+                    f"at {address!r}, but this network is uni-directional"
+                )
+        if (target in self._failed) or (
+            self._failed_links and (address, target) in self._failed_links
+        ):
             if not self._try_reroute(address, message):
                 self.stats.dropped.append((message, f"next hop {target!r} is unreachable"))
             return
-        arrival = self.link(address, target).transmit(self.now)
-        self.queue.push(arrival, EventKind.ARRIVE, target, message)
+        # Inline the link lookup + transmit + event-push bookkeeping: this
+        # runs once per hop and the method-call version shows up in
+        # profiles (E17).
+        link = self._links.get((address, target))
+        if link is None:
+            link = self.link(address, target)
+        now = self.now
+        departure = link.next_free
+        if departure < now:
+            departure = now
+        link.total_queue_delay += departure - now
+        link.next_free = departure + link.service_time
+        link.carried += 1
+        arrival = departure + link.latency
+        queue = self.queue
+        heappush(queue._heap,
+                 (arrival, next(queue._counter), EventKind.ARRIVE, target, message))
 
     def _try_reroute(self, address: WordTuple, message: Message) -> bool:
         """Re-plan around the failed set from the current site (E7)."""
@@ -267,7 +330,17 @@ def run_workload(
     workload: Iterable[Tuple[float, WordTuple, WordTuple]],
     until: Optional[float] = None,
 ) -> SimulationStats:
-    """Inject a (time, source, destination) stream and run to completion."""
+    """Inject a (time, source, destination) stream and run to completion.
+
+    When the router memoizes its planning (a ``cache`` attribute holding a
+    :class:`repro.core.routing.RouteCache`), the cache's hit/miss counters
+    are copied into the returned stats so they show up in ``summary()``.
+    """
     for at, source, destination in workload:
         simulator.send(source, destination, router, at=at)
-    return simulator.run(until)
+    stats = simulator.run(until)
+    cache = getattr(router, "cache", None)
+    if cache is not None:
+        stats.route_cache_hits = cache.hits
+        stats.route_cache_misses = cache.misses
+    return stats

@@ -51,6 +51,10 @@ class SimulationStats:
     link_queue_delays: Dict[Tuple[WordTuple, WordTuple], float] = field(default_factory=dict)
     rerouted: int = 0
     horizon: float = 0.0
+    #: Route-planning cache counters (see repro.core.routing.RouteCache),
+    #: filled in by run_workload when the router memoizes its plans.
+    route_cache_hits: int = 0
+    route_cache_misses: int = 0
 
     # ------------------------------------------------------------------
     # Message-level metrics
@@ -124,6 +128,15 @@ class SimulationStats:
         return total_delay / total_carried
 
     # ------------------------------------------------------------------
+    # Route-cache metrics
+    # ------------------------------------------------------------------
+
+    def route_cache_hit_rate(self) -> float:
+        """Fraction of route plans served from the cache (0.0 when unused)."""
+        total = self.route_cache_hits + self.route_cache_misses
+        return self.route_cache_hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
     # Steady-state windows
     # ------------------------------------------------------------------
 
@@ -145,6 +158,8 @@ class SimulationStats:
             dropped=[(m, why) for m, why in self.dropped if inside(m)],
             rerouted=self.rerouted,
             horizon=(min(upper, self.horizon) - start) if self.horizon > start else 0.0,
+            route_cache_hits=self.route_cache_hits,
+            route_cache_misses=self.route_cache_misses,
         )
         return trimmed
 
@@ -167,4 +182,7 @@ class SimulationStats:
             "mean_link_load": self.mean_link_load(),
             "load_fairness": self.load_fairness(),
             "mean_queue_delay": self.mean_queue_delay(),
+            "route_cache_hits": float(self.route_cache_hits),
+            "route_cache_misses": float(self.route_cache_misses),
+            "route_cache_hit_rate": self.route_cache_hit_rate(),
         }

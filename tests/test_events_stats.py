@@ -51,6 +51,23 @@ def test_event_carries_message():
     assert event.kind == EventKind.ARRIVE
 
 
+def test_schedule_fast_path_interleaves_with_push():
+    """Raw ``schedule`` entries and ``push`` events share one total order,
+    and ``pop`` materialises an equivalent Event either way."""
+    message = Message(ControlCode.DATA, (0,), (1,), [])
+    queue = EventQueue()
+    pushed = queue.push(2.0, EventKind.INJECT, (0,))
+    queue.schedule(1.0, EventKind.ARRIVE, (1,), message)
+    queue.schedule(2.0, EventKind.ARRIVE, (1,))  # FIFO after `pushed`
+    first = queue.pop()
+    assert isinstance(first, Event)
+    assert (first.time, first.kind, first.node) == (1.0, EventKind.ARRIVE, (1,))
+    assert first.message is message
+    assert queue.pop() is pushed
+    assert queue.pop().time == 2.0
+    assert not queue
+
+
 @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=50))
 @settings(max_examples=100)
 def test_queue_is_a_stable_sort(times):

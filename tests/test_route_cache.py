@@ -1,0 +1,127 @@
+"""Tests for the memoized routing layer (:class:`RouteCache` and wiring).
+
+Covers the cache itself (LRU bounds, counters, isolation of returned
+lists), the ``route()`` and :class:`BidirectionalOptimalRouter`
+integrations, the simulator-stats exposure, and the brute-witness debug
+flag fix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import distance as distance_module
+from repro.core.distance import undirected_distance, undirected_witness
+from repro.core.routing import RouteCache, RoutingStep, route
+from repro.core.word import iter_words
+from repro.network.router import BidirectionalOptimalRouter
+from repro.network.simulator import Simulator, run_workload
+from repro.network.traffic import all_to_all
+
+
+def test_route_cache_lru_eviction_and_counters():
+    cache = RouteCache(maxsize=2)
+    key_a = ((0, 1), (1, 0), False, "auto", True)
+    key_b = ((0, 1), (1, 1), False, "auto", True)
+    key_c = ((1, 1), (0, 0), False, "auto", True)
+    path = [RoutingStep(0, 1)]
+    assert cache.get(key_a) is None
+    cache.put(key_a, path)
+    cache.put(key_b, path)
+    assert cache.get(key_a) == path  # refreshes a's recency
+    cache.put(key_c, path)  # evicts b, the least recently used
+    assert cache.get(key_b) is None
+    assert cache.get(key_a) == path
+    assert cache.get(key_c) == path
+    assert len(cache) == 2
+    assert cache.hits == 3
+    assert cache.misses == 2
+    assert cache.hit_rate == pytest.approx(0.6)
+    stats = cache.stats()
+    assert stats["entries"] == 2.0 and stats["hits"] == 3.0
+    cache.clear()
+    assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+
+def test_route_cache_rejects_bad_size():
+    with pytest.raises(ValueError):
+        RouteCache(maxsize=0)
+
+
+def test_route_cache_returns_fresh_lists():
+    """Callers pop steps off routes in flight; hits must not alias."""
+    cache = RouteCache()
+    first = route((0, 0, 1), (1, 1, 1), d=2, cache=cache)
+    first.pop()  # simulator-style consumption
+    second = route((0, 0, 1), (1, 1, 1), d=2, cache=cache)
+    assert len(second) == undirected_distance((0, 0, 1), (1, 1, 1))
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_route_with_cache_matches_uncached_exhaustively():
+    d, k = 2, 4
+    cache = RouteCache()
+    words = list(iter_words(d, k))
+    for directed in (False, True):
+        for x in words:
+            for y in words:
+                expected = route(x, y, d, directed=directed)
+                got = route(x, y, d, directed=directed, cache=cache)
+                assert got == expected
+                # Second call is a hit and still identical.
+                assert route(x, y, d, directed=directed, cache=cache) == expected
+    assert cache.hits >= len(words) ** 2
+
+
+def test_bidirectional_router_cache_wiring():
+    router = BidirectionalOptimalRouter()
+    source, destination = (0, 0, 1, 1), (1, 0, 1, 0)
+    cold = router.plan(source, destination)
+    warm = router.plan(source, destination)
+    assert cold == warm
+    assert router.cache is not None
+    assert router.cache.hits == 1 and router.cache.misses == 1
+    assert router.memory_cells() == 1
+    uncached = BidirectionalOptimalRouter(cache_size=0)
+    assert uncached.cache is None
+    assert uncached.plan(source, destination) == cold
+    assert uncached.memory_cells() == 0
+
+
+def test_simulator_stats_expose_cache_counters():
+    d, k = 2, 3
+    router = BidirectionalOptimalRouter()
+    simulator = Simulator(d, k)
+    # Two identical all-to-all rounds: the second round hits the cache.
+    stats = run_workload(simulator, router, all_to_all(d, k, rounds=2))
+    assert stats.route_cache_misses > 0
+    assert stats.route_cache_hits > 0
+    assert stats.route_cache_hit_rate() == pytest.approx(
+        stats.route_cache_hits / (stats.route_cache_hits + stats.route_cache_misses)
+    )
+    summary = stats.summary()
+    assert summary["route_cache_hits"] == float(stats.route_cache_hits)
+    assert summary["route_cache_misses"] == float(stats.route_cache_misses)
+    assert 0.0 < summary["route_cache_hit_rate"] < 1.0
+    windowed = stats.window(0.0)
+    assert windowed.route_cache_hits == stats.route_cache_hits
+
+
+def test_brute_witness_computed_once_and_checked_under_flag(monkeypatch):
+    """method='brute' no longer does double work unless the flag is set."""
+    calls = {"brute": 0}
+    real_brute = distance_module.undirected_distance_brute
+
+    def counting_brute(x, y):
+        calls["brute"] += 1
+        return real_brute(x, y)
+
+    monkeypatch.setattr(distance_module, "undirected_distance_brute", counting_brute)
+    x, y = (0, 0, 1, 1), (1, 1, 0, 0)
+    witness = undirected_witness(x, y, method="brute")
+    assert calls["brute"] == 0  # no double work by default
+    monkeypatch.setattr(distance_module, "BRUTE_CHECKS_WITNESS", True)
+    checked = undirected_witness(x, y, method="brute")
+    assert calls["brute"] == 1  # the cross-check runs under the debug flag
+    assert checked == witness
+    assert witness.distance == real_brute(x, y)

@@ -203,6 +203,43 @@ def test_parse_path_rejects_garbage():
         parse_path("L")
 
 
+@pytest.mark.parametrize(
+    "token", ["Lx", "L+1", "L-1", "L1_2", "L 1", "L*1", "L１", "R1.0", "Lxyz"]
+)
+def test_parse_path_rejects_malformed_digit_bodies(token):
+    """int()'s permissiveness must not leak through as ValueError."""
+    with pytest.raises(RoutingError) as excinfo:
+        parse_path(token)
+    assert repr(token.split()[0]) in str(excinfo.value)
+
+
+def test_parse_path_range_checks_against_alphabet():
+    # "L12" parses as digit 12 — fine for d >= 13, rejected for binary.
+    assert parse_path("L12") == [RoutingStep(Direction.LEFT, 12)]
+    assert parse_path("L12", d=13) == [RoutingStep(Direction.LEFT, 12)]
+    with pytest.raises(RoutingError) as excinfo:
+        parse_path("L12", d=2)
+    assert "'L12'" in str(excinfo.value)
+    with pytest.raises(RoutingError):
+        parse_path("L0 R1 L2", d=2)
+
+
+PATH_STRATEGY = st.lists(
+    st.tuples(
+        st.sampled_from([Direction.LEFT, Direction.RIGHT]),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=35)),
+    ).map(lambda pair: RoutingStep(*pair)),
+    max_size=12,
+)
+
+
+@given(PATH_STRATEGY)
+@settings(max_examples=200, deadline=None)
+def test_format_parse_roundtrip_property(path):
+    """format_path and parse_path are exact inverses, wildcards included."""
+    assert parse_path(format_path(path)) == path
+
+
 def test_step_str_wildcard():
     assert str(RoutingStep(Direction.RIGHT, None)) == "R*"
     assert RoutingStep(Direction.RIGHT, None).is_wildcard
