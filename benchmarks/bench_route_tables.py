@@ -1,0 +1,238 @@
+"""E18 — Parallel route-table compiler and the O(1) table-driven fast path.
+
+Three measurements around :mod:`repro.core.parallel` /
+:mod:`repro.core.tables`:
+
+1. **Compile scaling** — wall-clock seconds to compile the DG(2,12)
+   undirected next-hop table with 1, 2 and 4 BFS shard workers.  The
+   sharded and serial engines are asserted *byte-identical* on every
+   sweep point; the >= 2x speedup bar at 4 workers only applies when the
+   machine actually exposes >= 4 CPUs (a 1-CPU container cannot speed
+   anything up by forking — the record stores the CPU count so the
+   trajectory stays interpretable).
+2. **Table-driven throughput** — routed messages/sec on the E17
+   steady-state workload, compiled table vs the PR-1 warm
+   :class:`RouteCache` baseline.  The table path must at least match the
+   warm cache: it does strictly less per message (no plan list, one byte
+   read per hop).
+3. **Persistence** — save cost and mmap-load cost of the compiled
+   artifact, with a byte-identity roundtrip check.
+
+Results are appended to ``BENCH_route_tables.json`` at the repo root in
+the :mod:`repro.benchio` envelope.  ``test_route_tables_smoke`` runs the
+same machinery on DG(2,8) for the CI smoke job (``make bench-smoke``).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from typing import Dict, List, Tuple
+
+from bench_routing_throughput import DISTINCT_PAIRS, REPEATS, _workload
+
+from repro.analysis.tables import format_kv_block, format_table
+from repro.benchio import append_record
+from repro.core.distance import undirected_distance
+from repro.core.parallel import available_cpus, compile_table_buffers
+from repro.core.tables import CompiledRouteTable
+from repro.core.word import random_word
+from repro.network.router import BidirectionalOptimalRouter, TableDrivenRouter
+from repro.network.simulator import Simulator, run_workload
+
+#: The compile-scaling graph: big enough that BFS dominates process spawn.
+GRAPH: Tuple[int, int] = (2, 12)
+WORKER_SWEEP: Tuple[int, ...] = (1, 2, 4)
+JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                         "BENCH_route_tables.json")
+
+#: The parallel >= 2x acceptance bar only binds on machines with at
+#: least this many CPUs; forking cannot beat serial on fewer cores.
+PARALLEL_SPEEDUP_MIN_CPUS = 4
+
+
+def _measure_compile(d: int, k: int,
+                     sweep: Tuple[int, ...]) -> Tuple[List[Dict[str, float]],
+                                                      Tuple[bytes, bytes]]:
+    """Compile once per worker count; returns timings + the (dist, act)
+    buffers, asserting every sweep point produces identical bytes."""
+    rows: List[Dict[str, float]] = []
+    reference: Tuple[bytes, bytes] = ()
+    for workers in sweep:
+        start = time.perf_counter()
+        dist, act = compile_table_buffers(d, k, directed=False,
+                                          workers=workers)
+        elapsed = time.perf_counter() - start
+        buffers = (bytes(dist), bytes(act))
+        if not reference:
+            reference = buffers
+        else:
+            assert buffers == reference, (
+                f"{workers}-worker compile diverged from serial bytes"
+            )
+        rows.append({"workers": workers, "seconds": elapsed})
+    serial = rows[0]["seconds"]
+    for row in rows:
+        row["speedup_vs_serial"] = serial / row["seconds"]
+    return rows, reference
+
+
+def _measure_throughput(d: int, k: int, table: CompiledRouteTable,
+                        distinct: int = DISTINCT_PAIRS,
+                        repeats: int = REPEATS,
+                        rounds: int = 6) -> Dict[str, float]:
+    """Table-driven vs warm-cache messages/sec on the E17 workload.
+
+    The two paths are measured in *interleaved* best-of-``rounds`` pairs:
+    clock drift on a busy machine then biases both alike instead of
+    whichever happened to run last, which is what the ratio assert needs.
+    """
+    pairs, injections = _workload(d, k, distinct, repeats)
+    warm_router = BidirectionalOptimalRouter(cache_size=4 * distinct,
+                                             use_wildcards=False)
+    for x, y in pairs:
+        warm_router.plan(x, y)
+    table_router = TableDrivenRouter(table=table)
+
+    def one_run(router) -> float:
+        simulator = Simulator(d, k)
+        start = time.perf_counter()
+        stats = run_workload(simulator, router, injections)
+        elapsed = time.perf_counter() - start
+        assert stats.delivered_count == len(injections)
+        return elapsed
+
+    warm_best = table_best = float("inf")
+    for _ in range(rounds):
+        warm_best = min(warm_best, one_run(warm_router))
+        table_best = min(table_best, one_run(table_router))
+    count = len(injections)
+    return {
+        "warm_cache_msgs_per_sec": count / warm_best,
+        "table_msgs_per_sec": count / table_best,
+        "speedup_vs_warm_cache": warm_best / table_best,
+    }
+
+
+def _measure_persistence(table: CompiledRouteTable) -> Dict[str, float]:
+    """Save + mmap-load cost, with a byte-identity roundtrip check."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "table.routes")
+        start = time.perf_counter()
+        file_bytes = table.save(path)
+        save_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        loaded = CompiledRouteTable.load(path)
+        mmap_open_seconds = time.perf_counter() - start
+        try:
+            assert bytes(loaded.actions) == bytes(table.actions)
+            assert bytes(loaded.distances) == bytes(table.distances)
+        finally:
+            loaded.close()
+    return {
+        "file_bytes": file_bytes,
+        "save_seconds": save_seconds,
+        "mmap_open_seconds": mmap_open_seconds,
+    }
+
+
+def test_route_tables(benchmark, report):
+    """The full E18 measurement; writes BENCH_route_tables.json."""
+    d, k = GRAPH
+
+    def measure():
+        record: Dict[str, object] = {
+            "graph": {"d": d, "k": k, "n": d**k},
+            "cpus": available_cpus(),
+        }
+        compile_rows, (dist, act) = _measure_compile(d, k, WORKER_SWEEP)
+        record["compile"] = compile_rows
+        table = CompiledRouteTable(d, k, False, act, dist)
+        record["throughput"] = _measure_throughput(d, k, table)
+        record["persistence"] = _measure_persistence(table)
+        return record
+
+    record = benchmark.pedantic(measure, rounds=1, iterations=1)
+    append_record(JSON_PATH, record, bench="route_tables")
+
+    report(f"E18 — DG({d},{k}) table compile scaling "
+           f"({record['cpus']} CPU(s) available)\n"
+           + format_table(
+               ["workers", "seconds", "speedup vs serial"],
+               [[r["workers"], r["seconds"], r["speedup_vs_serial"]]
+                for r in record["compile"]], precision=2))
+    thr = record["throughput"]
+    pers = record["persistence"]
+    report("E18 — table-driven simulator vs E17 warm cache\n"
+           + format_kv_block(f"DG({d},{k}), {DISTINCT_PAIRS} pairs x "
+                             f"{REPEATS} repeats", [
+               ("warm-cache msg/s", round(thr["warm_cache_msgs_per_sec"], 1)),
+               ("table-driven msg/s", round(thr["table_msgs_per_sec"], 1)),
+               ("speedup", round(thr["speedup_vs_warm_cache"], 3)),
+               ("table file bytes", pers["file_bytes"]),
+               ("save seconds", round(pers["save_seconds"], 4)),
+               ("mmap open seconds", round(pers["mmap_open_seconds"], 5)),
+           ]))
+
+    # Acceptance 1: the O(1) fast path must at least match the warm cache
+    # on the planning-dominated workload — it does strictly less work.
+    assert thr["speedup_vs_warm_cache"] >= 1.0, (
+        f"table-driven path lost to the warm cache: "
+        f"{thr['speedup_vs_warm_cache']:.2f}x"
+    )
+    # Acceptance 2: >= 2x compile speedup at 4 workers — only meaningful
+    # where 4 workers can actually run in parallel.  On smaller machines
+    # the sweep still runs (and the byte-equality assert still binds);
+    # the recorded CPU count documents why the bar is waived.
+    by_workers = {int(r["workers"]): r for r in record["compile"]}
+    if record["cpus"] >= PARALLEL_SPEEDUP_MIN_CPUS and 4 in by_workers:
+        assert by_workers[4]["speedup_vs_serial"] >= 2.0, (
+            f"4-worker compile speedup below 2x on a {record['cpus']}-CPU "
+            f"machine: {by_workers[4]['speedup_vs_serial']:.2f}x"
+        )
+    else:
+        report(f"E18 — note: {record['cpus']} CPU(s) available; the "
+               f">= 2x @ 4-workers bar requires "
+               f">= {PARALLEL_SPEEDUP_MIN_CPUS} CPUs and was not applied")
+
+
+def test_route_tables_smoke(tmp_path):
+    """Fast CI smoke: 2-worker compile == serial, and the table path
+    routes a small simulation end to end."""
+    d, k = 2, 8
+    rows, (dist, act) = _measure_compile(d, k, (1, 2))
+    assert rows[0]["seconds"] > 0 and rows[1]["seconds"] > 0
+    table = CompiledRouteTable(d, k, False, act, dist)
+
+    # Spot-check distances against the pure Algorithm 2 implementation.
+    import random
+    rng = random.Random(0xE18)
+    for _ in range(50):
+        x, y = random_word(d, k, rng), random_word(d, k, rng)
+        assert table.distance(x, y) == undirected_distance(x, y)
+        assert len(table.path(x, y)) == table.distance(x, y)
+
+    # Save / mmap-load roundtrip.
+    path = str(tmp_path / "smoke.routes")
+    table.save(path)
+    loaded = CompiledRouteTable.load(path)
+    try:
+        assert bytes(loaded.actions) == bytes(table.actions)
+    finally:
+        loaded.close()
+
+    # One table-driven simulator scenario: everything delivered, all of
+    # it through the O(1) fast path.
+    _, injections = _workload(d, k, distinct=12, repeats=5)
+    simulator = Simulator(d, k)
+    stats = run_workload(simulator, TableDrivenRouter(table=table),
+                         injections)
+    assert stats.delivered_count == len(injections)
+    assert stats.table_routed == stats.delivered_count
+    assert stats.table_bytes == table.nbytes
+    optimal = Simulator(d, k)
+    baseline = run_workload(optimal, BidirectionalOptimalRouter(
+        use_wildcards=False), injections)
+    assert stats.mean_hops() == baseline.mean_hops()

@@ -23,24 +23,22 @@ performance layer of this PR buys on top:
    (previously a hard-coded guess).
 
 Results are appended to ``BENCH_routing_throughput.json`` at the repo
-root as one trajectory record per run, so regressions are visible over
-time.  The small ``test_throughput_smoke`` variant runs the whole
+root as one trajectory record per run (in the :mod:`repro.benchio`
+``{"meta": ..., "results": [...]}`` envelope), so regressions are
+visible over time.  The small ``test_throughput_smoke`` variant runs the whole
 machinery on a toy grid in well under a second for CI smoke jobs
 (``make bench-smoke``).
 """
 
 from __future__ import annotations
 
-import json
 import os
-import platform
 import random
 import time
 from typing import Dict, List, Tuple
 
-import pytest
-
 from repro.analysis.tables import format_table
+from repro.benchio import append_record
 from repro.core.batch import distances_row
 from repro.core.distance import (
     AUTO_METHOD_CUTOVER,
@@ -212,27 +210,14 @@ def _measure_crossover(ks=(8, 10, 12, 14, 16, 20), pairs_per_k: int = 300,
 
 
 def _append_trajectory(record: Dict[str, object]) -> None:
-    history: List[Dict[str, object]] = []
-    if os.path.exists(JSON_PATH):
-        try:
-            with open(JSON_PATH, "r", encoding="utf-8") as handle:
-                history = json.load(handle)
-        except (ValueError, OSError):  # pragma: no cover - corrupt file
-            history = []
-    history.append(record)
-    with open(JSON_PATH, "w", encoding="utf-8") as handle:
-        json.dump(history, handle, indent=2)
-        handle.write("\n")
+    append_record(JSON_PATH, record, bench="routing_throughput")
 
 
 def test_routing_throughput(benchmark, report):
     """The full measurement grid; writes BENCH_routing_throughput.json."""
 
     def measure():
-        record: Dict[str, object] = {
-            "python": platform.python_version(),
-            "grid": [],
-        }
+        record: Dict[str, object] = {"grid": []}
         for d, k in GRID:
             entry: Dict[str, object] = {"d": d, "k": k}
             entry["simulator"] = _measure_simulator(d, k)

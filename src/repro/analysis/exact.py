@@ -93,27 +93,23 @@ def undirected_distance_matrix(d: int, k: int) -> np.ndarray:
 
 
 def directed_bfs_distance_matrix(d: int, k: int) -> np.ndarray:
-    """Directed distances by multi-source BFS (oracle for Property 1)."""
+    """Directed distances by multi-source BFS (oracle for Property 1).
+
+    Delegates to the shared packed-BFS kernel in
+    :mod:`repro.core.parallel` (the same rows the route-table compiler
+    shards), then reinterprets the flat byte buffer: the kernel's 0xFF
+    "unreachable" sentinel is exactly -1 in the int8 view, and real
+    distances never exceed k < 127.
+    """
+    from repro.core.parallel import distance_matrix_flat
+
     n = _check_size(d, k)
-    values = np.arange(n, dtype=np.int64)
-    # Column w is newly reached when any in-neighbor w^+(b) is in the
-    # frontier — an index gather through the right-shift maps.
-    in_shifts = [values // d + b * d ** (k - 1) for b in range(d)]
-    dist = np.full((n, n), -1, dtype=np.int8)
-    np.fill_diagonal(dist, 0)
-    frontier = np.eye(n, dtype=bool)
-    level = 0
-    while frontier.any():
-        level += 1
-        reached = np.zeros_like(frontier)
-        for index in in_shifts:
-            reached |= frontier[:, index]
-        new = reached & (dist < 0)
-        dist[new] = level
-        frontier = new
-        if level > k and frontier.any():  # pragma: no cover
-            raise InvalidParameterError("BFS exceeded the diameter bound k")
-    return dist
+    flat = distance_matrix_flat(d, k, directed=True, workers=1)
+    return (
+        np.frombuffer(bytes(flat), dtype=np.uint8)
+        .reshape(n, n)
+        .view(np.int8)
+    )
 
 
 def average_distance_exact(matrix: np.ndarray) -> float:

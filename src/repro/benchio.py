@@ -1,0 +1,108 @@
+"""Bench-trajectory I/O: the ``{"meta": ..., "results": [...]}`` envelope.
+
+The benches append one record per run to ``BENCH_*.json`` files at the
+repo root so regressions are visible over time.  Early files were bare
+JSON lists of records with no provenance; this module defines the
+envelope every writer now produces::
+
+    {
+      "meta": {"schema": 1, "bench": "...", <run provenance>},
+      "results": [<record>, ...]
+    }
+
+The top-level ``meta`` carries the provenance of the *latest* append
+(git commit, UTC timestamp, python version, CPU count) and each appended
+record is stamped with the same provenance under its own ``"meta"`` key,
+so older entries keep theirs as the file grows.
+
+:func:`read_history` transparently migrates bare-list files in memory;
+the first :func:`append_record` rewrites them in envelope form on disk.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import subprocess
+from typing import Dict, List, Optional
+
+#: Envelope schema version; bump on incompatible layout changes.
+SCHEMA_VERSION = 1
+
+
+def git_commit(cwd: Optional[str] = None) -> str:
+    """The current git commit hash, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else "unknown"
+
+
+def bench_meta(cwd: Optional[str] = None) -> Dict[str, object]:
+    """Provenance for one bench run: commit, timestamp, python, CPUs."""
+    from repro.core.parallel import available_cpus
+
+    now = datetime.datetime.now(datetime.timezone.utc)
+    return {
+        "git_commit": git_commit(cwd),
+        "timestamp": now.isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": available_cpus(),
+    }
+
+
+def read_history(path: str) -> List[Dict[str, object]]:
+    """The result records in ``path`` (empty for missing/corrupt files).
+
+    Accepts both the envelope and the legacy bare-list layout, so readers
+    written against this function survive the migration either way.
+    """
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (ValueError, OSError):  # pragma: no cover - corrupt file
+        return []
+    if isinstance(payload, list):  # legacy bare list
+        return [r for r in payload if isinstance(r, dict)]
+    if isinstance(payload, dict):
+        results = payload.get("results", [])
+        if isinstance(results, list):
+            return [r for r in results if isinstance(r, dict)]
+    return []
+
+
+def append_record(path: str, record: Dict[str, object],
+                  bench: str) -> Dict[str, object]:
+    """Append one run record to ``path``, writing the envelope layout.
+
+    Stamps the record with :func:`bench_meta` provenance (unless it
+    already carries a ``"meta"`` key), migrates legacy bare-list files,
+    and returns the envelope that was written.
+    """
+    meta = bench_meta(cwd=os.path.dirname(os.path.abspath(path)) or None)
+    stamped = dict(record)
+    stamped.setdefault("meta", meta)
+    history = read_history(path)
+    history.append(stamped)
+    envelope: Dict[str, object] = {
+        "meta": {"schema": SCHEMA_VERSION, "bench": bench, **meta},
+        "results": history,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(envelope, handle, indent=2)
+        handle.write("\n")
+    return envelope

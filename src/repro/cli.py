@@ -17,6 +17,7 @@ Subcommands
 ``robustness``          random-failure robustness sweep
 ``sort``                distributed sort demo on the embedded array
 ``render``              write the graph (optionally with a route) as SVG/DOT
+``compile-tables``      compile + save a next-hop route table (sharded BFS)
 
 Examples::
 
@@ -24,6 +25,8 @@ Examples::
     debruijn-routing route -d 2 --directed 0110 1110
     debruijn-routing average-distance -d 2 -k 6
     debruijn-routing simulate -d 2 -k 4 --cycles 200 --rate 0.05
+    debruijn-routing simulate -d 2 -k 6 --router table
+    debruijn-routing compile-tables -d 2 -k 8 --workers 4 --verify 200
     debruijn-routing sequence -d 2 -k 4 --method euler
     debruijn-routing disjoint-paths -d 2 001 110
     debruijn-routing broadcast -d 2 -k 5
@@ -93,7 +96,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--cycles", type=int, default=100)
     p_sim.add_argument("--rate", type=float, default=0.05, help="injection probability per site per cycle")
     p_sim.add_argument("--router", default="optimal",
-                       choices=["optimal", "optimal-unidirectional", "trivial"])
+                       choices=["optimal", "optimal-unidirectional", "trivial",
+                                "table"])
     p_sim.add_argument("--seed", type=int, default=7)
 
     p_seq = sub.add_parser("sequence", help="print a de Bruijn sequence B(d, k)")
@@ -146,6 +150,25 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="highlight a shortest route between two sites")
     p_render.add_argument("--format", default="svg", choices=["svg", "dot"])
     p_render.add_argument("--output", default="-", help="file path, or - for stdout")
+
+    p_ct = sub.add_parser(
+        "compile-tables",
+        help="compile a compact next-hop route table with the sharded BFS "
+             "engine and save it to disk")
+    p_ct.add_argument("-d", type=int, required=True)
+    p_ct.add_argument("-k", type=int, required=True)
+    p_ct.add_argument("--directed", action="store_true",
+                      help="compile for the uni-directional network")
+    p_ct.add_argument("--workers", type=int, default=None,
+                      help="BFS shard processes (default min(4, cpus))")
+    p_ct.add_argument("--chunk-size", type=int, default=None,
+                      help="destination rows per work-queue item")
+    p_ct.add_argument("--output", default=None,
+                      help="table file path (default dg<d>-<k>-<uni|bi>.routes)")
+    p_ct.add_argument("--verify", type=int, default=0, metavar="PAIRS",
+                      help="cross-check this many random pairs against the "
+                           "pure-python distance functions after compiling")
+    p_ct.add_argument("--seed", type=int, default=7, help="--verify sampling seed")
 
     sub.add_parser("about", help="list every module of the installed package")
 
@@ -222,6 +245,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     elif args.router == "optimal-unidirectional":
         router = UnidirectionalOptimalRouter()
         bidirectional = False
+    elif args.router == "table":
+        from repro.network.router import TableDrivenRouter
+
+        router = TableDrivenRouter(d=args.d, k=args.k)
+        bidirectional = True
     else:
         router = TrivialRouter()
         bidirectional = True
@@ -406,6 +434,58 @@ def _cmd_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compile_tables(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.parallel import default_workers
+    from repro.core.tables import CompiledRouteTable
+    from repro.core.word import random_word
+
+    workers = args.workers if args.workers is not None else default_workers()
+    start = time.perf_counter()
+    table = CompiledRouteTable.compile(
+        args.d, args.k, directed=args.directed,
+        workers=workers, chunk_size=args.chunk_size,
+    )
+    compile_seconds = time.perf_counter() - start
+    output = args.output or (
+        f"dg{args.d}-{args.k}-{'uni' if args.directed else 'bi'}.routes"
+    )
+    table.save(output)
+
+    mismatches = 0
+    if args.verify > 0:
+        oracle = directed_distance if args.directed else undirected_distance
+        rng = random.Random(args.seed)
+        for _ in range(args.verify):
+            x = random_word(args.d, args.k, rng)
+            y = random_word(args.d, args.k, rng)
+            expected = oracle(x, y)
+            got = table.distance(x, y)
+            hops = len(table.path(x, y))
+            if got != expected or hops != expected:
+                mismatches += 1
+                print(f"MISMATCH {format_word(x)} -> {format_word(y)}: "
+                      f"table distance {got}, path {hops} hops, "
+                      f"oracle {expected}", file=sys.stderr)
+
+    entries = [
+        ("sites", table.order),
+        ("orientation", "directed" if args.directed else "undirected"),
+        ("workers", workers),
+        ("compile seconds", round(compile_seconds, 3)),
+        ("table bytes", table.nbytes),
+        ("bytes per pair", table.nbytes / (table.order ** 2)),
+        ("saved to", output),
+    ]
+    if args.verify > 0:
+        entries.append(("verified pairs", args.verify))
+        entries.append(("mismatches", mismatches))
+    print(format_kv_block(
+        f"compiled route table for DG({args.d},{args.k})", entries))
+    return 1 if mismatches else 0
+
+
 def _cmd_about(args: argparse.Namespace) -> int:
     from repro.inventory import render_inventory
 
@@ -428,6 +508,7 @@ _COMMANDS = {
     "robustness": _cmd_robustness,
     "sort": _cmd_sort,
     "render": _cmd_render,
+    "compile-tables": _cmd_compile_tables,
     "about": _cmd_about,
 }
 

@@ -93,6 +93,22 @@ class PackedSpace:
         """Packed ``X^+(digit)``: drop the tail, prepend ``digit``."""
         return digit * self.high + value // self.d
 
+    def apply_action(self, value: int, action: int) -> int:
+        """Apply a one-byte next-hop action (see :mod:`repro.core.tables`).
+
+        Actions ``0..d-1`` are left shifts inserting that digit; actions
+        ``d..2d-1`` right shifts inserting ``action - d``.  O(1) div-mod,
+        the per-hop arithmetic of the table-driven simulator fast path.
+        """
+        d = self.d
+        if 0 <= action < d:
+            return (value % self.high) * d + action
+        if d <= action < 2 * d:
+            return (action - d) * self.high + value // d
+        raise InvalidWordError(
+            f"action byte {action} is not a shift action for d = {d}"
+        )
+
     def left_neighbors(self, value: int) -> range:
         """All d type-L neighbors of ``value``, as a contiguous range."""
         base = (value % self.high) * self.d

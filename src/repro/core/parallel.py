@@ -1,0 +1,357 @@
+"""Multiprocess sharded BFS: all-pairs structure at worker-count speed.
+
+:mod:`repro.core.batch` made one BFS row cheap (packed ints, bytearray
+rows); this module makes *all N rows* cheap by fanning row chunks across
+worker processes.  The design is the classical shared-memory shard
+pattern:
+
+* the parent allocates flat ``N x N`` byte buffers in
+  :mod:`multiprocessing.shared_memory`,
+* a chunked work queue hands out ``[start, stop)`` row ranges (so slow
+  and fast rows load-balance dynamically),
+* each worker runs the packed BFS kernel of :mod:`repro.core.batch` (or
+  the reverse-BFS next-hop kernel used by :mod:`repro.core.tables`) and
+  writes its rows straight into the shared buffer — no pickling of
+  results, no per-row IPC.
+
+Workers are started with the ``fork`` start method so the shared-memory
+views and the work queue are inherited directly.  Where ``fork`` is
+unavailable (or only one worker is requested, or the shared segment
+cannot be allocated) everything **falls back to the serial in-process
+fill** — same kernels, same output bytes, just one process.  The
+parallel and serial fills are asserted byte-identical in
+``tests/test_parallel.py``.
+
+Two row layouts are produced:
+
+* ``"matrix"`` — source-major distance rows (``buf[src * N + dst]``),
+  exactly :func:`repro.core.batch.distance_matrix` flattened;
+* ``"table"`` — destination-major *routing* rows: for each destination a
+  distance row **and** a next-hop action row (one byte per source; see
+  :mod:`repro.core.tables` for the action encoding), built by BFS from
+  the destination over in-neighbors so that following actions traces a
+  shortest path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.batch import _UNSEEN, _bfs_fill
+from repro.core.packed import PackedSpace
+from repro.core.word import validate_parameters
+from repro.exceptions import InvalidParameterError, InvalidWordError
+
+#: Rows per work-queue item; small enough to load-balance, large enough
+#: that queue traffic is negligible next to the BFS work.
+DEFAULT_CHUNK_ROWS = 64
+
+#: Upper bound on the default worker count (explicit ``workers=`` may
+#: exceed it; benches do, to measure oversubscription).
+MAX_DEFAULT_WORKERS = 4
+
+#: Refuse buffers beyond this many cells (2 GiB) — all-pairs structure
+#: for larger graphs needs out-of-core compilation, not one mmap.
+MAX_CELLS = 2**31
+
+#: Next-hop action row sentinels (shared with :mod:`repro.core.tables`).
+ACTION_AT_DESTINATION = 0xFE
+ACTION_UNREACHABLE = 0xFF
+
+_KINDS = ("matrix", "table")
+
+
+def available_cpus() -> int:
+    """CPUs this process may use (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def default_workers() -> int:
+    """The worker count used when callers pass ``workers=None``."""
+    return max(1, min(MAX_DEFAULT_WORKERS, available_cpus()))
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def chunk_ranges(total: int, chunk_size: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into ``[start, stop)`` work-queue items.
+
+    >>> chunk_ranges(10, 4)
+    [(0, 4), (4, 8), (8, 10)]
+    """
+    if chunk_size < 1:
+        raise InvalidParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [(start, min(start + chunk_size, total))
+            for start in range(0, total, chunk_size)]
+
+
+def _check_buffer_size(d: int, k: int) -> int:
+    """Validate (d, k) for flat all-pairs byte buffers; returns N."""
+    validate_parameters(d, k)
+    n = d**k
+    if n * n > MAX_CELLS:
+        raise InvalidParameterError(
+            f"DG({d},{k}) needs {n}^2-byte buffers; exceeds the "
+            f"{MAX_CELLS}-cell guard"
+        )
+    if k >= _UNSEEN - 1:
+        raise InvalidWordError(f"k = {k} overflows the byte distance rows")
+    if 2 * d >= ACTION_AT_DESTINATION:
+        raise InvalidParameterError(
+            f"d = {d} overflows the one-byte action encoding"
+        )
+    return n
+
+
+# ----------------------------------------------------------------------
+# Row kernels (run in workers and in the serial fallback)
+# ----------------------------------------------------------------------
+
+
+def _table_fill(d: int, k: int, dest: int, directed: bool,
+                dist_row: bytearray, act_row: bytearray) -> None:
+    """Reverse BFS from ``dest``: distances *to* dest + next-hop actions.
+
+    ``dist_row[src]`` becomes the length of a shortest path src -> dest;
+    ``act_row[src]`` the one-byte action of its first hop (``a`` in
+    ``0..d-1``: left shift inserting ``a``; ``d + a``: right shift
+    inserting ``a``; ``0xFE``: already at the destination).  Both rows
+    must be pre-set to ``0xFF`` (unreachable).
+
+    The BFS runs over *in*-neighbors: when ``u`` is discovered from
+    ``v``, the edge ``u -> v`` moves one step closer to ``dest``, and
+    the action byte records how ``u`` reaches ``v`` (``v``'s tail digit
+    for a left shift, ``v``'s head digit for a right shift).
+    """
+    high = d ** (k - 1)
+    dist_row[dest] = 0
+    act_row[dest] = ACTION_AT_DESTINATION
+    frontier = [dest]
+    level = 0
+    while frontier:
+        level += 1
+        nxt: List[int] = []
+        push = nxt.append
+        for v in frontier:
+            body = v // d
+            left_act = v % d  # enter v by a left shift inserting its tail
+            for b in range(d):
+                u = b * high + body
+                if dist_row[u] == 0xFF:
+                    dist_row[u] = level
+                    act_row[u] = left_act
+                    push(u)
+            if not directed:
+                right_act = d + v // high  # right shift inserting v's head
+                base = (v % high) * d
+                for u in range(base, base + d):
+                    if dist_row[u] == 0xFF:
+                        dist_row[u] = level
+                        act_row[u] = right_act
+                        push(u)
+        frontier = nxt
+
+
+def _fill_chunk(kind: str, d: int, k: int, directed: bool,
+                start: int, stop: int, buffers: Sequence) -> None:
+    """Fill rows ``[start, stop)`` of the flat buffer(s) for ``kind``.
+
+    Rows are computed in local bytearrays (the fastest mutable byte
+    container in CPython) and blitted into the shared buffer in one
+    slice assignment per row.
+    """
+    n = d**k
+    template = bytes([_UNSEEN]) * n
+    if kind == "matrix":
+        (dist_buf,) = buffers
+        space = PackedSpace(d, k)
+        row = bytearray(template)
+        for source in range(start, stop):
+            row[:] = template
+            _bfs_fill(space, source, directed, row)
+            dist_buf[source * n:(source + 1) * n] = row
+    elif kind == "table":
+        dist_buf, act_buf = buffers
+        dist_row = bytearray(template)
+        act_row = bytearray(template)
+        for dest in range(start, stop):
+            dist_row[:] = template
+            act_row[:] = template
+            _table_fill(d, k, dest, directed, dist_row, act_row)
+            dist_buf[dest * n:(dest + 1) * n] = dist_row
+            act_buf[dest * n:(dest + 1) * n] = act_row
+    else:  # pragma: no cover - internal misuse
+        raise InvalidParameterError(f"unknown fill kind {kind!r}")
+
+
+def _worker_main(kind: str, d: int, k: int, directed: bool,
+                 buffers: Sequence, queue) -> None:
+    """Worker loop: drain ``[start, stop)`` chunks until the None sentinel.
+
+    Runs in a forked child; ``buffers`` are the parent's shared-memory
+    views inherited across the fork, so writes land directly in the
+    parent's segments.
+    """
+    while True:
+        task = queue.get()
+        if task is None:
+            return
+        start, stop = task
+        _fill_chunk(kind, d, k, directed, start, stop, buffers)
+
+
+# ----------------------------------------------------------------------
+# The sharded driver
+# ----------------------------------------------------------------------
+
+
+def sharded_rows(
+    kind: str,
+    d: int,
+    k: int,
+    directed: bool = False,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> Tuple[bytearray, ...]:
+    """Compute all rows of ``kind`` for DG(d, k), sharded across workers.
+
+    Returns the flat ``N*N``-byte buffer(s) as bytearrays — one for
+    ``kind="matrix"`` (distances, source-major), two for
+    ``kind="table"`` (distances then next-hop actions, both
+    destination-major).
+
+    ``workers=None`` picks ``min(4, cpus)``; ``workers=1``, a platform
+    without ``fork``, or a failed shared-memory allocation all take the
+    serial in-process path, which produces byte-identical output.
+    """
+    if kind not in _KINDS:
+        raise InvalidParameterError(f"unknown fill kind {kind!r}")
+    n = _check_buffer_size(d, k)
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_ROWS
+    chunks = chunk_ranges(n, chunk_size)
+    n_buffers = 1 if kind == "matrix" else 2
+    workers = min(workers, len(chunks))
+
+    if workers <= 1 or not fork_available():
+        return _serial_rows(kind, d, k, directed, n, n_buffers)
+
+    try:
+        from multiprocessing import shared_memory
+        segments = []
+        for _ in range(n_buffers):
+            segments.append(shared_memory.SharedMemory(create=True, size=n * n))
+    except (ImportError, OSError, ValueError):  # pragma: no cover - no /dev/shm
+        for segment in locals().get("segments", []):
+            segment.close()
+            segment.unlink()
+        return _serial_rows(kind, d, k, directed, n, n_buffers)
+
+    try:
+        context = multiprocessing.get_context("fork")
+        queue = context.Queue()
+        views = [segment.buf for segment in segments]
+        processes = [
+            context.Process(
+                target=_worker_main,
+                args=(kind, d, k, directed, views, queue),
+                daemon=True,
+            )
+            for _ in range(workers)
+        ]
+        for process in processes:
+            process.start()
+        for chunk in chunks:
+            queue.put(chunk)
+        for _ in processes:
+            queue.put(None)
+        for process in processes:
+            process.join()
+        failed = [p.exitcode for p in processes if p.exitcode != 0]
+        if failed:
+            raise InvalidParameterError(
+                f"{len(failed)} BFS shard worker(s) exited with "
+                f"{failed}; shared buffers are incomplete"
+            )
+        result = tuple(bytearray(view) for view in views)
+    finally:
+        for view in locals().get("views", []):
+            view.release()
+        for segment in segments:
+            segment.close()
+            segment.unlink()
+    return result
+
+
+def _serial_rows(kind: str, d: int, k: int, directed: bool,
+                 n: int, n_buffers: int) -> Tuple[bytearray, ...]:
+    """The graceful fallback: one process, same kernels, same bytes."""
+    buffers = tuple(bytearray(n * n) for _ in range(n_buffers))
+    _fill_chunk(kind, d, k, directed, 0, n, buffers)
+    return buffers
+
+
+# ----------------------------------------------------------------------
+# Public conveniences
+# ----------------------------------------------------------------------
+
+
+def distance_matrix_flat(
+    d: int,
+    k: int,
+    directed: bool = False,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> bytearray:
+    """The N x N distance matrix as one flat source-major bytearray.
+
+    ``buf[pack(x) * N + pack(y)]`` is D(X, Y) — the sharded analogue of
+    :func:`repro.core.batch.distance_matrix` (byte-identical to it row
+    by row, as the tests assert).
+    """
+    (dist,) = sharded_rows("matrix", d, k, directed, workers, chunk_size)
+    return dist
+
+
+def parallel_distance_matrix(
+    d: int,
+    k: int,
+    directed: bool = False,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> List[bytearray]:
+    """Row-list view of :func:`distance_matrix_flat` (drop-in for
+    :func:`repro.core.batch.distance_matrix`)."""
+    n = d**k
+    flat = distance_matrix_flat(d, k, directed, workers, chunk_size)
+    return [flat[i * n:(i + 1) * n] for i in range(n)]
+
+
+def compile_table_buffers(
+    d: int,
+    k: int,
+    directed: bool = False,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> Tuple[bytearray, bytearray]:
+    """(distances, next-hop actions), destination-major, for DG(d, k).
+
+    The raw material of :class:`repro.core.tables.CompiledRouteTable`:
+    ``dist[pack(y) * N + pack(x)]`` is D(X, Y) and
+    ``act[pack(y) * N + pack(x)]`` the first-hop action of a shortest
+    path from X to Y.
+    """
+    dist, act = sharded_rows("table", d, k, directed, workers, chunk_size)
+    return dist, act

@@ -204,6 +204,32 @@ def verify_path(
     return apply_path(x, path, d, wildcard) == y
 
 
+def step_from_action(action: int, d: int) -> RoutingStep:
+    """Decode a compiled-table action byte into a :class:`RoutingStep`.
+
+    Actions ``0..d-1`` are type-L steps inserting that digit; actions
+    ``d..2d-1`` type-R steps inserting ``action - d`` (the one-byte
+    next-hop encoding of :mod:`repro.core.tables`).  Sentinel bytes
+    (at-destination, unreachable) are not steps and are rejected.
+    """
+    if 0 <= action < d:
+        return RoutingStep(Direction.LEFT, action)
+    if d <= action < 2 * d:
+        return RoutingStep(Direction.RIGHT, action - d)
+    raise RoutingError(f"action byte {action} is not a shift action for d = {d}")
+
+
+def action_from_step(step: RoutingStep, d: int) -> int:
+    """Inverse of :func:`step_from_action`; wildcards are not encodable."""
+    if step.digit is None:
+        raise RoutingError("wildcard steps have no one-byte action encoding")
+    if not 0 <= step.digit < d:
+        raise RoutingError(f"digit {step.digit} is not in 0..{d - 1}")
+    if step.direction == Direction.LEFT:
+        return step.digit
+    return d + step.digit
+
+
 #: Cache key: (source, destination, directed, method, use_wildcards).
 RouteKey = Tuple[WordTuple, WordTuple, bool, str, bool]
 

@@ -61,6 +61,14 @@ class Message:
     #: Hop-by-hop mode: when set, the routing-path field stays empty and
     #: every site asks this router for one locally computed step.
     hop_router: Optional[object] = None
+    #: Compiled-table mode (see :mod:`repro.core.tables`): the routing
+    #: path stays empty and every hop is one O(1) action-byte lookup in
+    #: this table.  ``packed_current`` tracks the packed address of the
+    #: site the message sits at; ``packed_dest_base`` is the precomputed
+    #: row offset ``pack(destination) * N`` into the flat table.
+    route_table: Optional[object] = None
+    packed_current: int = -1
+    packed_dest_base: int = -1
 
     @property
     def hop_count(self) -> int:

@@ -52,6 +52,9 @@ class Simulator:
         self.link_latency = link_latency
         self.link_service_time = link_service_time
         self.reroute_on_failure = reroute_on_failure
+        #: d**(k-1): the packed head place value, used by the O(1)
+        #: table-driven forwarding arithmetic in the hot loop.
+        self._high = d ** (k - 1)
         self.graph = DeBruijnGraph(d, k, directed=not bidirectional)
         self.now = 0.0
         self.queue = EventQueue()
@@ -61,6 +64,10 @@ class Simulator:
         self._failed: Set[WordTuple] = set()
         self._failed_links: Set[LinkKey] = set()
         self._validated: Set[WordTuple] = set()  # addresses already checked
+        #: Table-mode send memos: word tuple -> packed value, and
+        #: destination tuple -> precomputed packed-row offset.
+        self._packed: Dict[WordTuple, int] = {}
+        self._packed_base: Dict[WordTuple, int] = {}
         #: Optional hook fired on every delivery (message, simulator).  May
         #: schedule further sends at >= the current time; used by the
         #: broadcast relay and available for custom protocols.
@@ -139,9 +146,35 @@ class Simulator:
             message = Message(control, source, destination, [], payload,
                               injected_at=at, hop_router=router)
         else:
-            path = router.plan(source, destination)
-            message = Message(control, source, destination, list(path), payload,
-                              injected_at=at)
+            table = getattr(router, "compiled_table", None)
+            if table is not None and (self.bidirectional or table.directed):
+                # Compiled-table mode: no planning at all.  The message
+                # carries packed coordinates and every hop is one action
+                # byte read (see _handle_arrival); an undirected table on
+                # a uni-directional network would ask for nonexistent
+                # type-R links, so that mismatch takes the planned path
+                # below (and raises there, as it always has).
+                message = Message(control, source, destination, [], payload,
+                                  injected_at=at)
+                message.route_table = table
+                # Addresses were validated above, and steady-state traffic
+                # revisits endpoints, so the packed coordinates are
+                # memoized per tuple rather than re-packed per message.
+                packed = self._packed
+                current = packed.get(source)
+                if current is None:
+                    current = packed[source] = table.space.pack(source)
+                base = self._packed_base.get(destination)
+                if base is None:
+                    base = self._packed_base[destination] = (
+                        table.space.pack(destination) * table.order)
+                message.packed_current = current
+                message.packed_dest_base = base
+                self.stats.table_bytes = table.nbytes
+            else:
+                path = router.plan(source, destination)
+                message = Message(control, source, destination, list(path),
+                                  payload, injected_at=at)
         self.queue.push(at, EventKind.INJECT, source, message)
         return message
 
@@ -208,8 +241,42 @@ class Simulator:
         if site is None:
             site = self.node(address)
 
-        path = message.routing_path
-        if message.hop_router is None and path and path[0].digit is not None:
+        table = message.route_table
+        if table is not None:
+            # Compiled-table fast path: the next hop is one byte read in
+            # the all-pairs action table — no routing-path list, no
+            # planning, no step objects.  Packed-word arithmetic keeps
+            # the O(1) coordinate alongside the tuple address the
+            # node/link dictionaries key on.
+            message.trace.append(address)
+            current = message.packed_current
+            action = table.actions[message.packed_dest_base + current]
+            d = self.d
+            if action < d:  # type-L: drop the head, append the digit
+                target = address[1:] + (action,)
+                message.packed_current = (current % self._high) * d + action
+            elif action < 2 * d:  # type-R: drop the tail, prepend
+                # No bidirectional re-check: send() only attaches a table
+                # whose orientation matches the network, and directed
+                # tables contain no type-R actions by construction.
+                digit = action - d
+                target = (digit,) + address[:-1]
+                message.packed_current = digit * self._high + current // d
+            elif action == 0xFE:  # at the destination: deliver
+                site.accept(message, self.now)
+                self.stats.delivered.append(message)
+                self.stats.table_routed += 1
+                if self.on_deliver is not None:
+                    self.on_deliver(message, self)
+                return
+            else:  # 0xFF: the table records no route (defensive)
+                self.stats.dropped.append(
+                    (message, f"table has no route from {address!r} to "
+                              f"{message.destination!r}"))
+                return
+            site.forwarded_count += 1
+        elif message.hop_router is None and (path := message.routing_path) \
+                and path[0].digit is not None:
             # Fast path: a concrete next step needs no cost oracle, so the
             # pop-and-forward arithmetic of :meth:`Node.process` is inlined
             # here (same rule, same bookkeeping — the method call per hop
@@ -302,6 +369,7 @@ class Simulator:
         except Exception:
             return False
         message.routing_path = vertex_path_to_steps(vertices, self.d)
+        message.route_table = None  # the detour leaves the compiled routes
         self.stats.rerouted += 1
         if len(vertices) == 1:
             # Already at the destination: deliver immediately.

@@ -55,6 +55,11 @@ class SimulationStats:
     #: filled in by run_workload when the router memoizes its plans.
     route_cache_hits: int = 0
     route_cache_misses: int = 0
+    #: Compiled-table fast path (repro.core.tables): messages delivered
+    #: through O(1) per-hop table lookups, and the footprint of the
+    #: table(s) that served them.
+    table_routed: int = 0
+    table_bytes: int = 0
 
     # ------------------------------------------------------------------
     # Message-level metrics
@@ -160,6 +165,8 @@ class SimulationStats:
             horizon=(min(upper, self.horizon) - start) if self.horizon > start else 0.0,
             route_cache_hits=self.route_cache_hits,
             route_cache_misses=self.route_cache_misses,
+            table_routed=self.table_routed,
+            table_bytes=self.table_bytes,
         )
         return trimmed
 
@@ -185,4 +192,6 @@ class SimulationStats:
             "route_cache_hits": float(self.route_cache_hits),
             "route_cache_misses": float(self.route_cache_misses),
             "route_cache_hit_rate": self.route_cache_hit_rate(),
+            "table_routed": float(self.table_routed),
+            "table_bytes": float(self.table_bytes),
         }

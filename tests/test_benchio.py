@@ -1,0 +1,57 @@
+"""Tests for the bench-trajectory envelope (repro.benchio)."""
+
+from __future__ import annotations
+
+import json
+
+from repro import benchio
+
+
+def test_bench_meta_fields():
+    meta = benchio.bench_meta()
+    assert set(meta) >= {"git_commit", "timestamp", "python", "cpus"}
+    assert meta["cpus"] >= 1
+    assert meta["python"].count(".") == 2
+
+
+def test_append_creates_envelope(tmp_path):
+    path = str(tmp_path / "BENCH_x.json")
+    envelope = benchio.append_record(path, {"value": 1}, bench="x")
+    assert envelope["meta"]["schema"] == benchio.SCHEMA_VERSION
+    assert envelope["meta"]["bench"] == "x"
+    with open(path, encoding="utf-8") as handle:
+        on_disk = json.load(handle)
+    assert on_disk["results"][0]["value"] == 1
+    assert "git_commit" in on_disk["results"][0]["meta"]
+
+
+def test_append_migrates_legacy_bare_list(tmp_path):
+    """A pre-envelope bare-list file is upgraded in place, keeping its
+    records (without inventing provenance for them)."""
+    path = str(tmp_path / "BENCH_legacy.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump([{"old": True}, {"old": True, "n": 2}], handle)
+    assert len(benchio.read_history(path)) == 2  # legacy layout readable
+    benchio.append_record(path, {"new": True}, bench="legacy")
+    with open(path, encoding="utf-8") as handle:
+        on_disk = json.load(handle)
+    assert isinstance(on_disk, dict)
+    results = on_disk["results"]
+    assert len(results) == 3
+    assert results[0] == {"old": True}  # untouched, no back-dated meta
+    assert "meta" in results[2]
+
+
+def test_read_history_tolerates_missing_and_garbage(tmp_path):
+    assert benchio.read_history(str(tmp_path / "absent.json")) == []
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    assert benchio.read_history(str(bad)) == []
+    scalar = tmp_path / "scalar.json"
+    scalar.write_text("42", encoding="utf-8")
+    assert benchio.read_history(str(scalar)) == []
+
+
+def test_git_commit_shape():
+    commit = benchio.git_commit()
+    assert commit == "unknown" or len(commit) == 40

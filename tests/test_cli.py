@@ -92,6 +92,39 @@ def test_simulate_unidirectional_router(capsys):
     assert "optimal-unidirectional" in capsys.readouterr().out
 
 
+def test_simulate_table_router(capsys):
+    assert main(["simulate", "-d", "2", "-k", "4", "--router", "table",
+                 "--cycles", "20", "--rate", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "table-driven[bi]" in out
+    assert "table_routed" in out
+
+
+def test_compile_tables_command(tmp_path, capsys):
+    output = str(tmp_path / "dg2-5.routes")
+    assert main(["compile-tables", "-d", "2", "-k", "5", "--workers", "2",
+                 "--verify", "50", "--output", output]) == 0
+    out = capsys.readouterr().out
+    assert "table bytes: 2048" in out
+    assert "mismatches: 0" in out
+
+    from repro.core.tables import CompiledRouteTable, table_path
+
+    assert table_path(output) == (2, 5, False)
+    loaded = CompiledRouteTable.load(output)
+    try:
+        assert loaded.distance((0, 0, 0, 0, 1), (1, 0, 0, 0, 0)) >= 1
+    finally:
+        loaded.close()
+
+
+def test_compile_tables_directed(tmp_path, capsys):
+    output = str(tmp_path / "dg2-4-uni.routes")
+    assert main(["compile-tables", "-d", "2", "-k", "4", "--directed",
+                 "--output", output]) == 0
+    assert "orientation: directed" in capsys.readouterr().out
+
+
 def test_missing_subcommand_exits():
     with pytest.raises(SystemExit):
         main([])
