@@ -18,6 +18,7 @@ Subcommands
 ``sort``                distributed sort demo on the embedded array
 ``render``              write the graph (optionally with a route) as SVG/DOT
 ``compile-tables``      compile + save a next-hop route table (sharded BFS)
+``chaos``               seeded fault-injection campaign across strategies
 
 Examples::
 
@@ -27,6 +28,7 @@ Examples::
     debruijn-routing simulate -d 2 -k 4 --cycles 200 --rate 0.05
     debruijn-routing simulate -d 2 -k 6 --router table
     debruijn-routing compile-tables -d 2 -k 8 --workers 4 --verify 200
+    debruijn-routing chaos -d 2 -k 6 --intensities 0,0.5,1 --assert-improves
     debruijn-routing sequence -d 2 -k 4 --method euler
     debruijn-routing disjoint-paths -d 2 001 110
     debruijn-routing broadcast -d 2 -k 5
@@ -169,6 +171,40 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="cross-check this many random pairs against the "
                            "pure-python distance functions after compiling")
     p_ct.add_argument("--seed", type=int, default=7, help="--verify sampling seed")
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded stochastic fault-injection campaign across routing "
+             "strategies (E19)")
+    p_chaos.add_argument("-d", type=int, default=2)
+    p_chaos.add_argument("-k", type=int, default=6)
+    p_chaos.add_argument("--seed", default="chaos",
+                         help="campaign seed; replaying it reproduces every "
+                              "fault, loss and traffic pair")
+    p_chaos.add_argument("--messages", type=int, default=300)
+    p_chaos.add_argument("--spacing", type=float, default=5.0,
+                         help="inter-arrival gap between injections")
+    p_chaos.add_argument("--horizon", type=float, default=3000.0)
+    p_chaos.add_argument("--mtbf", type=float, default=600.0,
+                         help="mean time between per-site failures at "
+                              "intensity 1")
+    p_chaos.add_argument("--mttr", type=float, default=120.0,
+                         help="mean time to repair a failed site")
+    p_chaos.add_argument("--loss-rate", type=float, default=0.05,
+                         help="Bernoulli per-transmission loss at intensity 1")
+    p_chaos.add_argument("--regional-rate", type=float, default=0.0,
+                         help="correlated regional outages per unit time at "
+                              "intensity 1")
+    p_chaos.add_argument("--region-prefix", type=int, default=1,
+                         help="shared-prefix length defining a region")
+    p_chaos.add_argument("--intensities", default="0,0.5,1.0",
+                         help="comma-separated fault-intensity sweep")
+    p_chaos.add_argument("--strategies", default=None,
+                         help="comma-separated subset of "
+                              "oblivious,reroute,detour,repair")
+    p_chaos.add_argument("--assert-improves", action="store_true",
+                         help="exit nonzero unless detour and repair beat "
+                              "oblivious delivery at every nonzero intensity")
 
     sub.add_parser("about", help="list every module of the installed package")
 
@@ -486,6 +522,52 @@ def _cmd_compile_tables(args: argparse.Namespace) -> int:
     return 1 if mismatches else 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.network.chaos import STRATEGIES, ChaosConfig, run_campaign
+
+    config = ChaosConfig(
+        d=args.d, k=args.k, seed=args.seed, horizon=args.horizon,
+        messages=args.messages, spacing=args.spacing,
+        mtbf=args.mtbf, mttr=args.mttr,
+        regional_rate=args.regional_rate,
+        region_prefix_len=args.region_prefix,
+        loss_rate=args.loss_rate,
+    )
+    intensities = tuple(float(v) for v in args.intensities.split(",")
+                        if v.strip())
+    strategies = (tuple(s.strip() for s in args.strategies.split(","))
+                  if args.strategies else STRATEGIES)
+    records = run_campaign(config, intensities, strategies)
+    print(format_table(
+        ["strategy", "intensity", "delivered", "dropped", "delivery ratio",
+         "stretch", "time to recover", "detoured", "repairs", "lost"],
+        [(r["strategy"], r["intensity"], r["delivered"], r["dropped"],
+          r["delivery_ratio"], r["mean_stretch"], r["time_to_recover"],
+          r["detoured"], r["table_repairs"], r["link_lost"])
+         for r in records],
+        precision=3,
+    ))
+    print(f"# seed {config.seed!r} replays this campaign exactly")
+    if args.assert_improves:
+        baseline = {(r["intensity"]): r["delivery_ratio"]
+                    for r in records if r["strategy"] == "oblivious"}
+        failures = []
+        for r in records:
+            if r["strategy"] in ("detour", "repair") and r["intensity"] > 0:
+                floor = baseline.get(r["intensity"])
+                if floor is not None and r["delivery_ratio"] <= floor:
+                    failures.append(
+                        f"{r['strategy']} at intensity {r['intensity']}: "
+                        f"{r['delivery_ratio']:.3f} <= oblivious {floor:.3f}")
+        if failures:
+            for line in failures:
+                print("RESILIENCE REGRESSION:", line, file=sys.stderr)
+            return 1
+        print("# resilience check passed: detour/repair beat oblivious at "
+              "every nonzero intensity")
+    return 0
+
+
 def _cmd_about(args: argparse.Namespace) -> int:
     from repro.inventory import render_inventory
 
@@ -509,6 +591,7 @@ _COMMANDS = {
     "sort": _cmd_sort,
     "render": _cmd_render,
     "compile-tables": _cmd_compile_tables,
+    "chaos": _cmd_chaos,
     "about": _cmd_about,
 }
 

@@ -116,8 +116,16 @@ def _check_buffer_size(d: int, k: int) -> int:
 # ----------------------------------------------------------------------
 
 
+#: Temporary in-row marker for vertices excluded from a blocked BFS;
+#: distances never reach it (k <= 253 is enforced) and it differs from
+#: the 0xFF "unseen" template, so blocked vertices are simply never
+#: discovered.  Rows are cleaned back to 0xFF before returning.
+_BLOCKED_MARK = 0xFE
+
+
 def _table_fill(d: int, k: int, dest: int, directed: bool,
-                dist_row: bytearray, act_row: bytearray) -> None:
+                dist_row: bytearray, act_row: bytearray,
+                blocked=None) -> None:
     """Reverse BFS from ``dest``: distances *to* dest + next-hop actions.
 
     ``dist_row[src]`` becomes the length of a shortest path src -> dest;
@@ -130,8 +138,18 @@ def _table_fill(d: int, k: int, dest: int, directed: bool,
     ``v``, the edge ``u -> v`` moves one step closer to ``dest``, and
     the action byte records how ``u`` reaches ``v`` (``v``'s tail digit
     for a left shift, ``v``'s head digit for a right shift).
+
+    ``blocked`` (an iterable of packed vertices, not containing
+    ``dest``) removes those vertices from the graph: they are neither
+    discovered nor expanded, and their row entries stay ``0xFF``.  This
+    is the kernel the fault-repair layer (:mod:`repro.network.resilience`)
+    uses to recompute rows on the surviving topology; the marking trick
+    keeps the unblocked hot loop untouched.
     """
     high = d ** (k - 1)
+    if blocked:
+        for u in blocked:
+            dist_row[u] = _BLOCKED_MARK
     dist_row[dest] = 0
     act_row[dest] = ACTION_AT_DESTINATION
     frontier = [dest]
@@ -158,6 +176,9 @@ def _table_fill(d: int, k: int, dest: int, directed: bool,
                         act_row[u] = right_act
                         push(u)
         frontier = nxt
+    if blocked:
+        for u in blocked:
+            dist_row[u] = ACTION_UNREACHABLE
 
 
 def _fill_chunk(kind: str, d: int, k: int, directed: bool,

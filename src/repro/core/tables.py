@@ -119,6 +119,27 @@ class CompiledRouteTable:
         dist, act = compile_table_buffers(d, k, directed, workers, chunk_size)
         return cls(d, k, directed, bytes(act), bytes(dist))
 
+    def thaw(self) -> "CompiledRouteTable":
+        """A deep copy with mutable ``bytearray`` buffers.
+
+        The fault-repair layer (:mod:`repro.network.resilience`) patches
+        action/distance rows in place; tables loaded read-only (or
+        compiled to immutable ``bytes``) are thawed first.  The original
+        table is left untouched.
+        """
+        return CompiledRouteTable(
+            self.d, self.k, self.directed,
+            bytearray(self.actions), bytearray(self.distances),
+        )
+
+    @property
+    def mutable(self) -> bool:
+        """True when the buffers accept in-place writes (repairable)."""
+        actions = self.actions
+        if isinstance(actions, bytearray):
+            return True
+        return isinstance(actions, memoryview) and not actions.readonly
+
     # -- O(1) lookups ---------------------------------------------------
 
     def action(self, source: int, destination: int) -> int:
@@ -208,7 +229,8 @@ class CompiledRouteTable:
         return len(MAGIC) + _HEADER.size + self.nbytes
 
     @classmethod
-    def load(cls, path: str, use_mmap: bool = True) -> "CompiledRouteTable":
+    def load(cls, path: str, use_mmap: bool = True,
+             writable: bool = False) -> "CompiledRouteTable":
         """Load a :meth:`save`'d table, zero-copy via ``mmap`` by default.
 
         With ``use_mmap=True`` the action/distance buffers are read-only
@@ -216,6 +238,14 @@ class CompiledRouteTable:
         costs milliseconds to open and only faults in the rows actually
         routed.  ``use_mmap=False`` reads everything into plain bytes.
         Call :meth:`close` (or drop the table) to release the mapping.
+
+        ``writable=True`` maps the file copy-on-write
+        (``mmap.ACCESS_COPY``): the in-memory action/distance arrays can
+        be patched in place — the fault-repair layer rewrites only the
+        rows a failure invalidated — while the file on disk stays
+        pristine and only the touched pages are privately duplicated.
+        With ``use_mmap=False`` it falls back to plain ``bytearray``
+        copies.
         """
         header_size = len(MAGIC) + _HEADER.size
         handle = open(path, "rb")
@@ -238,15 +268,20 @@ class CompiledRouteTable:
                     f"{path!r} is truncated: {size} bytes, expected {expected}"
                 )
             if use_mmap:
-                mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+                access = mmap.ACCESS_COPY if writable else mmap.ACCESS_READ
+                mapping = mmap.mmap(handle.fileno(), 0, access=access)
                 view = memoryview(mapping)
                 actions = view[header_size:header_size + cells]
                 distances = view[header_size + cells:expected]
                 return cls(d, k, bool(directed), actions, distances,
                            _mmap=mapping, _file=handle)
             data = handle.read(2 * cells)
-            actions = data[:cells]
-            distances = data[cells:]
+            if writable:
+                actions: ByteBuffer = bytearray(data[:cells])
+                distances: ByteBuffer = bytearray(data[cells:])
+            else:
+                actions = data[:cells]
+                distances = data[cells:]
             return cls(d, k, bool(directed), actions, distances)
         except Exception:
             handle.close()

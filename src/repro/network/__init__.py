@@ -13,6 +13,14 @@ from repro.network.deflection import (
     preferred_port,
     uniform_deflection_workload,
 )
+from repro.network.chaos import (
+    ChaosConfig,
+    ChaosSchedule,
+    FaultEvent,
+    generate_schedule,
+    install_link_loss,
+    run_campaign,
+)
 from repro.network.gossip import GossipResult, mean_rounds_to_cover, push_gossip
 from repro.network.faults import (
     FaultAwareRouter,
@@ -35,6 +43,13 @@ from repro.network.router import (
     ValiantRouter,
 )
 from repro.network.reliable import ReliableTransport, Transfer, TransportStats
+from repro.network.resilience import (
+    LocalDetourPolicy,
+    RepairReport,
+    SelfHealingRouteTable,
+    compile_with_failures,
+    repair_route_table,
+)
 from repro.network.simulator import Simulator, run_workload
 from repro.network.sorting import odd_even_transposition_sort, sort_trace
 from repro.network.tracing import TraceRecorder
@@ -53,7 +68,18 @@ from repro.network.traffic import (
 __all__ = [
     "AdaptiveGreedyRouter",
     "BidirectionalOptimalRouter",
+    "ChaosConfig",
+    "ChaosSchedule",
     "ControlCode",
+    "FaultEvent",
+    "LocalDetourPolicy",
+    "RepairReport",
+    "SelfHealingRouteTable",
+    "compile_with_failures",
+    "generate_schedule",
+    "install_link_loss",
+    "repair_route_table",
+    "run_campaign",
     "DeflectionNetwork",
     "DeflectionStats",
     "GossipResult",

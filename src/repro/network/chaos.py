@@ -1,0 +1,427 @@
+"""Seeded stochastic fault injection — the chaos engine (experiment E19).
+
+Everything here is a *generator of misfortune* for
+:class:`repro.network.simulator.Simulator`; the machinery that survives
+it lives in :mod:`repro.network.resilience`.  Three fault processes,
+all driven by one recorded seed so any campaign replays bit-for-bit:
+
+* **Site churn** — per-site alternating renewal process: up-times drawn
+  from Exponential(1/MTBF), down-times from Exponential(1/MTTR), the
+  textbook availability model (steady-state availability
+  ``MTBF / (MTBF + MTTR)``).
+* **Correlated regional outages** — a Poisson process of events that
+  take down *every* site sharing a random address prefix at once, the
+  de Bruijn analogue of losing a rack: sites whose words share a prefix
+  of length p form a contiguous packed range (prefix-major packing), so
+  one event fells ``d**(k-p)`` sites together and recovery is likewise
+  simultaneous.
+* **Bernoulli link loss** — each transmission is lost independently
+  with probability ``loss_rate`` (installed as the simulator's
+  ``loss_fn``).
+
+:func:`run_campaign` sweeps a fault-intensity knob across routing
+strategies (``oblivious`` / ``reroute`` / ``detour`` / ``repair``) with
+*identical* traffic and fault schedules per intensity, and emits the
+delivery-ratio / path-stretch / time-to-recover curves that
+``benchmarks/bench_resilience.py`` records and the ``chaos`` CLI
+subcommand prints.
+
+Determinism contract: every random stream is a :class:`random.Random`
+seeded with a string derived from ``(config.seed, purpose, intensity,
+strategy)``, so replaying a campaign from its recorded seed reproduces
+every fault time, every lost transmission, and every traffic pair.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.tables import CompiledRouteTable
+from repro.core.word import WordTuple, validate_parameters
+from repro.exceptions import InvalidParameterError
+from repro.network.events import EventKind
+from repro.network.resilience import LocalDetourPolicy, SelfHealingRouteTable
+from repro.network.router import TableDrivenRouter
+from repro.network.simulator import Simulator
+from repro.network.traffic import random_pairs
+
+#: The routing strategies the campaign compares, weakest first.
+STRATEGIES: Tuple[str, ...] = ("oblivious", "reroute", "detour", "repair")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One campaign's worth of knobs (all rates at intensity 1.0).
+
+    ``intensity`` scales the fault processes linearly: at intensity
+    ``i`` the effective MTBF is ``mtbf / i`` (so fault *frequency*
+    scales with i), the regional-outage rate is ``regional_rate * i``,
+    and the per-transmission loss probability is ``loss_rate * i``.
+    Intensity 0 is the fault-free control.
+    """
+
+    d: int = 2
+    k: int = 6
+    seed: str = "chaos"
+    horizon: float = 3000.0
+    #: Offered load: messages injected, and their inter-arrival spacing.
+    messages: int = 300
+    spacing: float = 5.0
+    #: Site-churn renewal process (simulated-time units).
+    mtbf: float = 600.0
+    mttr: float = 120.0
+    #: Regional outages: expected events per unit time at intensity 1,
+    #: each felling all sites sharing a random prefix of this length.
+    regional_rate: float = 0.0
+    region_prefix_len: int = 1
+    #: Bernoulli per-transmission loss probability at intensity 1.
+    loss_rate: float = 0.0
+    bidirectional: bool = True
+
+    def __post_init__(self) -> None:
+        validate_parameters(self.d, self.k)
+        if self.mtbf <= 0 or self.mttr <= 0:
+            raise InvalidParameterError("mtbf and mttr must be positive")
+        if not 0 <= self.loss_rate <= 1:
+            raise InvalidParameterError("loss_rate must be in [0, 1]")
+        if not 0 < self.region_prefix_len <= self.k:
+            raise InvalidParameterError(
+                f"region_prefix_len must be in 1..{self.k}")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled site transition; ``region`` marks correlated events."""
+
+    time: float
+    kind: str  #: ``"fail"`` or ``"recover"``
+    site: WordTuple
+    region: Optional[WordTuple] = None  #: shared prefix, for regional events
+
+
+@dataclass
+class ChaosSchedule:
+    """A reproducible fault timeline for one DG(d, k) run."""
+
+    d: int
+    k: int
+    horizon: float
+    seed: str
+    events: List[FaultEvent] = field(default_factory=list)
+
+    @property
+    def fail_count(self) -> int:
+        return sum(1 for e in self.events if e.kind == "fail")
+
+    def fail_times(self) -> List[float]:
+        """When each outage begins (for time-to-recover accounting)."""
+        return [e.time for e in self.events if e.kind == "fail"]
+
+    def apply(self, simulator: Simulator) -> None:
+        """Push every transition onto the simulator's event queue."""
+        for event in self.events:
+            if event.kind == "fail":
+                simulator.fail_node(event.site, at=event.time)
+            else:
+                simulator.recover_node(event.site, at=event.time)
+
+
+def _site_words(d: int, k: int) -> List[WordTuple]:
+    """All sites in packed order (prefix-major, so regions are ranges)."""
+    from repro.core.packed import PackedSpace
+
+    space = PackedSpace(d, k)
+    return [space.unpack(value) for value in range(space.order)]
+
+
+def generate_schedule(
+    d: int,
+    k: int,
+    horizon: float,
+    seed: str,
+    mtbf: float,
+    mttr: float,
+    regional_rate: float = 0.0,
+    region_prefix_len: int = 1,
+    protect: Iterable[WordTuple] = (),
+) -> ChaosSchedule:
+    """Draw one reproducible fault timeline.
+
+    Per site an alternating Exponential(1/mtbf) up / Exponential(1/mttr)
+    down renewal process; on top, a Poisson(regional_rate) stream of
+    regional outages felling every site with a random shared prefix.
+    Sites in ``protect`` never fail (lets tests pin endpoints up).
+    ``mtbf=float("inf")`` disables churn, ``regional_rate=0`` disables
+    regional events.  Identical arguments give identical schedules.
+    """
+    validate_parameters(d, k)
+    schedule = ChaosSchedule(d=d, k=k, horizon=horizon, seed=seed)
+    events = schedule.events
+    protected = set(protect)
+    sites = _site_words(d, k)
+
+    # Site churn: one independent renewal stream per site, drawn from a
+    # per-site RNG so the timeline does not depend on site iteration
+    # order staying stable.
+    if mtbf != float("inf"):
+        fail_rate = 1.0 / mtbf
+        repair_rate = 1.0 / mttr
+        for site in sites:
+            if site in protected:
+                continue
+            rng = random.Random(f"{seed}:site:{site}")
+            t = rng.expovariate(fail_rate)
+            while t < horizon:
+                events.append(FaultEvent(t, "fail", site))
+                down = rng.expovariate(repair_rate)
+                recover_at = t + down
+                if recover_at < horizon:
+                    events.append(FaultEvent(recover_at, "recover", site))
+                t = recover_at + rng.expovariate(fail_rate)
+
+    # Correlated regional outages: all sites sharing a prefix go down
+    # together and come back together.
+    if regional_rate > 0:
+        rng = random.Random(f"{seed}:regions")
+        repair_rate = 1.0 / mttr
+        t = rng.expovariate(regional_rate)
+        while t < horizon:
+            prefix = tuple(rng.randrange(d)
+                           for _ in range(region_prefix_len))
+            recover_at = t + rng.expovariate(repair_rate)
+            for site in sites:
+                if site[:region_prefix_len] != prefix or site in protected:
+                    continue
+                events.append(FaultEvent(t, "fail", site, region=prefix))
+                if recover_at < horizon:
+                    events.append(
+                        FaultEvent(recover_at, "recover", site, region=prefix))
+            t += rng.expovariate(regional_rate)
+
+    events.sort(key=lambda e: (e.time, e.kind, e.site))
+    return schedule
+
+
+def install_link_loss(
+    simulator: Simulator,
+    rate: float,
+    seed: str,
+) -> Optional[Callable[[WordTuple, WordTuple], bool]]:
+    """Arm the simulator with seeded Bernoulli per-transmission loss.
+
+    Each call to the installed ``loss_fn`` consumes one draw from its
+    own RNG stream, so two runs with the same seed lose the same
+    transmissions.  ``rate<=0`` uninstalls (and returns None) — the hot
+    loop then skips the check entirely.
+    """
+    if rate <= 0:
+        simulator.loss_fn = None
+        return None
+    if rate > 1:
+        raise InvalidParameterError(f"loss rate {rate} > 1")
+    rng = random.Random(f"{seed}:loss")
+
+    def loss_fn(tail: WordTuple, head: WordTuple,
+                _random=rng.random, _rate=rate) -> bool:
+        return _random() < _rate
+
+    simulator.loss_fn = loss_fn
+    return loss_fn
+
+
+# ----------------------------------------------------------------------
+# Campaign runner
+# ----------------------------------------------------------------------
+
+
+def _healthy_distance(table: CompiledRouteTable,
+                      source: WordTuple, destination: WordTuple) -> int:
+    space = table.space
+    return table.distances[
+        space.pack(destination) * table.order + space.pack(source)]
+
+
+def _mean_stretch(table: CompiledRouteTable, delivered) -> float:
+    """Mean (hops taken) / (healthy shortest distance) over deliveries."""
+    ratios: List[float] = []
+    for message in delivered:
+        optimal = _healthy_distance(table, message.source,
+                                    message.destination)
+        if 0 < optimal < 0xFF:
+            ratios.append(message.hop_count / optimal)
+    return sum(ratios) / len(ratios) if ratios else 0.0
+
+
+def _mean_time_to_recover(fail_times: Sequence[float], delivered) -> float:
+    """Mean lag from an outage to the next delivery *injected after* it.
+
+    For each fault instant t_f: the earliest ``delivered_at`` among
+    messages injected at or after t_f, minus t_f — how long the network
+    took to prove it was still delivering fresh traffic.  Fault events
+    with no later successful injection are skipped (the run drained).
+    """
+    if not fail_times or not delivered:
+        return 0.0
+    pairs = sorted((m.injected_at, m.delivered_at) for m in delivered
+                   if m.delivered_at is not None)
+    if not pairs:
+        return 0.0
+    injections = [p[0] for p in pairs]
+    # suffix_min[i] = earliest delivery among injections[i:]
+    suffix_min = [0.0] * len(pairs)
+    best = float("inf")
+    for i in range(len(pairs) - 1, -1, -1):
+        best = min(best, pairs[i][1])
+        suffix_min[i] = best
+    import bisect
+
+    lags: List[float] = []
+    for t_f in fail_times:
+        i = bisect.bisect_left(injections, t_f)
+        if i < len(pairs):
+            lags.append(suffix_min[i] - t_f)
+    return sum(lags) / len(lags) if lags else 0.0
+
+
+def _build_simulator(config: ChaosConfig, strategy: str,
+                     table: CompiledRouteTable
+                     ) -> Tuple[Simulator, TableDrivenRouter,
+                                Optional[SelfHealingRouteTable]]:
+    """One (simulator, router, healer) per strategy leg.
+
+    * ``oblivious``  — compiled table, drop on any failed next hop;
+    * ``reroute``    — omniscient re-plan around the failed set (E7);
+    * ``detour``     — local-knowledge deflection
+      (:class:`repro.network.resilience.LocalDetourPolicy`);
+    * ``repair``     — self-healing table re-synced on every fault
+      transition, messages re-read the patched bytes in flight.
+    """
+    simulator = Simulator(
+        config.d, config.k,
+        bidirectional=config.bidirectional,
+        reroute_on_failure=(strategy == "reroute"),
+    )
+    healer: Optional[SelfHealingRouteTable] = None
+    if strategy == "detour":
+        simulator.detour_policy = LocalDetourPolicy(table)
+        router = TableDrivenRouter(table=table)
+    elif strategy == "repair":
+        healer = SelfHealingRouteTable(table.thaw())
+        router = TableDrivenRouter(table=healer.table)
+        failed_now: set = set()
+
+        def observe(event, sim, _healer=healer, _failed=failed_now) -> None:
+            # The observer fires before the simulator mutates its own
+            # failed set, so track the transition locally and re-sync
+            # the table the instant the topology changes.
+            if event.kind == EventKind.FAIL:
+                _failed.add(event.node)
+            elif event.kind == EventKind.RECOVER:
+                _failed.discard(event.node)
+            else:
+                return
+            if _healer.sync(_failed) is not None:
+                sim.stats.table_repairs += 1
+
+        simulator.on_event = observe
+    else:
+        if strategy not in ("oblivious", "reroute"):
+            raise InvalidParameterError(f"unknown strategy {strategy!r}")
+        router = TableDrivenRouter(table=table)
+    return simulator, router, healer
+
+
+def run_campaign(
+    config: ChaosConfig,
+    intensities: Sequence[float] = (0.0, 0.25, 0.5, 1.0),
+    strategies: Sequence[str] = STRATEGIES,
+    table: Optional[CompiledRouteTable] = None,
+) -> List[Dict[str, object]]:
+    """Sweep fault intensity across strategies; one record per leg.
+
+    Per intensity the traffic and the fault schedule are drawn once and
+    shared by every strategy — the comparison is paired, so curve gaps
+    are strategy effects, not sampling noise.  Records are flat
+    JSON-able dicts carrying the seed that reproduces them.
+    """
+    if table is None:
+        table = CompiledRouteTable.compile(
+            config.d, config.k, directed=not config.bidirectional, workers=1)
+    records: List[Dict[str, object]] = []
+    for intensity in intensities:
+        if intensity < 0:
+            raise InvalidParameterError(f"negative intensity {intensity}")
+        traffic = random_pairs(
+            config.d, config.k, config.messages, spacing=config.spacing,
+            rng=random.Random(f"{config.seed}:traffic:{intensity}"),
+        )
+        if intensity > 0:
+            schedule = generate_schedule(
+                config.d, config.k, config.horizon,
+                seed=f"{config.seed}:faults:{intensity}",
+                mtbf=config.mtbf / intensity,
+                mttr=config.mttr,
+                regional_rate=config.regional_rate * intensity,
+                region_prefix_len=config.region_prefix_len,
+            )
+        else:
+            schedule = ChaosSchedule(config.d, config.k, config.horizon,
+                                     seed=f"{config.seed}:faults:0")
+        for strategy in strategies:
+            simulator, router, healer = _build_simulator(
+                config, strategy, table)
+            schedule.apply(simulator)
+            install_link_loss(
+                simulator, config.loss_rate * intensity,
+                seed=f"{config.seed}:loss:{intensity}:{strategy}",
+            )
+            for at, source, destination in traffic:
+                simulator.send(source, destination, router, at=at)
+            stats = simulator.run()
+            if healer is not None:
+                stats.table_repairs = max(stats.table_repairs,
+                                          healer.repairs)
+            offered = len(traffic)
+            records.append({
+                "strategy": strategy,
+                "intensity": intensity,
+                "seed": config.seed,
+                "d": config.d,
+                "k": config.k,
+                "offered": offered,
+                "delivered": stats.delivered_count,
+                "dropped": stats.dropped_count,
+                "delivery_ratio": (stats.delivered_count / offered
+                                   if offered else 0.0),
+                "mean_stretch": _mean_stretch(table, stats.delivered),
+                "time_to_recover": _mean_time_to_recover(
+                    schedule.fail_times(), stats.delivered),
+                "fault_events": schedule.fail_count,
+                "detoured": stats.detoured,
+                "rerouted": stats.rerouted,
+                "table_repairs": stats.table_repairs,
+                "link_lost": stats.link_lost,
+                "mean_latency": stats.mean_latency(),
+            })
+    return records
+
+
+def campaign_curves(records: List[Dict[str, object]]
+                    ) -> Dict[str, List[Tuple[float, float]]]:
+    """Per-strategy (intensity, delivery_ratio) curves from the records."""
+    curves: Dict[str, List[Tuple[float, float]]] = {}
+    for record in records:
+        curves.setdefault(str(record["strategy"]), []).append(
+            (float(record["intensity"]), float(record["delivery_ratio"])))
+    for points in curves.values():
+        points.sort()
+    return curves
+
+
+def replay_config(record: Dict[str, object], **overrides) -> ChaosConfig:
+    """A config that reproduces the campaign a record came from."""
+    base = ChaosConfig(
+        d=int(record["d"]), k=int(record["k"]), seed=str(record["seed"]))
+    return replace(base, **overrides) if overrides else base

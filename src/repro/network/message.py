@@ -69,6 +69,9 @@ class Message:
     route_table: Optional[object] = None
     packed_current: int = -1
     packed_dest_base: int = -1
+    #: Local detours taken so far (see repro.network.resilience); the
+    #: detour policy's budget caps this to rule out deflection livelock.
+    detours_used: int = 0
 
     @property
     def hop_count(self) -> int:

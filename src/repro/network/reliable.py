@@ -6,19 +6,29 @@ datagram simulator:
 
 * every DATA message carries a transfer id in its payload;
 * the receiving site answers with an ACK routed back to the source;
-* the sender re-transmits any transfer whose ACK has not arrived within
-  ``timeout`` cycles, up to ``max_attempts`` tries.
+* the sender re-transmits any transfer whose ACK has not arrived in
+  time, up to ``max_attempts`` tries, waiting ``timeout *
+  backoff_factor**(attempt-1)`` between tries (optionally jittered) —
+  under chaos-engine churn (E19) exponential backoff stops a down
+  receiver from eating every attempt while the outage lasts.
 
-Losses come from the simulator's fault model (failed sites or links drop
-messages).  With rerouting enabled, the first retransmission after the
-routing layer converges normally succeeds; the tests and the E7 extension
-measure exactly that.
+Losses come from the simulator's fault model (failed sites/links and
+Bernoulli link loss drop messages).  With rerouting enabled, the first
+retransmission after the routing layer converges normally succeeds; the
+tests and the E7/E19 experiments measure exactly that.
+
+The transport installs its delivery hook with
+:meth:`Simulator.add_deliver_hook`, so it composes with tracing,
+broadcast relays, or other protocols sharing the simulator — each layer
+ignores payloads it does not recognise.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.word import WordTuple
@@ -42,6 +52,9 @@ class Transfer:
     acked_at: Optional[float] = None
     data_delivered_at: Optional[float] = None
     gave_up: bool = False
+    #: When each DATA copy left the source (one entry per attempt); the
+    #: gaps between entries are the realised backoff schedule.
+    attempt_times: List[float] = field(default_factory=list)
 
     @property
     def completed(self) -> bool:
@@ -80,6 +93,13 @@ class ReliableTransport:
 
     Drive it with :meth:`send` calls, then :meth:`run`; the transport
     schedules its own retransmission checks through the simulator clock.
+
+    ``backoff_factor`` multiplies the wait before each successive
+    retransmission (1.0, the default, keeps the classic fixed-timeout
+    behaviour); ``jitter`` widens each wait by a uniform random factor
+    in ``[0, jitter]`` drawn from a seeded stream (reproducible), which
+    de-synchronises retransmission storms when many transfers share a
+    failed region; ``max_backoff`` caps a single wait.
     """
 
     def __init__(
@@ -88,20 +108,33 @@ class ReliableTransport:
         router: Router,
         timeout: float = 32.0,
         max_attempts: int = 4,
+        backoff_factor: float = 1.0,
+        jitter: float = 0.0,
+        max_backoff: Optional[float] = None,
+        seed: str = "reliable",
     ) -> None:
         if timeout <= 0 or max_attempts < 1:
             raise SimulationError("need a positive timeout and at least one attempt")
+        if backoff_factor < 1.0:
+            raise SimulationError("backoff_factor must be >= 1.0")
+        if jitter < 0:
+            raise SimulationError("jitter must be >= 0")
         self.simulator = simulator
         self.router = router
         self.timeout = timeout
         self.max_attempts = max_attempts
+        self.backoff_factor = backoff_factor
+        self.jitter = jitter
+        self.max_backoff = max_backoff
+        self._jitter_rng = random.Random(f"{seed}:jitter")
         self.stats = TransportStats()
         self._pending: Dict[int, Transfer] = {}
-        self._retry_checks: List[Tuple[float, int]] = []
-        previous_hook = simulator.on_deliver
-        if previous_hook is not None:
-            raise SimulationError("simulator already has a delivery hook installed")
-        simulator.on_deliver = self._on_deliver
+        #: Min-heap of (due_time, transfer_id) retransmission checks.
+        #: Entries for already-acked transfers go stale in place and are
+        #: discarded on pop — O(log n) per check instead of the former
+        #: sort-and-pop(0) full rescan.
+        self._retry_heap: List[Tuple[float, int]] = []
+        simulator.add_deliver_hook(self._on_deliver)
 
     # ------------------------------------------------------------------
     # Sending
@@ -116,9 +149,21 @@ class ReliableTransport:
         self._transmit(transfer, at)
         return transfer
 
+    def _backoff_delay(self, attempt: int) -> float:
+        """The wait after the ``attempt``-th DATA copy (1-based)."""
+        delay = self.timeout * self.backoff_factor ** (attempt - 1)
+        if self.max_backoff is not None and delay > self.max_backoff:
+            delay = self.max_backoff
+        if self.jitter:
+            delay *= 1.0 + self.jitter * self._jitter_rng.random()
+        return delay
+
     def _transmit(self, transfer: Transfer, at: float) -> None:
         transfer.attempts += 1
+        transfer.attempt_times.append(at)
         self.stats.data_sent += 1
+        if transfer.attempts > 1:
+            self.simulator.stats.backoff_retries += 1
         self.simulator.send(
             transfer.source,
             transfer.destination,
@@ -127,7 +172,9 @@ class ReliableTransport:
             payload=("DATA", transfer.transfer_id, transfer.payload),
             control=ControlCode.DATA,
         )
-        self._retry_checks.append((at + self.timeout, transfer.transfer_id))
+        heappush(self._retry_heap,
+                 (at + self._backoff_delay(transfer.attempts),
+                  transfer.transfer_id))
 
     # ------------------------------------------------------------------
     # Delivery handling
@@ -167,17 +214,23 @@ class ReliableTransport:
         The simulator is advanced only up to the next pending timeout, so
         an impatient timeout genuinely fires while the original copy (or
         its ACK) is still in flight — exactly stop-and-wait's behaviour.
+        Checks whose transfer was acknowledged meanwhile are popped and
+        discarded without advancing the clock.
         """
-        while self._retry_checks or self.simulator.queue:
-            if not self._retry_checks:
+        heap = self._retry_heap
+        while heap or self.simulator.queue:
+            if not heap:
                 self.simulator.run()
                 continue
-            self._retry_checks.sort()
-            due_time, transfer_id = self._retry_checks.pop(0)
+            due_time, transfer_id = heap[0]
+            if transfer_id not in self._pending:
+                heappop(heap)  # stale: acked (or abandoned) already
+                continue
+            heappop(heap)
             self.simulator.run(until=due_time)
             transfer = self._pending.get(transfer_id)
             if transfer is None:
-                continue  # already acknowledged
+                continue  # acknowledged while we advanced the clock
             if transfer.attempts >= self.max_attempts:
                 transfer.gave_up = True
                 self._pending.pop(transfer_id, None)

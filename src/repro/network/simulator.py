@@ -7,10 +7,15 @@ instantaneous link availability, and links serialise traffic (one message
 per cycle, configurable propagation latency).
 
 Failures: sites may fail and recover on schedule.  A message whose *next
-hop* is down is either re-planned from the current site around the failed
-set (when ``reroute_on_failure``) or dropped and counted; a message at a
-site that fails mid-flight is dropped (the paper's fault model only
-promises connectivity, not lossless delivery).
+hop* is down is, in order of preference, redirected by a local detour
+policy (``detour_policy``, see :mod:`repro.network.resilience`),
+re-planned from the current site around the failed set (when
+``reroute_on_failure``), or dropped and counted; a message at a site
+that fails mid-flight is dropped (the paper's fault model only promises
+connectivity, not lossless delivery).  An optional ``loss_fn`` models
+lossy links: each transmission is offered to it and dropped in flight
+when it returns True (the chaos layer installs seeded Bernoulli loss
+there, E19).
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ from typing import Callable, Dict, Iterable, Optional, Set, Tuple
 
 from repro.core.routing import Direction
 from repro.core.word import WordTuple, validate_parameters, validate_word
-from repro.exceptions import SimulationError
+from repro.exceptions import RoutingError, SimulationError
 from repro.graphs.debruijn import DeBruijnGraph
 from repro.graphs.traversal import bfs_path
 from repro.network.events import Event, EventKind, EventQueue
@@ -44,6 +49,7 @@ class Simulator:
         link_latency: float = 1.0,
         link_service_time: float = 1.0,
         reroute_on_failure: bool = False,
+        detour_policy: Optional[object] = None,
     ) -> None:
         validate_parameters(d, k)
         self.d = d
@@ -75,6 +81,16 @@ class Simulator:
         #: Optional observer fired for every processed event (event,
         #: simulator); read-only by convention — used by tracing.
         self.on_event: Optional[Callable[[object, "Simulator"], None]] = None
+        #: Local repair strategy consulted when a message's next hop is
+        #: down, before any omniscient reroute: an object with
+        #: ``detour(simulator, address, blocked_target, message)``
+        #: returning a replacement next hop (and updating the message's
+        #: routing state) or None.  See
+        #: :class:`repro.network.resilience.LocalDetourPolicy`.
+        self.detour_policy = detour_policy
+        #: Optional Bernoulli link-loss oracle ``(tail, head) -> bool``;
+        #: True loses the message in flight (chaos fault injection).
+        self.loss_fn: Optional[Callable[[WordTuple, WordTuple], bool]] = None
 
     # ------------------------------------------------------------------
     # Topology access (lazy: nodes/links materialise on first touch)
@@ -97,6 +113,28 @@ class Simulator:
             existing = Link(tail, head, self.link_latency, self.link_service_time)
             self._links[key] = existing
         return existing
+
+    def add_deliver_hook(
+        self, hook: Callable[[Message, "Simulator"], None]
+    ) -> None:
+        """Install a delivery hook *without* clobbering an existing one.
+
+        Hooks compose: the new hook runs first, then whatever was
+        already installed.  This lets the reliable transport, tracing,
+        and broadcast relays share one simulator (each protocol layer
+        ignores traffic it does not recognise).
+        """
+        previous = self.on_deliver
+        if previous is None:
+            self.on_deliver = hook
+            return
+
+        def chained(message: Message, simulator: "Simulator",
+                    _new=hook, _old=previous) -> None:
+            _new(message, simulator)
+            _old(message, simulator)
+
+        self.on_deliver = chained
 
     def _validate_address(self, address: WordTuple) -> None:
         """Validate an address once; repeated senders skip the digit walk."""
@@ -329,8 +367,24 @@ class Simulator:
         if (target in self._failed) or (
             self._failed_links and (address, target) in self._failed_links
         ):
-            if not self._try_reroute(address, message):
-                self.stats.dropped.append((message, f"next hop {target!r} is unreachable"))
+            # Degrade gracefully, cheapest knowledge first: a local
+            # detour (adjacent liveness only), then the omniscient
+            # re-plan, then the drop the paper's fault model allows.
+            alternative = None
+            if self.detour_policy is not None:
+                alternative = self.detour_policy.detour(
+                    self, address, target, message)
+            if alternative is None:
+                if not self._try_reroute(address, message):
+                    self.stats.dropped.append(
+                        (message, f"next hop {target!r} is unreachable"))
+                return
+            self.stats.detoured += 1
+            target = alternative
+        if self.loss_fn is not None and self.loss_fn(address, target):
+            self.stats.link_lost += 1
+            self.stats.dropped.append(
+                (message, f"link {address!r}->{target!r} lost the message"))
             return
         # Inline the link lookup + transmit + event-push bookkeeping: this
         # runs once per hop and the method-call version shows up in
@@ -366,7 +420,11 @@ class Simulator:
                 self.graph, address, message.destination,
                 neighbor_fn=surviving_neighbors, avoid=self._failed,
             )
-        except Exception:
+        except RoutingError:
+            # No surviving path — the only *expected* failure here.
+            # Anything else (a corrupt graph, a bad neighbor_fn) is a
+            # programming error and must propagate, not masquerade as a
+            # clean drop.
             return False
         message.routing_path = vertex_path_to_steps(vertices, self.d)
         message.route_table = None  # the detour leaves the compiled routes
@@ -381,6 +439,11 @@ class Simulator:
             return True
         nxt = vertices[1]
         message.routing_path.pop(0)
+        if self.loss_fn is not None and self.loss_fn(address, nxt):
+            self.stats.link_lost += 1
+            self.stats.dropped.append(
+                (message, f"link {address!r}->{nxt!r} lost the message"))
+            return True  # handled: the detour leg itself was lost
         arrival = self.link(address, nxt).transmit(self.now)
         self.queue.push(arrival, EventKind.ARRIVE, nxt, message)
         return True

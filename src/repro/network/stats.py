@@ -60,6 +60,15 @@ class SimulationStats:
     #: table(s) that served them.
     table_routed: int = 0
     table_bytes: int = 0
+    #: Resilience counters (repro.network.resilience / chaos, E19):
+    #: hops redirected by a local detour policy, incremental route-table
+    #: repairs triggered by fault events, transport retransmissions sent
+    #: through the backoff schedule, and messages lost in flight to
+    #: Bernoulli link loss.
+    detoured: int = 0
+    table_repairs: int = 0
+    backoff_retries: int = 0
+    link_lost: int = 0
 
     # ------------------------------------------------------------------
     # Message-level metrics
@@ -167,6 +176,10 @@ class SimulationStats:
             route_cache_misses=self.route_cache_misses,
             table_routed=self.table_routed,
             table_bytes=self.table_bytes,
+            detoured=self.detoured,
+            table_repairs=self.table_repairs,
+            backoff_retries=self.backoff_retries,
+            link_lost=self.link_lost,
         )
         return trimmed
 
@@ -194,4 +207,8 @@ class SimulationStats:
             "route_cache_hit_rate": self.route_cache_hit_rate(),
             "table_routed": float(self.table_routed),
             "table_bytes": float(self.table_bytes),
+            "detoured": float(self.detoured),
+            "table_repairs": float(self.table_repairs),
+            "backoff_retries": float(self.backoff_retries),
+            "link_lost": float(self.link_lost),
         }

@@ -1,0 +1,203 @@
+"""Tests for the chaos engine: schedules, link loss, campaigns (E19)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.network.chaos import (
+    ChaosConfig,
+    ChaosSchedule,
+    campaign_curves,
+    generate_schedule,
+    install_link_loss,
+    run_campaign,
+)
+from repro.network.router import BidirectionalOptimalRouter
+from repro.network.simulator import Simulator
+
+
+# ----------------------------------------------------------------------
+# Schedule generation
+# ----------------------------------------------------------------------
+
+
+def test_schedule_is_deterministic_in_the_seed():
+    args = dict(d=2, k=4, horizon=500.0, mtbf=100.0, mttr=20.0)
+    first = generate_schedule(seed="alpha", **args)
+    again = generate_schedule(seed="alpha", **args)
+    other = generate_schedule(seed="beta", **args)
+    assert first.events == again.events
+    assert first.events != other.events
+
+
+def test_schedule_alternates_fail_recover_per_site():
+    schedule = generate_schedule(2, 4, 800.0, "alternate",
+                                 mtbf=100.0, mttr=30.0)
+    assert schedule.events, "expected some churn at this MTBF"
+    per_site = {}
+    for event in schedule.events:
+        per_site.setdefault(event.site, []).append(event.kind)
+    for kinds in per_site.values():
+        # Strict alternation starting with a failure.
+        for i, kind in enumerate(kinds):
+            assert kind == ("fail" if i % 2 == 0 else "recover")
+    times = [e.time for e in schedule.events]
+    assert times == sorted(times)
+    assert all(0 < t < 800.0 for t in times)
+
+
+def test_protected_sites_never_fail():
+    protected = [(0, 0, 0, 0), (1, 1, 1, 1)]
+    schedule = generate_schedule(2, 4, 2000.0, "protect",
+                                 mtbf=50.0, mttr=10.0, protect=protected)
+    assert schedule.events
+    failed_sites = {e.site for e in schedule.events}
+    assert not failed_sites.intersection(protected)
+
+
+def test_regional_outage_fells_the_whole_prefix_together():
+    schedule = generate_schedule(
+        2, 4, 4000.0, "region", mtbf=float("inf"), mttr=50.0,
+        regional_rate=0.002, region_prefix_len=2)
+    fails = [e for e in schedule.events if e.kind == "fail"]
+    assert fails, "expected at least one regional event at this rate"
+    assert all(e.region is not None for e in schedule.events)
+    by_time = {}
+    for e in fails:
+        by_time.setdefault(e.time, []).append(e)
+    for time, group in by_time.items():
+        prefixes = {e.site[:2] for e in group}
+        assert len(prefixes) == 1  # every felled site shares the prefix
+        assert prefixes == {group[0].region}
+        assert len(group) == 2 ** 2  # d**(k - prefix_len) sites per region
+
+
+def test_schedule_apply_drives_the_simulator():
+    schedule = ChaosSchedule(2, 3, 100.0, "manual")
+    from repro.network.chaos import FaultEvent
+
+    schedule.events.append(FaultEvent(5.0, "fail", (0, 0, 1)))
+    schedule.events.append(FaultEvent(20.0, "recover", (0, 0, 1)))
+    sim = Simulator(2, 3)
+    schedule.apply(sim)
+    sim.run(until=10.0)
+    assert sim.is_failed((0, 0, 1))
+    sim.run(until=30.0)
+    assert not sim.is_failed((0, 0, 1))
+    assert schedule.fail_count == 1
+    assert schedule.fail_times() == [5.0]
+
+
+# ----------------------------------------------------------------------
+# Bernoulli link loss
+# ----------------------------------------------------------------------
+
+
+def _loss_run(seed, rate=0.3):
+    sim = Simulator(2, 4)
+    install_link_loss(sim, rate, seed)
+    router = BidirectionalOptimalRouter()
+    from repro.network.traffic import random_pairs
+    import random as _random
+
+    for at, source, dest in random_pairs(2, 4, 60, spacing=2.0,
+                                         rng=_random.Random("loss-traffic")):
+        sim.send(source, dest, router, at=at)
+    return sim.run()
+
+
+def test_link_loss_is_seeded_and_counted():
+    first = _loss_run("loss-a")
+    again = _loss_run("loss-a")
+    other = _loss_run("loss-b")
+    assert first.link_lost > 0
+    assert first.delivered_count < 60
+    assert (first.link_lost, first.delivered_count) == \
+        (again.link_lost, again.delivered_count)
+    assert (first.link_lost, first.delivered_count) != \
+        (other.link_lost, other.delivered_count)
+    assert first.summary()["link_lost"] == float(first.link_lost)
+
+
+def test_zero_loss_rate_uninstalls_the_hook():
+    sim = Simulator(2, 3)
+    install_link_loss(sim, 0.5, "x")
+    assert sim.loss_fn is not None
+    assert install_link_loss(sim, 0.0, "x") is None
+    assert sim.loss_fn is None
+    with pytest.raises(InvalidParameterError):
+        install_link_loss(sim, 1.5, "x")
+
+
+# ----------------------------------------------------------------------
+# Campaigns
+# ----------------------------------------------------------------------
+
+
+SMALL = ChaosConfig(d=2, k=4, seed="unit", horizon=800.0, messages=80,
+                    spacing=5.0, mtbf=200.0, mttr=60.0, loss_rate=0.04)
+
+
+def test_zero_intensity_campaign_delivers_everything():
+    records = run_campaign(SMALL, intensities=(0.0,))
+    assert len(records) == 4
+    for record in records:
+        assert record["delivery_ratio"] == 1.0
+        assert record["fault_events"] == 0
+        assert record["link_lost"] == 0
+        assert record["mean_stretch"] == 1.0
+
+
+def test_campaign_replays_exactly_from_its_seed():
+    first = run_campaign(SMALL, intensities=(0.0, 0.6))
+    again = run_campaign(SMALL, intensities=(0.0, 0.6))
+    assert first == again
+
+
+def test_detour_and_repair_beat_oblivious_under_faults():
+    records = run_campaign(SMALL, intensities=(0.5, 1.0))
+    by_key = {(r["strategy"], r["intensity"]): r for r in records}
+    for intensity in (0.5, 1.0):
+        floor = by_key[("oblivious", intensity)]["delivery_ratio"]
+        assert floor < 1.0  # the chaos actually bites
+        for strategy in ("detour", "repair"):
+            record = by_key[(strategy, intensity)]
+            assert record["delivery_ratio"] > floor, (
+                f"{strategy} did not beat oblivious at intensity {intensity}")
+    # The mechanisms actually fired.
+    assert by_key[("detour", 1.0)]["detoured"] > 0
+    assert by_key[("repair", 1.0)]["table_repairs"] > 0
+
+
+def test_campaign_curves_are_sorted_per_strategy():
+    records = run_campaign(SMALL, intensities=(1.0, 0.0),
+                           strategies=("oblivious", "repair"))
+    curves = campaign_curves(records)
+    assert set(curves) == {"oblivious", "repair"}
+    for points in curves.values():
+        assert [p[0] for p in points] == [0.0, 1.0]
+
+
+def test_campaign_rejects_bad_inputs():
+    with pytest.raises(InvalidParameterError):
+        run_campaign(SMALL, intensities=(-0.5,))
+    with pytest.raises(InvalidParameterError):
+        run_campaign(SMALL, intensities=(0.5,), strategies=("teleport",))
+    with pytest.raises(InvalidParameterError):
+        ChaosConfig(d=2, k=4, mtbf=0.0)
+    with pytest.raises(InvalidParameterError):
+        ChaosConfig(d=2, k=4, loss_rate=1.5)
+    with pytest.raises(InvalidParameterError):
+        ChaosConfig(d=2, k=4, region_prefix_len=9)
+
+
+def test_regional_campaign_records_fault_events():
+    config = ChaosConfig(d=2, k=4, seed="regional", horizon=800.0,
+                         messages=60, spacing=5.0, mtbf=10_000.0,
+                         mttr=80.0, regional_rate=0.01, region_prefix_len=1)
+    records = run_campaign(config, intensities=(1.0,),
+                           strategies=("oblivious", "repair"))
+    assert all(r["fault_events"] > 0 for r in records)
+    oblivious, repair = records
+    assert repair["delivery_ratio"] >= oblivious["delivery_ratio"]

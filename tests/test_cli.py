@@ -229,3 +229,23 @@ def test_topology_shootout_flag(capsys):
     assert main(["topology", "-d", "2", "-k", "6", "--shootout"]) == 0
     out = capsys.readouterr().out
     assert "hypercube" in out and "ring" in out and "degree growth" in out
+
+
+def test_chaos_command_runs_and_asserts_improvement(capsys):
+    assert main(["chaos", "-d", "2", "-k", "4", "--seed", "cli-test",
+                 "--messages", "80", "--horizon", "800",
+                 "--mtbf", "200", "--mttr", "60", "--loss-rate", "0.04",
+                 "--intensities", "0,1.0", "--assert-improves"]) == 0
+    out = capsys.readouterr().out
+    assert "oblivious" in out and "repair" in out
+    assert "resilience check passed" in out
+    assert "seed 'cli-test' replays this campaign" in out
+
+
+def test_chaos_command_strategy_subset(capsys):
+    assert main(["chaos", "-d", "2", "-k", "4", "--seed", "cli-sub",
+                 "--messages", "40", "--horizon", "400",
+                 "--intensities", "0.5", "--strategies",
+                 "oblivious,detour"]) == 0
+    out = capsys.readouterr().out
+    assert "detour" in out and "reroute" not in out

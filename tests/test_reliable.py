@@ -115,13 +115,36 @@ def test_transport_rejects_bad_parameters():
     sim2 = Simulator(2, 3)
     with pytest.raises(SimulationError):
         ReliableTransport(sim2, BidirectionalOptimalRouter(), max_attempts=0)
-
-
-def test_transport_refuses_to_clobber_existing_hook():
-    sim = Simulator(2, 3)
-    sim.on_deliver = lambda m, s: None
+    sim3 = Simulator(2, 3)
     with pytest.raises(SimulationError):
-        ReliableTransport(sim, BidirectionalOptimalRouter())
+        ReliableTransport(sim3, BidirectionalOptimalRouter(),
+                          backoff_factor=0.5)
+    sim4 = Simulator(2, 3)
+    with pytest.raises(SimulationError):
+        ReliableTransport(sim4, BidirectionalOptimalRouter(), jitter=-0.1)
+
+
+def test_transport_chains_with_existing_hook():
+    # A pre-installed delivery hook keeps firing alongside the transport's.
+    sim = Simulator(2, 3)
+    seen = []
+    sim.on_deliver = lambda m, s: seen.append(m.control)
+    transport = ReliableTransport(sim, BidirectionalOptimalRouter())
+    transfer = transport.send((0, 0, 1), (1, 1, 1), payload="hi")
+    transport.run()
+    assert transfer.completed
+    # The old hook observed both the DATA delivery and the ACK delivery.
+    assert len(seen) == 2
+
+
+def test_add_deliver_hook_runs_new_then_old():
+    sim = Simulator(2, 3)
+    order = []
+    sim.add_deliver_hook(lambda m, s: order.append("first"))
+    sim.add_deliver_hook(lambda m, s: order.append("second"))
+    sim.send((0, 0, 1), (1, 1, 1), BidirectionalOptimalRouter())
+    sim.run()
+    assert order == ["second", "first"]
 
 
 # ----------------------------------------------------------------------
@@ -167,6 +190,66 @@ def test_reroute_plus_retransmit_handles_permanent_cut():
     # Rerouting saves even the first attempt; no retransmission needed.
     assert transfer.completed
     assert transfer.attempts == 1
+
+
+def test_exponential_backoff_schedule_is_recorded():
+    # Dead destination, factor 2: attempts at t=0, 8, 24 (gaps 8, 16).
+    sim = Simulator(2, 3, reroute_on_failure=False)
+    sim.fail_node((1, 1, 1), at=0.0)
+    transport = ReliableTransport(sim, BidirectionalOptimalRouter(),
+                                  timeout=8.0, max_attempts=3,
+                                  backoff_factor=2.0)
+    transfer = transport.send((0, 0, 1), (1, 1, 1), at=0.0)
+    stats = transport.run()
+    assert transfer.gave_up
+    assert transfer.attempt_times == [0.0, 8.0, 24.0]
+    assert stats.retransmissions() == 2
+    assert sim.stats.backoff_retries == 2
+
+
+def test_backoff_cap_limits_the_wait():
+    sim = Simulator(2, 3, reroute_on_failure=False)
+    sim.fail_node((1, 1, 1), at=0.0)
+    transport = ReliableTransport(sim, BidirectionalOptimalRouter(),
+                                  timeout=8.0, max_attempts=4,
+                                  backoff_factor=4.0, max_backoff=10.0)
+    transfer = transport.send((0, 0, 1), (1, 1, 1), at=0.0)
+    transport.run()
+    # Gaps: 8 (first), then capped at 10, 10 — not 32, 128.
+    assert transfer.attempt_times == [0.0, 8.0, 18.0, 28.0]
+
+
+def test_backoff_jitter_is_seeded_and_bounded():
+    def attempt_times(seed):
+        sim = Simulator(2, 3, reroute_on_failure=False)
+        sim.fail_node((1, 1, 1), at=0.0)
+        transport = ReliableTransport(sim, BidirectionalOptimalRouter(),
+                                      timeout=8.0, max_attempts=3,
+                                      backoff_factor=2.0, jitter=0.5,
+                                      seed=seed)
+        transfer = transport.send((0, 0, 1), (1, 1, 1), at=0.0)
+        transport.run()
+        return transfer.attempt_times
+
+    first = attempt_times("storm-a")
+    again = attempt_times("storm-a")
+    other = attempt_times("storm-b")
+    assert first == again  # same seed, same realised schedule
+    assert first != other  # different streams actually differ
+    gaps = [b - a for a, b in zip(first, first[1:])]
+    # Each wait sits in [base, base * 1.5] for jitter=0.5.
+    assert 8.0 <= gaps[0] <= 12.0
+    assert 16.0 <= gaps[1] <= 24.0
+
+
+def test_default_backoff_keeps_fixed_timeout_behaviour():
+    sim = Simulator(2, 3, reroute_on_failure=False)
+    sim.fail_node((1, 1, 1), at=0.0)
+    transport = ReliableTransport(sim, BidirectionalOptimalRouter(),
+                                  timeout=8.0, max_attempts=3)
+    transfer = transport.send((0, 0, 1), (1, 1, 1), at=0.0)
+    transport.run()
+    assert transfer.attempt_times == [0.0, 8.0, 16.0]
 
 
 def test_duplicate_data_is_reacked_not_double_counted():
