@@ -19,6 +19,7 @@ Subcommands
 ``render``              write the graph (optionally with a route) as SVG/DOT
 ``compile-tables``      compile + save a next-hop route table (sharded BFS)
 ``chaos``               seeded fault-injection campaign across strategies
+``detect``              SWIM failure detection on one seeded fault timeline
 
 Examples::
 
@@ -29,6 +30,8 @@ Examples::
     debruijn-routing simulate -d 2 -k 6 --router table
     debruijn-routing compile-tables -d 2 -k 8 --workers 4 --verify 200
     debruijn-routing chaos -d 2 -k 6 --intensities 0,0.5,1 --assert-improves
+    debruijn-routing chaos -d 2 -k 5 --membership --intensities 0,1
+    debruijn-routing detect -d 2 -k 6 --mtbf 600 --mttr 120
     debruijn-routing sequence -d 2 -k 4 --method euler
     debruijn-routing disjoint-paths -d 2 001 110
     debruijn-routing broadcast -d 2 -k 5
@@ -200,11 +203,43 @@ def _build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--intensities", default="0,0.5,1.0",
                          help="comma-separated fault-intensity sweep")
     p_chaos.add_argument("--strategies", default=None,
-                         help="comma-separated subset of "
-                              "oblivious,reroute,detour,repair")
+                         help="comma-separated subset of oblivious,reroute,"
+                              "detour,repair,detour-detect,repair-detect")
+    p_chaos.add_argument("--membership", action="store_true",
+                         help="add the SWIM detection-driven strategy legs "
+                              "(detour-detect, repair-detect) to the sweep "
+                              "(E20)")
     p_chaos.add_argument("--assert-improves", action="store_true",
                          help="exit nonzero unless detour and repair beat "
-                              "oblivious delivery at every nonzero intensity")
+                              "oblivious delivery at every nonzero intensity "
+                              "(with --membership, the detection legs must "
+                              "beat oblivious at the highest intensity too)")
+
+    p_det = sub.add_parser(
+        "detect",
+        help="SWIM failure detection on one seeded fault timeline: "
+             "detection latency, false positives/negatives, overhead (E20)")
+    p_det.add_argument("-d", type=int, default=2)
+    p_det.add_argument("-k", type=int, default=6)
+    p_det.add_argument("--seed", default="detect",
+                       help="seed for the fault schedule and probe streams")
+    p_det.add_argument("--horizon", type=float, default=3000.0)
+    p_det.add_argument("--mtbf", type=float, default=600.0,
+                       help="mean up-time per site")
+    p_det.add_argument("--mttr", type=float, default=120.0,
+                       help="mean outage duration")
+    p_det.add_argument("--loss-rate", type=float, default=0.0,
+                       help="Bernoulli loss applied to protocol packets")
+    p_det.add_argument("--probe-interval", type=float, default=10.0)
+    p_det.add_argument("--probe-timeout", type=float, default=3.0)
+    p_det.add_argument("--suspicion", type=float, default=20.0,
+                       help="suspect-to-confirm refutation window")
+    p_det.add_argument("--indirect", type=int, default=2,
+                       help="indirect probe helpers per silent target")
+    p_det.add_argument("--assert-detects", type=float, default=None,
+                       metavar="RATIO",
+                       help="exit nonzero unless at least this fraction of "
+                            "outages was detected")
 
     sub.add_parser("about", help="list every module of the installed package")
 
@@ -523,7 +558,8 @@ def _cmd_compile_tables(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.network.chaos import STRATEGIES, ChaosConfig, run_campaign
+    from repro.network.chaos import (
+        DETECTION_STRATEGIES, STRATEGIES, ChaosConfig, run_campaign)
 
     config = ChaosConfig(
         d=args.d, k=args.k, seed=args.seed, horizon=args.horizon,
@@ -537,6 +573,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                         if v.strip())
     strategies = (tuple(s.strip() for s in args.strategies.split(","))
                   if args.strategies else STRATEGIES)
+    if args.membership:
+        strategies += tuple(s for s in DETECTION_STRATEGIES
+                            if s not in strategies)
     records = run_campaign(config, intensities, strategies)
     print(format_table(
         ["strategy", "intensity", "delivered", "dropped", "delivery ratio",
@@ -547,6 +586,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
          for r in records],
         precision=3,
     ))
+    detection = [r for r in records if r["membership_messages"]]
+    if detection:
+        print()
+        print(format_table(
+            ["strategy", "intensity", "detected", "mean det latency",
+             "p95 det latency", "false pos", "false neg", "msgs", "bytes"],
+            [(r["strategy"], r["intensity"], r["detected_outages"],
+              r["mean_detection_latency"], r["p95_detection_latency"],
+              r["false_positives"], r["false_negatives"],
+              r["membership_messages"], r["membership_bytes"])
+             for r in detection],
+            precision=3,
+        ))
     print(f"# seed {config.seed!r} replays this campaign exactly")
     if args.assert_improves:
         baseline = {(r["intensity"]): r["delivery_ratio"]
@@ -559,12 +611,81 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                     failures.append(
                         f"{r['strategy']} at intensity {r['intensity']}: "
                         f"{r['delivery_ratio']:.3f} <= oblivious {floor:.3f}")
+        if args.membership and intensities:
+            top = max(intensities)
+            if top > 0:
+                floor = baseline.get(top)
+                for r in records:
+                    if r["strategy"] in DETECTION_STRATEGIES \
+                            and r["intensity"] == top and floor is not None \
+                            and r["delivery_ratio"] <= floor:
+                        failures.append(
+                            f"{r['strategy']} at intensity {top}: "
+                            f"{r['delivery_ratio']:.3f} <= oblivious "
+                            f"{floor:.3f}")
         if failures:
             for line in failures:
                 print("RESILIENCE REGRESSION:", line, file=sys.stderr)
             return 1
-        print("# resilience check passed: detour/repair beat oblivious at "
-              "every nonzero intensity")
+        checked = "detour/repair"
+        if args.membership:
+            checked += " and the detection-driven legs"
+        print(f"# resilience check passed: {checked} beat oblivious")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.network.chaos import generate_schedule, install_link_loss
+    from repro.network.membership import SwimConfig, SwimDetector
+
+    simulator = Simulator(args.d, args.k)
+    schedule = generate_schedule(
+        args.d, args.k, args.horizon, seed=f"{args.seed}:faults",
+        mtbf=args.mtbf, mttr=args.mttr,
+    )
+    schedule.apply(simulator)
+    install_link_loss(simulator, args.loss_rate, seed=args.seed)
+    detector = SwimDetector(
+        simulator,
+        SwimConfig(
+            probe_interval=args.probe_interval,
+            probe_timeout=args.probe_timeout,
+            suspicion_timeout=args.suspicion,
+            indirect_probes=args.indirect,
+            seed=f"{args.seed}:swim",
+        ),
+        horizon=args.horizon,
+    )
+    detector.start()
+    simulator.run()
+    report = detector.finalize()
+    stats = simulator.stats
+    detected_ratio = (report.detected / report.outages
+                      if report.outages else 1.0)
+    print(format_kv_block(
+        f"SWIM failure detection on DG({args.d},{args.k})",
+        [
+            ("sites", len(detector.sites)),
+            ("horizon", args.horizon),
+            ("outages", report.outages),
+            ("detected", report.detected),
+            ("detected ratio", round(detected_ratio, 3)),
+            ("mean detection latency", round(report.mean_latency, 3)),
+            ("p95 detection latency",
+             round(stats.p95_detection_latency(), 3)),
+            ("false positives", report.false_positives),
+            ("false negatives", report.false_negatives),
+            ("protocol messages", report.messages),
+            ("protocol bytes", report.bytes),
+            ("msgs per site per unit",
+             round(report.messages
+                   / (len(detector.sites) * args.horizon), 4)),
+        ]))
+    print(f"# seed {args.seed!r} replays this run exactly")
+    if args.assert_detects is not None and detected_ratio < args.assert_detects:
+        print(f"DETECTION REGRESSION: detected ratio {detected_ratio:.3f} "
+              f"< required {args.assert_detects:.3f}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -592,6 +713,7 @@ _COMMANDS = {
     "render": _cmd_render,
     "compile-tables": _cmd_compile_tables,
     "chaos": _cmd_chaos,
+    "detect": _cmd_detect,
     "about": _cmd_about,
 }
 

@@ -22,6 +22,14 @@ from repro.network.chaos import (
     run_campaign,
 )
 from repro.network.gossip import GossipResult, mean_rounds_to_cover, push_gossip
+from repro.network.membership import (
+    DetectionReport,
+    MembershipView,
+    OracleMembership,
+    SiteView,
+    SwimConfig,
+    SwimDetector,
+)
 from repro.network.faults import (
     FaultAwareRouter,
     is_connected_after_failures,
@@ -82,6 +90,12 @@ __all__ = [
     "run_campaign",
     "DeflectionNetwork",
     "DeflectionStats",
+    "DetectionReport",
+    "MembershipView",
+    "OracleMembership",
+    "SiteView",
+    "SwimConfig",
+    "SwimDetector",
     "GossipResult",
     "mean_rounds_to_cover",
     "push_gossip",

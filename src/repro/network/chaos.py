@@ -42,13 +42,22 @@ from repro.core.tables import CompiledRouteTable
 from repro.core.word import WordTuple, validate_parameters
 from repro.exceptions import InvalidParameterError
 from repro.network.events import EventKind
+from repro.network.membership import SwimConfig, SwimDetector
 from repro.network.resilience import LocalDetourPolicy, SelfHealingRouteTable
 from repro.network.router import TableDrivenRouter
 from repro.network.simulator import Simulator
 from repro.network.traffic import random_pairs
 
-#: The routing strategies the campaign compares, weakest first.
+#: The oracle-knowledge routing strategies (E19), weakest first.
 STRATEGIES: Tuple[str, ...] = ("oblivious", "reroute", "detour", "repair")
+
+#: Detection-driven variants (E20): same machinery as ``detour`` /
+#: ``repair`` but fed by SWIM-detected membership views instead of the
+#: simulator's oracle failed set.
+DETECTION_STRATEGIES: Tuple[str, ...] = ("detour-detect", "repair-detect")
+
+#: Every strategy the campaign understands.
+ALL_STRATEGIES: Tuple[str, ...] = STRATEGIES + DETECTION_STRATEGIES
 
 
 @dataclass(frozen=True)
@@ -79,6 +88,13 @@ class ChaosConfig:
     #: Bernoulli per-transmission loss probability at intensity 1.
     loss_rate: float = 0.0
     bidirectional: bool = True
+    #: SWIM knobs for the detection-driven strategies (E20); ignored by
+    #: the oracle legs.  Intensity does *not* scale these — a real
+    #: detector cannot know how hostile its environment is.
+    probe_interval: float = 10.0
+    probe_timeout: float = 3.0
+    suspicion_timeout: float = 20.0
+    indirect_probes: int = 2
 
     def __post_init__(self) -> None:
         validate_parameters(self.d, self.k)
@@ -89,6 +105,18 @@ class ChaosConfig:
         if not 0 < self.region_prefix_len <= self.k:
             raise InvalidParameterError(
                 f"region_prefix_len must be in 1..{self.k}")
+        # The SWIM knobs share SwimConfig's validation rules.
+        self.swim_config()
+
+    def swim_config(self, seed_suffix: str = "") -> SwimConfig:
+        """The detector configuration these knobs describe."""
+        return SwimConfig(
+            probe_interval=self.probe_interval,
+            probe_timeout=self.probe_timeout,
+            suspicion_timeout=self.suspicion_timeout,
+            indirect_probes=self.indirect_probes,
+            seed=f"{self.seed}:swim{seed_suffix}",
+        )
 
 
 @dataclass(frozen=True)
@@ -286,17 +314,24 @@ def _mean_time_to_recover(fail_times: Sequence[float], delivered) -> float:
 
 
 def _build_simulator(config: ChaosConfig, strategy: str,
-                     table: CompiledRouteTable
+                     table: CompiledRouteTable,
+                     detector_seed_suffix: str = "",
                      ) -> Tuple[Simulator, TableDrivenRouter,
-                                Optional[SelfHealingRouteTable]]:
-    """One (simulator, router, healer) per strategy leg.
+                                Optional[SelfHealingRouteTable],
+                                Optional[SwimDetector]]:
+    """One (simulator, router, healer, detector) per strategy leg.
 
-    * ``oblivious``  — compiled table, drop on any failed next hop;
-    * ``reroute``    — omniscient re-plan around the failed set (E7);
-    * ``detour``     — local-knowledge deflection
+    * ``oblivious``     — compiled table, drop on any failed next hop;
+    * ``reroute``       — omniscient re-plan around the failed set (E7);
+    * ``detour``        — local-knowledge deflection
       (:class:`repro.network.resilience.LocalDetourPolicy`);
-    * ``repair``     — self-healing table re-synced on every fault
-      transition, messages re-read the patched bytes in flight.
+    * ``repair``        — self-healing table re-synced on every fault
+      transition, messages re-read the patched bytes in flight;
+    * ``detour-detect`` — the detour policy judging candidates by each
+      site's SWIM-detected membership view (E20);
+    * ``repair-detect`` — the self-healing table re-synced from the
+      detector's aggregated confirmed-dead set: repairs lag real faults
+      by the detection latency and track false convictions faithfully.
     """
     simulator = Simulator(
         config.d, config.k,
@@ -304,8 +339,19 @@ def _build_simulator(config: ChaosConfig, strategy: str,
         reroute_on_failure=(strategy == "reroute"),
     )
     healer: Optional[SelfHealingRouteTable] = None
+    detector: Optional[SwimDetector] = None
+    if strategy in DETECTION_STRATEGIES:
+        detector = SwimDetector(
+            simulator, config.swim_config(detector_seed_suffix),
+            horizon=config.horizon)
+        detector.start()
+        detector.piggyback_on_traffic()
     if strategy == "detour":
         simulator.detour_policy = LocalDetourPolicy(table)
+        router = TableDrivenRouter(table=table)
+    elif strategy == "detour-detect":
+        simulator.detour_policy = LocalDetourPolicy(
+            table, membership=detector)
         router = TableDrivenRouter(table=table)
     elif strategy == "repair":
         healer = SelfHealingRouteTable(table.thaw())
@@ -325,12 +371,27 @@ def _build_simulator(config: ChaosConfig, strategy: str,
             if _healer.sync(_failed) is not None:
                 sim.stats.table_repairs += 1
 
-        simulator.on_event = observe
+        simulator.add_event_hook(observe)
+    elif strategy == "repair-detect":
+        healer = SelfHealingRouteTable(table.thaw())
+        router = TableDrivenRouter(table=healer.table)
+
+        def resync(det: SwimDetector, _healer=healer,
+                   _sim=simulator) -> None:
+            # Repair from *detected* knowledge: the shared table follows
+            # the first confirmation anywhere, so repairs lag real
+            # faults by the detection latency — and a false conviction
+            # really does route traffic around a live site until the
+            # refutation lands.
+            if _healer.sync(det.detected_dead()) is not None:
+                _sim.stats.table_repairs += 1
+
+        detector.on_dead_change = resync
     else:
         if strategy not in ("oblivious", "reroute"):
             raise InvalidParameterError(f"unknown strategy {strategy!r}")
         router = TableDrivenRouter(table=table)
-    return simulator, router, healer
+    return simulator, router, healer, detector
 
 
 def run_campaign(
@@ -370,8 +431,9 @@ def run_campaign(
             schedule = ChaosSchedule(config.d, config.k, config.horizon,
                                      seed=f"{config.seed}:faults:0")
         for strategy in strategies:
-            simulator, router, healer = _build_simulator(
-                config, strategy, table)
+            simulator, router, healer, detector = _build_simulator(
+                config, strategy, table,
+                detector_seed_suffix=f":{intensity}")
             schedule.apply(simulator)
             install_link_loss(
                 simulator, config.loss_rate * intensity,
@@ -383,6 +445,8 @@ def run_campaign(
             if healer is not None:
                 stats.table_repairs = max(stats.table_repairs,
                                           healer.repairs)
+            if detector is not None:
+                detector.finalize()
             offered = len(traffic)
             records.append({
                 "strategy": strategy,
@@ -404,6 +468,14 @@ def run_campaign(
                 "table_repairs": stats.table_repairs,
                 "link_lost": stats.link_lost,
                 "mean_latency": stats.mean_latency(),
+                "hop_limit_dropped": stats.hop_limit_dropped,
+                "membership_messages": stats.membership_messages,
+                "membership_bytes": stats.membership_bytes,
+                "false_positives": stats.false_positives,
+                "false_negatives": stats.false_negatives,
+                "mean_detection_latency": stats.mean_detection_latency(),
+                "p95_detection_latency": stats.p95_detection_latency(),
+                "detected_outages": len(stats.detection_latencies),
             })
     return records
 

@@ -18,6 +18,7 @@ class EventKind(enum.IntEnum):
     ARRIVE = 1  #: a message arrives at a site and is processed
     FAIL = 2  #: a site goes down
     RECOVER = 3  #: a site comes back up
+    TIMER = 4  #: a scheduled callback fires (protocol layers, see call_at)
 
 
 class Event:

@@ -1,0 +1,782 @@
+"""Distributed failure detection: per-site membership views (E20).
+
+Everything the resilience stack did until now — local detours,
+incremental table repair, the chaos campaign's self-healing strategy —
+consulted the simulator's *oracle* liveness set, knowledge no real site
+possesses.  This module closes that gap with a SWIM-style failure
+detector (Das–Gupta–Motivala, DSN 2002) running *inside* the
+discrete-event simulator:
+
+* **Direct probing** — every live site periodically pings one uniformly
+  random neighbor (its de Bruijn adjacency) and expects an ack within a
+  timeout.
+* **Indirect probing** — on timeout the prober asks ``indirect_probes``
+  other neighbors to ping the silent target on its behalf, so one lossy
+  or congested link cannot convict a healthy site by itself.
+* **Suspicion state machine** — a target that stays silent becomes
+  SUSPECT (not dead!) and is only confirmed DEAD after
+  ``suspicion_timeout`` more time units pass without refutation.
+* **Incarnation refutation** — a site that learns it is suspected bumps
+  its own incarnation number and disseminates a fresher ALIVE record,
+  which overrides the suspicion everywhere (the SWIM ordering rules:
+  higher incarnation wins; at equal incarnations SUSPECT > ALIVE and
+  DEAD > both).  A recovered site likewise rejoins by bumping its
+  incarnation, so confirmed deaths heal after the outage ends.
+* **Piggybacked dissemination** — state updates ride on the protocol's
+  own probe/ack traffic (each update re-transmitted O(log N) times, the
+  epidemic budget), and optionally on the simulator's ordinary routed
+  traffic via :meth:`SwimDetector.piggyback_on_traffic`.
+
+Every site ends up with its **own** :class:`SiteView` — possibly stale,
+possibly wrong — and the resilience layer consumes those views through
+the small :class:`MembershipView` protocol.  The omniscient behaviour
+is preserved as one trivial implementation (:class:`OracleMembership`)
+so oracle-driven and detection-driven strategies are directly
+comparable (``benchmarks/bench_detection.py``).
+
+Measurement (never protocol) uses ground truth: the detector watches
+FAIL/RECOVER events to score detection latency, false positives and
+false negatives into :class:`repro.network.stats.SimulationStats`.
+
+Determinism contract: all randomness (probe targets, tick phases,
+indirect-helper choices) comes from per-site ``random.Random`` streams
+seeded from ``config.seed``, so a campaign replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.packed import PackedSpace
+from repro.core.word import WordTuple
+from repro.exceptions import InvalidParameterError
+from repro.network.events import EventKind
+from repro.network.message import Message
+from repro.network.simulator import Simulator
+
+#: Member states, ordered by "badness" at equal incarnation.
+ALIVE, SUSPECT, DEAD = 0, 1, 2
+
+_STATE_NAMES = {ALIVE: "alive", SUSPECT: "suspect", DEAD: "dead"}
+
+#: One disseminated record: (state, subject, incarnation).
+Update = Tuple[int, WordTuple, int]
+
+#: Estimated wire cost of one protocol packet: header + addresses.
+_PACKET_BYTES = 8
+#: Estimated wire cost of one piggybacked update.
+_UPDATE_BYTES = 5
+
+
+@dataclass(frozen=True)
+class SwimConfig:
+    """The detector's knobs (times in simulated units).
+
+    The defaults suit the chaos campaign's clock (link latency 1,
+    MTTR ~120): a probe round-trip is ~2, so ``probe_timeout=3``
+    tolerates one queued hop, and the full detection budget —
+    ~``probe_interval/2`` until the next probe lands, plus the timeout,
+    plus ``suspicion_timeout`` for refutation — stays well under a
+    typical outage.
+    """
+
+    probe_interval: float = 10.0
+    probe_timeout: float = 3.0
+    #: How many other neighbors are asked to probe a silent target.
+    indirect_probes: int = 2
+    #: Grace period between SUSPECT and DEAD (the refutation window).
+    suspicion_timeout: float = 20.0
+    #: Max updates piggybacked on one protocol packet.
+    piggyback_limit: int = 8
+    #: Each update is piggybacked ~``retransmit_mult * log2(N)`` times.
+    retransmit_mult: float = 3.0
+    seed: str = "swim"
+
+    def __post_init__(self) -> None:
+        if self.probe_interval <= 0 or self.probe_timeout <= 0:
+            raise InvalidParameterError(
+                "probe_interval and probe_timeout must be positive")
+        if self.suspicion_timeout <= 0:
+            raise InvalidParameterError("suspicion_timeout must be positive")
+        if self.indirect_probes < 0:
+            raise InvalidParameterError("indirect_probes must be >= 0")
+        if self.piggyback_limit < 1:
+            raise InvalidParameterError("piggyback_limit must be >= 1")
+
+
+# ----------------------------------------------------------------------
+# The view protocol and its trivial (oracle) implementation
+# ----------------------------------------------------------------------
+
+
+class MembershipView:
+    """What one observer believes about everyone else.
+
+    The protocol the resilience stack consumes; implementations answer
+    from whatever knowledge they actually have — ground truth for
+    :class:`OracleMembership`, the SWIM state machine for
+    :class:`SiteView`.
+    """
+
+    def state(self, site: WordTuple) -> int:  # pragma: no cover - protocol
+        """The observer's belief about ``site``: ALIVE, SUSPECT or DEAD."""
+        raise NotImplementedError
+
+    def is_alive(self, site: WordTuple) -> bool:
+        """False only for sites this view has *confirmed* dead."""
+        return self.state(site) != DEAD
+
+    def trusts(self, site: WordTuple) -> bool:
+        """True when the view holds the site fully alive (not suspected).
+
+        The detour policy routes around everything it does not trust:
+        suspects are probably down (detection lag), so waiting out the
+        refutation window before using them again costs little.
+        """
+        return self.state(site) == ALIVE
+
+    def dead_sites(self) -> FrozenSet[WordTuple]:  # pragma: no cover
+        """Every site this view has confirmed dead."""
+        raise NotImplementedError
+
+
+class OracleMembership(MembershipView):
+    """Ground truth dressed up as a membership view.
+
+    The omniscient behaviour the resilience stack had before E20, kept
+    as the trivial protocol implementation: every observer shares one
+    perfect, instantly-updated view.  ``view_at`` returns ``self`` for
+    any observer, so the oracle also satisfies the provider protocol
+    the detour policy uses.
+    """
+
+    def __init__(self, simulator: Simulator) -> None:
+        self.simulator = simulator
+
+    def state(self, site: WordTuple) -> int:
+        """DEAD exactly when the simulator says the site is down now."""
+        return DEAD if self.simulator.is_failed(site) else ALIVE
+
+    def dead_sites(self) -> FrozenSet[WordTuple]:
+        """The simulator's ground-truth failed set."""
+        return self.simulator.failed_sites
+
+    def view_at(self, observer: WordTuple) -> "OracleMembership":
+        """Every observer shares the one omniscient view."""
+        return self
+
+
+# ----------------------------------------------------------------------
+# Per-site SWIM state
+# ----------------------------------------------------------------------
+
+
+class SiteView(MembershipView):
+    """One site's (possibly stale, possibly wrong) membership table.
+
+    Stores only deviations from the bootstrap state (everyone ALIVE at
+    incarnation 0), so an all-healthy network costs O(1) per view.
+    State transitions follow the SWIM ordering rules — see
+    :meth:`apply` — and every accepted transition is queued for
+    piggybacked re-dissemination with a fresh epidemic budget.
+    """
+
+    __slots__ = ("observer", "incarnation", "_detector", "_states",
+                 "_incarnations", "_updates")
+
+    def __init__(self, observer: WordTuple, detector: "SwimDetector") -> None:
+        self.observer = observer
+        #: The observer's *own* incarnation number (bumped to refute).
+        self.incarnation = 0
+        self._detector = detector
+        self._states: Dict[WordTuple, int] = {}
+        self._incarnations: Dict[WordTuple, int] = {}
+        #: Dissemination buffer: subject -> [state, incarnation, budget].
+        self._updates: Dict[WordTuple, List] = {}
+
+    # -- MembershipView -------------------------------------------------
+
+    def state(self, site: WordTuple) -> int:
+        """This observer's current belief about ``site``."""
+        return self._states.get(site, ALIVE)
+
+    def incarnation_of(self, site: WordTuple) -> int:
+        """The freshest incarnation number this view has seen for ``site``."""
+        if site == self.observer:
+            return self.incarnation
+        return self._incarnations.get(site, 0)
+
+    def dead_sites(self) -> FrozenSet[WordTuple]:
+        """Sites this view has confirmed dead."""
+        return frozenset(site for site, state in self._states.items()
+                         if state == DEAD)
+
+    def suspected_sites(self) -> FrozenSet[WordTuple]:
+        """Sites currently inside their suspicion (refutation) window."""
+        return frozenset(site for site, state in self._states.items()
+                         if state == SUSPECT)
+
+    # -- the SWIM merge rule --------------------------------------------
+
+    def apply(self, state: int, subject: WordTuple, incarnation: int,
+              firsthand: bool = False) -> bool:
+        """Merge one record; True when it changed this view.
+
+        Ordering (SWIM §4.2, plus the rejoin extension): a higher
+        incarnation always wins; at equal incarnations SUSPECT overrides
+        ALIVE and DEAD overrides both.  A record *about the observer
+        itself* that is not ALIVE is refuted instead of applied: the
+        observer bumps its incarnation past the accusation and
+        disseminates the fresher ALIVE.
+
+        ``firsthand`` marks direct evidence — an ack the observer just
+        received from the subject itself.  Firsthand ALIVE clears a
+        same-incarnation SUSPECT or DEAD (hearsay never can): the
+        subject demonstrably answered *after* whatever silence earned
+        the accusation, so the accusation is stale here even before the
+        subject learns of it and refutes with a fresh incarnation.
+        Firsthand clears are local only (not re-disseminated — other
+        observers would reject the equal-incarnation ALIVE anyway).
+        """
+        if subject == self.observer:
+            if state != ALIVE and incarnation >= self.incarnation:
+                self.incarnation = incarnation + 1
+                self._enqueue(ALIVE, subject, self.incarnation)
+                self._detector._on_cleared(self.observer, subject,
+                                           self.incarnation, firsthand=True)
+                return True
+            return False
+        current_state = self._states.get(subject, ALIVE)
+        current_inc = self._incarnations.get(subject, 0)
+        if incarnation < current_inc:
+            return False
+        was_dead = current_state == DEAD
+        if incarnation == current_inc and state <= current_state:
+            if firsthand and state == ALIVE and current_state != ALIVE:
+                self._states.pop(subject, None)
+                self._detector._on_cleared(self.observer, subject,
+                                           incarnation, firsthand=True)
+                return True
+            return False
+        if state == ALIVE and incarnation == current_inc:
+            return False  # same-incarnation hearsay ALIVE never overrides
+        self._incarnations[subject] = incarnation
+        if state == ALIVE:
+            self._states.pop(subject, None)
+        else:
+            self._states[subject] = state
+        self._enqueue(state, subject, incarnation)
+        if state == DEAD and not was_dead:
+            self._detector._on_dead_marked(self.observer, subject,
+                                           incarnation)
+        elif state == ALIVE:
+            self._detector._on_cleared(self.observer, subject, incarnation,
+                                       firsthand=firsthand)
+        return True
+
+    def _enqueue(self, state: int, subject: WordTuple,
+                 incarnation: int) -> None:
+        self._updates[subject] = [state, incarnation,
+                                  self._detector.update_budget]
+
+    # -- piggybacking ---------------------------------------------------
+
+    def collect_piggyback(self, limit: int) -> List[Update]:
+        """Up to ``limit`` buffered updates, freshest budgets first.
+
+        Decrements each chosen update's remaining budget and drops
+        exhausted entries — the standard SWIM infection-style
+        dissemination schedule.
+        """
+        if not self._updates:
+            return []
+        chosen = sorted(self._updates.items(),
+                        key=lambda item: (-item[1][2], item[0]))[:limit]
+        out: List[Update] = []
+        for subject, record in chosen:
+            out.append((record[0], subject, record[1]))
+            record[2] -= 1
+            if record[2] <= 0:
+                del self._updates[subject]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        summary = {_STATE_NAMES[s]: sum(1 for v in self._states.values()
+                                        if v == s)
+                   for s in (SUSPECT, DEAD)}
+        return (f"SiteView({self.observer!r}, inc={self.incarnation}, "
+                f"{summary})")
+
+
+@dataclass
+class DetectionReport:
+    """What one detector run measured (mirrors the stats fields)."""
+
+    outages: int = 0
+    detected: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    messages: int = 0
+    bytes: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def mean_latency(self) -> float:
+        return (sum(self.latencies) / len(self.latencies)
+                if self.latencies else 0.0)
+
+
+# ----------------------------------------------------------------------
+# The detector
+# ----------------------------------------------------------------------
+
+
+class SwimDetector:
+    """SWIM failure detection for every site of one simulator.
+
+    Drives itself entirely through :meth:`Simulator.call_at` timers, so
+    :meth:`start` then ``simulator.run()`` is the whole integration.
+    Protocol packets travel an out-of-band control channel: one
+    ``link_latency`` per leg, dropped when the receiver is down, the
+    connecting link is cut, or the simulator's ``loss_fn`` loses them —
+    but they do not occupy data-link bandwidth, so installing the
+    detector never perturbs data-traffic latency statistics.
+
+    ``view_at(site)`` is the per-site :class:`SiteView`;
+    ``detected_dead()`` aggregates the confirmed-dead sets of currently
+    *live* observers (the converged cluster view a shared self-healing
+    table repairs from).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        config: Optional[SwimConfig] = None,
+        horizon: Optional[float] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.config = config or SwimConfig()
+        #: Ticks stop rescheduling at this simulated time (a detector
+        #: with no horizon would keep ``run()`` alive forever).
+        self.horizon = horizon if horizon is not None else 0.0
+        if self.horizon <= 0:
+            raise InvalidParameterError(
+                "SwimDetector needs a positive horizon (when to stop "
+                "scheduling probe ticks)")
+        space = PackedSpace(simulator.d, simulator.k)
+        self.space = space
+        self.sites: List[WordTuple] = [space.unpack(v)
+                                       for v in range(space.order)]
+        #: Piggyback budget: ~retransmit_mult * log2(N) sends per update.
+        self.update_budget = max(
+            3, math.ceil(self.config.retransmit_mult
+                         * math.log2(space.order + 1)))
+        self._views: Dict[WordTuple, SiteView] = {
+            site: SiteView(site, self) for site in self.sites}
+        self._neighbors: Dict[WordTuple, List[WordTuple]] = {
+            site: self._adjacency(site) for site in self.sites}
+        self._rngs: Dict[WordTuple, random.Random] = {
+            site: random.Random(f"{self.config.seed}:site:{site}")
+            for site in self.sites}
+        self._probe_seq = 0
+        #: Round-robin probe schedules: per site, a shuffled permutation
+        #: of its neighbors and a cursor (SWIM §4.3: random-permutation
+        #: round-robin bounds worst-case first-probe time at
+        #: ``2 * |neighbors| - 1`` intervals, where uniform random
+        #: sampling has an unbounded tail).
+        self._probe_order: Dict[WordTuple, List[WordTuple]] = {}
+        self._probe_cursor: Dict[WordTuple, int] = {}
+        #: Outstanding probes: probe id -> still waiting for an ack.
+        self._pending_probes: Set[int] = set()
+        self._was_down: Dict[WordTuple, bool] = {}
+        #: Measurement-only fault bookkeeping (ground truth, stats only).
+        self._down_since: Dict[WordTuple, float] = {}
+        self._credited: Set[WordTuple] = set()
+        #: The cluster-level verdict the shared healer repairs from:
+        #: subject -> incarnation of its standing DEAD record.  Follows
+        #: the freshest evidence anywhere — the first confirmation from
+        #: any observer convicts, the first refutation (a fresher or
+        #: firsthand ALIVE at any live observer) acquits — rather than
+        #: waiting for every individual view to converge.
+        self._global_dead: Dict[WordTuple, int] = {}
+        #: Last acquittal per subject: (incarnation, time).  Guards the
+        #: verdict against stale convictions still in the pipeline — a
+        #: suspicion that started before the acquittal confirms at an
+        #: older-or-equal incarnation within one refutation window.
+        self._acquit: Dict[WordTuple, Tuple[int, float]] = {}
+        #: Fired whenever the aggregated detected-dead set may have
+        #: changed (detection-driven repair hangs its sync here).
+        self.on_dead_change: Optional[Callable[["SwimDetector"], None]] = None
+        self._started = False
+        self._finalized = False
+
+    def _adjacency(self, site: WordTuple) -> List[WordTuple]:
+        """The site's probe targets: its de Bruijn neighbors, sans self."""
+        space = self.space
+        value = space.pack(site)
+        packed: Set[int] = set(space.left_neighbors(value))
+        if self.simulator.bidirectional:
+            packed.update(space.right_neighbors(value))
+        packed.discard(value)
+        return [space.unpack(v) for v in sorted(packed)]
+
+    # -- public API -----------------------------------------------------
+
+    def view_at(self, observer: WordTuple) -> SiteView:
+        """The observer's own membership view (the provider protocol)."""
+        return self._views[observer]
+
+    def detected_dead(self) -> FrozenSet[WordTuple]:
+        """The cluster-level confirmed-dead set.
+
+        The aggregation a *shared* self-healing table repairs from:
+        the first confirmation from any observer convicts a site, the
+        first refutation anywhere (a fresher-incarnation or firsthand
+        ALIVE) acquits it.  Individual :class:`SiteView`\\ s converge to
+        the same verdicts through dissemination, but the shared healer
+        should not wait for the slowest view.
+        """
+        return frozenset(self._global_dead)
+
+    def start(self) -> None:
+        """Arm every site's probe loop and the fault observer."""
+        if self._started:
+            return
+        self._started = True
+        self.simulator.add_event_hook(self._observe_event)
+        interval = self.config.probe_interval
+        for site in self.sites:
+            # De-synchronised first ticks: a random phase per site.
+            phase = self._rngs[site].uniform(0.0, interval)
+            self.simulator.call_at(phase, self._make_tick(site))
+
+    def piggyback_on_traffic(self) -> None:
+        """Also disseminate on the simulator's ordinary routed traffic.
+
+        Installs a delivery hook: whenever a data message is delivered,
+        updates buffered at its *source* are applied at its destination,
+        as if they had ridden along — the "piggyback on existing
+        routing flow" channel.  Slightly optimistic (the updates are
+        read at delivery time, not injection time), which matters only
+        when the in-flight time exceeds the dissemination budget.
+        """
+        limit = self.config.piggyback_limit
+
+        def relay(message: Message, simulator: Simulator) -> None:
+            source_view = self._views.get(message.source)
+            target_view = self._views.get(message.destination)
+            if source_view is None or target_view is None:
+                return
+            if simulator.is_failed(message.destination):
+                return
+            for state, subject, inc in source_view.collect_piggyback(limit):
+                target_view.apply(state, subject, inc)
+
+        self.simulator.add_deliver_hook(relay)
+
+    def finalize(self) -> DetectionReport:
+        """Close the books: score still-undetected outages, report.
+
+        Call after ``simulator.run()`` returns.  Outages that outlived
+        the run without any confirmation count as false negatives
+        (the detector had its chance and missed).
+        """
+        stats = self.simulator.stats
+        if not self._finalized:
+            self._finalized = True
+            for site in list(self._down_since):
+                if site not in self._credited:
+                    stats.false_negatives += 1
+        return DetectionReport(
+            outages=self._outages,
+            detected=len(stats.detection_latencies),
+            false_positives=stats.false_positives,
+            false_negatives=stats.false_negatives,
+            messages=stats.membership_messages,
+            bytes=stats.membership_bytes,
+            latencies=list(stats.detection_latencies),
+        )
+
+    # -- the probe loop -------------------------------------------------
+
+    def _make_tick(self, site: WordTuple) -> Callable[[Simulator], None]:
+        def tick(simulator: Simulator, _site=site) -> None:
+            self._tick(_site)
+        return tick
+
+    def _tick(self, site: WordTuple) -> None:
+        simulator = self.simulator
+        now = simulator.now
+        if now + self.config.probe_interval <= self.horizon:
+            simulator.call_at(now + self.config.probe_interval,
+                              self._make_tick(site))
+        if simulator.is_failed(site):
+            self._was_down[site] = True
+            return
+        view = self._views[site]
+        if self._was_down.pop(site, False):
+            # Rejoin after an outage: refute any standing death verdict
+            # with a fresher incarnation and announce it.  The rejoiner
+            # is itself a live observer, so its announcement also
+            # acquits it in the cluster-level verdict immediately.
+            view.incarnation += 1
+            view._enqueue(ALIVE, site, view.incarnation)
+            self._on_cleared(site, site, view.incarnation, firsthand=True)
+        neighbors = self._neighbors[site]
+        if not neighbors:  # pragma: no cover - k >= 1 graphs have neighbors
+            return
+        rng = self._rngs[site]
+        # A suspect's refutation window is ticking: re-probing it beats
+        # scanning a healthy neighbor, both for clearing a wrong
+        # suspicion fast and for confirming a right one with evidence.
+        suspects = [n for n in neighbors if view.state(n) == SUSPECT]
+        if suspects:
+            target = suspects[rng.randrange(len(suspects))]
+        else:
+            target = self._next_round_robin(site, rng)
+        self._probe(site, target)
+
+    def _next_round_robin(self, site: WordTuple,
+                          rng: random.Random) -> WordTuple:
+        """The site's next probe target: shuffled round-robin."""
+        order = self._probe_order.get(site)
+        cursor = self._probe_cursor.get(site, 0)
+        if order is None or cursor >= len(order):
+            order = list(self._neighbors[site])
+            rng.shuffle(order)
+            self._probe_order[site] = order
+            cursor = 0
+        self._probe_cursor[site] = cursor + 1
+        return order[cursor]
+
+    def _probe(self, prober: WordTuple, target: WordTuple) -> None:
+        config = self.config
+        simulator = self.simulator
+        probe_id = self._probe_seq = self._probe_seq + 1
+        self._pending_probes.add(probe_id)
+        self._send_ping(prober, target, probe_id)
+        simulator.call_at(simulator.now + config.probe_timeout,
+                          lambda sim: self._direct_timeout(
+                              prober, target, probe_id))
+
+    def _direct_timeout(self, prober: WordTuple, target: WordTuple,
+                        probe_id: int) -> None:
+        if probe_id not in self._pending_probes:
+            return  # acked in time
+        simulator = self.simulator
+        if simulator.is_failed(prober):
+            self._pending_probes.discard(probe_id)
+            return
+        config = self.config
+        helpers = [n for n in self._neighbors[prober] if n != target]
+        rng = self._rngs[prober]
+        count = min(config.indirect_probes, len(helpers))
+        if count > 0:
+            for helper in rng.sample(helpers, count):
+                self._send_packet(
+                    prober, helper,
+                    lambda sim, _h=helper: self._handle_ping_req(
+                        prober, _h, target, probe_id))
+        simulator.call_at(
+            simulator.now + config.probe_timeout,
+            lambda sim: self._indirect_timeout(prober, target, probe_id))
+
+    def _indirect_timeout(self, prober: WordTuple, target: WordTuple,
+                          probe_id: int) -> None:
+        if probe_id not in self._pending_probes:
+            return
+        self._pending_probes.discard(probe_id)
+        if self.simulator.is_failed(prober):
+            return
+        self._start_suspicion(prober, target)
+
+    # -- suspicion ------------------------------------------------------
+
+    def _start_suspicion(self, observer: WordTuple,
+                         subject: WordTuple) -> None:
+        view = self._views[observer]
+        if view.state(subject) != ALIVE:
+            return  # already suspected or confirmed
+        incarnation = view.incarnation_of(subject)
+        if not view.apply(SUSPECT, subject, incarnation):
+            return  # pragma: no cover - guarded by the ALIVE check above
+        self.simulator.call_at(
+            self.simulator.now + self.config.suspicion_timeout,
+            lambda sim: self._confirm(observer, subject, incarnation))
+
+    def _confirm(self, observer: WordTuple, subject: WordTuple,
+                 incarnation: int) -> None:
+        view = self._views[observer]
+        if self.simulator.is_failed(observer):
+            return
+        if view.state(subject) != SUSPECT:
+            return  # refuted (ALIVE) or already confirmed elsewhere
+        if view.incarnation_of(subject) != incarnation:
+            return  # a newer incarnation superseded this suspicion
+        view.apply(DEAD, subject, incarnation)
+
+    # -- the control channel --------------------------------------------
+
+    def _send_packet(self, source: WordTuple, destination: WordTuple,
+                     deliver: Callable[[Simulator], None],
+                     extra_bytes: int = 0) -> None:
+        """One control-channel packet: latency, liveness, loss — no queue."""
+        simulator = self.simulator
+        stats = simulator.stats
+        stats.membership_messages += 1
+        stats.membership_bytes += _PACKET_BYTES + 2 * simulator.k \
+            + extra_bytes
+        if simulator.is_failed(source):
+            return
+        if simulator.is_link_failed(source, destination):
+            return
+        if simulator.loss_fn is not None \
+                and simulator.loss_fn(source, destination):
+            return
+
+        def arrive(sim: Simulator) -> None:
+            if sim.is_failed(destination):
+                return
+            deliver(sim)
+
+        simulator.call_at(simulator.now + simulator.link_latency, arrive)
+
+    def _send_ping(self, source: WordTuple, target: WordTuple,
+                   probe_id: int,
+                   relay_to: Optional[WordTuple] = None) -> None:
+        updates = self._views[source].collect_piggyback(
+            self.config.piggyback_limit)
+        self._send_packet(
+            source, target,
+            lambda sim: self._handle_ping(source, target, probe_id,
+                                          updates, relay_to),
+            extra_bytes=_UPDATE_BYTES * len(updates))
+
+    def _handle_ping(self, source: WordTuple, target: WordTuple,
+                     probe_id: int, updates: List[Update],
+                     relay_to: Optional[WordTuple]) -> None:
+        view = self._views[target]
+        for state, subject, inc in updates:
+            view.apply(state, subject, inc)
+        # Receiving the ping is itself firsthand evidence the prober is
+        # alive (applied after the piggyback so a refutation-triggering
+        # SUSPECT about the prober cannot immediately re-shadow it).
+        view.apply(ALIVE, source, view.incarnation_of(source),
+                   firsthand=True)
+        # Ack back to the prober (or to the indirect helper, who relays).
+        ack_updates = view.collect_piggyback(self.config.piggyback_limit)
+        incarnation = view.incarnation
+        self._send_packet(
+            target, source,
+            lambda sim: self._handle_ack(source, target, probe_id,
+                                         incarnation, ack_updates,
+                                         relay_to),
+            extra_bytes=_UPDATE_BYTES * len(ack_updates))
+
+    def _handle_ack(self, receiver: WordTuple, target: WordTuple,
+                    probe_id: int, target_incarnation: int,
+                    updates: List[Update],
+                    relay_to: Optional[WordTuple]) -> None:
+        view = self._views[receiver]
+        for state, subject, inc in updates:
+            view.apply(state, subject, inc)
+        # The ack is firsthand evidence: the target answered *after*
+        # whatever silence earned any standing accusation at this
+        # incarnation, so it clears a same-incarnation SUSPECT/DEAD.
+        view.apply(ALIVE, target,
+                   max(target_incarnation, view.incarnation_of(target)),
+                   firsthand=True)
+        if relay_to is not None:
+            # Indirect leg: pass the good news back to the origin.
+            self._send_packet(
+                receiver, relay_to,
+                lambda sim: self._handle_relayed_ack(
+                    relay_to, target, probe_id, target_incarnation))
+            return
+        self._pending_probes.discard(probe_id)
+
+    def _handle_relayed_ack(self, origin: WordTuple, target: WordTuple,
+                            probe_id: int,
+                            target_incarnation: int) -> None:
+        self._views[origin].apply(ALIVE, target, target_incarnation)
+        self._pending_probes.discard(probe_id)
+
+    def _handle_ping_req(self, origin: WordTuple, helper: WordTuple,
+                         target: WordTuple, probe_id: int) -> None:
+        self._send_ping(helper, target, probe_id, relay_to=origin)
+
+    # -- measurement hooks (ground truth, stats only) -------------------
+
+    _outages = 0
+
+    def _observe_event(self, event, simulator: Simulator) -> None:
+        kind = event.kind
+        if kind == EventKind.FAIL:
+            if event.node not in self._down_since:
+                self._down_since[event.node] = event.time
+                self._outages += 1
+        elif kind == EventKind.RECOVER:
+            started = self._down_since.pop(event.node, None)
+            if started is not None and event.node not in self._credited:
+                simulator.stats.false_negatives += 1
+            self._credited.discard(event.node)
+
+    def _on_dead_marked(self, observer: WordTuple, subject: WordTuple,
+                        incarnation: int) -> None:
+        """An observer confirmed ``subject`` dead at ``incarnation``."""
+        stats = self.simulator.stats
+        standing = self._global_dead.get(subject)
+        if standing is not None and standing >= incarnation:
+            return  # already convicted at this (or fresher) evidence
+        acquit = self._acquit.get(subject)
+        if acquit is not None:
+            acquit_inc, acquit_time = acquit
+            if incarnation < acquit_inc:
+                return  # conviction predates the subject's refutation
+            if incarnation == acquit_inc and self.simulator.now \
+                    < acquit_time + self.config.suspicion_timeout:
+                # Within one refutation window of a same-incarnation
+                # acquittal this can only be a suspicion that started
+                # before the acquitting evidence — stale, not new.
+                return
+        self._global_dead[subject] = incarnation
+        if standing is None:
+            # A new conviction (not a fresher re-confirmation): score it.
+            if subject in self._down_since:
+                if subject not in self._credited:
+                    self._credited.add(subject)
+                    stats.detection_latencies.append(
+                        self.simulator.now - self._down_since[subject])
+            else:
+                # Confirmed dead while actually alive: a false
+                # conviction, counted once per episode to match the
+                # once-per-outage detection credit.
+                stats.false_positives += 1
+        if self.on_dead_change is not None:
+            self.on_dead_change(self)
+
+    def _on_cleared(self, observer: WordTuple, subject: WordTuple,
+                    incarnation: int, firsthand: bool) -> None:
+        """An observer saw ALIVE evidence against a standing verdict.
+
+        Fresher-incarnation ALIVE (the subject's own refutation, so
+        ``incarnation`` exceeds any accusation it answers) always
+        acquits; firsthand equal-incarnation ALIVE (the subject just
+        answered a probe) acquits the same incarnation's conviction.
+        """
+        standing = self._global_dead.get(subject)
+        if standing is None:
+            return
+        if incarnation > standing or (firsthand and
+                                      incarnation >= standing):
+            del self._global_dead[subject]
+            self._acquit[subject] = (incarnation, self.simulator.now)
+            if self.on_dead_change is not None:
+                self.on_dead_change(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SwimDetector(DG({self.simulator.d},{self.simulator.k}), "
+                f"{len(self.sites)} sites, horizon={self.horizon})")

@@ -29,7 +29,7 @@ import itertools
 import random
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.word import WordTuple
 from repro.exceptions import SimulationError
@@ -69,6 +69,11 @@ class TransportStats:
     transfers: List[Transfer] = field(default_factory=list)
     data_sent: int = 0
     acks_sent: int = 0
+    #: DATA copies that arrived for an already-delivered transfer: each
+    #: was re-ACKed (stop-and-wait must) but *not* handed to the
+    #: application again — exactly-once delivery over at-least-once
+    #: transmission.
+    duplicates_suppressed: int = 0
 
     @property
     def completed(self) -> int:
@@ -100,6 +105,13 @@ class ReliableTransport:
     in ``[0, jitter]`` drawn from a seeded stream (reproducible), which
     de-synchronises retransmission storms when many transfers share a
     failed region; ``max_backoff`` caps a single wait.
+
+    ``on_payload`` is the application hook: called exactly once per
+    transfer — ``on_payload(transfer_id, payload, destination)`` — the
+    first time its DATA arrives.  Retransmitted copies that land after
+    the first are re-ACKed (the sender may have missed the earlier ACK)
+    but never re-delivered; they are counted in
+    ``stats.duplicates_suppressed``.
     """
 
     def __init__(
@@ -112,6 +124,7 @@ class ReliableTransport:
         jitter: float = 0.0,
         max_backoff: Optional[float] = None,
         seed: str = "reliable",
+        on_payload: Optional[Callable[[int, object, WordTuple], None]] = None,
     ) -> None:
         if timeout <= 0 or max_attempts < 1:
             raise SimulationError("need a positive timeout and at least one attempt")
@@ -128,7 +141,12 @@ class ReliableTransport:
         self.max_backoff = max_backoff
         self._jitter_rng = random.Random(f"{seed}:jitter")
         self.stats = TransportStats()
+        self.on_payload = on_payload
         self._pending: Dict[int, Transfer] = {}
+        #: Transfer ids whose DATA already reached the application once;
+        #: survives ACK completion so late retransmitted copies are
+        #: still recognised as duplicates.
+        self._delivered_ids: Set[int] = set()
         #: Min-heap of (due_time, transfer_id) retransmission checks.
         #: Entries for already-acked transfers go stale in place and are
         #: discarded on pop — O(log n) per check instead of the former
@@ -189,6 +207,15 @@ class ReliableTransport:
             transfer = self._pending.get(transfer_id)
             if transfer is not None and transfer.data_delivered_at is None:
                 transfer.data_delivered_at = simulator.now
+            if transfer_id in self._delivered_ids:
+                # A retransmitted copy of something already handed to
+                # the application: suppress the re-delivery, keep the
+                # re-ACK below (the sender evidently missed our ACK).
+                self.stats.duplicates_suppressed += 1
+            else:
+                self._delivered_ids.add(transfer_id)
+                if self.on_payload is not None:
+                    self.on_payload(transfer_id, body, message.destination)
             # Always acknowledge (duplicates re-ACK, as stop-and-wait must).
             self.stats.acks_sent += 1
             simulator.send(

@@ -336,6 +336,17 @@ class LocalDetourPolicy:
     Pradhan–Reddy tolerance bound) are considered per blocked hop, and
     a message that has already detoured ``max_detours`` times is given
     up rather than deflected forever.
+
+    With a ``membership`` provider (E20, any object with
+    ``view_at(observer)`` returning a
+    :class:`repro.network.membership.MembershipView` — a
+    :class:`~repro.network.membership.SwimDetector` or the trivial
+    :class:`~repro.network.membership.OracleMembership`) candidate
+    liveness is judged by the *forwarding site's own detected view*
+    instead of the simulator's oracle set: a stale view may deflect
+    onto a dead neighbor (the hop is then lost in flight, exactly as a
+    real router's would be) or shun a live-but-suspected one.  Link
+    state stays local knowledge either way.
     """
 
     def __init__(
@@ -344,6 +355,7 @@ class LocalDetourPolicy:
         max_alternatives: Optional[int] = None,
         max_detours: Optional[int] = None,
         family_cache_size: int = 256,
+        membership: Optional[object] = None,
     ) -> None:
         self.table = table
         self.space = table.space
@@ -355,6 +367,15 @@ class LocalDetourPolicy:
         self._families: Dict[Tuple[WordTuple, WordTuple],
                              List[List[WordTuple]]] = {}
         self._family_cache_size = family_cache_size
+        #: Optional view provider; None keeps the oracle behaviour.
+        self.membership = membership
+
+    def _distrusts(self, simulator, observer: WordTuple,
+                   site: WordTuple) -> bool:
+        """Whether ``observer`` should avoid ``site`` as a next hop."""
+        if self.membership is not None:
+            return not self.membership.view_at(observer).trusts(site)
+        return simulator.is_failed(site)
 
     # -- the simulator protocol -----------------------------------------
 
@@ -398,9 +419,9 @@ class LocalDetourPolicy:
         )
         for nbr in ranked[:self.max_alternatives]:
             neighbor_address = space.unpack(nbr)
-            if simulator.is_failed(neighbor_address) or \
+            if self._distrusts(simulator, address, neighbor_address) or \
                     simulator.is_link_failed(address, neighbor_address):
-                continue  # adjacent liveness is local knowledge
+                continue  # adjacent liveness / the site's detected view
             message.packed_current = nbr
             message.detours_used += 1
             return neighbor_address
@@ -423,7 +444,7 @@ class LocalDetourPolicy:
             if next_hop == blocked:
                 continue  # the primary we already know is down
             considered += 1
-            if simulator.is_failed(next_hop) or \
+            if self._distrusts(simulator, address, next_hop) or \
                     simulator.is_link_failed(address, next_hop):
                 continue
             if message.hop_router is None:

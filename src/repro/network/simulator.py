@@ -50,6 +50,7 @@ class Simulator:
         link_service_time: float = 1.0,
         reroute_on_failure: bool = False,
         detour_policy: Optional[object] = None,
+        hop_limit: Optional[int] = None,
     ) -> None:
         validate_parameters(d, k)
         self.d = d
@@ -58,6 +59,13 @@ class Simulator:
         self.link_latency = link_latency
         self.link_service_time = link_service_time
         self.reroute_on_failure = reroute_on_failure
+        #: TTL guard: a message that has taken this many hops is dropped
+        #: (counted in ``stats.hop_limit_dropped``) instead of forwarded.
+        #: Legitimate traffic never gets near it — planned paths are at
+        #: most ~2k hops and the detour budget is 2k + d — but detours
+        #: taken against *stale* membership views, or a buggy stateless
+        #: router, could otherwise bounce a message forever.
+        self.hop_limit = (16 * k + 64) if hop_limit is None else hop_limit
         #: d**(k-1): the packed head place value, used by the O(1)
         #: table-driven forwarding arithmetic in the hot loop.
         self._high = d ** (k - 1)
@@ -135,6 +143,43 @@ class Simulator:
             _old(message, simulator)
 
         self.on_deliver = chained
+
+    def add_event_hook(
+        self, hook: Callable[[object, "Simulator"], None]
+    ) -> None:
+        """Install an event observer *without* clobbering an existing one.
+
+        Same composition rule as :meth:`add_deliver_hook`: the new hook
+        runs first, then whatever was already installed.  The chaos
+        campaign's repair trigger and the membership detector's fault
+        bookkeeping share the observer slot this way.
+        """
+        previous = self.on_event
+        if previous is None:
+            self.on_event = hook
+            return
+
+        def chained(event: object, simulator: "Simulator",
+                    _new=hook, _old=previous) -> None:
+            _new(event, simulator)
+            _old(event, simulator)
+
+        self.on_event = chained
+
+    def call_at(self, time: float,
+                callback: Callable[["Simulator"], None]) -> None:
+        """Schedule ``callback(simulator)`` to run at simulated ``time``.
+
+        The hook protocol layers (membership probes, periodic repair
+        syncs) build their timers on: callbacks fire in time order,
+        interleaved with message events, and may schedule further work.
+        """
+        self.queue.schedule(time, EventKind.TIMER, None, callback)
+
+    @property
+    def failed_sites(self) -> frozenset:
+        """The currently-down sites (a snapshot; oracle knowledge)."""
+        return frozenset(self._failed)
 
     def _validate_address(self, address: WordTuple) -> None:
         """Validate an address once; repeated senders skip the digit walk."""
@@ -260,6 +305,8 @@ class Simulator:
                 self._failed.add(node)
             elif kind == EventKind.RECOVER:
                 self._failed.discard(node)
+            else:  # TIMER: the payload slot carries the callback
+                message(self)
         if until is not None and self.queue:
             self.stats.horizon = until  # stopped by the time limit
         else:
@@ -274,6 +321,12 @@ class Simulator:
     def _handle_arrival(self, address: WordTuple, message: Message) -> None:
         if self._failed and address in self._failed:
             self.stats.dropped.append((message, f"site {address!r} is down"))
+            return
+        if len(message.trace) > self.hop_limit:  # hop_count >= hop_limit
+            self.stats.hop_limit_dropped += 1
+            self.stats.dropped.append(
+                (message, f"hop limit {self.hop_limit} exceeded at "
+                          f"{address!r}"))
             return
         site = self._nodes.get(address)
         if site is None:

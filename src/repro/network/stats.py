@@ -69,6 +69,22 @@ class SimulationStats:
     table_repairs: int = 0
     backoff_retries: int = 0
     link_lost: int = 0
+    #: Messages dropped by the simulator's TTL guard (a forwarding loop
+    #: — stale-view detours, buggy stateless routers — hit the hop
+    #: limit instead of livelocking the event queue).
+    hop_limit_dropped: int = 0
+    #: Distributed failure detection (repro.network.membership, E20):
+    #: protocol packets sent (probes, acks, indirect requests) and their
+    #: estimated wire bytes; confirm-dead verdicts issued against sites
+    #: that were actually alive (false positives); outages that ended —
+    #: or outlived the run — without any live site confirming them
+    #: (false negatives); and, per *detected* outage, the lag from the
+    #: failure instant to the first confirm-dead verdict anywhere.
+    membership_messages: int = 0
+    membership_bytes: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    detection_latencies: List[float] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Message-level metrics
@@ -151,6 +167,19 @@ class SimulationStats:
         return self.route_cache_hits / total if total else 0.0
 
     # ------------------------------------------------------------------
+    # Failure-detection metrics
+    # ------------------------------------------------------------------
+
+    def mean_detection_latency(self) -> float:
+        """Mean failure-to-first-confirmation lag over detected outages."""
+        values = self.detection_latencies
+        return sum(values) / len(values) if values else 0.0
+
+    def p95_detection_latency(self) -> float:
+        """95th-percentile detection latency."""
+        return percentile(self.detection_latencies, 95.0)
+
+    # ------------------------------------------------------------------
     # Steady-state windows
     # ------------------------------------------------------------------
 
@@ -180,6 +209,12 @@ class SimulationStats:
             table_repairs=self.table_repairs,
             backoff_retries=self.backoff_retries,
             link_lost=self.link_lost,
+            hop_limit_dropped=self.hop_limit_dropped,
+            membership_messages=self.membership_messages,
+            membership_bytes=self.membership_bytes,
+            false_positives=self.false_positives,
+            false_negatives=self.false_negatives,
+            detection_latencies=list(self.detection_latencies),
         )
         return trimmed
 
@@ -211,4 +246,10 @@ class SimulationStats:
             "table_repairs": float(self.table_repairs),
             "backoff_retries": float(self.backoff_retries),
             "link_lost": float(self.link_lost),
+            "hop_limit_dropped": float(self.hop_limit_dropped),
+            "membership_messages": float(self.membership_messages),
+            "membership_bytes": float(self.membership_bytes),
+            "false_positives": float(self.false_positives),
+            "false_negatives": float(self.false_negatives),
+            "mean_detection_latency": self.mean_detection_latency(),
         }

@@ -201,3 +201,49 @@ def test_regional_campaign_records_fault_events():
     assert all(r["fault_events"] > 0 for r in records)
     oblivious, repair = records
     assert repair["delivery_ratio"] >= oblivious["delivery_ratio"]
+
+
+# ----------------------------------------------------------------------
+# Detection-driven strategies (E20)
+# ----------------------------------------------------------------------
+
+
+def test_chaos_config_validates_swim_knobs():
+    with pytest.raises(InvalidParameterError):
+        ChaosConfig(d=2, k=4, probe_interval=0.0)
+    with pytest.raises(InvalidParameterError):
+        ChaosConfig(d=2, k=4, suspicion_timeout=-1.0)
+
+
+def test_chaos_config_swim_config_carries_the_seed():
+    config = ChaosConfig(d=2, k=4, seed="xyz", probe_interval=7.0)
+    swim = config.swim_config(":0.5")
+    assert swim.probe_interval == 7.0
+    assert swim.seed == "xyz:swim:0.5"
+
+
+def test_detection_strategies_run_and_replay():
+    config = ChaosConfig(d=2, k=4, seed="detect-test", horizon=400.0,
+                         messages=40, spacing=5.0, mtbf=200.0, mttr=60.0)
+    strategies = ("repair", "detour-detect", "repair-detect")
+    records = run_campaign(config, intensities=(0.0, 1.0),
+                           strategies=strategies)
+    by_key = {(r["strategy"], r["intensity"]): r for r in records}
+    # Fault-free control: full delivery, no false convictions.
+    assert by_key[("repair-detect", 0.0)]["delivery_ratio"] == 1.0
+    assert by_key[("repair-detect", 0.0)]["false_positives"] == 0
+    # The detector runs on detection legs only.
+    assert by_key[("detour-detect", 1.0)]["membership_messages"] > 0
+    assert by_key[("repair-detect", 1.0)]["membership_bytes"] > 0
+    assert by_key[("repair", 1.0)]["membership_messages"] == 0
+    # Under faults, detection-driven repair actually detected outages.
+    assert by_key[("repair-detect", 1.0)]["detected_outages"] > 0
+    # The whole campaign replays bit-for-bit from its seed.
+    assert run_campaign(config, intensities=(0.0, 1.0),
+                        strategies=strategies) == records
+
+
+def test_unknown_strategy_is_rejected():
+    config = ChaosConfig(d=2, k=3, horizon=100.0, messages=5)
+    with pytest.raises(InvalidParameterError):
+        run_campaign(config, intensities=(0.0,), strategies=("teleport",))

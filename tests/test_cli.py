@@ -249,3 +249,33 @@ def test_chaos_command_strategy_subset(capsys):
                  "oblivious,detour"]) == 0
     out = capsys.readouterr().out
     assert "detour" in out and "reroute" not in out
+
+
+def test_chaos_command_with_membership_legs(capsys):
+    assert main(["chaos", "-d", "2", "-k", "4", "--seed", "cli-detect",
+                 "--messages", "60", "--horizon", "600",
+                 "--mtbf", "200", "--mttr", "60",
+                 "--intensities", "0,1.0", "--membership"]) == 0
+    out = capsys.readouterr().out
+    assert "detour-detect" in out and "repair-detect" in out
+    assert "mean det latency" in out  # the detection-stats table printed
+
+
+_DETECT_ARGS = ["detect", "-d", "2", "-k", "3", "--seed", "cli-det",
+                "--horizon", "600", "--mtbf", "200", "--mttr", "150",
+                "--probe-interval", "5", "--suspicion", "10"]
+
+
+def test_detect_command(capsys):
+    assert main(list(_DETECT_ARGS)) == 0
+    out = capsys.readouterr().out
+    assert "outages" in out
+    assert "detected" in out
+    assert "replays this run exactly" in out
+
+
+def test_detect_command_assert_detects_threshold(capsys):
+    assert main(_DETECT_ARGS + ["--assert-detects", "0.5"]) == 0
+    capsys.readouterr()
+    # An impossible bar trips the check (non-zero exit).
+    assert main(_DETECT_ARGS + ["--assert-detects", "1.01"]) == 1

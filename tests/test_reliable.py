@@ -269,3 +269,45 @@ def test_duplicate_data_is_reacked_not_double_counted():
     assert stats.data_sent >= 2  # the impatient retransmit happened
     assert stats.acks_sent == stats.data_sent  # every copy re-ACKed
     assert stats.completed == 1
+
+
+# ----------------------------------------------------------------------
+# Exactly-once delivery to the application (duplicate suppression)
+# ----------------------------------------------------------------------
+
+
+def test_retransmitted_duplicates_are_suppressed_not_redelivered():
+    # One hop each way: DATA lands at t=1, the ACK returns at t=2.  An
+    # impatient timeout (1.5) fires while the ACK is still in flight, so
+    # a second DATA copy goes out and arrives after the first -- the
+    # classic stop-and-wait duplicate.
+    sim = Simulator(2, 3)
+    delivered = []
+    transport = ReliableTransport(
+        sim, BidirectionalOptimalRouter(), timeout=1.5, max_attempts=3,
+        on_payload=lambda tid, body, dest: delivered.append(
+            (tid, body, dest)))
+    x, y = (0, 0, 1), (0, 1, 1)
+    transfer = transport.send(x, y, payload="hello")
+    stats = transport.run()
+
+    assert transfer.completed
+    assert transfer.attempts == 2          # the impatient retransmit
+    # The application saw the payload exactly once...
+    assert delivered == [(transfer.transfer_id, "hello", y)]
+    # ...while the duplicate was recognised and counted...
+    assert stats.duplicates_suppressed == 1
+    # ...and still re-ACKed, as stop-and-wait requires (the sender may
+    # have missed the first ACK).
+    assert stats.acks_sent == 2
+    assert stats.data_sent == 2
+
+
+def test_on_payload_is_optional_and_duplicates_still_counted():
+    sim = Simulator(2, 3)
+    transport = ReliableTransport(sim, BidirectionalOptimalRouter(),
+                                  timeout=1.5, max_attempts=3)
+    transfer = transport.send((0, 0, 1), (0, 1, 1), payload=b"x")
+    stats = transport.run()
+    assert transfer.completed
+    assert stats.duplicates_suppressed == 1

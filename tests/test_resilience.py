@@ -279,3 +279,25 @@ def test_repaired_table_routes_around_failure_without_detours():
     assert stats.delivered_count == 1
     assert dead not in message.trace
     assert stats.detoured == 0  # the table itself already knows the way
+
+
+def test_thaw_of_freshly_loaded_table_is_repairable(tmp_path):
+    path = str(tmp_path / "dg.routes")
+    original = CompiledRouteTable.compile(2, 4, workers=1)
+    original.save(path)
+    with open(path, "rb") as handle:
+        disk_before = handle.read()
+
+    loaded = CompiledRouteTable.load(path)  # read-only mmap
+    assert not loaded.mutable
+    working = loaded.thaw()
+    assert working.mutable
+    repair_route_table(working, [5])
+    assert _bytes_of(working) == _bytes_of(
+        compile_with_failures(2, 4, failed=[5]))
+    # The read-only mapping is untouched by the thawed copy's repair...
+    assert _bytes_of(loaded) == _bytes_of(original)
+    loaded.close()
+    # ...and so is the file on disk, byte for byte.
+    with open(path, "rb") as handle:
+        assert handle.read() == disk_before

@@ -345,3 +345,92 @@ def test_workload_save_load_roundtrip(tmp_path):
                            restored)
     assert stats_a.mean_hops() == stats_b.mean_hops()
     assert stats_a.mean_latency() == stats_b.mean_latency()
+
+
+# ----------------------------------------------------------------------
+# Hop-limit (TTL) guard and simulator timers
+# ----------------------------------------------------------------------
+
+
+def test_hop_limit_drops_a_looping_message():
+    from repro.core.routing import Direction, RoutingStep
+    from repro.network.router import Router
+
+    class RotateForever(Router):
+        """A broken stateless router: rotate left, never arrive."""
+
+        name = "rotate"
+        stateless = True
+
+        def next_hop(self, current, destination, cost_fn=None):
+            return RoutingStep(Direction.LEFT, current[0])
+
+    sim = Simulator(2, 3, hop_limit=10)
+    # (0,0,1) rotated left cycles 001 -> 010 -> 100 -> 001 forever; the
+    # destination is never on that orbit.
+    sim.send((0, 0, 1), (1, 1, 1), RotateForever())
+    stats = sim.run()  # terminates: the TTL guard fires
+    assert stats.hop_limit_dropped == 1
+    assert stats.delivered_count == 0
+    assert stats.dropped_count == 1
+    reason = stats.dropped[0][1]
+    assert "hop limit" in reason
+
+
+def test_hop_limit_default_scales_with_k_and_is_overridable():
+    assert Simulator(2, 3).hop_limit == 16 * 3 + 64
+    assert Simulator(2, 5).hop_limit == 16 * 5 + 64
+    assert Simulator(2, 4, hop_limit=7).hop_limit == 7
+
+
+def test_hop_limit_leaves_normal_traffic_alone():
+    sim = Simulator(2, 4)
+    workload = random_pairs(2, 4, count=40, spacing=1.0,
+                            rng=random.Random(11))
+    stats = run_workload(sim, BidirectionalOptimalRouter(use_wildcards=False),
+                         workload)
+    assert stats.delivered_count == 40
+    assert stats.hop_limit_dropped == 0
+
+
+def test_call_at_runs_callbacks_in_time_order():
+    sim = Simulator(2, 3)
+    fired = []
+    sim.call_at(5.0, lambda s: fired.append(("b", s.now)))
+    sim.call_at(1.0, lambda s: fired.append(("a", s.now)))
+
+    def chain(s):
+        fired.append(("c", s.now))
+        s.call_at(s.now + 2.0, lambda inner: fired.append(("d", inner.now)))
+
+    sim.call_at(9.0, chain)
+    sim.run()
+    assert fired == [("a", 1.0), ("b", 5.0), ("c", 9.0), ("d", 11.0)]
+
+
+def test_call_at_interleaves_with_message_events():
+    sim = Simulator(2, 3)
+    snapshots = []
+    sim.call_at(0.5, lambda s: snapshots.append(s.stats.delivered_count))
+    sim.call_at(50.0, lambda s: snapshots.append(s.stats.delivered_count))
+    sim.send((0, 0, 1), (1, 1, 0), BidirectionalOptimalRouter(), at=0.0)
+    sim.run()
+    # Before the message lands nothing is delivered; afterwards it is.
+    assert snapshots == [0, 1]
+
+
+def test_event_hooks_chain_and_failed_sites_snapshots():
+    sim = Simulator(2, 3)
+    seen = []
+    sim.add_event_hook(lambda event, s: seen.append(("old", event.kind)))
+    sim.add_event_hook(lambda event, s: seen.append(("new", event.kind)))
+    site = (0, 0, 1)
+    sim.fail_node(site, at=1.0)
+    sim.run()
+    # The newest hook runs first, then the older one; both saw the event.
+    assert [tag for tag, _ in seen[:2]] == ["new", "old"]
+    assert seen[0][1] == seen[1][1]
+    assert sim.failed_sites == frozenset([site])
+    sim.recover_node(site, at=2.0)
+    sim.run()
+    assert sim.failed_sites == frozenset()
