@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke examples lint all clean
+.PHONY: install test bench bench-smoke serve-smoke examples lint record all clean
 
 install:
 	pip install -e .
@@ -15,6 +15,21 @@ bench:
 
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/ -q -k smoke
+
+# Boot a route-query server on DG(2,6), fire a pipelined burst at it,
+# and assert the stats frame saw every reply; the server exits on its
+# own via --duration so the target never leaks a process.
+serve-smoke:
+	@$(PYTHON) -m repro.cli serve -d 2 -k 6 --port 7531 --duration 10 & \
+	server=$$!; \
+	sleep 1; \
+	$(PYTHON) -m repro.cli query -d 2 -k 6 --port 7531 --burst 300 \
+		--pool 2 --assert-min-replies 300 || { kill $$server; exit 1; }; \
+	wait $$server
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	@echo "lint (compileall) clean"
 
 examples:
 	@for script in examples/*.py; do \

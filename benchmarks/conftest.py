@@ -3,6 +3,13 @@
 Each ``bench_*.py`` module regenerates one artifact of the paper (see
 DESIGN.md Section 4) and prints its rows through :func:`report` so they
 show up in ``pytest benchmarks/ --benchmark-only`` output.
+
+The CI smoke job (``make bench-smoke``) selects the fast subset with
+``-k smoke``; that naming convention is formalised here as a registered
+``smoke`` marker — every ``*smoke*`` test is auto-marked, so
+``-m smoke`` selects the exact same subset and new benches (E21's
+``test_service_smoke`` included) opt in just by following the naming
+scheme.
 """
 
 from __future__ import annotations
@@ -10,6 +17,19 @@ from __future__ import annotations
 import sys
 
 import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "smoke: fast CI subset of a bench (selected by make bench-smoke)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if "smoke" in item.name and item.get_closest_marker("smoke") is None:
+            item.add_marker(pytest.mark.smoke)
 
 
 @pytest.fixture

@@ -16,6 +16,10 @@ The package is organised as:
 * :mod:`repro.network` — a discrete-event simulator of the DN(d, k)
   message-passing network with the paper's five-field messages, wildcard
   load balancing and fault injection.
+* :mod:`repro.service` — the network-facing route-query service: a
+  length-prefixed wire protocol over the paper's path encoding, an
+  asyncio server with micro-batching and bounded-queue backpressure, a
+  pipelining client pool, and a counters/histograms metrics registry.
 * :mod:`repro.analysis` — exact all-pairs analytics (numpy) and the
   table/plot helpers the benchmark harnesses print through.
 
@@ -57,8 +61,17 @@ from repro.exceptions import (
     DeBruijnError,
     InvalidParameterError,
     InvalidWordError,
+    ProtocolError,
     RoutingError,
+    ServiceError,
     SimulationError,
+)
+from repro.service import (
+    MetricsRegistry,
+    RouteQueryEngine,
+    RouteQueryServer,
+    RouteServiceClient,
+    ServerConfig,
 )
 
 __version__ = "1.0.0"
@@ -69,10 +82,17 @@ __all__ = [
     "GeneralizedSuffixTree",
     "InvalidParameterError",
     "InvalidWordError",
+    "MetricsRegistry",
     "PackedSpace",
+    "ProtocolError",
     "RouteCache",
+    "RouteQueryEngine",
+    "RouteQueryServer",
+    "RouteServiceClient",
     "RoutingError",
     "RoutingStep",
+    "ServerConfig",
+    "ServiceError",
     "SimulationError",
     "SuffixTree",
     "Word",

@@ -20,6 +20,8 @@ Subcommands
 ``compile-tables``      compile + save a next-hop route table (sharded BFS)
 ``chaos``               seeded fault-injection campaign across strategies
 ``detect``              SWIM failure detection on one seeded fault timeline
+``serve``               run the asyncio route-query server (E21)
+``query``               query a running server (one pair, or a burst)
 
 Examples::
 
@@ -32,6 +34,9 @@ Examples::
     debruijn-routing chaos -d 2 -k 6 --intensities 0,0.5,1 --assert-improves
     debruijn-routing chaos -d 2 -k 5 --membership --intensities 0,1
     debruijn-routing detect -d 2 -k 6 --mtbf 600 --mttr 120
+    debruijn-routing serve -d 2 -k 6 --port 7531 --duration 30
+    debruijn-routing query -d 2 -k 6 --port 7531 011010 110110
+    debruijn-routing query -d 2 -k 6 --port 7531 --burst 1000 --stats
     debruijn-routing sequence -d 2 -k 4 --method euler
     debruijn-routing disjoint-paths -d 2 001 110
     debruijn-routing broadcast -d 2 -k 5
@@ -240,6 +245,70 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="RATIO",
                        help="exit nonzero unless at least this fraction of "
                             "outages was detected")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve route queries over TCP (asyncio, micro-batching, "
+             "bounded admission; E21)")
+    p_serve.add_argument("-d", type=int, required=True)
+    p_serve.add_argument("-k", type=int, required=True)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 binds an ephemeral port and "
+                              "prints it)")
+    p_serve.add_argument("--table", default=None, metavar="PATH",
+                         help="mmap-load a compile-tables artifact for O(1) "
+                              "lookups")
+    p_serve.add_argument("--compile-table", action="store_true",
+                         help="compile the undirected table in-process at "
+                              "startup")
+    p_serve.add_argument("--cache-size", type=int, default=4096,
+                         help="RouteCache entries for the planner tier "
+                              "(0 disables caching)")
+    p_serve.add_argument("--max-pending", type=int, default=1024,
+                         help="admission-queue bound; beyond it queries get "
+                              "explicit OVERLOADED replies")
+    p_serve.add_argument("--batch-size", type=int, default=32,
+                         help="micro-batch flush size")
+    p_serve.add_argument("--batch-deadline", type=float, default=0.002,
+                         help="micro-batch flush deadline in seconds")
+    p_serve.add_argument("--request-timeout", type=float, default=5.0)
+    p_serve.add_argument("--duration", type=float, default=None,
+                         help="serve for this many seconds, then drain and "
+                              "exit (default: until interrupted)")
+    p_serve.add_argument("--stats-json", default=None, metavar="PATH",
+                         help="write the final metrics snapshot to this file "
+                              "on shutdown")
+
+    p_query = sub.add_parser(
+        "query",
+        help="query a running route server: one pair, or a pipelined "
+             "random burst")
+    p_query.add_argument("-d", type=int, required=True)
+    p_query.add_argument("-k", type=int, required=True)
+    p_query.add_argument("--host", default="127.0.0.1")
+    p_query.add_argument("--port", type=int, required=True)
+    p_query.add_argument("source", nargs="?", default=None)
+    p_query.add_argument("destination", nargs="?", default=None)
+    p_query.add_argument("--directed", action="store_true")
+    p_query.add_argument("--distance-only", action="store_true",
+                         help="ask only for distances (lets the server "
+                              "micro-batch)")
+    p_query.add_argument("--burst", type=int, default=0, metavar="N",
+                         help="pipeline N random pairs instead of one pair")
+    p_query.add_argument("--seed", type=int, default=7,
+                         help="burst pair-sampling seed")
+    p_query.add_argument("--pool", type=int, default=2,
+                         help="client connection-pool size for bursts")
+    p_query.add_argument("--window", type=int, default=256,
+                         help="in-flight queries per connection (0 = "
+                              "unbounded slam)")
+    p_query.add_argument("--stats", action="store_true",
+                         help="fetch and print the server's STATS snapshot")
+    p_query.add_argument("--assert-min-replies", type=int, default=None,
+                         metavar="N",
+                         help="exit nonzero unless the server's replies "
+                              "counter is at least N")
 
     sub.add_parser("about", help="list every module of the installed package")
 
@@ -689,6 +758,143 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.service.engine import RouteQueryEngine
+    from repro.service.server import RouteQueryServer, ServerConfig
+
+    table = None
+    if args.table and args.compile_table:
+        print("error: --table and --compile-table are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.table:
+        from repro.core.tables import CompiledRouteTable
+
+        table = CompiledRouteTable.load(args.table)
+        if (table.d, table.k) != (args.d, args.k):
+            print(f"error: {args.table} holds DG({table.d},{table.k}), "
+                  f"not DG({args.d},{args.k})", file=sys.stderr)
+            return 2
+    elif args.compile_table:
+        from repro.core.tables import CompiledRouteTable
+
+        table = CompiledRouteTable.compile(args.d, args.k)
+
+    engine = RouteQueryEngine(
+        args.d, args.k, table=table, cache_size=args.cache_size)
+    config = ServerConfig(
+        host=args.host, port=args.port, max_pending=args.max_pending,
+        batch_size=args.batch_size, batch_deadline=args.batch_deadline,
+        request_timeout=args.request_timeout)
+    server = RouteQueryServer(engine, config)
+
+    async def _serve() -> None:
+        port = await server.start()
+        tier = "table" if table is not None else "planner"
+        print(f"serving DG({args.d},{args.k}) on {args.host}:{port} "
+              f"({tier} tier, queue bound {args.max_pending})", flush=True)
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                while True:
+                    await asyncio.sleep(3600)
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    snapshot = server.snapshot()
+    if args.stats_json:
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.stats_json}")
+    counters = snapshot["counters"]
+    print(format_kv_block(
+        "route-query server final stats",
+        [(name, counters[name]) for name in sorted(counters)
+         if name.startswith("server.")]))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.word import random_word
+    from repro.service.client import fetch_stats, query_once, run_burst
+
+    did_something = False
+    if args.source is not None or args.destination is not None:
+        if args.source is None or args.destination is None:
+            print("error: give both SOURCE and DESTINATION, or neither",
+                  file=sys.stderr)
+            return 2
+        x = parse_word(args.source, args.d)
+        y = parse_word(args.destination, args.d)
+        reply = query_once(args.host, args.port, x, y, args.d,
+                           directed=args.directed,
+                           want_path=not args.distance_only)
+        if not reply.ok:
+            print(f"error reply: {reply.error_code.name} "
+                  f"{reply.error_message}", file=sys.stderr)
+            return 1
+        print(f"distance: {reply.distance}")
+        if reply.path is not None:
+            print(f"path ({len(reply.path)} hops): "
+                  f"{format_path(reply.path) or '(empty)'}")
+            trace = path_words(x, reply.path, args.d)
+            print("trace:", " -> ".join(format_word(w) for w in trace))
+        did_something = True
+
+    if args.burst > 0:
+        rng = random.Random(args.seed)
+        pairs = [(random_word(args.d, args.k, rng),
+                  random_word(args.d, args.k, rng))
+                 for _ in range(args.burst)]
+        outcome = run_burst(args.host, args.port, pairs, args.d,
+                            directed=args.directed,
+                            want_path=not args.distance_only,
+                            pool_size=args.pool, window=args.window)
+        entries = [
+            ("queries", len(outcome.replies)),
+            ("replies ok", outcome.ok_count),
+            ("elapsed seconds", round(outcome.elapsed, 4)),
+            ("queries/sec", round(outcome.qps, 1)),
+        ]
+        for name, count in sorted(outcome.error_counts.items()):
+            entries.append((f"errors {name}", count))
+        print(format_kv_block(
+            f"pipelined burst against {args.host}:{args.port}", entries))
+        did_something = True
+
+    if args.stats or args.assert_min_replies is not None:
+        snapshot = fetch_stats(args.host, args.port)
+        if args.stats:
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        if args.assert_min_replies is not None:
+            replies = int(snapshot.get("counters", {})
+                          .get("server.replies", 0))
+            if replies < args.assert_min_replies:
+                print(f"SERVICE REGRESSION: server.replies {replies} < "
+                      f"required {args.assert_min_replies}", file=sys.stderr)
+                return 1
+            print(f"# stats check passed: server.replies {replies} >= "
+                  f"{args.assert_min_replies}")
+        did_something = True
+
+    if not did_something:
+        print("error: nothing to do (give a pair, --burst, or --stats)",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_about(args: argparse.Namespace) -> int:
     from repro.inventory import render_inventory
 
@@ -714,6 +920,8 @@ _COMMANDS = {
     "compile-tables": _cmd_compile_tables,
     "chaos": _cmd_chaos,
     "detect": _cmd_detect,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
     "about": _cmd_about,
 }
 

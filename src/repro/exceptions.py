@@ -29,6 +29,14 @@ class WirePathError(RoutingError):
     """A routing-path field is malformed (bad shift type or digit)."""
 
 
+class ServiceError(DeBruijnError):
+    """The route-query service could not serve a request or connection."""
+
+
+class ProtocolError(ServiceError):
+    """A service wire frame is malformed or violates the protocol."""
+
+
 class SimulationError(DeBruijnError):
     """The network simulator was driven into an inconsistent state."""
 

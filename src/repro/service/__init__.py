@@ -1,0 +1,74 @@
+"""Route-query service: a network-facing front end for the routing core.
+
+Everything the previous PRs built — Algorithm 1/2 planners with the
+:class:`~repro.core.routing.RouteCache`, the one-to-many batch engine of
+:mod:`repro.core.batch`, and the mmap-loadable
+:class:`~repro.core.tables.CompiledRouteTable` — was only reachable
+in-process.  This package puts it on the wire:
+
+* :mod:`repro.service.protocol` — length-prefixed binary frames
+  (query / reply / error / stats) that reuse the paper's five-field
+  path encoding from :mod:`repro.network.message`.
+* :mod:`repro.service.engine` — the tiered resolver: O(1) compiled-table
+  lookups when a table is loaded, cache-backed ``route()`` planning
+  otherwise, and same-destination coalescing through the suffix-automaton
+  batch engine.
+* :mod:`repro.service.server` — an asyncio server with a micro-batching
+  queue (flush on size or deadline), a bounded admission queue that
+  answers overload with an explicit error frame instead of buffering
+  without limit, per-request timeouts, and graceful drain on shutdown.
+* :mod:`repro.service.client` — a pipelining client with a connection
+  pool, plus blocking convenience wrappers for scripts and the CLI.
+* :mod:`repro.service.metrics` — the counter / fixed-bucket-histogram
+  registry whose snapshot the server exposes over a ``STATS`` frame.
+
+Quickstart (see also ``examples/serve_queries.py``)::
+
+    import asyncio
+    from repro.service import RouteQueryEngine, RouteQueryServer, RouteServiceClient
+
+    async def main():
+        server = RouteQueryServer(RouteQueryEngine(d=2, k=6))
+        port = await server.start()
+        async with RouteServiceClient("127.0.0.1", port) as client:
+            reply = await client.query((0, 1, 1, 0, 1, 0), (1, 1, 0, 1, 1, 0))
+            print(reply.distance, reply.path)
+        await server.stop()
+
+    asyncio.run(main())
+"""
+
+from repro.service.client import (
+    QueryOutcome,
+    RouteReply,
+    RouteServiceClient,
+    query_once,
+)
+from repro.service.engine import RouteQueryEngine
+from repro.service.metrics import Counter, Histogram, MetricsRegistry
+from repro.service.protocol import (
+    ErrorCode,
+    FrameDecoder,
+    FrameType,
+    RouteQuery,
+    encode_frame,
+)
+from repro.service.server import RouteQueryServer, ServerConfig
+
+__all__ = [
+    "Counter",
+    "ErrorCode",
+    "FrameDecoder",
+    "FrameType",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryOutcome",
+    "RouteQuery",
+    "RouteQueryEngine",
+    "RouteQueryServer",
+    "RouteReply",
+    "RouteServiceClient",
+    "ServerConfig",
+    "encode_frame",
+    "query_once",
+]

@@ -1,0 +1,351 @@
+"""Pipelining client for the route-query service, with a connection pool.
+
+:class:`RouteServiceClient` is the asyncio client: it keeps up to
+``pool_size`` connections open, correlates replies to queries by request
+id, and pipelines — :meth:`~RouteServiceClient.query_many` keeps a
+bounded ``window`` of queries in flight per connection instead of
+waiting a full round trip per query, which is where a de Bruijn query
+service earns its throughput (single-query latency is wire-dominated; a
+pipelined burst amortises it away).
+
+Blocking wrappers (:func:`query_once`, :func:`run_burst`,
+:func:`fetch_stats`) cover scripts, tests and the ``debruijn-routing
+query`` subcommand without forcing callers to manage an event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.routing import Path
+from repro.core.word import WordTuple
+from repro.exceptions import ProtocolError, ServiceError
+from repro.service.protocol import (
+    ErrorCode,
+    FrameDecoder,
+    FrameType,
+    decode_error,
+    decode_reply,
+    decode_stats_reply,
+    encode_query,
+    encode_stats_request,
+)
+
+
+@dataclass(frozen=True)
+class RouteReply:
+    """The outcome of one query: a distance/path, or a service error."""
+
+    distance: Optional[int]
+    path: Optional[Path]
+    error_code: Optional[ErrorCode] = None
+    error_message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True for a successful ``REPLY``, False for any ``ERROR``."""
+        return self.error_code is None
+
+
+@dataclass
+class QueryOutcome:
+    """A pipelined burst's replies (input order) plus wall-clock cost."""
+
+    replies: List[RouteReply]
+    elapsed: float
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for reply in self.replies if reply.ok)
+
+    @property
+    def error_counts(self) -> Dict[str, int]:
+        """Errors keyed by :class:`ErrorCode` name."""
+        counts: Dict[str, int] = {}
+        for reply in self.replies:
+            if reply.error_code is not None:
+                name = reply.error_code.name
+                counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    @property
+    def qps(self) -> float:
+        """Answered queries (replies *and* errors) per second."""
+        return len(self.replies) / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class _PooledConnection:
+    """One pooled stream plus its decoder and request-id counter."""
+
+    __slots__ = ("reader", "writer", "decoder", "next_id")
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.decoder = FrameDecoder()
+        self.next_id = 0
+
+    def take_id(self) -> int:
+        self.next_id = (self.next_id + 1) & 0xFFFFFFFF
+        return self.next_id
+
+
+class RouteServiceClient:
+    """Asyncio client with pooling and per-connection pipelining.
+
+    >>> # doctest-style sketch; see tests/test_service.py for live use
+    >>> # async with RouteServiceClient("127.0.0.1", port, d=2) as client:
+    >>> #     reply = await client.query((0, 1, 1), (1, 1, 0))
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        d: Optional[int] = None,
+        pool_size: int = 1,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        if pool_size < 1:
+            raise ServiceError(f"pool size must be >= 1, got {pool_size}")
+        self.host = host
+        self.port = port
+        self.d = d
+        self.pool_size = pool_size
+        self.connect_timeout = connect_timeout
+        self._pool: List[Optional[_PooledConnection]] = [None] * pool_size
+
+    async def _connection(self, index: int) -> _PooledConnection:
+        slot = index % self.pool_size
+        connection = self._pool[slot]
+        if connection is None or connection.writer.is_closing():
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                timeout=self.connect_timeout,
+            )
+            connection = _PooledConnection(reader, writer)
+            self._pool[slot] = connection
+        return connection
+
+    async def close(self) -> None:
+        """Close every pooled connection."""
+        for slot, connection in enumerate(self._pool):
+            if connection is None:
+                continue
+            self._pool[slot] = None
+            try:
+                connection.writer.close()
+                await connection.writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def __aenter__(self) -> "RouteServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- queries ---------------------------------------------------------
+
+    def _digit_base(self, d: Optional[int]) -> int:
+        base = d if d is not None else self.d
+        if base is None:
+            raise ServiceError(
+                "alphabet size d is required (set it on the client or query)"
+            )
+        return base
+
+    async def query(
+        self,
+        source: WordTuple,
+        destination: WordTuple,
+        directed: bool = False,
+        want_path: bool = True,
+        d: Optional[int] = None,
+    ) -> RouteReply:
+        """One round trip for one (source, destination) pair."""
+        outcome = await self.query_many(
+            [(source, destination)], directed=directed, want_path=want_path, d=d
+        )
+        return outcome.replies[0]
+
+    async def query_many(
+        self,
+        pairs: Sequence[Tuple[WordTuple, WordTuple]],
+        directed: bool = False,
+        want_path: bool = True,
+        d: Optional[int] = None,
+        window: int = 256,
+    ) -> QueryOutcome:
+        """Pipeline ``pairs`` across the pool; replies come back in order.
+
+        ``window`` bounds in-flight queries per connection (the client's
+        half of backpressure); ``window=0`` means "fire everything at
+        once" — used by the overload tests to slam a bounded server.
+        """
+        base = self._digit_base(d)
+        replies: List[Optional[RouteReply]] = [None] * len(pairs)
+        shards: List[List[int]] = [[] for _ in range(self.pool_size)]
+        for index in range(len(pairs)):
+            shards[index % self.pool_size].append(index)
+        pipelines = []
+        for slot, shard in enumerate(shards):
+            if not shard:
+                continue
+            connection = await self._connection(slot)
+            pipelines.append(
+                self._pipeline(
+                    connection,
+                    shard,
+                    pairs,
+                    replies,
+                    base,
+                    directed,
+                    want_path,
+                    window if window > 0 else len(pairs),
+                )
+            )
+        start = time.perf_counter()
+        await asyncio.gather(*pipelines)
+        elapsed = time.perf_counter() - start
+        return QueryOutcome([reply for reply in replies if reply is not None],
+                            elapsed)
+
+    async def _pipeline(
+        self,
+        connection: _PooledConnection,
+        shard: List[int],
+        pairs: Sequence[Tuple[WordTuple, WordTuple]],
+        replies: List[Optional[RouteReply]],
+        d: int,
+        directed: bool,
+        want_path: bool,
+        window: int,
+    ) -> None:
+        in_flight: Dict[int, int] = {}
+        cursor = 0
+        answered = 0
+        writer, reader, decoder = (
+            connection.writer,
+            connection.reader,
+            connection.decoder,
+        )
+        while answered < len(shard):
+            while cursor < len(shard) and len(in_flight) < window:
+                index = shard[cursor]
+                cursor += 1
+                request_id = connection.take_id()
+                in_flight[request_id] = index
+                source, destination = pairs[index]
+                writer.write(
+                    encode_query(
+                        request_id, d, source, destination, directed, want_path
+                    )
+                )
+            await writer.drain()
+            for frame in await self._read_frames(reader, decoder):
+                index = in_flight.pop(frame.request_id, None)
+                if index is None:
+                    raise ProtocolError(
+                        f"reply for unknown request id {frame.request_id}"
+                    )
+                if frame.frame_type == FrameType.REPLY:
+                    distance, path = decode_reply(frame)
+                    replies[index] = RouteReply(distance, path)
+                elif frame.frame_type == FrameType.ERROR:
+                    code, message = decode_error(frame)
+                    replies[index] = RouteReply(None, None, code, message)
+                else:
+                    raise ProtocolError(
+                        f"unexpected frame type {frame.frame_type!r} mid-burst"
+                    )
+                answered += 1
+
+    async def _read_frames(self, reader, decoder) -> List:
+        while True:
+            data = await reader.read(1 << 16)
+            if not data:
+                raise ServiceError("server closed the connection mid-burst")
+            frames = decoder.feed(data)
+            if frames:
+                return frames
+
+    async def stats(self) -> Dict[str, object]:
+        """Fetch the server's metrics snapshot over a ``STATS`` frame."""
+        connection = await self._connection(0)
+        request_id = connection.take_id()
+        connection.writer.write(encode_stats_request(request_id))
+        await connection.writer.drain()
+        for frame in await self._read_frames(connection.reader, connection.decoder):
+            if (
+                frame.frame_type == FrameType.STATS_REPLY
+                and frame.request_id == request_id
+            ):
+                return decode_stats_reply(frame)
+            raise ProtocolError(
+                f"expected a stats reply, got {frame.frame_type!r}"
+            )
+        raise ServiceError("no stats reply received")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Blocking conveniences (scripts, CLI, tests)
+# ----------------------------------------------------------------------
+
+
+def query_once(
+    host: str,
+    port: int,
+    source: WordTuple,
+    destination: WordTuple,
+    d: int,
+    directed: bool = False,
+    want_path: bool = True,
+) -> RouteReply:
+    """Connect, ask one query, disconnect — the smallest possible client."""
+
+    async def _run() -> RouteReply:
+        async with RouteServiceClient(host, port, d=d) as client:
+            return await client.query(
+                source, destination, directed=directed, want_path=want_path
+            )
+
+    return asyncio.run(_run())
+
+
+def run_burst(
+    host: str,
+    port: int,
+    pairs: Sequence[Tuple[WordTuple, WordTuple]],
+    d: int,
+    directed: bool = False,
+    want_path: bool = True,
+    pool_size: int = 1,
+    window: int = 256,
+) -> QueryOutcome:
+    """Blocking pipelined burst; returns the :class:`QueryOutcome`."""
+
+    async def _run() -> QueryOutcome:
+        async with RouteServiceClient(
+            host, port, d=d, pool_size=pool_size
+        ) as client:
+            return await client.query_many(
+                pairs, directed=directed, want_path=want_path, window=window
+            )
+
+    return asyncio.run(_run())
+
+
+def fetch_stats(host: str, port: int) -> Dict[str, object]:
+    """Blocking ``STATS`` round trip."""
+
+    async def _run() -> Dict[str, object]:
+        async with RouteServiceClient(host, port) as client:
+            return await client.stats()
+
+    return asyncio.run(_run())

@@ -1,0 +1,429 @@
+"""Asyncio route-query server: micro-batching, backpressure, drain.
+
+The server answers :mod:`repro.service.protocol` frames for exactly one
+DG(d, k) through a :class:`~repro.service.engine.RouteQueryEngine`.
+Three production behaviours are structural, not bolted on:
+
+* **Bounded admission** — accepted queries enter a fixed-capacity queue.
+  When it is full the connection handler answers *immediately* with an
+  ``ERROR/OVERLOADED`` frame instead of buffering without limit: memory
+  stays bounded under any burst and clients get an explicit
+  backpressure signal they can retry on.  The high-water mark is
+  exported as ``server.queue_peak``.
+* **Micro-batching** — distance-only queries that the table tier cannot
+  answer are coalesced by destination in a :class:`MicroBatcher` and
+  flushed when a group reaches ``batch_size`` or its ``batch_deadline``
+  expires, whichever comes first.  A flush answers the whole group from
+  one shared suffix automaton (see
+  :meth:`~repro.service.engine.RouteQueryEngine.resolve_distances`).
+* **Graceful drain** — :meth:`RouteQueryServer.stop` stops accepting,
+  answers still-queued work (or fails it with ``SHUTTING_DOWN`` after
+  ``drain_timeout``), flushes the batcher, and only then closes
+  connections.  Nothing accepted is silently dropped.
+
+Latency from admission to reply-write is observed into the
+``server.latency_seconds`` histogram; the whole registry snapshot is
+served over ``STATS`` frames and by ``debruijn-routing serve
+--stats-json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import DeBruijnError, ProtocolError
+from repro.service.engine import RouteQueryEngine
+from repro.service.metrics import MetricsRegistry
+from repro.service.protocol import (
+    ErrorCode,
+    Frame,
+    FrameDecoder,
+    FrameType,
+    RouteQuery,
+    decode_query,
+    encode_error,
+    encode_reply,
+    encode_stats_reply,
+)
+
+#: Linear bucket edges for the batch-group-size histogram.
+_GROUP_SIZE_BUCKETS = tuple(float(n) for n in range(1, 65))
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one :class:`RouteQueryServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  #: 0 binds an ephemeral port (returned by ``start``)
+    max_pending: int = 1024  #: admission-queue capacity (backpressure bound)
+    batch_size: int = 32  #: flush a destination group at this size
+    batch_deadline: float = 0.002  #: seconds before a partial group flushes
+    request_timeout: float = 5.0  #: queue age beyond which requests fail
+    drain_timeout: float = 5.0  #: seconds ``stop`` waits for queued work
+
+
+@dataclass
+class _Pending:
+    """One admitted query waiting for the dispatcher."""
+
+    query: RouteQuery
+    connection: "_Connection"
+    enqueued_at: float
+
+
+class _Connection:
+    """Per-connection state: writer, frame decoder, liveness."""
+
+    __slots__ = ("reader", "writer", "decoder", "closed")
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.decoder = FrameDecoder()
+        self.closed = False
+
+    def send(self, payload: bytes) -> None:
+        """Buffer ``payload`` on the transport (no-op once closed)."""
+        if not self.closed:
+            self.writer.write(payload)
+
+
+class MicroBatcher:
+    """Coalesce distance-only queries by (destination, directed).
+
+    Groups flush on size (``batch_size``) or age (``batch_deadline``),
+    whichever happens first; the deadline timer is armed when a group is
+    born and cancelled by a size flush.  Flushing is synchronous — one
+    :meth:`~repro.service.engine.RouteQueryEngine.resolve_distances`
+    call answers the whole group — so it is safe to run from a
+    ``call_later`` callback.
+    """
+
+    def __init__(self, server: "RouteQueryServer") -> None:
+        self._server = server
+        self._groups: Dict[Tuple[Tuple[int, ...], bool], List[_Pending]] = {}
+        self._timers: Dict[Tuple[Tuple[int, ...], bool], asyncio.TimerHandle] = {}
+
+    def add(self, item: _Pending) -> None:
+        """Admit one distance-only query into its destination group."""
+        key = (item.query.destination, item.query.directed)
+        group = self._groups.setdefault(key, [])
+        group.append(item)
+        config = self._server.config
+        if len(group) >= config.batch_size:
+            self._flush(key)
+        elif len(group) == 1:
+            loop = asyncio.get_running_loop()
+            self._timers[key] = loop.call_later(
+                config.batch_deadline, self._flush, key
+            )
+
+    def _flush(self, key: Tuple[Tuple[int, ...], bool]) -> None:
+        group = self._groups.pop(key, None)
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        if not group:
+            return
+        destination, directed = key
+        server = self._server
+        server.registry.histogram(
+            "server.batch_group_size", _GROUP_SIZE_BUCKETS
+        ).observe(float(len(group)))
+        try:
+            distances = server.engine.resolve_distances(
+                destination, [item.query.source for item in group], directed
+            )
+        except DeBruijnError as exc:
+            for item in group:
+                server._send_error(
+                    item.connection,
+                    item.query.request_id,
+                    ErrorCode.INTERNAL,
+                    repr(exc),
+                )
+            return
+        for item, distance in zip(group, distances):
+            server._send_reply(item, distance, None)
+
+    def flush_all(self) -> None:
+        """Drain every group immediately (shutdown path)."""
+        for key in list(self._groups):
+            self._flush(key)
+
+    @property
+    def pending(self) -> int:
+        """Queries currently parked in unflushed groups."""
+        return sum(len(group) for group in self._groups.values())
+
+
+class RouteQueryServer:
+    """The asyncio front end over one :class:`RouteQueryEngine`.
+
+    Lifecycle: :meth:`start` binds and returns the port, queries flow
+    until :meth:`stop` drains and closes.  ``async with`` does both.
+    """
+
+    def __init__(
+        self,
+        engine: RouteQueryEngine,
+        config: Optional[ServerConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config if config is not None else ServerConfig()
+        # Server and engine share one registry so a single STATS frame
+        # shows both tiers' counters side by side.
+        self.registry: MetricsRegistry = engine.registry
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._queue: Optional["asyncio.Queue[_Pending]"] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._connections: set = set()
+        self._batcher = MicroBatcher(self)
+        self._draining = False
+        self._queue_peak = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> int:
+        """Bind, launch the dispatcher, and return the listening port."""
+        self._queue = asyncio.Queue(maxsize=self.config.max_pending)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        return self.port
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, answer queued work, close."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._queue is not None:
+            try:
+                await asyncio.wait_for(
+                    self._queue.join(), timeout=self.config.drain_timeout
+                )
+            except asyncio.TimeoutError:
+                while True:
+                    try:
+                        item = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    self._send_error(
+                        item.connection,
+                        item.query.request_id,
+                        ErrorCode.SHUTTING_DOWN,
+                        "server drain timeout",
+                    )
+                    self._queue.task_done()
+        self._batcher.flush_all()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        for connection in list(self._connections):
+            await self._close_connection(connection)
+
+    async def __aenter__(self) -> "RouteQueryServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(reader, writer)
+        self._connections.add(connection)
+        self.registry.inc("server.connections")
+        try:
+            while True:
+                data = await reader.read(1 << 16)
+                if not data:
+                    break
+                try:
+                    frames = connection.decoder.feed(data)
+                except ProtocolError:
+                    self.registry.inc("server.malformed")
+                    break  # framing is unrecoverable: drop the connection
+                for frame in frames:
+                    self._handle_frame(connection, frame)
+                await self._flush_writer(connection)
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            await self._close_connection(connection)
+
+    def _handle_frame(self, connection: _Connection, frame: Frame) -> None:
+        if frame.frame_type == FrameType.STATS:
+            self.registry.inc("server.stats_requests")
+            connection.send(
+                encode_stats_reply(frame.request_id, self.snapshot())
+            )
+            return
+        if frame.frame_type != FrameType.QUERY:
+            self._send_error(
+                connection,
+                frame.request_id,
+                ErrorCode.UNSUPPORTED,
+                f"cannot serve frame type {frame.frame_type!r}",
+            )
+            return
+        self.registry.inc("server.queries")
+        try:
+            query = decode_query(frame)
+        except ProtocolError as exc:
+            self.registry.inc("server.malformed")
+            self._send_error(
+                connection, frame.request_id, ErrorCode.MALFORMED, str(exc)
+            )
+            return
+        engine = self.engine
+        if query.d != engine.d or query.k != engine.k:
+            self._send_error(
+                connection,
+                frame.request_id,
+                ErrorCode.UNSUPPORTED,
+                f"this server routes DG({engine.d},{engine.k}), "
+                f"not DG({query.d},{query.k})",
+            )
+            return
+        if self._draining:
+            self._send_error(
+                connection,
+                frame.request_id,
+                ErrorCode.SHUTTING_DOWN,
+                "server is draining",
+            )
+            return
+        item = _Pending(query, connection, asyncio.get_running_loop().time())
+        assert self._queue is not None
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            self.registry.inc("server.rejected_overload")
+            self._send_error(
+                connection,
+                frame.request_id,
+                ErrorCode.OVERLOADED,
+                f"admission queue full ({self.config.max_pending})",
+            )
+            return
+        depth = self._queue.qsize()
+        if depth > self._queue_peak:
+            self._queue_peak = depth
+
+    async def _flush_writer(self, connection: _Connection) -> None:
+        if not connection.closed:
+            try:
+                await connection.writer.drain()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                connection.closed = True
+
+    async def _close_connection(self, connection: _Connection) -> None:
+        self._connections.discard(connection)
+        if connection.closed:
+            return
+        connection.closed = True
+        try:
+            connection.writer.close()
+            await connection.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    # -- dispatching -----------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._queue is not None
+        queue = self._queue
+        loop = asyncio.get_running_loop()
+        drain_every = 64
+        since_drain = 0
+        while True:
+            item = await queue.get()
+            try:
+                self._dispatch_one(item, loop.time())
+            finally:
+                queue.task_done()
+            since_drain += 1
+            if queue.empty() or since_drain >= drain_every:
+                since_drain = 0
+                await self._flush_writer(item.connection)
+
+    def _dispatch_one(self, item: _Pending, now: float) -> None:
+        query = item.query
+        if now - item.enqueued_at > self.config.request_timeout:
+            self.registry.inc("server.timed_out")
+            self._send_error(
+                item.connection,
+                query.request_id,
+                ErrorCode.TIMEOUT,
+                f"queued {now - item.enqueued_at:.3f}s "
+                f"> {self.config.request_timeout}s",
+            )
+            return
+        engine = self.engine
+        if not query.want_path and not engine.has_table(query.directed):
+            # Distance-only and no O(1) table: park it for coalescing.
+            self._batcher.add(item)
+            return
+        try:
+            distance, path = engine.resolve(
+                query.source, query.destination, query.directed, query.want_path
+            )
+        except DeBruijnError as exc:
+            self._send_error(
+                item.connection, query.request_id, ErrorCode.INTERNAL, repr(exc)
+            )
+            return
+        self._send_reply(item, distance, path)
+
+    # -- replies ---------------------------------------------------------
+
+    def _send_reply(self, item: _Pending, distance: int, path) -> None:
+        item.connection.send(
+            encode_reply(item.query.request_id, distance, path)
+        )
+        self.registry.inc("server.replies")
+        elapsed = asyncio.get_running_loop().time() - item.enqueued_at
+        self.registry.histogram("server.latency_seconds").observe(elapsed)
+
+    def _send_error(
+        self,
+        connection: _Connection,
+        request_id: int,
+        code: ErrorCode,
+        message: str,
+    ) -> None:
+        connection.send(encode_error(request_id, code, message))
+        self.registry.inc("server.errors")
+        self.registry.inc(f"server.errors.{code.name.lower()}")
+
+    # -- introspection ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The live metrics snapshot served over ``STATS`` frames."""
+        self.registry.set_counter("server.queue_peak", self._queue_peak)
+        self.registry.set_counter(
+            "server.queue_depth",
+            self._queue.qsize() if self._queue is not None else 0,
+        )
+        self.registry.set_counter("server.batch_pending", self._batcher.pending)
+        self.registry.set_counter(
+            "server.open_connections", len(self._connections)
+        )
+        return self.engine.stats()

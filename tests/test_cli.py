@@ -279,3 +279,121 @@ def test_detect_command_assert_detects_threshold(capsys):
     capsys.readouterr()
     # An impossible bar trips the check (non-zero exit).
     assert main(_DETECT_ARGS + ["--assert-detects", "1.01"]) == 1
+
+
+# ----------------------------------------------------------------------
+# Route-query service: serve / query subcommands
+# ----------------------------------------------------------------------
+
+
+class _BackgroundServer:
+    """A live route-query server on an ephemeral port, for CLI tests."""
+
+    def __init__(self, d=2, k=4, **config_kwargs):
+        import asyncio
+        import threading
+
+        from repro.service.engine import RouteQueryEngine
+        from repro.service.server import RouteQueryServer, ServerConfig
+
+        self._ready = threading.Event()
+        self.port = None
+
+        async def _run():
+            server = RouteQueryServer(
+                RouteQueryEngine(d, k), ServerConfig(**config_kwargs))
+            self.port = await server.start()
+            self._stop = asyncio.Event()
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            await self._stop.wait()
+            await server.stop()
+
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(_run()), daemon=True)
+        self._thread.start()
+        assert self._ready.wait(timeout=10), "server failed to start"
+
+    def close(self):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)
+
+
+@pytest.fixture
+def live_server():
+    server = _BackgroundServer(d=2, k=4)
+    yield server
+    server.close()
+
+
+def test_serve_command_runs_for_duration(capsys):
+    assert main(["serve", "-d", "2", "-k", "3", "--port", "0",
+                 "--duration", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "serving DG(2,3)" in out
+    assert "server.queue_peak: 0" in out
+    assert "server.open_connections: 0" in out
+
+
+def test_serve_command_writes_stats_json(tmp_path, capsys):
+    import json
+
+    target = tmp_path / "stats.json"
+    assert main(["serve", "-d", "2", "-k", "3", "--port", "0",
+                 "--duration", "0.2", "--stats-json", str(target)]) == 0
+    snapshot = json.loads(target.read_text())
+    assert "counters" in snapshot and "histograms" in snapshot
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_serve_command_rejects_conflicting_table_flags(capsys):
+    assert main(["serve", "-d", "2", "-k", "3", "--table", "x.routes",
+                 "--compile-table"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_query_command_single_pair(live_server, capsys):
+    assert main(["query", "-d", "2", "-k", "4", "--port",
+                 str(live_server.port), "0110", "1110"]) == 0
+    out = capsys.readouterr().out
+    assert "distance: 2" in out
+    assert "path (2 hops):" in out
+    assert out.strip().endswith("1110")
+
+
+def test_query_command_burst_and_stats_assert(live_server, capsys):
+    assert main(["query", "-d", "2", "-k", "4", "--port",
+                 str(live_server.port), "--burst", "120",
+                 "--distance-only", "--assert-min-replies", "120"]) == 0
+    out = capsys.readouterr().out
+    assert "replies ok: 120" in out
+    assert "queries/sec:" in out
+    assert "stats check passed" in out
+
+
+def test_query_command_stats_json(live_server, capsys):
+    assert main(["query", "-d", "2", "-k", "4", "--port",
+                 str(live_server.port), "--stats"]) == 0
+    assert '"server.stats_requests"' in capsys.readouterr().out
+
+
+def test_query_command_assert_min_replies_trips(live_server, capsys):
+    assert main(["query", "-d", "2", "-k", "4", "--port",
+                 str(live_server.port), "--burst", "10",
+                 "--assert-min-replies", "100000"]) == 1
+    assert "SERVICE REGRESSION" in capsys.readouterr().err
+
+
+def test_query_command_wrong_graph_is_an_error_reply(live_server, capsys):
+    assert main(["query", "-d", "2", "-k", "6", "--port",
+                 str(live_server.port), "011010", "111000"]) == 1
+    assert "UNSUPPORTED" in capsys.readouterr().err
+
+
+def test_query_command_requires_work(live_server, capsys):
+    assert main(["query", "-d", "2", "-k", "4", "--port",
+                 str(live_server.port)]) == 2
+    assert "nothing to do" in capsys.readouterr().err
+    assert main(["query", "-d", "2", "-k", "4", "--port",
+                 str(live_server.port), "0110"]) == 2
+    assert "both SOURCE and DESTINATION" in capsys.readouterr().err

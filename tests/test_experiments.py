@@ -111,6 +111,9 @@ def test_inventory_covers_the_package():
     names = iter_module_names()
     assert "repro.core.distance" in names
     assert "repro.dht.koorde" in names
+    # The route-query service package registers all five of its modules.
+    for module in ("protocol", "metrics", "engine", "server", "client"):
+        assert f"repro.service.{module}" in names
     cards = inventory()
     assert len(cards) == len(names)
     assert all(card.summary != "(undocumented)" for card in cards)

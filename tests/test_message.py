@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from repro.core.routing import Direction, RoutingStep
 from repro.exceptions import WirePathError
 from repro.network.message import (
+    WILDCARD_BYTE,
     ControlCode,
     Message,
     decode_message,
@@ -140,6 +141,75 @@ def test_decode_message_rejects_truncation():
 
 def test_control_codes_cover_paper_roles():
     assert {c.name for c in ControlCode} == {"DATA", "ACK", "PING", "BROADCAST"}
+
+
+# ----------------------------------------------------------------------
+# Randomized round-trips over the full wire alphabet, and the 0xFF edge
+# ----------------------------------------------------------------------
+
+FULL_RANGE_STEPS = st.lists(
+    st.tuples(
+        st.sampled_from([Direction.LEFT, Direction.RIGHT]),
+        st.one_of(st.none(), st.integers(0, WILDCARD_BYTE - 1)),
+    ).map(lambda t: RoutingStep(*t)),
+    min_size=0,
+    max_size=16,
+)
+
+
+@given(FULL_RANGE_STEPS)
+@settings(max_examples=200)
+def test_path_codec_roundtrip_full_digit_range(steps):
+    """Digits may use the whole 0..254 wire range, wildcards included."""
+    blob = encode_path(steps)
+    assert len(blob) == 2 * len(steps)
+    assert decode_path(blob) == steps
+
+
+@given(st.integers(2, WILDCARD_BYTE), st.data())
+@settings(max_examples=200)
+def test_word_codec_roundtrip_randomized(d, data):
+    word = tuple(data.draw(st.lists(
+        st.integers(0, d - 1), min_size=1, max_size=12)))
+    assert decode_word(encode_word(word)) == word
+
+
+@pytest.mark.parametrize("d", [2, 10, 255])
+def test_word_codec_boundary_digit_d_minus_1(d):
+    """The largest in-alphabet digit d-1 survives; for d=255 that is 254,
+    the last byte before the wildcard marker."""
+    word = (0, d - 1, d - 1)
+    assert decode_word(encode_word(word)) == word
+    step = RoutingStep(Direction.LEFT, d - 1)
+    assert decode_path(encode_path([step])) == [step]
+
+
+def test_path_codec_boundary_digit_254_is_not_a_wildcard():
+    blob = encode_path([RoutingStep(Direction.RIGHT, WILDCARD_BYTE - 1)])
+    assert blob == bytes([1, 254])
+    (step,) = decode_path(blob)
+    assert step.digit == 254 and not step.is_wildcard
+
+
+def test_codec_rejects_digit_colliding_with_wildcard_byte():
+    """Digit 0xFF is reserved for ``*``: both codecs must refuse it
+    rather than silently emit a wildcard."""
+    with pytest.raises(WirePathError):
+        encode_word((0, WILDCARD_BYTE))
+    with pytest.raises(WirePathError):
+        encode_path([RoutingStep(Direction.LEFT, WILDCARD_BYTE)])
+    with pytest.raises(WirePathError):
+        encode_message(_message(path=[RoutingStep(Direction.RIGHT,
+                                                  WILDCARD_BYTE)]))
+
+
+@given(FULL_RANGE_STEPS)
+@settings(max_examples=100)
+def test_message_codec_roundtrip_randomized_paths(steps):
+    m = _message(path=steps, payload=b"body")
+    control, source, destination, path, body = decode_message(encode_message(m))
+    assert path == steps
+    assert body == b"body"
 
 
 # ----------------------------------------------------------------------

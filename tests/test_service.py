@@ -1,0 +1,503 @@
+"""Tests for the route-query service: protocol, metrics, engine, server."""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distance import directed_distance, undirected_distance
+from repro.core.routing import Direction, RoutingStep, route
+from repro.core.tables import CompiledRouteTable
+from repro.core.word import random_word
+from repro.exceptions import ProtocolError, ServiceError
+from repro.service.client import (
+    QueryOutcome,
+    RouteReply,
+    RouteServiceClient,
+    fetch_stats,
+    query_once,
+    run_burst,
+)
+from repro.service.engine import RouteQueryEngine
+from repro.service.metrics import Counter, Histogram, MetricsRegistry
+from repro.service.protocol import (
+    ErrorCode,
+    Frame,
+    FrameDecoder,
+    FrameType,
+    decode_error,
+    decode_query,
+    decode_reply,
+    decode_stats_reply,
+    encode_error,
+    encode_frame,
+    encode_query,
+    encode_reply,
+    encode_stats_reply,
+    encode_stats_request,
+)
+from repro.service.server import RouteQueryServer, ServerConfig
+
+
+def run(coro):
+    """Run one asyncio scenario to completion."""
+    return asyncio.run(coro)
+
+
+def _pairs(d, k, count, seed=0):
+    rng = random.Random(seed)
+    return [(random_word(d, k, rng), random_word(d, k, rng))
+            for _ in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+
+
+def test_query_frame_roundtrip():
+    blob = encode_query(9, 2, (0, 1, 1), (1, 1, 0), directed=True,
+                        want_path=False)
+    (frame,) = FrameDecoder().feed(blob)
+    assert frame.frame_type == FrameType.QUERY
+    query = decode_query(frame)
+    assert query.request_id == 9
+    assert (query.d, query.k) == (2, 3)
+    assert query.source == (0, 1, 1)
+    assert query.destination == (1, 1, 0)
+    assert query.directed and not query.want_path
+
+
+def test_reply_frame_roundtrip():
+    path = [RoutingStep(Direction.LEFT, 1), RoutingStep(Direction.RIGHT, None)]
+    (frame,) = FrameDecoder().feed(encode_reply(3, 2, path))
+    assert frame.frame_type == FrameType.REPLY
+    assert decode_reply(frame) == (2, path)
+
+
+def test_reply_frame_distance_only():
+    (frame,) = FrameDecoder().feed(encode_reply(4, 5, None))
+    assert decode_reply(frame) == (5, [])
+
+
+def test_error_frame_roundtrip():
+    (frame,) = FrameDecoder().feed(
+        encode_error(11, ErrorCode.OVERLOADED, "queue full"))
+    assert decode_error(frame) == (ErrorCode.OVERLOADED, "queue full")
+
+
+def test_stats_frames_roundtrip():
+    (request,) = FrameDecoder().feed(encode_stats_request(1))
+    assert request.frame_type == FrameType.STATS and request.body == b""
+    snapshot = {"counters": {"server.replies": 7}, "histograms": {}}
+    (reply,) = FrameDecoder().feed(encode_stats_reply(2, snapshot))
+    assert decode_stats_reply(reply) == snapshot
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_decoder_is_chunking_invariant(data):
+    """Arbitrary TCP segmentation decodes to the same frame stream."""
+    frames = data.draw(st.lists(st.sampled_from([
+        encode_stats_request(1),
+        encode_query(2, 2, (0, 1), (1, 0)),
+        encode_reply(3, 1, [RoutingStep(Direction.LEFT, 0)]),
+        encode_error(4, ErrorCode.TIMEOUT, "late"),
+    ]), min_size=1, max_size=6))
+    stream = b"".join(frames)
+    cut_count = data.draw(st.integers(0, min(6, len(stream) - 1)))
+    cuts = sorted(data.draw(st.sets(
+        st.integers(1, len(stream) - 1),
+        min_size=cut_count, max_size=cut_count)))
+    decoder = FrameDecoder()
+    decoded = []
+    previous = 0
+    for cut in cuts + [len(stream)]:
+        decoded.extend(decoder.feed(stream[previous:cut]))
+        previous = cut
+    assert len(decoded) == len(frames)
+    assert decoder.pending_bytes == 0
+
+
+def test_decoder_rejects_unknown_frame_type():
+    blob = bytearray(encode_stats_request(1))
+    blob[4] = 0xEE
+    with pytest.raises(ProtocolError):
+        FrameDecoder().feed(bytes(blob))
+
+
+def test_decoder_rejects_oversized_length():
+    with pytest.raises(ProtocolError):
+        FrameDecoder().feed(b"\xff\xff\xff\xff")
+
+
+def test_decode_query_rejects_digit_outside_alphabet():
+    blob = encode_query(1, 3, (0, 2, 1), (1, 0, 2))
+    (frame,) = FrameDecoder().feed(blob)
+    bad = Frame(frame.frame_type, frame.request_id,
+                frame.body[:1] + bytes([2]) + frame.body[2:])
+    with pytest.raises(ProtocolError):
+        decode_query(bad)
+
+
+def test_decode_query_rejects_truncated_body():
+    (frame,) = FrameDecoder().feed(encode_query(1, 2, (0, 1), (1, 0)))
+    with pytest.raises(ProtocolError):
+        decode_query(Frame(frame.frame_type, 1, frame.body[:-1]))
+
+
+def test_encode_query_rejects_length_mismatch():
+    with pytest.raises(ProtocolError):
+        encode_query(1, 2, (0, 1), (1, 0, 1))
+
+
+def test_encode_frame_rejects_wide_request_id():
+    with pytest.raises(ProtocolError):
+        encode_frame(FrameType.STATS, 1 << 32)
+
+
+def test_decode_error_rejects_unknown_code():
+    (frame,) = FrameDecoder().feed(encode_error(1, ErrorCode.INTERNAL, ""))
+    with pytest.raises(ProtocolError):
+        decode_error(Frame(frame.frame_type, 1, bytes([250])))
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+
+def test_counter_increments_and_rejects_decrease():
+    counter = Counter("demo")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_histogram_quantiles_track_sorted_samples():
+    rng = random.Random(42)
+    histogram = Histogram("latency")
+    samples = [rng.expovariate(1 / 0.003) + 1e-4 for _ in range(5000)]
+    for value in samples:
+        histogram.observe(value)
+    samples.sort()
+    for q in (0.50, 0.95, 0.99):
+        exact = samples[int(q * len(samples)) - 1]
+        estimate = histogram.quantile(q)
+        # Geometric buckets are 75 % apart; the estimate must land within
+        # one bucket of the exact sample quantile.
+        assert exact / 1.8 <= estimate <= exact * 1.8
+    assert histogram.count == 5000
+    assert histogram.quantile(1.0) == max(samples)
+
+
+def test_histogram_empty_and_bad_inputs():
+    histogram = Histogram("empty", bounds=(1.0, 2.0))
+    assert histogram.quantile(0.5) == 0.0
+    assert histogram.snapshot()["count"] == 0.0
+    with pytest.raises(ValueError):
+        histogram.quantile(0.0)
+    with pytest.raises(ValueError):
+        Histogram("bad", bounds=())
+    with pytest.raises(ValueError):
+        Histogram("bad", bounds=(2.0, 1.0))
+
+
+def test_registry_get_or_create_and_snapshot():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.histogram("h") is registry.histogram("h")
+    registry.inc("a", 3)
+    registry.set_counter("gauge", 9)
+    registry.set_counter("gauge", 2)  # gauge-style values may go down
+    registry.histogram("h").observe(0.5)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["a"] == 3
+    assert snapshot["counters"]["gauge"] == 2
+    assert snapshot["histograms"]["h"]["count"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# Engine tiers
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("directed", [False, True])
+def test_engine_planner_tier_matches_route(directed):
+    engine = RouteQueryEngine(2, 5)
+    for x, y in _pairs(2, 5, 40, seed=3):
+        distance, path = engine.resolve(x, y, directed, want_path=True)
+        expected = route(x, y, 2, directed=directed, use_wildcards=False)
+        assert distance == len(expected)
+        assert path == expected
+    assert engine.registry.counter("engine.planned").value == 40 * 1
+
+
+def test_engine_table_tier_matches_planner():
+    table = CompiledRouteTable.compile(2, 5, workers=1)
+    engine = RouteQueryEngine(2, 5, table=table)
+    for x, y in _pairs(2, 5, 40, seed=4):
+        distance, path = engine.resolve(x, y, False, want_path=True)
+        assert distance == undirected_distance(x, y)
+        assert len(path) == distance
+    assert engine.registry.counter("engine.table_lookups").value == 40
+    assert engine.registry.counter("engine.planned").value == 0
+    # Directed queries fall back to the planner (table is undirected).
+    x, y = (0, 0, 1, 1, 0), (1, 1, 0, 0, 1)
+    distance, _ = engine.resolve(x, y, True, want_path=True)
+    assert distance == directed_distance(x, y)
+    assert engine.registry.counter("engine.planned").value == 1
+
+
+def test_engine_distance_only_skips_path():
+    engine = RouteQueryEngine(2, 4)
+    distance, path = engine.resolve((0, 0, 1, 1), (1, 1, 0, 0), False, False)
+    assert path is None
+    assert distance == undirected_distance((0, 0, 1, 1), (1, 1, 0, 0))
+
+
+@pytest.mark.parametrize("directed", [False, True])
+@pytest.mark.parametrize("with_table", [False, True])
+def test_engine_batch_distances_match_pairs(directed, with_table):
+    table = (CompiledRouteTable.compile(2, 5, workers=1, directed=directed)
+             if with_table else None)
+    engine = RouteQueryEngine(2, 5, table=table)
+    destination = (1, 0, 1, 1, 0)
+    sources = [x for x, _ in _pairs(2, 5, 25, seed=5)]
+    got = engine.resolve_distances(destination, sources, directed)
+    oracle = directed_distance if directed else undirected_distance
+    assert got == [oracle(x, destination) for x in sources]
+
+
+def test_engine_cache_disabled_and_table_mismatch():
+    engine = RouteQueryEngine(2, 4, cache_size=0)
+    assert engine.cache is None
+    engine.resolve((0, 1, 0, 1), (1, 0, 1, 0), False, True)
+    with pytest.raises(ServiceError):
+        engine.attach_table(CompiledRouteTable.compile(2, 3, workers=1))
+
+
+# ----------------------------------------------------------------------
+# Server and client, end to end
+# ----------------------------------------------------------------------
+
+
+def test_server_roundtrip_matches_oracle():
+    async def scenario():
+        async with RouteQueryServer(RouteQueryEngine(2, 6)) as server:
+            async with RouteServiceClient("127.0.0.1", server.port,
+                                          d=2) as client:
+                pairs = _pairs(2, 6, 60, seed=6)
+                outcome = await client.query_many(pairs)
+                assert outcome.ok_count == len(pairs)
+                for (x, y), reply in zip(pairs, outcome.replies):
+                    assert reply.distance == undirected_distance(x, y)
+                    assert len(reply.path) == reply.distance
+        return True
+
+    assert run(scenario())
+
+
+def test_server_distance_only_burst_micro_batches():
+    async def scenario():
+        engine = RouteQueryEngine(2, 6)
+        config = ServerConfig(batch_size=8, batch_deadline=0.01)
+        async with RouteQueryServer(engine, config) as server:
+            async with RouteServiceClient("127.0.0.1", server.port, d=2,
+                                          pool_size=2) as client:
+                pairs = _pairs(2, 6, 120, seed=7)
+                outcome = await client.query_many(pairs, want_path=False)
+                assert outcome.ok_count == len(pairs)
+                for (x, y), reply in zip(pairs, outcome.replies):
+                    assert reply.distance == undirected_distance(x, y)
+                    assert reply.path == []
+                snapshot = await client.stats()
+        counters = snapshot["counters"]
+        assert counters["engine.batched"] == 120
+        # Coalescing must actually happen: fewer flushes than queries.
+        assert 0 < counters["engine.batch_flushes"] < 120
+        group = snapshot["histograms"]["server.batch_group_size"]
+        assert group["max"] > 1.0
+        return True
+
+    assert run(scenario())
+
+
+def test_server_table_tier_serves_whole_burst():
+    async def scenario():
+        table = CompiledRouteTable.compile(2, 6, workers=1)
+        engine = RouteQueryEngine(2, 6, table=table)
+        async with RouteQueryServer(engine) as server:
+            async with RouteServiceClient("127.0.0.1", server.port,
+                                          d=2) as client:
+                pairs = _pairs(2, 6, 80, seed=8)
+                outcome = await client.query_many(pairs)
+                assert outcome.ok_count == len(pairs)
+                snapshot = await client.stats()
+        assert snapshot["counters"]["engine.table_lookups"] == 80
+        assert snapshot["counters"].get("engine.planned", 0) == 0
+        return True
+
+    assert run(scenario())
+
+
+def test_server_rejects_wrong_graph_and_frame_type():
+    async def scenario():
+        async with RouteQueryServer(RouteQueryEngine(2, 6)) as server:
+            async with RouteServiceClient("127.0.0.1", server.port,
+                                          d=2) as client:
+                # k=4 words against a k=6 server: UNSUPPORTED.
+                reply = await client.query((0, 1, 1, 0), (1, 1, 0, 0))
+                assert not reply.ok
+                assert reply.error_code == ErrorCode.UNSUPPORTED
+                # A REPLY frame sent *to* the server: UNSUPPORTED.
+                connection = await client._connection(0)
+                connection.writer.write(encode_reply(77, 1, None))
+                await connection.writer.drain()
+                (frame,) = await client._read_frames(
+                    connection.reader, connection.decoder)
+                assert frame.frame_type == FrameType.ERROR
+                code, _ = decode_error(frame)
+                assert code == ErrorCode.UNSUPPORTED
+        return True
+
+    assert run(scenario())
+
+
+def test_server_overload_rejects_but_stays_responsive():
+    async def scenario():
+        engine = RouteQueryEngine(2, 6, cache_size=0)
+        config = ServerConfig(max_pending=16)
+        async with RouteQueryServer(engine, config) as server:
+            async with RouteServiceClient("127.0.0.1", server.port,
+                                          d=2) as client:
+                pairs = _pairs(2, 6, 400, seed=9)
+                outcome = await client.query_many(pairs, window=0)
+                # Every query got an answer: a reply or an explicit error.
+                assert len(outcome.replies) == len(pairs)
+                rejected = outcome.error_counts.get("OVERLOADED", 0)
+                assert rejected > 0
+                assert outcome.ok_count + rejected == len(pairs)
+                # The server still answers stats after the storm, and the
+                # admission queue never grew past its bound.
+                snapshot = await client.stats()
+                assert snapshot["counters"]["server.queue_peak"] <= 16
+                assert (snapshot["counters"]["server.errors.overloaded"]
+                        == rejected)
+        return True
+
+    assert run(scenario())
+
+
+def test_server_request_timeout_fails_stale_queries():
+    async def scenario():
+        engine = RouteQueryEngine(2, 6)
+        config = ServerConfig(request_timeout=0.0)
+        async with RouteQueryServer(engine, config) as server:
+            async with RouteServiceClient("127.0.0.1", server.port,
+                                          d=2) as client:
+                outcome = await client.query_many(_pairs(2, 6, 10, seed=10))
+                assert outcome.error_counts.get("TIMEOUT", 0) == 10
+                snapshot = await client.stats()
+        assert snapshot["counters"]["server.timed_out"] == 10
+        return True
+
+    assert run(scenario())
+
+
+def test_server_drains_cleanly_mid_burst():
+    async def scenario():
+        engine = RouteQueryEngine(2, 6)
+        async with RouteQueryServer(engine) as server:
+            client = RouteServiceClient("127.0.0.1", server.port, d=2)
+            pairs = _pairs(2, 6, 300, seed=11)
+            burst = asyncio.create_task(
+                client.query_many(pairs, want_path=False))
+            await asyncio.sleep(0.01)
+            await server.stop()
+            outcome = await burst
+            await client.close()
+        # Every single query was answered: replies for everything admitted
+        # before the drain, SHUTTING_DOWN errors for the rest.  Nothing
+        # was silently dropped.
+        assert len(outcome.replies) == len(pairs)
+        late = outcome.error_counts.get("SHUTTING_DOWN", 0)
+        assert outcome.ok_count + late == len(pairs)
+        return True
+
+    assert run(scenario())
+
+
+def test_server_latency_histogram_populates():
+    async def scenario():
+        async with RouteQueryServer(RouteQueryEngine(2, 6)) as server:
+            async with RouteServiceClient("127.0.0.1", server.port,
+                                          d=2) as client:
+                await client.query_many(_pairs(2, 6, 50, seed=12))
+                snapshot = await client.stats()
+        latency = snapshot["histograms"]["server.latency_seconds"]
+        assert latency["count"] == 50.0
+        assert 0.0 < latency["p50"] <= latency["p95"] <= latency["p99"]
+        return True
+
+    assert run(scenario())
+
+
+def test_blocking_helpers_roundtrip():
+    async def _server():
+        server = RouteQueryServer(RouteQueryEngine(2, 5))
+        port = await server.start()
+        return server, port
+
+    # Drive the blocking helpers from a worker thread so they can own
+    # their own event loops while the server runs in this one.
+    async def scenario():
+        server, port = await _server()
+        try:
+            x, y = (0, 1, 1, 0, 1), (1, 1, 0, 1, 0)
+
+            def blocking_calls():
+                reply = query_once("127.0.0.1", port, x, y, 2)
+                outcome = run_burst("127.0.0.1", port, _pairs(2, 5, 30),
+                                    2, pool_size=2)
+                snapshot = fetch_stats("127.0.0.1", port)
+                return reply, outcome, snapshot
+
+            reply, outcome, snapshot = await asyncio.get_running_loop()\
+                .run_in_executor(None, blocking_calls)
+            assert reply.ok and reply.distance == undirected_distance(x, y)
+            assert outcome.ok_count == 30
+            assert snapshot["counters"]["server.replies"] == 31
+        finally:
+            await server.stop()
+        return True
+
+    assert run(scenario())
+
+
+def test_client_requires_alphabet_size():
+    client = RouteServiceClient("127.0.0.1", 1)
+    with pytest.raises(ServiceError):
+        run(client.query((0, 1), (1, 0)))
+    with pytest.raises(ServiceError):
+        RouteServiceClient("127.0.0.1", 1, pool_size=0)
+
+
+def test_query_outcome_accounting():
+    outcome = QueryOutcome(
+        replies=[
+            RouteReply(2, []),
+            RouteReply(None, None, ErrorCode.OVERLOADED, "full"),
+            RouteReply(None, None, ErrorCode.OVERLOADED, "full"),
+        ],
+        elapsed=0.5,
+    )
+    assert outcome.ok_count == 1
+    assert outcome.error_counts == {"OVERLOADED": 2}
+    assert outcome.qps == 6.0
