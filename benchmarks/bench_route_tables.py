@@ -30,6 +30,7 @@ import tempfile
 import time
 from typing import Dict, List, Tuple
 
+import pytest
 from bench_routing_throughput import DISTINCT_PAIRS, REPEATS, _workload
 
 from repro.analysis.tables import format_kv_block, format_table
@@ -71,7 +72,10 @@ def _measure_compile(d: int, k: int,
             assert buffers == reference, (
                 f"{workers}-worker compile diverged from serial bytes"
             )
-        rows.append({"workers": workers, "seconds": elapsed})
+        # cpu_count rides along with every row so a timing read in
+        # isolation (or merged across machines) stays interpretable.
+        rows.append({"workers": workers, "seconds": elapsed,
+                     "cpu_count": os.cpu_count()})
     serial = rows[0]["seconds"]
     for row in rows:
         row["speedup_vs_serial"] = serial / row["seconds"]
@@ -184,18 +188,19 @@ def test_route_tables(benchmark, report):
     )
     # Acceptance 2: >= 2x compile speedup at 4 workers — only meaningful
     # where 4 workers can actually run in parallel.  On smaller machines
-    # the sweep still runs (and the byte-equality assert still binds);
-    # the recorded CPU count documents why the bar is waived.
+    # the sweep still runs (and the byte-equality assert still binds),
+    # the record is already written, and the bar is an explicit SKIP in
+    # the test report rather than a silent pass.
     by_workers = {int(r["workers"]): r for r in record["compile"]}
-    if record["cpus"] >= PARALLEL_SPEEDUP_MIN_CPUS and 4 in by_workers:
-        assert by_workers[4]["speedup_vs_serial"] >= 2.0, (
-            f"4-worker compile speedup below 2x on a {record['cpus']}-CPU "
-            f"machine: {by_workers[4]['speedup_vs_serial']:.2f}x"
+    if record["cpus"] < PARALLEL_SPEEDUP_MIN_CPUS or 4 not in by_workers:
+        pytest.skip(
+            f"{record['cpus']} CPU(s) available; the >= 2x @ 4-workers "
+            f"bar requires >= {PARALLEL_SPEEDUP_MIN_CPUS} CPUs"
         )
-    else:
-        report(f"E18 — note: {record['cpus']} CPU(s) available; the "
-               f">= 2x @ 4-workers bar requires "
-               f">= {PARALLEL_SPEEDUP_MIN_CPUS} CPUs and was not applied")
+    assert by_workers[4]["speedup_vs_serial"] >= 2.0, (
+        f"4-worker compile speedup below 2x on a {record['cpus']}-CPU "
+        f"machine: {by_workers[4]['speedup_vs_serial']:.2f}x"
+    )
 
 
 def test_route_tables_smoke(tmp_path):

@@ -173,6 +173,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="BFS shard processes (default min(4, cpus))")
     p_ct.add_argument("--chunk-size", type=int, default=None,
                       help="destination rows per work-queue item")
+    p_ct.add_argument("--kernel", default="auto",
+                      choices=["auto", "array", "python"],
+                      help="BFS engine per chunk: the numpy whole-frontier "
+                           "kernel, the pure-python loop, or auto-detect "
+                           "(identical output bytes either way)")
     p_ct.add_argument("--output", default=None,
                       help="table file path (default dg<d>-<k>-<uni|bi>.routes)")
     p_ct.add_argument("--verify", type=int, default=0, metavar="PAIRS",
@@ -262,6 +267,28 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--compile-table", action="store_true",
                          help="compile the undirected table in-process at "
                               "startup")
+    p_serve.add_argument("--shards", action="store_true",
+                         help="attach the lazy sharded table tier: compile "
+                              "per-destination-prefix shards on demand under "
+                              "--shard-budget-mb, falling back to the O(k) "
+                              "planner for cold destinations (the big-k "
+                              "answer where the full table cannot fit)")
+    p_serve.add_argument("--shard-budget-mb", type=int, default=512,
+                         help="resident shard byte budget in MiB; LRU shards "
+                              "are evicted beyond it")
+    p_serve.add_argument("--shard-rows", type=int, default=None,
+                         help="destinations per shard (a power of d; default "
+                              "sized from the budget)")
+    p_serve.add_argument("--shard-dir", default=None, metavar="DIR",
+                         help="persist compiled shards here and mmap-reload "
+                              "them instead of recompiling after eviction")
+    p_serve.add_argument("--shard-threshold", type=int, default=1,
+                         help="queries a cold destination group needs before "
+                              "its shard compile is scheduled")
+    p_serve.add_argument("--kernel", default="auto",
+                         choices=["auto", "array", "python"],
+                         help="BFS engine for --compile-table and shard "
+                              "compiles")
     p_serve.add_argument("--cache-size", type=int, default=4096,
                          help="RouteCache entries for the planner tier "
                               "(0 disables caching)")
@@ -305,6 +332,10 @@ def _build_parser() -> argparse.ArgumentParser:
                               "unbounded slam)")
     p_query.add_argument("--stats", action="store_true",
                          help="fetch and print the server's STATS snapshot")
+    p_query.add_argument("--stats-json", default=None, metavar="PATH",
+                         help="fetch the STATS snapshot (tier breakdown "
+                              "included: engine.*, shards.*) and write it "
+                              "to this file")
     p_query.add_argument("--assert-min-replies", type=int, default=None,
                          metavar="N",
                          help="exit nonzero unless the server's replies "
@@ -585,7 +616,7 @@ def _cmd_compile_tables(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     table = CompiledRouteTable.compile(
         args.d, args.k, directed=args.directed,
-        workers=workers, chunk_size=args.chunk_size,
+        workers=workers, chunk_size=args.chunk_size, kernel=args.kernel,
     )
     compile_seconds = time.perf_counter() - start
     output = args.output or (
@@ -613,6 +644,7 @@ def _cmd_compile_tables(args: argparse.Namespace) -> int:
         ("sites", table.order),
         ("orientation", "directed" if args.directed else "undirected"),
         ("workers", workers),
+        ("kernel", args.kernel),
         ("compile seconds", round(compile_seconds, 3)),
         ("table bytes", table.nbytes),
         ("bytes per pair", table.nbytes / (table.order ** 2)),
@@ -766,9 +798,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import RouteQueryServer, ServerConfig
 
     table = None
+    shards = None
     if args.table and args.compile_table:
         print("error: --table and --compile-table are mutually exclusive",
               file=sys.stderr)
+        return 2
+    if args.shards and (args.table or args.compile_table):
+        print("error: --shards replaces the full table; drop --table / "
+              "--compile-table", file=sys.stderr)
         return 2
     if args.table:
         from repro.core.tables import CompiledRouteTable
@@ -781,10 +818,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     elif args.compile_table:
         from repro.core.tables import CompiledRouteTable
 
-        table = CompiledRouteTable.compile(args.d, args.k)
+        table = CompiledRouteTable.compile(args.d, args.k, kernel=args.kernel)
+    elif args.shards:
+        from repro.core.shards import ShardedRouteTable
+
+        shards = ShardedRouteTable(
+            args.d, args.k,
+            byte_budget=args.shard_budget_mb << 20,
+            rows_per_shard=args.shard_rows,
+            cache_dir=args.shard_dir,
+            kernel=args.kernel,
+            compile_threshold=args.shard_threshold,
+        )
 
     engine = RouteQueryEngine(
-        args.d, args.k, table=table, cache_size=args.cache_size)
+        args.d, args.k, table=table, cache_size=args.cache_size,
+        shards=shards)
     config = ServerConfig(
         host=args.host, port=args.port, max_pending=args.max_pending,
         batch_size=args.batch_size, batch_deadline=args.batch_deadline,
@@ -793,7 +842,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def _serve() -> None:
         port = await server.start()
-        tier = "table" if table is not None else "planner"
+        if table is not None:
+            tier = "table"
+        elif shards is not None:
+            tier = (f"sharded ({shards.rows_per_shard} rows/shard, "
+                    f"{args.shard_budget_mb} MiB budget)")
+        else:
+            tier = "planner"
         print(f"serving DG({args.d},{args.k}) on {args.host}:{port} "
               f"({tier} tier, queue bound {args.max_pending})", flush=True)
         try:
@@ -810,6 +865,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     snapshot = server.snapshot()
+    if shards is not None:
+        shards.close()
     if args.stats_json:
         with open(args.stats_json, "w", encoding="utf-8") as handle:
             json.dump(snapshot, handle, indent=2, sort_keys=True)
@@ -873,10 +930,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"pipelined burst against {args.host}:{args.port}", entries))
         did_something = True
 
-    if args.stats or args.assert_min_replies is not None:
+    if args.stats or args.stats_json or args.assert_min_replies is not None:
         snapshot = fetch_stats(args.host, args.port)
         if args.stats:
             print(json.dumps(snapshot, indent=2, sort_keys=True))
+        if args.stats_json:
+            with open(args.stats_json, "w", encoding="utf-8") as handle:
+                json.dump(snapshot, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.stats_json}")
         if args.assert_min_replies is not None:
             replies = int(snapshot.get("counters", {})
                           .get("server.replies", 0))

@@ -1,0 +1,299 @@
+"""Array-native BFS kernels: whole frontiers as bulk integer arithmetic.
+
+The packed BFS of :mod:`repro.core.batch` already made one row cheap by
+replacing tuples with machine ints; this module removes the remaining
+per-word Python loop.  The distance-layer structure of de Bruijn
+digraphs (Fàbrega et al., arXiv 2203.09918) guarantees every BFS
+frontier expands by *affine maps over packed ranges* — the d type-L
+successors of ``v`` are the contiguous block ``(v % d^(k-1))·d .. +d``
+and the d type-R successors stride by ``d^(k-1)`` — so a whole frontier
+is one strided add per inserted digit, and a whole *level* a handful of
+numpy ufunc calls regardless of frontier size.
+
+Byte identity with the legacy kernel
+------------------------------------
+
+The serial kernels (:func:`repro.core.batch._bfs_fill`,
+:func:`repro.core.parallel._table_fill`) resolve same-level discovery
+ties *first-wins in frontier order*, and the compiled tables' action
+bytes depend on that order.  The array kernels replicate it exactly,
+without sorting:
+
+* candidates are laid out row-major — per frontier word, its successor
+  blocks in the serial loop's order — so flattened candidate order
+  equals serial iteration order;
+* already-seen candidates are masked out via one gather on the distance
+  row;
+* the surviving candidates are scattered **in reverse**, so numpy's
+  "last assignment wins" rule for repeated fancy indices implements
+  first-wins (asserted byte-for-byte against the serial kernels in
+  ``tests/test_arraybfs.py``; a platform where assignment order ever
+  changed would fail those tests loudly, not silently);
+* the next frontier keeps discovery order by scattering each candidate's
+  position and keeping exactly the ones that read their own position
+  back — no argsort, no ``np.unique``, every step O(candidates).
+
+Several destinations run one *lockstep* BFS over a block of
+destination-major rows (each frontier entry is ``row·N + vertex``), so
+the constant per-level numpy dispatch cost is amortised ``block`` ways —
+this is where the single-core ~6x over the Python loop comes from on
+DG(2,12).
+
+numpy is optional everywhere: :func:`resolve_kernel` maps ``"auto"`` to
+``"array"`` only when numpy imports, and every caller falls back to the
+byte-identical serial kernels otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.word import validate_parameters
+from repro.exceptions import InvalidParameterError, InvalidWordError
+
+try:  # pragma: no cover - exercised implicitly by every kernel test
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less environments
+    _np = None
+
+#: BFS sentinel for "not reached yet" (shared with :mod:`repro.core.batch`).
+_UNSEEN = 0xFF
+
+#: Next-hop action sentinel (shared with :mod:`repro.core.parallel`).
+_ACTION_AT_DESTINATION = 0xFE
+
+#: Recognised kernel selectors.
+KERNELS = ("auto", "array", "python")
+
+#: Rows per lockstep BFS block — enough to amortise numpy dispatch.
+DEFAULT_BLOCK_ROWS = 256
+
+#: Cap on transient scratch (candidate arrays, position scratch) per
+#: block; blocks shrink automatically for big graphs so a DG(2,20)
+#: shard compile stays laptop-sized.
+_SCRATCH_BUDGET_BYTES = 64 << 20
+
+
+def numpy_available() -> bool:
+    """True when the ``array`` kernel can run in this interpreter."""
+    return _np is not None
+
+
+def resolve_kernel(kernel: Optional[str]) -> str:
+    """Map a kernel selector to a concrete kernel name.
+
+    ``None`` / ``"auto"`` picks ``"array"`` when numpy is importable and
+    ``"python"`` otherwise; ``"array"`` without numpy is an explicit
+    error rather than a silent slowdown.
+    """
+    if kernel is None:
+        kernel = "auto"
+    if kernel not in KERNELS:
+        raise InvalidParameterError(
+            f"unknown BFS kernel {kernel!r}; expected one of {KERNELS}"
+        )
+    if kernel == "auto":
+        return "array" if _np is not None else "python"
+    if kernel == "array" and _np is None:
+        raise InvalidParameterError(
+            "kernel='array' requires numpy, which is not importable here; "
+            "install numpy or pass kernel='python'"
+        )
+    return kernel
+
+
+def _check_kernel_parameters(d: int, k: int) -> int:
+    """Shared (d, k) validation for byte-row kernels; returns N."""
+    validate_parameters(d, k)
+    if k >= _UNSEEN - 1:
+        raise InvalidWordError(f"k = {k} overflows the byte distance rows")
+    if 2 * d >= _ACTION_AT_DESTINATION:
+        raise InvalidParameterError(
+            f"d = {d} overflows the one-byte action encoding"
+        )
+    return d**k
+
+
+def _block_rows(n: int, d: int, requested: Optional[int]) -> int:
+    """Destinations per lockstep block, bounded by the scratch budget."""
+    block = DEFAULT_BLOCK_ROWS if requested is None else requested
+    if block < 1:
+        raise InvalidParameterError(f"block must be >= 1, got {block}")
+    # Peak transient = the candidate matrix: up to block*N rows of 2d
+    # int32/int64 entries; keep it (and the position scratch) bounded.
+    budget = max(1, _SCRATCH_BUDGET_BYTES // (n * 2 * d * 4))
+    return max(1, min(block, budget))
+
+
+def _run_block(d: int, k: int, start: int, stop: int, directed: bool,
+               reverse: bool, dist, act, pos) -> None:
+    """Lockstep BFS for rows ``[start, stop)`` over one flat block.
+
+    ``dist`` (and ``act`` for the table kind) are uint8 views of the
+    block's rows, pre-set to ``_UNSEEN``; ``pos`` is an uninitialised
+    integer scratch of the same length (only read where just written).
+    Each frontier entry is the *global* index ``row·N + vertex`` so all
+    rows advance level-synchronously through the same ufunc calls.
+
+    ``reverse=True`` expands in-neighbors recording next-hop action
+    bytes (the table kind); ``reverse=False`` expands out-neighbors for
+    plain distance rows (the matrix kind).
+    """
+    n = d**k
+    high = n // d
+    itype = pos.dtype
+    width = d if directed else 2 * d
+    offsets = _np.arange(stop - start, dtype=itype) * n
+    frontier = offsets + _np.arange(start, stop, dtype=itype)
+    dist[frontier] = 0
+    if act is not None:
+        act[frontier] = _ACTION_AT_DESTINATION
+    level = 0
+    while frontier.size:
+        level += 1
+        m = frontier.size
+        v = frontier % n
+        blk = frontier - v
+        cands = _np.empty((m, width), dtype=itype)
+        if reverse:
+            # In-neighbor order of the serial _table_fill: the d words
+            # reaching v by a left shift, then (undirected) the d words
+            # reaching it by a right shift.
+            body = blk + v // d
+            for b in range(d):
+                _np.add(body, b * high, out=cands[:, b])
+            if not directed:
+                base = blk + (v % high) * d
+                for a in range(d):
+                    _np.add(base, a, out=cands[:, d + a])
+        else:
+            # Out-neighbor order of the serial _bfs_fill: the contiguous
+            # type-L block, then (undirected) the strided type-R block.
+            base = blk + (v % high) * d
+            for a in range(d):
+                _np.add(base, a, out=cands[:, a])
+            if not directed:
+                body = blk + v // d
+                for b in range(d):
+                    _np.add(body, b * high, out=cands[:, d + b])
+        if act is not None:
+            acts = _np.empty((m, width), dtype=_np.uint8)
+            acts[:, :d] = (v % d).astype(_np.uint8)[:, None]
+            if not directed:
+                acts[:, d:] = (d + v // high).astype(_np.uint8)[:, None]
+        flat = cands.reshape(-1)
+        unseen = dist[flat] == _UNSEEN
+        cand = flat[unseen]
+        if cand.size == 0:
+            break
+        idx = _np.arange(cand.size, dtype=itype)
+        first_wins = cand[::-1]  # reversed: last scatter == serial first
+        dist[first_wins] = level
+        if act is not None:
+            act[first_wins] = acts.reshape(-1)[unseen][::-1]
+        pos[first_wins] = idx[::-1]
+        # A candidate that reads back its own position is the first
+        # occurrence of its vertex — the next frontier, already in the
+        # serial kernel's discovery order.
+        frontier = cand[pos[cand] == idx]
+
+
+def _fill_rows(d: int, k: int, start: int, stop: int, directed: bool,
+               reverse: bool, dist_buf, act_buf,
+               block: Optional[int]) -> None:
+    """Block-looped driver shared by the two public fill functions."""
+    if _np is None:
+        raise InvalidParameterError(
+            "the array kernel requires numpy (see resolve_kernel)"
+        )
+    n = _check_kernel_parameters(d, k)
+    if not 0 <= start <= stop <= n:
+        raise InvalidParameterError(
+            f"row range [{start}, {stop}) outside 0..{n} for DG({d},{k})"
+        )
+    rows = stop - start
+    dist = _np.frombuffer(dist_buf, dtype=_np.uint8)
+    act = None if act_buf is None else _np.frombuffer(act_buf, dtype=_np.uint8)
+    if dist.size != rows * n or (act is not None and act.size != rows * n):
+        raise InvalidParameterError(
+            f"row buffers must hold {rows * n} bytes for rows "
+            f"[{start}, {stop}) of DG({d},{k})"
+        )
+    if rows == 0:
+        return
+    dist[:] = _UNSEEN
+    if act is not None:
+        act[:] = _UNSEEN
+    step = _block_rows(n, d, block)
+    itype = _np.int32 if step * n < 2**31 else _np.int64
+    pos = _np.empty(min(step, rows) * n, dtype=itype)
+    for s in range(start, stop, step):
+        e = min(s + step, stop)
+        lo = (s - start) * n
+        hi = (e - start) * n
+        _run_block(d, k, s, e, directed, reverse,
+                   dist[lo:hi],
+                   None if act is None else act[lo:hi],
+                   pos[: (e - s) * n])
+
+
+def fill_table_rows(d: int, k: int, start: int, stop: int, directed: bool,
+                    dist_buf, act_buf, block: Optional[int] = None) -> None:
+    """Fill destination-major routing rows ``[start, stop)`` in place.
+
+    ``dist_buf`` / ``act_buf`` are writable byte buffers of
+    ``(stop-start) * d**k`` bytes (bytearray, memoryview, shared-memory
+    view, ...).  Output is byte-identical to looping
+    :func:`repro.core.parallel._table_fill` over the same destinations.
+    """
+    _fill_rows(d, k, start, stop, directed, True, dist_buf, act_buf, block)
+
+
+def fill_matrix_rows(d: int, k: int, start: int, stop: int, directed: bool,
+                     dist_buf, block: Optional[int] = None) -> None:
+    """Fill source-major distance rows ``[start, stop)`` in place.
+
+    Byte-identical to looping :func:`repro.core.batch._bfs_fill` over
+    the same sources.
+    """
+    _fill_rows(d, k, start, stop, directed, False, dist_buf, None, block)
+
+
+def table_rows(d: int, k: int, start: int, stop: int, directed: bool = False,
+               kernel: Optional[str] = None,
+               block: Optional[int] = None) -> Tuple[bytearray, bytearray]:
+    """(distances, actions) rows for destinations ``[start, stop)``.
+
+    The shard compiler's entry point: unlike
+    :func:`repro.core.parallel.compile_table_buffers` it never touches
+    the other ``N - rows`` destinations, so memory and time are
+    ``O(rows · N)`` — a DG(2,20) shard of four destinations costs ~8 MB,
+    not the impossible N² table.  ``kernel`` selects the array kernel,
+    the serial Python kernel, or (``auto``) whichever is available.
+    """
+    n = _check_kernel_parameters(d, k)
+    if not 0 <= start <= stop <= n:
+        raise InvalidParameterError(
+            f"destination range [{start}, {stop}) outside 0..{n} "
+            f"for DG({d},{k})"
+        )
+    rows = stop - start
+    dist = bytearray(rows * n)
+    act = bytearray(rows * n)
+    resolved = resolve_kernel(kernel)
+    if resolved == "array":
+        fill_table_rows(d, k, start, stop, directed, dist, act, block)
+        return dist, act
+    from repro.core.parallel import _table_fill
+
+    template = bytes([_UNSEEN]) * n
+    dist_row = bytearray(template)
+    act_row = bytearray(template)
+    for dest in range(start, stop):
+        dist_row[:] = template
+        act_row[:] = template
+        _table_fill(d, k, dest, directed, dist_row, act_row)
+        lo = (dest - start) * n
+        dist[lo:lo + n] = dist_row
+        act[lo:lo + n] = act_row
+    return dist, act

@@ -26,8 +26,9 @@ Everything here is validated exhaustively against the pair functions in
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.arraybfs import fill_matrix_rows, resolve_kernel
 from repro.core.packed import PackedSpace
 from repro.core.word import WordTuple, validate_parameters, validate_word
 from repro.exceptions import InvalidWordError
@@ -89,18 +90,29 @@ def distances_row(
     return row
 
 
-def distance_matrix(d: int, k: int, directed: bool = False) -> List[bytearray]:
+def distance_matrix(d: int, k: int, directed: bool = False,
+                    kernel: Optional[str] = None) -> List[bytearray]:
     """The full N x N distance matrix of DG(d, k) by N packed BFS sweeps.
 
     ``matrix[pack(x)][pack(y)]`` is D(X, Y); O(N²·d) time, N² bytes of
     memory.  For DG(2, 12) (N = 4096) this is a 16 MiB matrix built in a
     few seconds — the tuple-dict BFS of ``distances_from`` is roughly an
     order of magnitude slower and far more allocation-heavy.
+
+    ``kernel`` picks the sweep engine: ``"array"`` runs the whole-
+    frontier numpy kernel of :mod:`repro.core.arraybfs` (byte-identical
+    rows, much faster), ``"python"`` the loop below, ``"auto"``/None
+    whichever is available.
     """
     validate_parameters(d, k)
     space = PackedSpace(d, k)
     if space.k >= _UNSEEN:
         raise InvalidWordError(f"k = {k} overflows the bytearray rows")
+    if resolve_kernel(kernel) == "array":
+        flat = bytearray(space.order * space.order)
+        fill_matrix_rows(d, k, 0, space.order, directed, flat)
+        n = space.order
+        return [flat[i * n:(i + 1) * n] for i in range(n)]
     template = bytearray([_UNSEEN]) * space.order
     matrix: List[bytearray] = []
     for source in range(space.order):

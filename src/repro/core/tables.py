@@ -108,15 +108,20 @@ class CompiledRouteTable:
         directed: bool = False,
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        kernel: Optional[str] = None,
     ) -> "CompiledRouteTable":
         """Compile the table by sharded reverse BFS (one row per destination).
 
         ``workers`` fans the row chunks across that many forked
         processes writing into shared memory; ``workers=1`` (or a
         platform without ``fork``) compiles serially with the same
-        kernels.
+        kernels.  ``kernel`` selects the BFS engine per chunk
+        (``"array"`` / ``"python"`` / ``"auto"``); every kernel emits
+        identical bytes.
         """
-        dist, act = compile_table_buffers(d, k, directed, workers, chunk_size)
+        dist, act = compile_table_buffers(
+            d, k, directed, workers, chunk_size, kernel
+        )
         return cls(d, k, directed, bytes(act), bytes(dist))
 
     def thaw(self) -> "CompiledRouteTable":

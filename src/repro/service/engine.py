@@ -7,11 +7,17 @@ orientations and picks the cheapest tier that can answer:
    CompiledRouteTable` of matching orientation is attached (compiled
    in-process or mmap-loaded from a ``compile-tables`` artifact), a
    distance is one byte read and a path is one byte read per hop.
-2. **Cache-backed planner** — otherwise :func:`repro.core.routing.route`
+2. **Lazy shards** — when a :class:`~repro.core.shards.
+   ShardedRouteTable` is attached instead (big k, where the full O(N²)
+   table cannot exist), destinations whose prefix group is resident get
+   the same O(1) byte reads; cold destinations fall through to the
+   planner while the shard compiles in the background under the byte
+   budget.
+3. **Cache-backed planner** — otherwise :func:`repro.core.routing.route`
    plans Algorithm 1/2 paths through the PR-1
    :class:`~repro.core.routing.RouteCache`, so steady-state repeats are
    amortised.
-3. **One-to-many batch** — distance-only queries that the server's
+4. **One-to-many batch** — distance-only queries that the server's
    micro-batcher coalesced by destination are answered in one sweep:
    undirected groups build the destination's suffix automaton once
    (:func:`repro.core.batch.undirected_distances_many`, valid because
@@ -29,6 +35,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.batch import undirected_distances_many
 from repro.core.packed import PackedSpace
 from repro.core.routing import Path, RouteCache, route
+from repro.core.shards import ShardedRouteTable
 from repro.core.tables import CompiledRouteTable
 from repro.core.word import WordTuple, validate_parameters
 from repro.exceptions import ServiceError
@@ -57,6 +64,7 @@ class RouteQueryEngine:
         cache_size: int = 4096,
         use_wildcards: bool = False,
         registry: Optional[MetricsRegistry] = None,
+        shards: Optional[ShardedRouteTable] = None,
     ) -> None:
         validate_parameters(d, k)
         self.d = d
@@ -65,9 +73,12 @@ class RouteQueryEngine:
         self.cache = RouteCache(maxsize=cache_size) if cache_size > 0 else None
         self.registry = registry if registry is not None else MetricsRegistry()
         self.table: Optional[CompiledRouteTable] = None
+        self.shards: Optional[ShardedRouteTable] = None
         self.space = PackedSpace(d, k)
         if table is not None:
             self.attach_table(table)
+        if shards is not None:
+            self.attach_shards(shards)
 
     def attach_table(self, table: CompiledRouteTable) -> None:
         """Serve matching-orientation queries from ``table`` from now on."""
@@ -78,10 +89,30 @@ class RouteQueryEngine:
             )
         self.table = table
 
+    def attach_shards(self, shards: ShardedRouteTable) -> None:
+        """Serve matching-orientation queries from the lazy shard tier.
+
+        Consulted after the full table (if any) and before the planner;
+        cold shard groups fall through to the planner, so attaching
+        shards never blocks a query on a compile.
+        """
+        if (shards.d, shards.k) != (self.d, self.k):
+            raise ServiceError(
+                f"shards are for DG({shards.d},{shards.k}), engine serves "
+                f"DG({self.d},{self.k})"
+            )
+        self.shards = shards
+
     def _table_for(self, directed: bool) -> Optional[CompiledRouteTable]:
         table = self.table
         if table is not None and table.directed == directed:
             return table
+        return None
+
+    def _shards_for(self, directed: bool) -> Optional[ShardedRouteTable]:
+        shards = self.shards
+        if shards is not None and shards.directed == directed:
+            return shards
         return None
 
     def has_table(self, directed: bool) -> bool:
@@ -116,6 +147,21 @@ class RouteQueryEngine:
                 for action in table.path_actions(px, py)
             ]
             return distance, path
+        shards = self._shards_for(directed)
+        if shards is not None:
+            space = shards.space
+            px = space.pack_checked(source)
+            py = space.pack_checked(destination)
+            answer = shards.resolve_packed(px, py, want_path)
+            if answer is not None:
+                self.registry.inc("engine.shard_hits")
+                distance, actions = answer
+                if not want_path:
+                    return distance, None
+                return distance, [
+                    _STEP_OF_ACTION[shards.d][action] for action in actions
+                ]
+            self.registry.inc("engine.shard_fallbacks")
         self.registry.inc("engine.planned")
         path = route(
             source,
@@ -149,6 +195,20 @@ class RouteQueryEngine:
             return [
                 table.distance_packed(space.pack_checked(s), py) for s in sources
             ]
+        shards = self._shards_for(directed)
+        if shards is not None:
+            space = shards.space
+            py = space.pack_checked(destination)
+            # One reference covers the whole flush: eviction mid-batch
+            # cannot split the answers across two shard generations.
+            shard = shards.shard_for(py)
+            if shard is not None:
+                self.registry.inc("engine.shard_hits", len(sources))
+                return [
+                    shard.distance_packed(space.pack_checked(s), py)
+                    for s in sources
+                ]
+            self.registry.inc("engine.shard_fallbacks", len(sources))
         self.registry.inc("engine.batched", len(sources))
         self.registry.inc("engine.batch_flushes")
         if directed:
@@ -178,6 +238,12 @@ class RouteQueryEngine:
         self.registry.set_counter(
             "engine.table_attached", 0 if self.table is None else 1
         )
+        self.registry.set_counter(
+            "engine.shards_attached", 0 if self.shards is None else 1
+        )
+        if self.shards is not None:
+            for name, value in self.shards.stats().items():
+                self.registry.set_counter(f"shards.{name}", int(value))
         return self.registry.snapshot()
 
 

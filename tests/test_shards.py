@@ -1,0 +1,291 @@
+"""Tests for the lazy sharded route tables (core/shards.py).
+
+Every routed answer is checked against the full
+:class:`~repro.core.tables.CompiledRouteTable` — the shard tier's whole
+contract is "same bytes, a slice at a time, under a byte budget".
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.core.packed import PackedSpace
+from repro.core.shards import (
+    RouteShard,
+    ShardedRouteTable,
+    default_rows_per_shard,
+)
+from repro.core.tables import CompiledRouteTable
+from repro.exceptions import InvalidParameterError, ServiceError
+
+D, K = 2, 7
+N = D**K
+
+
+@pytest.fixture(scope="module")
+def full_table():
+    return CompiledRouteTable.compile(D, K, workers=1)
+
+
+# ----------------------------------------------------------------------
+# RouteShard: compile, lookups, file format
+# ----------------------------------------------------------------------
+
+
+def test_shard_matches_full_table(full_table):
+    shard = RouteShard.compile(D, K, 32, 48)
+    for dest in range(32, 48):
+        for source in (0, 5, N - 1):
+            assert shard.distance_packed(source, dest) == \
+                full_table.distance_packed(source, dest)
+            assert shard.path_actions(source, dest) == \
+                full_table.path_actions(source, dest)
+    assert shard.covers(32) and shard.covers(47)
+    assert not shard.covers(48) and not shard.covers(31)
+
+
+def test_shard_save_load_roundtrip(tmp_path, full_table):
+    shard = RouteShard.compile(D, K, 0, 16)
+    path = str(tmp_path / "s.dbrs")
+    written = shard.save(path)
+    assert written == os.path.getsize(path)
+    loaded = RouteShard.load(path)
+    try:
+        assert bytes(loaded.distances) == bytes(shard.distances)
+        assert bytes(loaded.actions) == bytes(shard.actions)
+        assert loaded.distance_packed(3, 7) == \
+            full_table.distance_packed(3, 7)
+    finally:
+        loaded.close()
+
+
+def test_shard_load_rejects_truncated_corrupt_wrong_magic(tmp_path):
+    shard = RouteShard.compile(D, K, 0, 8)
+    path = str(tmp_path / "s.dbrs")
+    shard.save(path)
+    with open(path, "rb") as handle:
+        payload = bytearray(handle.read())
+
+    truncated = tmp_path / "trunc.dbrs"
+    truncated.write_bytes(payload[:-17])
+    with pytest.raises(InvalidParameterError):
+        RouteShard.load(str(truncated))
+
+    wrong_magic = tmp_path / "magic.dbrs"
+    swapped = bytearray(payload)
+    swapped[:5] = b"DBRT\x01"  # a full-table magic is not a shard
+    wrong_magic.write_bytes(swapped)
+    with pytest.raises(InvalidParameterError):
+        RouteShard.load(str(wrong_magic))
+
+    corrupt = tmp_path / "corrupt.dbrs"
+    broken = bytearray(payload)
+    broken[5] = 3  # d: 2 -> 3; order in the header no longer matches
+    corrupt.write_bytes(broken)
+    with pytest.raises(InvalidParameterError):
+        RouteShard.load(str(corrupt))
+
+    stub = tmp_path / "stub.dbrs"
+    stub.write_bytes(b"DBRS\x01")
+    with pytest.raises(InvalidParameterError):
+        RouteShard.load(str(stub))
+
+
+def test_shard_rejects_bad_geometry():
+    with pytest.raises(InvalidParameterError):
+        RouteShard(D, K, False, 8, 8, b"", b"")  # empty range
+    with pytest.raises(InvalidParameterError):
+        RouteShard(D, K, False, 0, 4, b"x", b"x")  # wrong buffer size
+
+
+# ----------------------------------------------------------------------
+# ShardedRouteTable: correctness, LRU budget, threshold, persistence
+# ----------------------------------------------------------------------
+
+
+def test_synchronous_manager_answers_everything(full_table):
+    manager = ShardedRouteTable(D, K, byte_budget=8 * 2 * 8 * N,
+                                rows_per_shard=8, synchronous=True)
+    rng = random.Random(0x5EED)
+    for _ in range(200):
+        source, dest = rng.randrange(N), rng.randrange(N)
+        distance, actions = manager.resolve_packed(source, dest,
+                                                   want_path=True)
+        assert distance == full_table.distance_packed(source, dest)
+        assert actions == full_table.path_actions(source, dest)
+    stats = manager.stats()
+    assert stats["resident_bytes"] <= manager.byte_budget
+    assert stats["hits"] + stats["misses"] == 200
+
+
+def test_lru_eviction_keeps_budget_and_recompiles(full_table):
+    # Budget of exactly two shards: touching a third must evict the
+    # least recently used, and re-touching the victim recompiles it.
+    manager = ShardedRouteTable(D, K, byte_budget=2 * 2 * 16 * N,
+                                rows_per_shard=16, synchronous=True)
+    manager.resolve_packed(0, 0, False)    # group 0
+    manager.resolve_packed(0, 16, False)   # group 1
+    manager.resolve_packed(0, 32, False)   # group 2 -> evicts group 0
+    stats = manager.stats()
+    assert stats["evictions"] == 1
+    assert stats["resident_shards"] == 2
+    distance, _ = manager.resolve_packed(9, 3, False)  # group 0 again
+    assert distance == full_table.distance_packed(9, 3)
+    assert manager.stats()["compiled"] == 4  # recompiled, not cached
+
+
+def test_eviction_mid_query_is_transparent(full_table):
+    # Grab a shard reference, evict it by touching other groups, then
+    # keep reading through the old reference AND re-resolve the same
+    # destination: both must stay correct (re-resolve recompiles).
+    manager = ShardedRouteTable(D, K, byte_budget=2 * 2 * 16 * N,
+                                rows_per_shard=16, synchronous=True)
+    shard = manager.shard_for(5)
+    assert shard is not None
+    manager.resolve_packed(0, 16, False)
+    manager.resolve_packed(0, 32, False)
+    manager.resolve_packed(0, 48, False)
+    assert manager.stats()["evictions"] >= 1
+    assert manager.group_of(5) not in [
+        manager.group_of(d) for d in (16, 32, 48)]
+    # The evicted reference still reads valid memory, mid-query.
+    assert shard.distance_packed(77, 5) == \
+        full_table.distance_packed(77, 5)
+    assert shard.path_actions(77, 5) == full_table.path_actions(77, 5)
+    # And the manager transparently rebuilds on the next resolve.
+    distance, actions = manager.resolve_packed(77, 5, want_path=True)
+    assert distance == full_table.distance_packed(77, 5)
+    assert actions == full_table.path_actions(77, 5)
+
+
+def test_background_threshold_and_drain(full_table):
+    manager = ShardedRouteTable(D, K, rows_per_shard=16,
+                                compile_threshold=3)
+    try:
+        # Below the threshold: cold answers, nothing scheduled.
+        assert manager.resolve_packed(1, 40, False) is None
+        assert manager.resolve_packed(2, 41, False) is None
+        assert manager.stats()["pending"] == 0
+        # Third request for the same group schedules the compile.
+        assert manager.resolve_packed(3, 42, False) is None
+        assert manager.drain(timeout=30.0)
+        answer = manager.resolve_packed(1, 40, False)
+        assert answer is not None
+        assert answer[0] == full_table.distance_packed(1, 40)
+        stats = manager.stats()
+        assert stats["compiled"] == 1 and stats["hits"] == 1
+    finally:
+        manager.close()
+
+
+def test_cache_dir_persists_and_survives_corruption(tmp_path, full_table):
+    cache = str(tmp_path / "shards")
+    manager = ShardedRouteTable(D, K, rows_per_shard=16, cache_dir=cache,
+                                synchronous=True)
+    manager.resolve_packed(0, 20, False)
+    path = manager.shard_path(manager.group_of(20))
+    assert os.path.exists(path)
+
+    # A fresh manager mmap-loads instead of recompiling.
+    reopened = ShardedRouteTable(D, K, rows_per_shard=16, cache_dir=cache,
+                                 synchronous=True)
+    distance, _ = reopened.resolve_packed(0, 20, False)
+    assert distance == full_table.distance_packed(0, 20)
+    assert reopened.stats()["loaded"] == 1
+    assert reopened.stats()["compiled"] == 0
+
+    # Corrupt the cache file: deleted and rebuilt, not served.
+    with open(path, "r+b") as handle:
+        handle.truncate(64)
+    rebuilt = ShardedRouteTable(D, K, rows_per_shard=16, cache_dir=cache,
+                                synchronous=True)
+    distance, _ = rebuilt.resolve_packed(0, 20, False)
+    assert distance == full_table.distance_packed(0, 20)
+    assert rebuilt.stats()["compiled"] == 1
+
+
+def test_manager_parameter_validation():
+    with pytest.raises(InvalidParameterError):
+        ShardedRouteTable(D, K, rows_per_shard=12)  # not a power of 2
+    with pytest.raises(InvalidParameterError):
+        ShardedRouteTable(D, K, rows_per_shard=16, byte_budget=100)
+    with pytest.raises(InvalidParameterError):
+        ShardedRouteTable(D, K, compile_threshold=0)
+    manager = ShardedRouteTable(D, K, synchronous=True)
+    with pytest.raises(InvalidParameterError):
+        manager.group_of(N)
+
+
+def test_default_rows_per_shard_geometry():
+    # Always a power of d, never more than the order, shard fits budget.
+    for d, k in [(2, 7), (2, 20), (3, 5)]:
+        rows = default_rows_per_shard(d, k)
+        order = d**k
+        assert order % rows == 0
+        while rows > 1:
+            assert rows % d == 0
+            rows //= d
+    # The documented DG(2,20) arithmetic: 8 MB shards, 4 destinations.
+    assert default_rows_per_shard(2, 20) == 4
+
+
+# ----------------------------------------------------------------------
+# Engine integration: shard tier between table and planner
+# ----------------------------------------------------------------------
+
+
+def test_engine_shard_tier_and_counters(full_table):
+    from repro.service.engine import RouteQueryEngine
+
+    manager = ShardedRouteTable(D, K, rows_per_shard=16, synchronous=True)
+    engine = RouteQueryEngine(D, K, shards=manager)
+    space = PackedSpace(D, K)
+    rng = random.Random(0xCAFE)
+    for _ in range(50):
+        x = space.unpack(rng.randrange(N))
+        y = space.unpack(rng.randrange(N))
+        distance, path = engine.resolve(x, y, directed=False,
+                                        want_path=True)
+        assert distance == full_table.distance(x, y)
+        assert len(path) == distance
+    counters = engine.stats()["counters"]
+    assert counters["engine.shard_hits"] == 50  # synchronous: all hits
+    assert counters["engine.shards_attached"] == 1
+    assert counters["shards.resident_shards"] > 0
+    assert "shards.resident_bytes" in counters
+
+    # Distance-only batch flushes ride the same tier.
+    y = space.unpack(3)
+    sources = [space.unpack(rng.randrange(N)) for _ in range(8)]
+    distances = engine.resolve_distances(y, sources, directed=False)
+    assert distances == [full_table.distance(s, y) for s in sources]
+
+
+def test_engine_shard_fallback_to_planner(full_table):
+    from repro.service.engine import RouteQueryEngine
+
+    manager = ShardedRouteTable(D, K, rows_per_shard=16,
+                                compile_threshold=1000)  # never compiles
+    try:
+        engine = RouteQueryEngine(D, K, shards=manager)
+        space = PackedSpace(D, K)
+        x, y = space.unpack(9), space.unpack(100)
+        distance, path = engine.resolve(x, y, directed=False,
+                                        want_path=True)
+        assert distance == full_table.distance(x, y)
+        counters = engine.stats()["counters"]
+        assert counters["engine.shard_fallbacks"] == 1
+        assert counters["engine.planned"] == 1
+    finally:
+        manager.close()
+
+
+def test_engine_rejects_mismatched_shards():
+    from repro.service.engine import RouteQueryEngine
+
+    manager = ShardedRouteTable(2, 5, synchronous=True)
+    with pytest.raises(ServiceError):
+        RouteQueryEngine(2, 6, shards=manager)

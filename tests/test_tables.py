@@ -164,6 +164,55 @@ def test_load_rejects_garbage(tmp_path):
         CompiledRouteTable.load(str(truncated))
 
 
+def test_load_rejects_wrong_magic_and_corrupt_header(tmp_path):
+    table = CompiledRouteTable.compile(2, 2, workers=1)
+    full = str(tmp_path / "full.routes")
+    table.save(full)
+    with open(full, "rb") as handle:
+        payload = bytearray(handle.read())
+
+    # Right size, wrong magic: a shard file (or anything else) must not
+    # load as a full table.
+    wrong_magic = tmp_path / "magic.routes"
+    swapped = bytearray(payload)
+    swapped[:5] = b"DBRS\x01"
+    wrong_magic.write_bytes(swapped)
+    with pytest.raises(InvalidParameterError):
+        CompiledRouteTable.load(str(wrong_magic))
+
+    # Right magic and size, self-inconsistent header (order != d**k).
+    corrupt = tmp_path / "corrupt.routes"
+    broken = bytearray(payload)
+    broken[5] = 3  # d: 2 -> 3 without touching the stored order
+    corrupt.write_bytes(broken)
+    with pytest.raises(InvalidParameterError):
+        CompiledRouteTable.load(str(corrupt))
+
+    # A shorter-than-header file dies on the magic check, not an unpack.
+    stub = tmp_path / "stub.routes"
+    stub.write_bytes(payload[:7])
+    with pytest.raises(InvalidParameterError):
+        CompiledRouteTable.load(str(stub))
+
+    # The original still loads after all that slicing.
+    loaded = CompiledRouteTable.load(full)
+    try:
+        assert bytes(loaded.actions) == bytes(table.actions)
+    finally:
+        loaded.close()
+
+
+def test_compile_kernels_are_byte_identical():
+    pytest.importorskip("numpy")
+    for directed in (False, True):
+        python = CompiledRouteTable.compile(2, 6, directed=directed,
+                                            workers=1, kernel="python")
+        array = CompiledRouteTable.compile(2, 6, directed=directed,
+                                           workers=1, kernel="array")
+        assert bytes(array.actions) == bytes(python.actions)
+        assert bytes(array.distances) == bytes(python.distances)
+
+
 # ----------------------------------------------------------------------
 # Simulator integration
 # ----------------------------------------------------------------------
