@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke serve-smoke examples lint record all clean
+.PHONY: install test bench bench-smoke serve-smoke capacity-smoke examples lint record all clean
 
 install:
 	pip install -e .
@@ -25,6 +25,19 @@ serve-smoke:
 	sleep 1; \
 	$(PYTHON) -m repro.cli query -d 2 -k 6 --port 7531 --burst 300 \
 		--pool 2 --assert-min-replies 300 || { kill $$server; exit 1; }; \
+	wait $$server
+
+# Boot a 2-worker SO_REUSEPORT fleet, push ~2k closed-loop queries
+# through it, and assert the fleet-wide STATS aggregation matches the
+# client-observed answer count exactly (E23 capacity smoke).
+capacity-smoke:
+	@$(PYTHON) -m repro.cli serve -d 2 -k 8 --port 7535 --compile-table \
+		--workers 2 --duration 25 & \
+	server=$$!; \
+	sleep 2; \
+	$(PYTHON) -m repro.cli loadgen -d 2 -k 8 --port 7535 \
+		--queries 2000 --step-duration 0.5 --assert-complete \
+		--assert-fleet-consistent || { kill $$server; exit 1; }; \
 	wait $$server
 
 lint:

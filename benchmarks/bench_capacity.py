@@ -1,0 +1,250 @@
+"""E23 — Capacity model: sustained-at-SLO qps per worker count, + soak.
+
+Burst throughput (E21) says how fast the service *can* answer; this
+bench says how fast it answers **while staying healthy**, which is the
+number a capacity plan needs:
+
+1. **Capacity sweep per worker count** — for W in {1, min(4, cpus)} a
+   :class:`~repro.service.supervisor.SupervisorThread` fleet serves
+   DG(2,12) from one shared mmap table, and the closed-loop generator
+   (:mod:`repro.service.loadgen`) walks an offered-load ladder sized
+   from an unpaced probe.  Each step is rated against the p99 SLO
+   (``SLO_MS``); the report is the *knee*: the highest step with p99
+   within SLO and ≥ 99.9 % of queries answered.  The cpu-gated bar:
+   with ≥ 2 CPUs the W-worker fleet must sustain ≥ 1.8× the one-worker
+   figure (explicit skip on 1-CPU containers, never a silent pass).
+2. **Soak** — ≥ 60 s of steady load at ~60 % of the knee with client
+   churn (short-lived vusers reconnecting) and window-0 slams (full
+   burst in flight at once, exercising the OVERLOADED path), sampling
+   worker RSS from ``/proc``.  The run must show **no drift**: fleet
+   RSS growth < 10 % and last-quartile p99 ≤ 1.25× first-quartile p99
+   (+1 ms absolute grace for scheduler noise at sub-millisecond p99s).
+
+Records append to ``BENCH_service.json`` (``bench="capacity"``) so the
+service history and its capacity model live in one file, distinguished
+by envelope.  ``test_capacity_smoke`` is the CI ``capacity-smoke`` job:
+a 2-worker fleet on DG(2,8), ~2k queries, and the STATS aggregation
+identity — the fleet-wide ``server.queries`` counter must equal the
+client-observed answer count *exactly*.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis.tables import format_kv_block, format_table
+from repro.benchio import append_record
+from repro.core.parallel import available_cpus, compile_table_buffers
+from repro.core.tables import CompiledRouteTable
+from repro.service.client import fetch_stats
+from repro.service.engine import EngineSpec
+from repro.service.loadgen import (
+    LoadScenario,
+    measure_soak,
+    measure_step,
+    measure_sweep,
+)
+from repro.service.supervisor import SupervisorConfig, SupervisorThread
+
+GRAPH = (2, 12)
+SLO_MS = 50.0
+SEED = 0xE23
+STEP_SECONDS = 2.0
+SOAK_SECONDS = 60.0
+CONNECTIONS = 4
+BATCH = 8
+#: The cpu-gated scale-out bar (acceptance criterion of PR 7).
+SCALEOUT_MIN = 1.8
+JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                         "BENCH_service.json")
+
+
+def _spec(tmp_path, d: int, k: int) -> EngineSpec:
+    """Compile DG(d,k) once and describe it as a shared mmap table."""
+    dist, act = compile_table_buffers(d, k, directed=False,
+                                      workers=min(4, available_cpus()))
+    table = CompiledRouteTable(d, k, False, bytes(act), bytes(dist))
+    path = str(tmp_path / f"capacity-{d}-{k}.routes")
+    table.save(path)
+    return EngineSpec(d, k, table_path=path)
+
+
+def _rate_ladder(probe_qps: float) -> List[float]:
+    """An offered-load ladder bracketing the unpaced probe throughput."""
+    top = max(200.0, probe_qps)
+    return [round(top * fraction) for fraction in
+            (0.4, 0.6, 0.8, 1.0, 1.2)]
+
+
+def _measure_capacity(spec: EngineSpec, scenario: LoadScenario,
+                      workers: int) -> Dict[str, object]:
+    """Probe, sweep, and rate one fleet size."""
+    with SupervisorThread(
+        spec, SupervisorConfig(workers=workers)
+    ) as fleet:
+        probe = measure_step(
+            "127.0.0.1", fleet.port, scenario,
+            duration=STEP_SECONDS / 2, connections=CONNECTIONS, batch=BATCH)
+        sweep = measure_sweep(
+            "127.0.0.1", fleet.port, scenario,
+            rates=_rate_ladder(probe.achieved_qps),
+            slo_ms=SLO_MS, step_duration=STEP_SECONDS,
+            connections=CONNECTIONS, batch=BATCH, warmup=0.0)
+        listener = fleet.supervisor.listener_mode
+    row = sweep.to_row()
+    row.update({
+        "workers": workers,
+        "listener": listener,
+        "probe_qps": round(probe.achieved_qps, 1),
+        "per_worker_sustained_qps": round(
+            sweep.sustained_qps / workers, 1),
+    })
+    return row
+
+
+def test_capacity(benchmark, report, tmp_path):
+    """The full E23 measurement; appends to BENCH_service.json."""
+    d, k = GRAPH
+    scenario = LoadScenario(d=d, k=k, want_path=False, seed=SEED)
+
+    def measure() -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "graph": {"d": d, "k": k, "n": d**k},
+            "cpus": available_cpus(),
+            "slo_ms": SLO_MS,
+        }
+        start = time.perf_counter()
+        spec = _spec(tmp_path, d, k)
+        record["table_compile_seconds"] = time.perf_counter() - start
+        fleet_sizes = sorted({1, min(4, max(1, available_cpus()))})
+        record["capacity"] = [
+            _measure_capacity(spec, scenario, workers)
+            for workers in fleet_sizes
+        ]
+        by_workers = {row["workers"]: row for row in record["capacity"]}
+        top = max(by_workers)
+        record["scaleout_workers"] = top
+        base = by_workers[1]["sustained_qps"]
+        record["scaleout_speedup"] = (
+            by_workers[top]["sustained_qps"] / base if base else 0.0
+        )
+
+        # Soak the top fleet at ~60 % of its knee for a minute.
+        soak_rate = by_workers[top]["sustained_qps"] * 0.6 or None
+        with SupervisorThread(
+            spec, SupervisorConfig(workers=top)
+        ) as fleet:
+            soak = measure_soak(
+                "127.0.0.1", fleet.port, scenario,
+                duration=SOAK_SECONDS, connections=CONNECTIONS,
+                offered_qps=soak_rate, rss_pids=fleet.worker_pids(),
+                churn_every=5.0, slam_size=512, batch=BATCH)
+        record["soak"] = soak.to_row()
+        record["soak"]["workers"] = top
+        record["soak"]["offered_qps"] = soak_rate
+        return record
+
+    record = benchmark.pedantic(measure, rounds=1, iterations=1)
+    append_record(JSON_PATH, record, bench="capacity")
+
+    report(f"E23 — DG({d},{k}) sustained capacity at p99 <= {SLO_MS} ms "
+           f"({record['cpus']} CPU(s))\n"
+           + format_table(
+               ["workers", "probe qps", "sustained qps", "qps/worker",
+                "knee offered"],
+               [[row["workers"], row["probe_qps"], row["sustained_qps"],
+                 row["per_worker_sustained_qps"],
+                 row["knee_offered_qps"] or 0]
+                for row in record["capacity"]], precision=1)
+           + f"\nscale-out: {record['scaleout_speedup']:.2f}x at "
+           f"{record['scaleout_workers']} workers (bar: >= "
+           f"{SCALEOUT_MIN}x, cpu-gated)")
+    soak = record["soak"]
+    report(f"E23 — {SOAK_SECONDS:.0f}s soak, {soak['workers']} worker(s)\n"
+           + format_kv_block("churn + window-0 slams", [
+               ("queries answered", soak["queries"]),
+               ("lost", soak["failures"]),
+               ("reconnects", soak["reconnects"]),
+               ("slams", soak["slams"]),
+               ("quartile p99 ms", " ".join(
+                   str(v) for v in soak["quartile_p99_ms"])),
+               ("rss drift", soak["rss_drift"]),
+           ]))
+
+    # Soak health binds on every host (not cpu-gated): no leak, no
+    # latency drift between the first and last quartile.
+    assert soak["failures"] == 0, f"soak lost {soak['failures']} queries"
+    assert soak["slams"] >= 2, "soak never slammed the admission queue"
+    drift = soak["rss_drift"]
+    assert drift is None or drift < 0.10, (
+        f"fleet RSS drifted {drift:+.1%} over the soak (bar: < 10%)"
+    )
+    first, last = (soak["quartile_p99_ms"][0], soak["quartile_p99_ms"][3])
+    assert last <= 1.25 * first + 1.0, (
+        f"p99 degraded over the soak: first quartile {first:.3f} ms -> "
+        f"last quartile {last:.3f} ms (bar: <= 1.25x + 1 ms)"
+    )
+
+    # The scale-out bar only binds where workers can run in parallel —
+    # on a 1-CPU container it is an explicit SKIP, never a silent pass.
+    if record["cpus"] < 2 or record["scaleout_workers"] < 2:
+        pytest.skip(
+            f"{record['cpus']} CPU(s) available; the >= {SCALEOUT_MIN}x "
+            f"scale-out bar requires >= 2 CPUs"
+        )
+    assert record["scaleout_speedup"] >= SCALEOUT_MIN, (
+        f"{record['scaleout_workers']} workers sustained only "
+        f"{record['scaleout_speedup']:.2f}x one worker at the "
+        f"{SLO_MS} ms SLO (bar: {SCALEOUT_MIN}x)"
+    )
+
+
+@pytest.mark.smoke
+def test_capacity_smoke(tmp_path):
+    """CI capacity-smoke: 2 workers, ~2k queries, exact STATS identity."""
+    d, k = 2, 8
+    scenario = LoadScenario(d=d, k=k, want_path=False, seed=SEED)
+    spec = _spec(tmp_path, d, k)
+    with SupervisorThread(spec, SupervisorConfig(workers=2)) as fleet:
+        assert len(fleet.worker_pids()) == 2
+        step = measure_step("127.0.0.1", fleet.port, scenario,
+                            duration=0.5, connections=4, batch=8)
+        while step.queries < 2000:
+            more = measure_step("127.0.0.1", fleet.port, scenario,
+                                duration=0.5, connections=4, batch=8)
+            step = type(step)(
+                offered_qps=None, duration=step.duration + more.duration,
+                queries=step.queries + more.queries, ok=step.ok + more.ok,
+                errors=step.errors + more.errors,
+                failures=step.failures + more.failures,
+                achieved_qps=0.0, p50_ms=max(step.p50_ms, more.p50_ms),
+                p95_ms=max(step.p95_ms, more.p95_ms),
+                p99_ms=max(step.p99_ms, more.p99_ms),
+                max_ms=max(step.max_ms, more.max_ms))
+        assert step.failures == 0 and step.errors == 0
+
+        snapshot = fetch_stats("127.0.0.1", fleet.port)
+        fleet_info = snapshot["fleet"]
+        per_worker = fleet_info["per_worker"]
+        assert fleet_info["workers"] == 2 and len(per_worker) == 2
+
+        # The aggregation identity: fleet counter == sum of workers ==
+        # what the client actually saw answered.  Exact, not approximate.
+        worker_sum = sum(row["queries"] for row in per_worker)
+        assert worker_sum == snapshot["counters"]["server.queries"]
+        assert worker_sum == step.queries, (
+            f"fleet counted {worker_sum} queries, client observed "
+            f"{step.queries}"
+        )
+
+        # Merged p99 is monotone w.r.t. the per-worker p99 bounds
+        # (one 1.75x bucket ratio of interpolation slack each way).
+        merged_p99 = snapshot["histograms"]["server.latency_seconds"]["p99"]
+        worker_p99s = [row["p99_ms"] / 1e3 for row in per_worker
+                       if row["queries"]]
+        assert merged_p99 <= max(worker_p99s) * 1.75 + 1e-9
+        assert merged_p99 >= min(worker_p99s) / 1.75 - 1e-9

@@ -14,7 +14,12 @@ server of this PR), all over real loopback TCP:
    (so the metrics path itself is exercised end to end).
 3. **Concurrency sweep** — table-tier queries/sec as the client pool
    grows, documenting how pipelining shares one server loop.
-4. **Overload + drain** — a window-0 slam against a server with a small
+4. **Workers sweep** — the same burst against a 1-worker and a
+   min(4, cpus)-worker supervisor fleet (``SO_REUSEPORT``), recording
+   total and per-worker qps; the scale-out bar is cpu-gated (explicit
+   skip on 1-CPU hosts, never a silent pass).  The closed-loop
+   capacity model lives in ``bench_capacity.py`` (E23).
+5. **Overload + drain** — a window-0 slam against a server with a small
    admission queue: the bounded queue must reject the excess with
    explicit OVERLOADED replies (never buffer without bound), the server
    must still answer a STATS frame mid-overload, and ``stop()`` must
@@ -43,8 +48,9 @@ from repro.core.routing import route
 from repro.core.tables import CompiledRouteTable
 from repro.core.word import Word, random_word
 from repro.service.client import fetch_stats, run_burst
-from repro.service.engine import RouteQueryEngine
+from repro.service.engine import EngineSpec, RouteQueryEngine
 from repro.service.server import RouteQueryServer, ServerConfig
+from repro.service.supervisor import SupervisorConfig, SupervisorThread
 
 #: The measured graph: the same DG(2,12) the E18 table bench compiles.
 GRAPH: Tuple[int, int] = (2, 12)
@@ -138,12 +144,47 @@ def _measure_tier(engine: RouteQueryEngine, d: int,
         "queries": len(pairs),
         "pool_size": pool_size,
         "window": window,
+        "workers": 1,
         "qps": outcome.qps,
+        "per_worker_qps": outcome.qps,
         "elapsed_seconds": outcome.elapsed,
         "p50_ms": latency["p50"] * 1e3,
         "p95_ms": latency["p95"] * 1e3,
         "p99_ms": latency["p99"] * 1e3,
         "drain_seconds": drain,
+    }
+
+
+def _measure_fleet(spec: EngineSpec, d: int,
+                   pairs: List[Tuple[Word, Word]], workers: int,
+                   pool_size: int = 4, window: int = WINDOW,
+                   ) -> Dict[str, object]:
+    """One pipelined burst against a ``workers``-process fleet."""
+    with SupervisorThread(spec, SupervisorConfig(workers=workers)) as live:
+        outcome = run_burst("127.0.0.1", live.port, pairs, d=d,
+                            pool_size=pool_size, window=window, reconnect=2)
+        snapshot = fetch_stats("127.0.0.1", live.port)
+    assert outcome.ok_count == len(pairs), (
+        f"fleet burst lost replies: {outcome.ok_count}/{len(pairs)} "
+        f"(errors: {outcome.error_counts})"
+    )
+    fleet = snapshot["fleet"]
+    assert fleet["workers"] == workers
+    latency = snapshot["histograms"]["server.latency_seconds"]
+    return {
+        "queries": len(pairs),
+        "pool_size": pool_size,
+        "window": window,
+        "workers": workers,
+        "listener": fleet["listener"],
+        "qps": outcome.qps,
+        "per_worker_qps": outcome.qps / workers,
+        "per_worker_queries": [row["queries"] for row in
+                               fleet["per_worker"]],
+        "elapsed_seconds": outcome.elapsed,
+        "p50_ms": latency["p50"] * 1e3,
+        "p95_ms": latency["p95"] * 1e3,
+        "p99_ms": latency["p99"] * 1e3,
     }
 
 
@@ -189,7 +230,7 @@ def _measure_overload(d: int, k: int,
     }
 
 
-def test_service(benchmark, report):
+def test_service(benchmark, report, tmp_path):
     """The full E21 measurement; writes BENCH_service.json."""
     d, k = GRAPH
 
@@ -213,6 +254,21 @@ def test_service(benchmark, report):
                           pool_size=pool)
             for pool in POOL_SWEEP
         ]
+        # The workers axis: every fleet worker mmap-loads this one file,
+        # so the table bytes exist once in the page cache host-wide.
+        table_path = str(tmp_path / "service.routes")
+        table.save(table_path)
+        spec = EngineSpec(d, k, table_path=table_path)
+        fleet_sizes = sorted({1, min(4, max(1, available_cpus()))})
+        record["workers_sweep"] = [
+            _measure_fleet(spec, d, pairs, workers) for workers in fleet_sizes
+        ]
+        by_workers = {row["workers"]: row for row in record["workers_sweep"]}
+        top = max(by_workers)
+        record["scaleout_speedup"] = (
+            by_workers[top]["qps"] / by_workers[1]["qps"]
+        )
+        record["scaleout_workers"] = top
         record["overload"] = _measure_overload(d, k, table=table)
         return record
 
@@ -235,6 +291,12 @@ def test_service(benchmark, report):
                ["pool", "qps", "p99 ms"],
                [[row["pool_size"], row["qps"], row["p99_ms"]]
                 for row in record["pool_sweep"]], precision=2))
+    report("E21 — table-tier qps vs worker processes (burst)\n"
+           + format_table(
+               ["workers", "qps", "qps/worker", "p99 ms"],
+               [[row["workers"], row["qps"], row["per_worker_qps"],
+                 row["p99_ms"]]
+                for row in record["workers_sweep"]], precision=2))
     over = record["overload"]
     report("E21 — overload: window-0 slam vs bounded admission queue\n"
            + format_kv_block(
@@ -260,6 +322,21 @@ def test_service(benchmark, report):
     )
     # Acceptance 3: graceful drain completed well under its timeout.
     assert over["drain_seconds"] < 30.0
+    # Acceptance 4: multi-worker scale-out — only meaningful where the
+    # workers can actually run in parallel.  On a 1-CPU container the
+    # sweep still runs and the record is already written; the bar is an
+    # explicit SKIP in the test report, never a silent pass (the same
+    # pattern as the E18 parallel-compile bar).
+    if record["cpus"] < 2 or record["scaleout_workers"] < 2:
+        pytest.skip(
+            f"{record['cpus']} CPU(s) available; the multi-worker "
+            f"scale-out bar requires >= 2 CPUs"
+        )
+    assert record["scaleout_speedup"] >= 1.3, (
+        f"{record['scaleout_workers']}-worker burst only "
+        f"{record['scaleout_speedup']:.2f}x one worker on a "
+        f"{record['cpus']}-CPU machine"
+    )
 
 
 @pytest.mark.smoke

@@ -20,7 +20,10 @@ Subcommands
 ``compile-tables``      compile + save a next-hop route table (sharded BFS)
 ``chaos``               seeded fault-injection campaign across strategies
 ``detect``              SWIM failure detection on one seeded fault timeline
-``serve``               run the asyncio route-query server (E21)
+``serve``               run the route-query server (E21; ``--workers N``
+                        scales it across cores, E23)
+``loadgen``             closed-loop capacity sweep / soak against a
+                        running server (E23)
 ``query``               query a running server (one pair, or a burst)
 
 Examples::
@@ -306,6 +309,68 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--stats-json", default=None, metavar="PATH",
                          help="write the final metrics snapshot to this file "
                               "on shutdown")
+    p_serve.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="worker processes; N>1 runs the multi-core "
+                              "supervisor (SO_REUSEPORT or a shared "
+                              "listener), each worker mmap-loading the same "
+                              "table (E23)")
+    p_serve.add_argument("--listener", default="auto",
+                         choices=["auto", "reuseport", "shared"],
+                         help="how workers share the port: kernel "
+                              "SO_REUSEPORT spreading, one shared listening "
+                              "socket, or auto-detect")
+    p_serve.add_argument("--max-restarts", type=int, default=3,
+                         help="crashed-worker respawns before the slot is "
+                              "abandoned")
+    p_serve.add_argument("--slo-ms", type=float, default=None,
+                         help="count replies slower than this budget in the "
+                              "server.slo_violations counter")
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="closed-loop load generator against a running server: "
+             "capacity sweep to the knee, or a soak (E23)")
+    p_load.add_argument("-d", type=int, required=True)
+    p_load.add_argument("-k", type=int, required=True)
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, required=True)
+    p_load.add_argument("--rates", default=None, metavar="R1,R2,...",
+                        help="offered-qps ladder for a capacity sweep; the "
+                             "report is sustained qps at the SLO knee")
+    p_load.add_argument("--queries", type=int, default=0, metavar="N",
+                        help="unpaced closed-loop step sized to roughly N "
+                             "queries (quick smoke; exclusive with --rates)")
+    p_load.add_argument("--soak", type=float, default=0.0, metavar="SECONDS",
+                        help="run a soak this long: steady load with client "
+                             "churn and window-0 slams, tracking RSS drift "
+                             "and per-quartile p99")
+    p_load.add_argument("--rate", type=float, default=None,
+                        help="offered qps during --soak (default: flat out)")
+    p_load.add_argument("--connections", type=int, default=4,
+                        help="closed-loop virtual users")
+    p_load.add_argument("--step-duration", type=float, default=2.0,
+                        help="seconds per sweep step")
+    p_load.add_argument("--slo-ms", type=float, default=50.0,
+                        help="p99 budget a step must meet to count as "
+                             "sustained")
+    p_load.add_argument("--batch", type=int, default=8,
+                        help="queries per vuser round trip")
+    p_load.add_argument("--directed", action="store_true")
+    p_load.add_argument("--want-path", action="store_true",
+                        help="ask for full paths (default: distance-only)")
+    p_load.add_argument("--seed", type=int, default=1105)
+    p_load.add_argument("--rss-pids", default=None, metavar="PID1,PID2,...",
+                        help="sample these processes' RSS during --soak")
+    p_load.add_argument("--stats-json", default=None, metavar="PATH",
+                        help="write the loadgen report (and the server's "
+                             "final STATS snapshot) to this file")
+    p_load.add_argument("--assert-complete", action="store_true",
+                        help="exit nonzero if any query was lost or errored")
+    p_load.add_argument("--assert-fleet-consistent", action="store_true",
+                        help="fetch STATS afterwards and exit nonzero unless "
+                             "the aggregated server.queries counter equals "
+                             "the client-observed answer count (fresh server "
+                             "only)")
 
     p_query = sub.add_parser(
         "query",
@@ -790,65 +855,119 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    import asyncio
-    import json
+def _serve_spec(args: argparse.Namespace):
+    """Validate serve flags into an (EngineSpec, cleanup_paths) pair.
 
-    from repro.service.engine import RouteQueryEngine
-    from repro.service.server import RouteQueryServer, ServerConfig
+    Multi-worker mode turns ``--compile-table`` into compile-once /
+    mmap-everywhere: the supervisor process compiles, saves to a temp
+    file, and every worker mmap-loads that file — the kernel page cache
+    is the only copy.  ``--shards`` similarly gets a shared cache dir so
+    workers reuse each other's compiled shards.
+    """
+    import tempfile
 
-    table = None
-    shards = None
+    from repro.service.engine import EngineSpec
+
     if args.table and args.compile_table:
-        print("error: --table and --compile-table are mutually exclusive",
-              file=sys.stderr)
-        return 2
+        raise SystemExit2("--table and --compile-table are mutually exclusive")
     if args.shards and (args.table or args.compile_table):
-        print("error: --shards replaces the full table; drop --table / "
-              "--compile-table", file=sys.stderr)
-        return 2
-    if args.table:
-        from repro.core.tables import CompiledRouteTable
-
-        table = CompiledRouteTable.load(args.table)
-        if (table.d, table.k) != (args.d, args.k):
-            print(f"error: {args.table} holds DG({table.d},{table.k}), "
-                  f"not DG({args.d},{args.k})", file=sys.stderr)
-            return 2
-    elif args.compile_table:
+        raise SystemExit2("--shards replaces the full table; drop --table / "
+                          "--compile-table")
+    if args.workers < 1:
+        raise SystemExit2(f"--workers must be >= 1, got {args.workers}")
+    cleanup: List[str] = []
+    table_path = args.table
+    compile_inproc = args.compile_table
+    shard_dir = args.shard_dir
+    if args.workers > 1 and args.compile_table:
         from repro.core.tables import CompiledRouteTable
 
         table = CompiledRouteTable.compile(args.d, args.k, kernel=args.kernel)
-    elif args.shards:
-        from repro.core.shards import ShardedRouteTable
+        handle = tempfile.NamedTemporaryFile(
+            prefix="repro-table-", suffix=".bin", delete=False)
+        handle.close()
+        table.save(handle.name)
+        table_path = handle.name
+        compile_inproc = False
+        cleanup.append(handle.name)
+    if args.workers > 1 and args.shards and shard_dir is None:
+        shard_dir = tempfile.mkdtemp(prefix="repro-shards-")
+    spec = EngineSpec(
+        args.d, args.k,
+        table_path=table_path,
+        compile_table=compile_inproc,
+        shards=args.shards,
+        shard_byte_budget=args.shard_budget_mb << 20,
+        shard_rows=args.shard_rows,
+        shard_dir=shard_dir,
+        shard_threshold=args.shard_threshold,
+        kernel=args.kernel,
+        cache_size=args.cache_size,
+    )
+    return spec, cleanup
 
-        shards = ShardedRouteTable(
-            args.d, args.k,
-            byte_budget=args.shard_budget_mb << 20,
-            rows_per_shard=args.shard_rows,
-            cache_dir=args.shard_dir,
-            kernel=args.kernel,
-            compile_threshold=args.shard_threshold,
-        )
 
-    engine = RouteQueryEngine(
-        args.d, args.k, table=table, cache_size=args.cache_size,
-        shards=shards)
-    config = ServerConfig(
+class SystemExit2(Exception):
+    """A serve-flag validation error (exit code 2)."""
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.service.server import ServerConfig
+
+    try:
+        spec, cleanup = _serve_spec(args)
+    except SystemExit2 as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server_config = ServerConfig(
         host=args.host, port=args.port, max_pending=args.max_pending,
         batch_size=args.batch_size, batch_deadline=args.batch_deadline,
-        request_timeout=args.request_timeout)
-    server = RouteQueryServer(engine, config)
+        request_timeout=args.request_timeout, slo_ms=args.slo_ms)
+
+    if spec.table_path or spec.compile_table:
+        tier = "table"
+    elif spec.shards:
+        tier = f"sharded ({args.shard_budget_mb} MiB budget)"
+    else:
+        tier = "planner"
+
+    try:
+        if args.workers > 1:
+            snapshot = _serve_fleet(args, spec, server_config, tier)
+        else:
+            snapshot = _serve_single(args, spec, server_config, tier)
+    finally:
+        for path in cleanup:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+    if args.stats_json:
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.stats_json}")
+    counters = snapshot.get("counters", {})
+    print(format_kv_block(
+        "route-query server final stats",
+        [(name, counters[name]) for name in sorted(counters)
+         if name.startswith(("server.", "fleet."))]))
+    return 0
+
+
+def _serve_single(args, spec, server_config, tier: str) -> dict:
+    import asyncio
+
+    from repro.service.server import RouteQueryServer
+
+    engine = spec.build()
+    server = RouteQueryServer(engine, server_config)
 
     async def _serve() -> None:
         port = await server.start()
-        if table is not None:
-            tier = "table"
-        elif shards is not None:
-            tier = (f"sharded ({shards.rows_per_shard} rows/shard, "
-                    f"{args.shard_budget_mb} MiB budget)")
-        else:
-            tier = "planner"
         print(f"serving DG({args.d},{args.k}) on {args.host}:{port} "
               f"({tier} tier, queue bound {args.max_pending})", flush=True)
         try:
@@ -865,19 +984,181 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     snapshot = server.snapshot()
-    if shards is not None:
-        shards.close()
+    if engine.shards is not None:
+        engine.shards.close()
+    return snapshot
+
+
+def _serve_fleet(args, spec, server_config, tier: str) -> dict:
+    import asyncio
+
+    from repro.service.supervisor import ServiceSupervisor, SupervisorConfig
+
+    supervisor = ServiceSupervisor(
+        engine_spec=spec,
+        config=SupervisorConfig(
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            listener=args.listener,
+            max_restarts=args.max_restarts,
+            server=server_config,
+        ),
+    )
+
+    async def _serve() -> None:
+        port = await supervisor.start()
+        pids = ",".join(str(pid) for pid in supervisor.worker_pids())
+        print(f"serving DG({args.d},{args.k}) on {args.host}:{port} "
+              f"({tier} tier, {args.workers} workers via "
+              f"{supervisor.listener_mode}, pids {pids})", flush=True)
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                while True:
+                    await asyncio.sleep(3600)
+        finally:
+            await supervisor.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return supervisor.final_snapshot or {}
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import fetch_stats
+    from repro.service.loadgen import (
+        LoadScenario,
+        measure_soak,
+        measure_step,
+        measure_sweep,
+    )
+
+    scenario = LoadScenario(
+        d=args.d, k=args.k, directed=args.directed,
+        want_path=args.want_path, seed=args.seed)
+    report: dict = {"host": args.host, "port": args.port,
+                    "d": args.d, "k": args.k}
+    client_answered = 0
+    lost = 0
+    failed = False
+
+    if args.rates:
+        rates = [float(r) for r in args.rates.split(",") if r.strip()]
+        sweep = measure_sweep(
+            args.host, args.port, scenario, rates,
+            slo_ms=args.slo_ms, step_duration=args.step_duration,
+            connections=args.connections, batch=args.batch)
+        report["sweep"] = sweep.to_row()
+        client_answered += sum(step.queries for step in sweep.steps)
+        lost += sum(step.failures for step in sweep.steps)
+        entries = [("steps", len(sweep.steps)),
+                   ("slo p99 ms", args.slo_ms),
+                   ("sustained qps at SLO", round(sweep.sustained_qps, 1))]
+        if sweep.knee is not None:
+            entries.append(("knee offered qps", sweep.knee.offered_qps))
+            entries.append(("knee p99 ms", round(sweep.knee.p99_ms, 3)))
+        else:
+            failed = True
+            entries.append(("knee", "NOT FOUND (every step over SLO)"))
+        print(format_kv_block("capacity sweep", entries))
+    elif args.queries > 0:
+        duration = max(0.2, args.step_duration)
+        step = measure_step(
+            args.host, args.port, scenario, duration=duration,
+            connections=args.connections, slo_ms=args.slo_ms,
+            batch=args.batch)
+        # Size the run to ~N queries: extend once if the first step
+        # undershot badly (slow hosts), keeping the smoke bounded.
+        while step.queries < args.queries and duration < 60.0:
+            duration *= 2.0
+            step = measure_step(
+                args.host, args.port, scenario, duration=duration,
+                connections=args.connections, slo_ms=args.slo_ms,
+                batch=args.batch)
+        report["step"] = step.to_row()
+        client_answered += step.queries
+        lost += step.failures
+        print(format_kv_block("closed-loop step", [
+            ("queries answered", step.queries),
+            ("ok", step.ok),
+            ("errors", step.errors),
+            ("lost", step.failures),
+            ("achieved qps", round(step.achieved_qps, 1)),
+            ("p50 ms", round(step.p50_ms, 3)),
+            ("p99 ms", round(step.p99_ms, 3)),
+        ]))
+
+    if args.soak > 0:
+        rss_pids = []
+        if args.rss_pids:
+            rss_pids = [int(p) for p in args.rss_pids.split(",") if p.strip()]
+        soak = measure_soak(
+            args.host, args.port, scenario, duration=args.soak,
+            connections=args.connections, offered_qps=args.rate,
+            rss_pids=rss_pids, batch=args.batch)
+        report["soak"] = soak.to_row()
+        client_answered += soak.queries
+        lost += soak.failures
+        drift = soak.rss_drift
+        degradation = soak.p99_degradation
+        print(format_kv_block("soak", [
+            ("duration s", round(soak.duration, 1)),
+            ("queries answered", soak.queries),
+            ("lost", soak.failures),
+            ("reconnects", soak.reconnects),
+            ("window-0 slams", soak.slams),
+            ("quartile p99 ms", " ".join(
+                f"{v:.3f}" for v in soak.quartile_p99_ms)),
+            ("p99 degradation", "n/a" if degradation is None
+             else round(degradation, 3)),
+            ("rss drift", "n/a" if drift is None else f"{drift:+.2%}"),
+        ]))
+
+    if not (args.rates or args.queries > 0 or args.soak > 0):
+        print("error: nothing to do (give --rates, --queries, or --soak)",
+              file=sys.stderr)
+        return 2
+
+    if args.assert_fleet_consistent:
+        snapshot = fetch_stats(args.host, args.port)
+        report["stats"] = snapshot
+        counters = snapshot.get("counters", {})
+        server_queries = int(counters.get("server.queries", 0))
+        per_worker = snapshot.get("fleet", {}).get("per_worker", [])
+        worker_sum = sum(int(row.get("queries", 0)) for row in per_worker)
+        if per_worker and worker_sum != server_queries:
+            print(f"FLEET INCONSISTENT: per-worker queries sum {worker_sum} "
+                  f"!= aggregated server.queries {server_queries}",
+                  file=sys.stderr)
+            failed = True
+        if server_queries != client_answered:
+            print(f"FLEET INCONSISTENT: aggregated server.queries "
+                  f"{server_queries} != client-observed answers "
+                  f"{client_answered}", file=sys.stderr)
+            failed = True
+        if not failed:
+            workers = len(per_worker) if per_worker else 1
+            print(f"# fleet consistent: {client_answered} answers across "
+                  f"{workers} worker(s), aggregated queries match exactly")
+    elif args.stats_json:
+        report["stats"] = fetch_stats(args.host, args.port)
+
+    if args.assert_complete and lost > 0:
+        print(f"LOADGEN INCOMPLETE: {lost} queries lost", file=sys.stderr)
+        failed = True
+
     if args.stats_json:
         with open(args.stats_json, "w", encoding="utf-8") as handle:
-            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.stats_json}")
-    counters = snapshot["counters"]
-    print(format_kv_block(
-        "route-query server final stats",
-        [(name, counters[name]) for name in sorted(counters)
-         if name.startswith("server.")]))
-    return 0
+    return 1 if failed else 0
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -983,6 +1264,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "detect": _cmd_detect,
     "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "query": _cmd_query,
     "about": _cmd_about,
 }

@@ -20,7 +20,15 @@ in-process.  This package puts it on the wire:
 * :mod:`repro.service.client` — a pipelining client with a connection
   pool, plus blocking convenience wrappers for scripts and the CLI.
 * :mod:`repro.service.metrics` — the counter / fixed-bucket-histogram
-  registry whose snapshot the server exposes over a ``STATS`` frame.
+  registry whose snapshot the server exposes over a ``STATS`` frame,
+  with bucket-wise snapshot merging for fleet-wide aggregation.
+* :mod:`repro.service.supervisor` — the multi-core front end: a
+  supervisor forks one worker per core (``SO_REUSEPORT`` or a shared
+  listener), each mmap-loading the same compiled table, with fleet-wide
+  ``STATS`` aggregation, graceful drain, and crashed-worker respawn.
+* :mod:`repro.service.loadgen` — closed-loop load generation: capacity
+  sweeps that report sustained-at-SLO qps, and soak scenarios with
+  client churn, window-0 slams, and RSS-drift tracking.
 
 Quickstart (see also ``examples/serve_queries.py``)::
 
@@ -44,7 +52,16 @@ from repro.service.client import (
     RouteServiceClient,
     query_once,
 )
-from repro.service.engine import RouteQueryEngine
+from repro.service.engine import EngineSpec, RouteQueryEngine, build_engine
+from repro.service.loadgen import (
+    LoadScenario,
+    SoakResult,
+    StepResult,
+    SweepResult,
+    measure_soak,
+    measure_step,
+    measure_sweep,
+)
 from repro.service.metrics import Counter, Histogram, MetricsRegistry
 from repro.service.protocol import (
     ErrorCode,
@@ -54,13 +71,21 @@ from repro.service.protocol import (
     encode_frame,
 )
 from repro.service.server import RouteQueryServer, ServerConfig
+from repro.service.supervisor import (
+    ServiceSupervisor,
+    SupervisorConfig,
+    SupervisorThread,
+    reuseport_supported,
+)
 
 __all__ = [
     "Counter",
+    "EngineSpec",
     "ErrorCode",
     "FrameDecoder",
     "FrameType",
     "Histogram",
+    "LoadScenario",
     "MetricsRegistry",
     "QueryOutcome",
     "RouteQuery",
@@ -69,6 +94,17 @@ __all__ = [
     "RouteReply",
     "RouteServiceClient",
     "ServerConfig",
+    "ServiceSupervisor",
+    "SoakResult",
+    "StepResult",
+    "SupervisorConfig",
+    "SupervisorThread",
+    "SweepResult",
+    "build_engine",
     "encode_frame",
+    "measure_soak",
+    "measure_step",
+    "measure_sweep",
     "query_once",
+    "reuseport_supported",
 ]

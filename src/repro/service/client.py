@@ -181,12 +181,20 @@ class RouteServiceClient:
         want_path: bool = True,
         d: Optional[int] = None,
         window: int = 256,
+        reconnect: int = 0,
     ) -> QueryOutcome:
         """Pipeline ``pairs`` across the pool; replies come back in order.
 
         ``window`` bounds in-flight queries per connection (the client's
         half of backpressure); ``window=0`` means "fire everything at
         once" — used by the overload tests to slam a bounded server.
+
+        ``reconnect`` is the number of times a broken connection may be
+        replaced mid-burst, re-issuing only the still-unanswered queries
+        on a fresh stream.  The default 0 keeps the historical behaviour
+        (a mid-burst EOF raises :class:`ServiceError`); a positive value
+        makes bursts survive a crashed pool worker, whose in-flight
+        replies are genuinely lost and must be re-asked.
         """
         base = self._digit_base(d)
         replies: List[Optional[RouteReply]] = [None] * len(pairs)
@@ -194,27 +202,71 @@ class RouteServiceClient:
         for index in range(len(pairs)):
             shards[index % self.pool_size].append(index)
         pipelines = []
+        live_shards = []
         for slot, shard in enumerate(shards):
             if not shard:
                 continue
             connection = await self._connection(slot)
-            pipelines.append(
-                self._pipeline(
-                    connection,
-                    shard,
-                    pairs,
-                    replies,
-                    base,
-                    directed,
-                    want_path,
-                    window if window > 0 else len(pairs),
-                )
-            )
+            live_shards.append((slot, shard, connection))
         start = time.perf_counter()
-        await asyncio.gather(*pipelines)
+        await asyncio.gather(*[
+            self._run_shard(
+                slot,
+                connection,
+                shard,
+                pairs,
+                replies,
+                base,
+                directed,
+                want_path,
+                window if window > 0 else len(pairs),
+                reconnect,
+            )
+            for slot, shard, connection in live_shards
+        ])
         elapsed = time.perf_counter() - start
         return QueryOutcome([reply for reply in replies if reply is not None],
                             elapsed)
+
+    async def _run_shard(
+        self,
+        slot: int,
+        connection: _PooledConnection,
+        shard: List[int],
+        pairs: Sequence[Tuple[WordTuple, WordTuple]],
+        replies: List[Optional[RouteReply]],
+        d: int,
+        directed: bool,
+        want_path: bool,
+        window: int,
+        reconnect: int,
+    ) -> None:
+        """Drive one shard, replacing the connection up to ``reconnect`` times."""
+        attempts = 0
+        remaining = shard
+        while True:
+            try:
+                await self._pipeline(
+                    connection, remaining, pairs, replies, d, directed,
+                    want_path, window,
+                )
+                return
+            except (ServiceError, ConnectionResetError, BrokenPipeError,
+                    OSError):
+                if self._pool[slot] is connection:
+                    self._pool[slot] = None
+                try:
+                    connection.writer.close()
+                except Exception:  # pragma: no cover - best-effort close
+                    pass
+                remaining = [i for i in remaining if replies[i] is None]
+                if not remaining:
+                    return
+                attempts += 1
+                if attempts > reconnect:
+                    raise
+                await asyncio.sleep(0.05 * attempts)
+                connection = await self._connection(slot)
 
     async def _pipeline(
         self,
@@ -327,6 +379,7 @@ def run_burst(
     want_path: bool = True,
     pool_size: int = 1,
     window: int = 256,
+    reconnect: int = 0,
 ) -> QueryOutcome:
     """Blocking pipelined burst; returns the :class:`QueryOutcome`."""
 
@@ -335,7 +388,11 @@ def run_burst(
             host, port, d=d, pool_size=pool_size
         ) as client:
             return await client.query_many(
-                pairs, directed=directed, want_path=want_path, window=window
+                pairs,
+                directed=directed,
+                want_path=want_path,
+                window=window,
+                reconnect=reconnect,
             )
 
     return asyncio.run(_run())

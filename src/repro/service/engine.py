@@ -30,6 +30,7 @@ frame shows where traffic is actually being served.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.batch import undirected_distances_many
@@ -245,6 +246,76 @@ class RouteQueryEngine:
             for name, value in self.shards.stats().items():
                 self.registry.set_counter(f"shards.{name}", int(value))
         return self.registry.snapshot()
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A plain-data recipe for building one :class:`RouteQueryEngine`.
+
+    The multi-worker supervisor forks one process per core and each
+    worker must build its *own* engine — live objects cannot cross an
+    exec boundary, and even under ``fork`` every worker should mmap the
+    compiled table file itself so the only shared state is the kernel
+    page cache.  A spec captures everything ``serve`` knows how to
+    assemble (table path / in-process compile / lazy shards / bare
+    planner) as picklable values; :meth:`build` turns it into an engine
+    wherever it lands.
+    """
+
+    d: int
+    k: int
+    table_path: Optional[str] = None  #: mmap-load this compiled table
+    compile_table: bool = False  #: compile the undirected table in-process
+    shards: bool = False  #: attach the lazy sharded tier instead
+    shard_byte_budget: int = 512 << 20
+    shard_rows: Optional[int] = None
+    shard_dir: Optional[str] = None
+    shard_threshold: int = 1
+    kernel: str = "auto"  #: BFS engine for compiles ("auto"/"array"/"python")
+    cache_size: int = 4096
+    use_wildcards: bool = False
+
+    def build(
+        self, registry: Optional[MetricsRegistry] = None
+    ) -> "RouteQueryEngine":
+        """Construct the engine this spec describes (see class docs)."""
+        table = None
+        shard_table = None
+        if self.table_path is not None:
+            table = CompiledRouteTable.load(self.table_path)
+            if (table.d, table.k) != (self.d, self.k):
+                raise ServiceError(
+                    f"{self.table_path} holds DG({table.d},{table.k}), "
+                    f"spec wants DG({self.d},{self.k})"
+                )
+        elif self.compile_table:
+            table = CompiledRouteTable.compile(
+                self.d, self.k, kernel=self.kernel
+            )
+        elif self.shards:
+            shard_table = ShardedRouteTable(
+                self.d,
+                self.k,
+                byte_budget=self.shard_byte_budget,
+                rows_per_shard=self.shard_rows,
+                cache_dir=self.shard_dir,
+                kernel=self.kernel,
+                compile_threshold=self.shard_threshold,
+            )
+        return RouteQueryEngine(
+            self.d,
+            self.k,
+            table=table,
+            cache_size=self.cache_size,
+            use_wildcards=self.use_wildcards,
+            registry=registry,
+            shards=shard_table,
+        )
+
+
+def build_engine(spec: EngineSpec) -> RouteQueryEngine:
+    """Module-level :meth:`EngineSpec.build` (a picklable fork target)."""
+    return spec.build()
 
 
 def _steps_by_action(d: int):

@@ -11,7 +11,12 @@ bucket-to-bucket resolution, and tested against sorted-sample quantiles).
 
 The whole registry serialises to a plain dict (:meth:`MetricsRegistry.
 snapshot`) which the server ships over the ``STATS`` frame and the CLI
-writes with ``--stats-json``.
+writes with ``--stats-json``.  Snapshots carry the raw bucket counts, so
+:meth:`MetricsRegistry.merge` can fold many workers' snapshots into one
+fleet-wide registry bucket-wise: merged quantiles are exactly the
+quantiles of the concatenated observation streams (same buckets, summed
+counts, min-of-mins / max-of-maxes) — the multi-process supervisor's
+``STATS`` aggregation path.
 """
 
 from __future__ import annotations
@@ -117,8 +122,37 @@ class Histogram:
             seen += bucket_count
         return self._max  # pragma: no cover - defensive (rank <= count)
 
-    def snapshot(self) -> Dict[str, float]:
-        """The summary row exported over the wire."""
+    def merge_snapshot(self, row: Dict[str, object]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        The other histogram must have identical bucket bounds — merging
+        is a bucket-wise count addition, so the merged quantile estimate
+        equals the estimate of a single histogram that observed both
+        streams.  Raises :class:`ValueError` on a bounds mismatch or a
+        summary-only snapshot (one without ``bounds``/``counts``).
+        """
+        bounds = row.get("bounds")
+        counts = row.get("counts")
+        if bounds is None or counts is None:
+            raise ValueError(
+                f"histogram {self.name}: snapshot has no bucket data to merge"
+            )
+        if tuple(float(b) for b in bounds) != self.bounds:
+            raise ValueError(f"histogram {self.name}: bucket bounds differ")
+        if len(counts) != len(self.counts):
+            raise ValueError(f"histogram {self.name}: bucket count mismatch")
+        other_count = int(row["count"])
+        if other_count == 0:
+            return
+        for index, bucket_count in enumerate(counts):
+            self.counts[index] += int(bucket_count)
+        self.count += other_count
+        self.total += float(row["sum"])
+        self._min = min(self._min, float(row["min"]))
+        self._max = max(self._max, float(row["max"]))
+
+    def snapshot(self) -> Dict[str, object]:
+        """The summary row exported over the wire (plus raw buckets)."""
         return {
             "count": float(self.count),
             "sum": self.total,
@@ -128,6 +162,8 @@ class Histogram:
             "p50": self.quantile(0.50),
             "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -177,6 +213,30 @@ class MetricsRegistry:
             counter.value = value
         else:
             counter.inc(value - counter.value)
+
+    def merge(self, other_snapshot: Dict[str, object]) -> None:
+        """Fold one :meth:`snapshot` dict into this registry.
+
+        Counters add; histograms merge bucket-wise (identical bounds
+        required, see :meth:`Histogram.merge_snapshot`).  Calling this
+        once per worker snapshot on a fresh registry yields the
+        fleet-wide view the supervisor serves over ``STATS``: summed
+        counters, and latency quantiles computed over the union of every
+        worker's observations.
+        """
+        counters = other_snapshot.get("counters", {})
+        if isinstance(counters, dict):
+            for name, value in counters.items():
+                self.counter(name).inc(int(value))
+        histograms = other_snapshot.get("histograms", {})
+        if isinstance(histograms, dict):
+            for name, row in histograms.items():
+                bounds = row.get("bounds")
+                if bounds is None:
+                    raise ValueError(
+                        f"histogram {name}: snapshot has no bucket data"
+                    )
+                self.histogram(name, bounds=bounds).merge_snapshot(row)
 
     def snapshot(self) -> Dict[str, object]:
         """Everything, as plain JSON-serialisable types."""

@@ -30,8 +30,9 @@ served over ``STATS`` frames and by ``debruijn-routing serve
 from __future__ import annotations
 
 import asyncio
+import socket
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
 
 from repro.exceptions import DeBruijnError, ProtocolError
 from repro.service.engine import RouteQueryEngine
@@ -63,6 +64,8 @@ class ServerConfig:
     batch_deadline: float = 0.002  #: seconds before a partial group flushes
     request_timeout: float = 5.0  #: queue age beyond which requests fail
     drain_timeout: float = 5.0  #: seconds ``stop`` waits for queued work
+    reuse_port: bool = False  #: bind with SO_REUSEPORT (multi-worker pool)
+    slo_ms: Optional[float] = None  #: count replies slower than this budget
 
 
 @dataclass
@@ -187,15 +190,46 @@ class RouteQueryServer:
         self._batcher = MicroBatcher(self)
         self._draining = False
         self._queue_peak = 0
+        #: Optional coroutine returning the snapshot served over STATS.
+        #: A multi-worker deployment points this at the supervisor's
+        #: fleet-wide aggregation; ``None`` answers from the local
+        #: registry synchronously.
+        self.stats_provider: Optional[
+            Callable[[], Awaitable[dict]]
+        ] = None
+        self._stats_tasks: set = set()
 
     # -- lifecycle -------------------------------------------------------
 
-    async def start(self) -> int:
-        """Bind, launch the dispatcher, and return the listening port."""
+    async def start(
+        self, listen_socket: Optional[socket.socket] = None
+    ) -> int:
+        """Bind, launch the dispatcher, and return the listening port.
+
+        ``listen_socket`` serves accepts from a pre-bound listening
+        socket instead of binding ``config.host:port`` — the shared-
+        listener fallback where a supervisor binds once and every forked
+        worker accepts from the same socket.  With ``config.reuse_port``
+        the server binds its own socket with ``SO_REUSEPORT`` so many
+        worker processes can listen on one address and let the kernel
+        spread connections across them.
+        """
         self._queue = asyncio.Queue(maxsize=self.config.max_pending)
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
-        )
+        if listen_socket is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=listen_socket
+            )
+        elif self.config.reuse_port:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                self.config.host,
+                self.config.port,
+                reuse_port=True,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.config.host, self.config.port
+            )
         self.port = self._server.sockets[0].getsockname()[1]
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
         return self.port
@@ -225,6 +259,12 @@ class RouteQueryServer:
                     )
                     self._queue.task_done()
         self._batcher.flush_all()
+        for task in list(self._stats_tasks):
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
         if self._dispatcher is not None:
             self._dispatcher.cancel()
             try:
@@ -271,6 +311,13 @@ class RouteQueryServer:
     def _handle_frame(self, connection: _Connection, frame: Frame) -> None:
         if frame.frame_type == FrameType.STATS:
             self.registry.inc("server.stats_requests")
+            if self.stats_provider is not None:
+                task = asyncio.create_task(
+                    self._answer_stats(connection, frame.request_id)
+                )
+                self._stats_tasks.add(task)
+                task.add_done_callback(self._stats_tasks.discard)
+                return
             connection.send(
                 encode_stats_reply(frame.request_id, self.snapshot())
             )
@@ -326,6 +373,23 @@ class RouteQueryServer:
         depth = self._queue.qsize()
         if depth > self._queue_peak:
             self._queue_peak = depth
+
+    async def _answer_stats(
+        self, connection: _Connection, request_id: int
+    ) -> None:
+        """Answer one STATS frame through the external provider.
+
+        Falls back to the local snapshot when the provider fails (e.g.
+        the supervisor is mid-restart) — a STATS request never goes
+        unanswered while the connection is alive.
+        """
+        try:
+            snapshot = await self.stats_provider()
+        except Exception:
+            self.registry.inc("server.stats_provider_errors")
+            snapshot = self.snapshot()
+        connection.send(encode_stats_reply(request_id, snapshot))
+        await self._flush_writer(connection)
 
     async def _flush_writer(self, connection: _Connection) -> None:
         if not connection.closed:
@@ -401,6 +465,9 @@ class RouteQueryServer:
         self.registry.inc("server.replies")
         elapsed = asyncio.get_running_loop().time() - item.enqueued_at
         self.registry.histogram("server.latency_seconds").observe(elapsed)
+        slo_ms = self.config.slo_ms
+        if slo_ms is not None and elapsed * 1e3 > slo_ms:
+            self.registry.inc("server.slo_violations")
 
     def _send_error(
         self,
@@ -426,4 +493,6 @@ class RouteQueryServer:
         self.registry.set_counter(
             "server.open_connections", len(self._connections)
         )
+        if self.config.slo_ms is not None:
+            self.registry.counter("server.slo_violations")  # ensure visible
         return self.engine.stats()

@@ -430,3 +430,44 @@ def test_query_command_requires_work(live_server, capsys):
     assert main(["query", "-d", "2", "-k", "4", "--port",
                  str(live_server.port), "0110"]) == 2
     assert "both SOURCE and DESTINATION" in capsys.readouterr().err
+
+
+def test_serve_command_multi_worker_fleet(capsys):
+    assert main(["serve", "-d", "2", "-k", "4", "--port", "0",
+                 "--workers", "2", "--duration", "0.4"]) == 0
+    out = capsys.readouterr().out
+    assert "2 workers via" in out
+    assert "fleet.workers: 2" in out
+    assert "fleet.workers_lost: 0" in out
+
+
+def test_loadgen_command_step_and_assert_complete(live_server, capsys):
+    assert main(["loadgen", "-d", "2", "-k", "4", "--port",
+                 str(live_server.port), "--queries", "50",
+                 "--step-duration", "0.3", "--assert-complete"]) == 0
+    out = capsys.readouterr().out
+    assert "closed-loop step" in out
+    assert "queries answered" in out
+
+
+def test_loadgen_command_fleet_consistency_on_fresh_server(
+        live_server, tmp_path, capsys):
+    import json
+
+    target = tmp_path / "loadgen.json"
+    assert main(["loadgen", "-d", "2", "-k", "4", "--port",
+                 str(live_server.port), "--queries", "40",
+                 "--step-duration", "0.3", "--assert-fleet-consistent",
+                 "--stats-json", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert "# fleet consistent:" in out
+    report = json.loads(target.read_text())
+    assert report["step"]["queries"] >= 40
+    assert report["stats"]["counters"]["server.queries"] \
+        == report["step"]["queries"]
+
+
+def test_loadgen_command_requires_action(live_server, capsys):
+    assert main(["loadgen", "-d", "2", "-k", "4", "--port",
+                 str(live_server.port)]) == 2
+    assert "nothing to do" in capsys.readouterr().err

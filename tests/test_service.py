@@ -223,6 +223,82 @@ def test_registry_get_or_create_and_snapshot():
     assert snapshot["histograms"]["h"]["count"] == 1.0
 
 
+@settings(deadline=None, max_examples=40)
+@given(
+    left=st.lists(st.floats(min_value=1e-5, max_value=5.0), max_size=200),
+    right=st.lists(st.floats(min_value=1e-5, max_value=5.0), max_size=200),
+)
+def test_merged_percentiles_match_concatenated_samples(left, right):
+    """The satellite property: merge == one histogram over both streams.
+
+    Merging is bucket-wise count addition with min-of-mins /
+    max-of-maxes, so the merged estimator state is *identical* to a
+    single histogram that observed the concatenation — quantiles agree
+    exactly — and both stay within one bucket width of the true sorted-
+    sample percentile.
+    """
+    shard_a, shard_b, merged, oracle = (
+        MetricsRegistry() for _ in range(4)
+    )
+    for value in left:
+        shard_a.histogram("lat").observe(value)
+        oracle.histogram("lat").observe(value)
+    for value in right:
+        shard_b.histogram("lat").observe(value)
+        oracle.histogram("lat").observe(value)
+    shard_a.inc("q", len(left))
+    shard_b.inc("q", len(right))
+    merged.merge(shard_a.snapshot())
+    merged.merge(shard_b.snapshot())
+
+    assert merged.snapshot()["counters"]["q"] == len(left) + len(right)
+    got = merged.histogram("lat")
+    want = oracle.histogram("lat")
+    assert got.count == want.count
+    assert got.counts == want.counts
+    for q in (0.5, 0.95, 0.99):
+        assert got.quantile(q) == pytest.approx(want.quantile(q))
+
+    samples = sorted(left + right)
+    if samples:
+        import bisect
+        import math
+
+        for q in (0.5, 0.99):
+            rank = max(0, math.ceil(q * len(samples)) - 1)
+            exact = samples[rank]
+            estimate = got.quantile(q)
+            # Within one bucket width: the estimate interpolates inside
+            # the bucket holding the rank-th observation, and clamping
+            # to observed min/max keeps it inside that bucket too.
+            index = bisect.bisect_left(got.bounds, exact)
+            lower = got.bounds[index - 1] if index > 0 else 0.0
+            upper = (got.bounds[index] if index < len(got.bounds)
+                     else samples[-1])
+            assert abs(estimate - exact) <= (upper - lower) + 1e-9
+
+
+def test_merge_rejects_incompatible_histograms():
+    registry = MetricsRegistry()
+    donor = MetricsRegistry()
+    donor.histogram("h", bounds=(1.0, 2.0)).observe(0.5)
+    registry.histogram("h", bounds=(1.0, 3.0))
+    with pytest.raises(ValueError):
+        registry.merge(donor.snapshot())
+
+    summary_only = donor.snapshot()
+    del summary_only["histograms"]["h"]["bounds"]
+    with pytest.raises(ValueError):
+        MetricsRegistry().merge(summary_only)
+
+    # Merging an empty histogram is a no-op, not an error.
+    empty = MetricsRegistry()
+    empty.histogram("h", bounds=(1.0, 2.0))
+    target = MetricsRegistry()
+    target.merge(empty.snapshot())
+    assert target.histogram("h", bounds=(1.0, 2.0)).count == 0
+
+
 # ----------------------------------------------------------------------
 # Engine tiers
 # ----------------------------------------------------------------------
@@ -501,3 +577,30 @@ def test_query_outcome_accounting():
     assert outcome.ok_count == 1
     assert outcome.error_counts == {"OVERLOADED": 2}
     assert outcome.qps == 6.0
+
+
+def test_server_slo_violation_counter():
+    async def scenario():
+        # A sub-microsecond budget: every reply violates it.
+        async with RouteQueryServer(
+            RouteQueryEngine(2, 4), ServerConfig(slo_ms=1e-6)
+        ) as server:
+            async with RouteServiceClient(
+                "127.0.0.1", server.port, d=2
+            ) as client:
+                outcome = await client.query_many(_pairs(2, 4, 50, seed=1))
+            assert outcome.ok_count == 50
+            snapshot = server.snapshot()
+            assert snapshot["counters"]["server.slo_violations"] == 50
+        # A one-minute budget: the counter exists but stays zero.
+        async with RouteQueryServer(
+            RouteQueryEngine(2, 4), ServerConfig(slo_ms=60000.0)
+        ) as server:
+            async with RouteServiceClient(
+                "127.0.0.1", server.port, d=2
+            ) as client:
+                await client.query_many(_pairs(2, 4, 20, seed=2))
+            snapshot = server.snapshot()
+            assert snapshot["counters"]["server.slo_violations"] == 0
+
+    run(scenario())
