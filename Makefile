@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke serve-smoke capacity-smoke examples lint record all clean
+.PHONY: install test bench bench-smoke serve-smoke capacity-smoke chaos-smoke examples lint record all clean
 
 install:
 	pip install -e .
@@ -38,6 +38,27 @@ capacity-smoke:
 	$(PYTHON) -m repro.cli loadgen -d 2 -k 8 --port 7535 \
 		--queries 2000 --step-duration 0.5 --assert-complete \
 		--assert-fleet-consistent || { kill $$server; exit 1; }; \
+	wait $$server
+
+# Boot a 2-worker fleet, put the fault-injecting TCP proxy in front of
+# it (every connection fated for a mid-stream reset, plus 1 ms added
+# latency), and push a closed-loop burst through the hardened client —
+# --assert-complete fails the target if a single query is lost (E24).
+chaos-smoke:
+	@$(PYTHON) -m repro.cli serve -d 2 -k 8 --port 7541 --compile-table \
+		--workers 2 --read-timeout 5 --duration 40 & \
+	server=$$!; \
+	sleep 2; \
+	$(PYTHON) -m repro.cli chaosproxy --port 7542 --upstream-port 7541 \
+		--seed make-chaos --reset-rate 0.5 --latency-ms 1 \
+		--duration 25 & \
+	proxy=$$!; \
+	sleep 1; \
+	$(PYTHON) -m repro.cli loadgen -d 2 -k 8 --port 7542 \
+		--queries 400 --step-duration 0.5 \
+		--retries 8 --deadline-ms 20000 --assert-complete \
+		|| { kill $$server $$proxy; exit 1; }; \
+	wait $$proxy; \
 	wait $$server
 
 lint:

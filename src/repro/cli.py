@@ -25,6 +25,9 @@ Subcommands
 ``loadgen``             closed-loop capacity sweep / soak against a
                         running server (E23)
 ``query``               query a running server (one pair, or a burst)
+``chaosproxy``          wire-level fault-injecting TCP proxy in front of
+                        a server (E24); ``query``/``loadgen`` gain
+                        ``--retries``/``--deadline-ms``/``--hedge-ms``
 
 Examples::
 
@@ -67,6 +70,59 @@ from repro.graphs.properties import structural_report
 from repro.network.router import BidirectionalOptimalRouter, TrivialRouter, UnidirectionalOptimalRouter
 from repro.network.simulator import Simulator, run_workload
 from repro.network.traffic import uniform_random
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """Retry/deadline/hedge/breaker knobs shared by query and loadgen.
+
+    Any of ``--retries``, ``--deadline-ms``, or ``--hedge-ms`` switches
+    the command to the hardened client (E24); with none of them the
+    plain pipelining client is used, exactly as before.
+    """
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="hardened client: re-ask failed or retryable "
+                             "queries up to N times with seeded-jitter "
+                             "exponential backoff")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="hardened client: per-burst deadline budget; "
+                             "still-unanswered queries get synthetic "
+                             "TIMEOUT replies when it expires")
+    parser.add_argument("--attempt-timeout-ms", type=float, default=None,
+                        help="cap one attempt's wait (default: the whole "
+                             "remaining deadline)")
+    parser.add_argument("--hedge-ms", type=float, default=None,
+                        help="hedge a stalled attempt onto a second "
+                             "connection after this many milliseconds")
+    parser.add_argument("--breaker-failures", type=int, default=5,
+                        help="consecutive failures that trip the circuit "
+                             "breaker open")
+    parser.add_argument("--breaker-probe-ms", type=float, default=1000.0,
+                        help="open-state probe interval (half-open single "
+                             "trial) in milliseconds")
+
+
+def _resilience_from_args(args: argparse.Namespace):
+    """Build (RetryPolicy, BreakerConfig) from CLI flags, or (None, None)."""
+    if (args.retries is None and args.deadline_ms is None
+            and args.hedge_ms is None):
+        return None, None
+    from repro.service.client import BreakerConfig, RetryPolicy
+
+    policy = RetryPolicy(
+        retries=args.retries if args.retries is not None else 4,
+        deadline=(args.deadline_ms / 1000.0
+                  if args.deadline_ms is not None else 30.0),
+        attempt_timeout=(args.attempt_timeout_ms / 1000.0
+                         if args.attempt_timeout_ms is not None else None),
+        hedge_after=(args.hedge_ms / 1000.0
+                     if args.hedge_ms is not None else None),
+        seed=f"retry:{args.seed}",
+    )
+    breaker = BreakerConfig(
+        failure_threshold=args.breaker_failures,
+        probe_interval=args.breaker_probe_ms / 1000.0,
+    )
+    return policy, breaker
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -303,6 +359,15 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--batch-deadline", type=float, default=0.002,
                          help="micro-batch flush deadline in seconds")
     p_serve.add_argument("--request-timeout", type=float, default=5.0)
+    p_serve.add_argument("--read-timeout", type=float, default=None,
+                         help="frame-completion deadline: a connection that "
+                              "starts a frame must finish it within this "
+                              "many seconds (slow-loris defense; idle "
+                              "connections are unaffected)")
+    p_serve.add_argument("--max-connections", type=int, default=None,
+                         help="admission cap on concurrent connections; "
+                              "beyond it new connections are closed and "
+                              "counted in server.conn_rejected")
     p_serve.add_argument("--duration", type=float, default=None,
                          help="serve for this many seconds, then drain and "
                               "exit (default: until interrupted)")
@@ -371,6 +436,7 @@ def _build_parser() -> argparse.ArgumentParser:
                              "the aggregated server.queries counter equals "
                              "the client-observed answer count (fresh server "
                              "only)")
+    _add_resilience_flags(p_load)
 
     p_query = sub.add_parser(
         "query",
@@ -405,6 +471,61 @@ def _build_parser() -> argparse.ArgumentParser:
                          metavar="N",
                          help="exit nonzero unless the server's replies "
                               "counter is at least N")
+    _add_resilience_flags(p_query)
+
+    p_chaosproxy = sub.add_parser(
+        "chaosproxy",
+        help="wire-level fault-injecting TCP proxy: put it between a "
+             "client and a route server and inject latency, resets, "
+             "corruption, bandwidth caps, trickle, and partitions from "
+             "a seeded replayable plan (E24)")
+    p_chaosproxy.add_argument("--host", default="127.0.0.1",
+                              help="address the proxy listens on")
+    p_chaosproxy.add_argument("--port", type=int, default=0,
+                              help="listen port (0 binds an ephemeral port "
+                                   "and prints it)")
+    p_chaosproxy.add_argument("--upstream-host", default="127.0.0.1")
+    p_chaosproxy.add_argument("--upstream-port", type=int, required=True,
+                              help="the real server the proxy forwards to")
+    p_chaosproxy.add_argument("--seed", default="chaos",
+                              help="FaultPlan seed; the same seed replays "
+                                   "the same per-connection fault decisions")
+    p_chaosproxy.add_argument("--latency-ms", type=float, default=0.0,
+                              help="added one-way latency per chunk")
+    p_chaosproxy.add_argument("--jitter-ms", type=float, default=0.0,
+                              help="uniform extra latency on top of "
+                                   "--latency-ms")
+    p_chaosproxy.add_argument("--bandwidth-kbps", type=float, default=0.0,
+                              help="cap forwarded throughput (0 = no cap)")
+    p_chaosproxy.add_argument("--reset-rate", type=float, default=0.0,
+                              help="fraction of connections fated to a "
+                                   "mid-frame RST after a seeded byte count")
+    p_chaosproxy.add_argument("--corrupt-rate", type=float, default=0.0,
+                              help="per-chunk probability of a flipped byte")
+    p_chaosproxy.add_argument("--truncate-rate", type=float, default=0.0,
+                              help="per-chunk probability of dropping the "
+                                   "chunk's tail")
+    p_chaosproxy.add_argument("--trickle-rate", type=float, default=0.0,
+                              help="fraction of connections fated to "
+                                   "slow-loris byte-at-a-time delivery")
+    p_chaosproxy.add_argument("--trickle-interval", type=float, default=0.05,
+                              help="seconds between trickled bytes")
+    p_chaosproxy.add_argument("--partition-at", type=float, default=None,
+                              metavar="SECONDS",
+                              help="black-hole all traffic this long after "
+                                   "start...")
+    p_chaosproxy.add_argument("--partition-duration", type=float, default=1.0,
+                              help="...and heal after this many seconds")
+    p_chaosproxy.add_argument("--direction", default="both",
+                              choices=["both", "c2s", "s2c"],
+                              help="which direction the byte-level faults "
+                                   "apply to")
+    p_chaosproxy.add_argument("--duration", type=float, default=None,
+                              help="run this long then exit (default: until "
+                                   "interrupted)")
+    p_chaosproxy.add_argument("--stats-json", default=None, metavar="PATH",
+                              help="write the injected-fault counter "
+                                   "snapshot to this file on shutdown")
 
     sub.add_parser("about", help="list every module of the installed package")
 
@@ -925,7 +1046,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server_config = ServerConfig(
         host=args.host, port=args.port, max_pending=args.max_pending,
         batch_size=args.batch_size, batch_deadline=args.batch_deadline,
-        request_timeout=args.request_timeout, slo_ms=args.slo_ms)
+        request_timeout=args.request_timeout, slo_ms=args.slo_ms,
+        read_timeout=args.read_timeout,
+        max_connections=args.max_connections)
 
     if spec.table_path or spec.compile_table:
         tier = "table"
@@ -1038,10 +1161,15 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         measure_step,
         measure_sweep,
     )
+    from repro.service.metrics import MetricsRegistry
 
     scenario = LoadScenario(
         d=args.d, k=args.k, directed=args.directed,
         want_path=args.want_path, seed=args.seed)
+    policy, breaker = _resilience_from_args(args)
+    client_registry = MetricsRegistry() if policy is not None else None
+    resilience = dict(policy=policy, breaker=breaker,
+                      client_registry=client_registry)
     report: dict = {"host": args.host, "port": args.port,
                     "d": args.d, "k": args.k}
     client_answered = 0
@@ -1053,7 +1181,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         sweep = measure_sweep(
             args.host, args.port, scenario, rates,
             slo_ms=args.slo_ms, step_duration=args.step_duration,
-            connections=args.connections, batch=args.batch)
+            connections=args.connections, batch=args.batch,
+            **resilience)
         report["sweep"] = sweep.to_row()
         client_answered += sum(step.queries for step in sweep.steps)
         lost += sum(step.failures for step in sweep.steps)
@@ -1072,7 +1201,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         step = measure_step(
             args.host, args.port, scenario, duration=duration,
             connections=args.connections, slo_ms=args.slo_ms,
-            batch=args.batch)
+            batch=args.batch, **resilience)
         # Size the run to ~N queries: extend once if the first step
         # undershot badly (slow hosts), keeping the smoke bounded.
         while step.queries < args.queries and duration < 60.0:
@@ -1080,7 +1209,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             step = measure_step(
                 args.host, args.port, scenario, duration=duration,
                 connections=args.connections, slo_ms=args.slo_ms,
-                batch=args.batch)
+                batch=args.batch, **resilience)
         report["step"] = step.to_row()
         client_answered += step.queries
         lost += step.failures
@@ -1125,6 +1254,14 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
+    if client_registry is not None:
+        client_snapshot = client_registry.snapshot()
+        report["client"] = client_snapshot
+        counters = client_snapshot.get("counters", {})
+        print(format_kv_block(
+            "hardened-client counters",
+            [(name, counters[name]) for name in sorted(counters)]))
+
     if args.assert_fleet_consistent:
         snapshot = fetch_stats(args.host, args.port)
         report["stats"] = snapshot
@@ -1161,12 +1298,88 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_chaosproxy(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import signal
+
+    from repro.service.chaosproxy import ChaosProxy, FaultPlan
+
+    try:
+        plan = FaultPlan(
+            seed=str(args.seed),
+            latency_ms=args.latency_ms,
+            jitter_ms=args.jitter_ms,
+            bandwidth_kbps=args.bandwidth_kbps,
+            reset_rate=args.reset_rate,
+            corrupt_rate=args.corrupt_rate,
+            truncate_rate=args.truncate_rate,
+            trickle_rate=args.trickle_rate,
+            trickle_interval=args.trickle_interval,
+            partition_at=args.partition_at,
+            partition_duration=args.partition_duration,
+            directions=args.direction,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    proxy = ChaosProxy(args.upstream_host, args.upstream_port, plan,
+                       host=args.host, port=args.port)
+
+    async def _run() -> None:
+        port = await proxy.start()
+        print(f"chaos proxy on {args.host}:{port} -> "
+              f"{args.upstream_host}:{args.upstream_port} "
+              f"(seed {plan.seed!r})", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        try:
+            if args.duration is not None:
+                try:
+                    await asyncio.wait_for(stop.wait(), args.duration)
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                await stop.wait()
+        finally:
+            await proxy.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    snapshot = proxy.snapshot()
+    counters = snapshot.get("counters", {})
+    print(format_kv_block(
+        "chaos proxy injected faults",
+        [(name, counters[name]) for name in sorted(counters)]))
+    if args.stats_json:
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.stats_json}")
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     import json
 
     from repro.core.word import random_word
-    from repro.service.client import fetch_stats, query_once, run_burst
+    from repro.service.client import (
+        CLIENT_DEADLINE_MESSAGE,
+        fetch_stats,
+        query_once,
+        run_burst,
+        run_robust_burst,
+    )
 
+    policy, breaker = _resilience_from_args(args)
+    client_stats: Optional[dict] = None
     did_something = False
     if args.source is not None or args.destination is not None:
         if args.source is None or args.destination is None:
@@ -1195,10 +1408,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
         pairs = [(random_word(args.d, args.k, rng),
                   random_word(args.d, args.k, rng))
                  for _ in range(args.burst)]
-        outcome = run_burst(args.host, args.port, pairs, args.d,
-                            directed=args.directed,
-                            want_path=not args.distance_only,
-                            pool_size=args.pool, window=args.window)
+        if policy is not None:
+            outcome, client_stats = run_robust_burst(
+                args.host, args.port, pairs, args.d,
+                directed=args.directed,
+                want_path=not args.distance_only,
+                pool_size=args.pool, window=args.window,
+                policy=policy, breaker=breaker)
+        else:
+            outcome = run_burst(args.host, args.port, pairs, args.d,
+                                directed=args.directed,
+                                want_path=not args.distance_only,
+                                pool_size=args.pool, window=args.window)
         entries = [
             ("queries", len(outcome.replies)),
             ("replies ok", outcome.ok_count),
@@ -1207,12 +1428,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
         ]
         for name, count in sorted(outcome.error_counts.items()):
             entries.append((f"errors {name}", count))
+        if client_stats is not None:
+            lost = sum(
+                1 for reply in outcome.replies
+                if reply.error_message == CLIENT_DEADLINE_MESSAGE)
+            entries.append(("lost (client deadline)", lost))
+            counters = client_stats.get("counters", {})
+            entries.extend(
+                (name, counters[name]) for name in sorted(counters))
         print(format_kv_block(
             f"pipelined burst against {args.host}:{args.port}", entries))
         did_something = True
 
     if args.stats or args.stats_json or args.assert_min_replies is not None:
         snapshot = fetch_stats(args.host, args.port)
+        if client_stats is not None:
+            snapshot["client"] = client_stats
         if args.stats:
             print(json.dumps(snapshot, indent=2, sort_keys=True))
         if args.stats_json:
@@ -1266,6 +1497,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "query": _cmd_query,
+    "chaosproxy": _cmd_chaosproxy,
     "about": _cmd_about,
 }
 

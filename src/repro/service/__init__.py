@@ -29,6 +29,10 @@ in-process.  This package puts it on the wire:
 * :mod:`repro.service.loadgen` — closed-loop load generation: capacity
   sweeps that report sustained-at-SLO qps, and soak scenarios with
   client churn, window-0 slams, and RSS-drift tracking.
+* :mod:`repro.service.chaosproxy` — a wire-level fault injector: a TCP
+  proxy driven by a seeded replayable :class:`FaultPlan` (latency,
+  bandwidth caps, mid-frame resets, corruption, partitions, trickle)
+  that the hardened client/server/supervisor stack is tested against.
 
 Quickstart (see also ``examples/serve_queries.py``)::
 
@@ -46,11 +50,18 @@ Quickstart (see also ``examples/serve_queries.py``)::
     asyncio.run(main())
 """
 
+from repro.service.chaosproxy import ChaosProxy, ChaosProxyThread, FaultPlan
 from repro.service.client import (
+    CLIENT_DEADLINE_MESSAGE,
+    BreakerConfig,
+    CircuitBreaker,
     QueryOutcome,
+    RetryPolicy,
+    RobustRouteClient,
     RouteReply,
     RouteServiceClient,
     query_once,
+    run_robust_burst,
 )
 from repro.service.engine import EngineSpec, RouteQueryEngine, build_engine
 from repro.service.loadgen import (
@@ -79,8 +90,17 @@ from repro.service.supervisor import (
 )
 
 __all__ = [
+    "BreakerConfig",
+    "ChaosProxy",
+    "ChaosProxyThread",
+    "CircuitBreaker",
+    "CLIENT_DEADLINE_MESSAGE",
     "Counter",
     "EngineSpec",
+    "FaultPlan",
+    "RetryPolicy",
+    "RobustRouteClient",
+    "run_robust_burst",
     "ErrorCode",
     "FrameDecoder",
     "FrameType",

@@ -11,18 +11,31 @@ pipelined burst amortises it away).
 Blocking wrappers (:func:`query_once`, :func:`run_burst`,
 :func:`fetch_stats`) cover scripts, tests and the ``debruijn-routing
 query`` subcommand without forcing callers to manage an event loop.
+
+For hostile wires (see :mod:`repro.service.chaosproxy`) the module also
+provides a hardened layer: :class:`RetryPolicy` (per-burst deadline
+budget, exponential backoff with seeded jitter, optional hedging),
+:class:`CircuitBreaker` (closed → open → half-open with a single probe)
+and :class:`RobustRouteClient`, which wraps the plain client and
+guarantees every query gets *an* answer — a server reply, or a
+synthetic ``TIMEOUT`` reply carrying :data:`CLIENT_DEADLINE_MESSAGE`
+once the budget is spent.  Resilience events are counted in a
+:class:`~repro.service.metrics.MetricsRegistry` (``client.retries``,
+``client.deadline_exceeded``, ``client.breaker_open``, ...).
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.routing import Path
 from repro.core.word import WordTuple
 from repro.exceptions import ProtocolError, ServiceError
+from repro.service.metrics import MetricsRegistry
 from repro.service.protocol import (
     ErrorCode,
     FrameDecoder,
@@ -32,6 +45,26 @@ from repro.service.protocol import (
     decode_stats_reply,
     encode_query,
     encode_stats_request,
+)
+
+#: ``error_message`` of the synthetic reply a :class:`RobustRouteClient`
+#: fabricates when a query's deadline budget runs out client-side.
+#: Loadgen and the chaos campaign treat these as *lost*, not answered.
+CLIENT_DEADLINE_MESSAGE = "client deadline exceeded"
+
+#: Error codes worth re-asking: transient server-side conditions, plus
+#: ``MALFORMED``/``INTERNAL`` which, for a query the client knows it
+#: encoded correctly, are evidence of wire corruption rather than a
+#: caller bug.  ``UNSUPPORTED`` (wrong d/k) is permanent and is not
+#: retried.
+RETRYABLE_ERROR_CODES = frozenset(
+    {
+        ErrorCode.OVERLOADED,
+        ErrorCode.TIMEOUT,
+        ErrorCode.SHUTTING_DOWN,
+        ErrorCode.MALFORMED,
+        ErrorCode.INTERNAL,
+    }
 )
 
 
@@ -75,6 +108,16 @@ class QueryOutcome:
     def qps(self) -> float:
         """Answered queries (replies *and* errors) per second."""
         return len(self.replies) / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def lost_count(self) -> int:
+        """Queries that never got a server answer: synthetic
+        client-deadline replies fabricated by :class:`RobustRouteClient`."""
+        return sum(
+            1
+            for reply in self.replies
+            if reply.error_message == CLIENT_DEADLINE_MESSAGE
+        )
 
 
 class _PooledConnection:
@@ -182,6 +225,7 @@ class RouteServiceClient:
         d: Optional[int] = None,
         window: int = 256,
         reconnect: int = 0,
+        results: Optional[List[Optional[RouteReply]]] = None,
     ) -> QueryOutcome:
         """Pipeline ``pairs`` across the pool; replies come back in order.
 
@@ -195,9 +239,20 @@ class RouteServiceClient:
         (a mid-burst EOF raises :class:`ServiceError`); a positive value
         makes bursts survive a crashed pool worker, whose in-flight
         replies are genuinely lost and must be re-asked.
+
+        ``results`` (len == len(pairs)) is filled in place as replies
+        stream back, so a caller that cancels or times the burst out
+        still sees every reply received before the failure — the
+        hardened client's way of keeping partial progress across
+        abandoned attempts.
         """
         base = self._digit_base(d)
-        replies: List[Optional[RouteReply]] = [None] * len(pairs)
+        if results is not None and len(results) != len(pairs):
+            raise ServiceError(
+                f"results buffer holds {len(results)} slots for "
+                f"{len(pairs)} pairs")
+        replies: List[Optional[RouteReply]] = (
+            results if results is not None else [None] * len(pairs))
         shards: List[List[int]] = [[] for _ in range(self.pool_size)]
         for index in range(len(pairs)):
             shards[index % self.pool_size].append(index)
@@ -209,8 +264,8 @@ class RouteServiceClient:
             connection = await self._connection(slot)
             live_shards.append((slot, shard, connection))
         start = time.perf_counter()
-        await asyncio.gather(*[
-            self._run_shard(
+        tasks = [
+            asyncio.ensure_future(self._run_shard(
                 slot,
                 connection,
                 shard,
@@ -221,9 +276,20 @@ class RouteServiceClient:
                 want_path,
                 window if window > 0 else len(pairs),
                 reconnect,
-            )
+            ))
             for slot, shard, connection in live_shards
-        ])
+        ]
+        try:
+            await asyncio.gather(*tasks)
+        except BaseException:
+            # One shard failing must not leave its siblings running:
+            # a zombie shard would keep reading (and re-dialing) pool
+            # slots that the caller's next burst reuses.
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            raise
         elapsed = time.perf_counter() - start
         return QueryOutcome([reply for reply in replies if reply is not None],
                             elapsed)
@@ -241,7 +307,18 @@ class RouteServiceClient:
         window: int,
         reconnect: int,
     ) -> None:
-        """Drive one shard, replacing the connection up to ``reconnect`` times."""
+        """Drive one shard, replacing the connection up to ``reconnect`` times.
+
+        Only *unproductive* reconnects are charged against the budget:
+        a connection that answered some queries before dying reset the
+        counter, so a burst over a wire where every connection
+        eventually dies (chaos-proxy reset faults) still completes as
+        long as each connection makes progress.  Each reconnect also
+        halves the in-flight window (floor 8): on a wire that kills
+        connections after a byte quota, a big pipelined slam burns the
+        whole quota on queries whose replies never come back, while a
+        small window keeps the ratio of answered to written high.
+        """
         attempts = 0
         remaining = shard
         while True:
@@ -259,13 +336,20 @@ class RouteServiceClient:
                     connection.writer.close()
                 except Exception:  # pragma: no cover - best-effort close
                     pass
-                remaining = [i for i in remaining if replies[i] is None]
-                if not remaining:
+                still = [i for i in remaining if replies[i] is None]
+                if not still:
                     return
+                if len(still) < len(remaining):
+                    attempts = 0  # progress: don't charge the budget
+                remaining = still
                 attempts += 1
                 if attempts > reconnect:
                     raise
-                await asyncio.sleep(0.05 * attempts)
+                window = max(8, window >> 1)
+                if attempts > 1:
+                    # Back off only when the last connection died without
+                    # answering anything; after progress, redial at once.
+                    await asyncio.sleep(0.05 * (attempts - 1))
                 connection = await self._connection(slot)
 
     async def _pipeline(
@@ -346,6 +430,402 @@ class RouteServiceClient:
 
 
 # ----------------------------------------------------------------------
+# Resilience layer: retry policy, circuit breaker, robust client
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard a :class:`RobustRouteClient` fights for an answer.
+
+    ``deadline`` is the wall-clock budget (seconds) shared by every
+    query in one burst — all attempts, backoffs and breaker waits must
+    fit inside it.  ``hedge_after`` arms hedging: if an attempt has not
+    completed within that many seconds, the same queries are raced on a
+    second connection and the first finisher wins.
+    """
+
+    retries: int = 4
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    deadline: Optional[float] = 30.0
+    #: Cap on one attempt's wall clock.  None lets a single attempt use
+    #: the whole remaining deadline; a finite cap makes black-hole
+    #: partitions (connect succeeds, bytes vanish) fail fast enough for
+    #: the circuit breaker to accumulate failures and trip.
+    attempt_timeout: Optional[float] = None
+    hedge_after: Optional[float] = None
+    seed: str = "retry"
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff_base and backoff_max must be non-negative")
+        for name in ("deadline", "attempt_timeout", "hedge_after"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Exponential backoff for ``attempt`` (1-based) with seeded
+        jitter: the nominal delay is scaled by a uniform draw in
+        [0.5, 1.0) so synchronized clients desynchronize."""
+        nominal = min(self.backoff_max, self.backoff_base * (2 ** (attempt - 1)))
+        return nominal * (0.5 + rng.random() / 2.0)
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Circuit breaker tuning: trip after ``failure_threshold``
+    consecutive transport failures, probe every ``probe_interval``
+    seconds while open."""
+
+    failure_threshold: int = 5
+    probe_interval: float = 1.0
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker over transport failures.
+
+    While **closed** every call is allowed; ``failure_threshold``
+    consecutive failures trip it **open**, where calls fail fast
+    (``client.breaker_short_circuits``) instead of burning the deadline
+    budget against a dead wire.  After ``probe_interval`` seconds one
+    call is let through as a **half-open** probe: success closes the
+    breaker, failure re-opens it and restarts the interval.  This is
+    what bounds partition-heal recovery to one probe interval (E24).
+    """
+
+    def __init__(
+        self,
+        config: Optional[BreakerConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        now: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or BreakerConfig()
+        self.registry = registry or MetricsRegistry()
+        self.state = "closed"
+        self.failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self._now = now
+
+    def allow(self) -> bool:
+        """May a request proceed right now?"""
+        if self.state == "closed":
+            return True
+        now = self._now()
+        if self.state == "open":
+            if now - self._opened_at >= self.config.probe_interval:
+                self.state = "half_open"
+                self._probe_inflight = True
+                return True
+            return False
+        # half-open: exactly one probe at a time
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        return True
+
+    def seconds_until_probe(self) -> float:
+        """Seconds until an open breaker lets the next probe through."""
+        if self.state != "open":
+            return 0.0
+        elapsed = self._now() - self._opened_at
+        return max(0.0, self.config.probe_interval - elapsed)
+
+    def record_success(self) -> None:
+        """An attempt succeeded: close the breaker, reset the count."""
+        self.state = "closed"
+        self.failures = 0
+        self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        """An attempt failed: count it, trip open past the threshold."""
+        self.failures += 1
+        self._probe_inflight = False
+        tripped = (
+            self.state == "half_open"
+            or self.failures >= self.config.failure_threshold
+        )
+        if tripped and self.state != "open":
+            self.state = "open"
+            self._opened_at = self._now()
+            self.registry.inc("client.breaker_open")
+        elif tripped:
+            self._opened_at = self._now()
+
+
+class RobustRouteClient:
+    """Hardened client: every query in a burst gets an answer.
+
+    Wraps a primary :class:`RouteServiceClient` (and, when hedging is
+    armed, a second one with its own connection) behind a
+    :class:`RetryPolicy` and a :class:`CircuitBreaker`.  Transport
+    failures and retryable error replies are re-asked with backoff
+    until they succeed, the retry budget runs out, or the burst's
+    deadline expires — at which point still-unanswered queries are
+    filled with synthetic ``TIMEOUT`` replies carrying
+    :data:`CLIENT_DEADLINE_MESSAGE` and counted in
+    ``client.deadline_exceeded``.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        d: Optional[int] = None,
+        pool_size: int = 1,
+        policy: Optional[RetryPolicy] = None,
+        breaker: Optional[BreakerConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        self.policy = policy or RetryPolicy()
+        self.registry = registry or MetricsRegistry()
+        self.breaker = CircuitBreaker(breaker, self.registry)
+        self._rng = random.Random(self.policy.seed)
+        self._primary = RouteServiceClient(
+            host, port, d=d, pool_size=pool_size, connect_timeout=connect_timeout
+        )
+        self._hedge: Optional[RouteServiceClient] = None
+        if self.policy.hedge_after is not None:
+            self._hedge = RouteServiceClient(
+                host, port, d=d, pool_size=1, connect_timeout=connect_timeout
+            )
+
+    async def close(self) -> None:
+        """Close the primary (and hedge) clients' pooled connections."""
+        await self._primary.close()
+        if self._hedge is not None:
+            await self._hedge.close()
+
+    async def __aenter__(self) -> "RobustRouteClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def query(
+        self,
+        source: WordTuple,
+        destination: WordTuple,
+        directed: bool = False,
+        want_path: bool = True,
+        d: Optional[int] = None,
+    ) -> RouteReply:
+        """One hardened query; never raises on transport failure."""
+        outcome = await self.query_many(
+            [(source, destination)], directed=directed, want_path=want_path, d=d
+        )
+        return outcome.replies[0]
+
+    async def stats(self) -> Dict[str, object]:
+        """A ``STATS`` round trip on the primary client."""
+        return await self._primary.stats()
+
+    async def query_many(
+        self,
+        pairs: Sequence[Tuple[WordTuple, WordTuple]],
+        directed: bool = False,
+        want_path: bool = True,
+        d: Optional[int] = None,
+        window: int = 256,
+        reconnect: int = 0,  # accepted for signature parity; retries subsume it
+    ) -> QueryOutcome:
+        """Hardened burst: every pair gets a reply, real or synthetic.
+
+        Retries transport failures and retryable error replies with
+        backoff under the policy's deadline; progress made by a failed
+        or timed-out attempt is kept, and budgets reset on progress.
+        """
+        start = time.perf_counter()
+        deadline = (
+            start + self.policy.deadline if self.policy.deadline is not None else None
+        )
+        final: List[Optional[RouteReply]] = [None] * len(pairs)
+        pending = list(range(len(pairs)))
+        attempt = 0
+        while pending:
+            remaining = deadline - time.perf_counter() if deadline else None
+            if remaining is not None and remaining <= 0:
+                break
+            if not self.breaker.allow():
+                self.registry.inc("client.breaker_short_circuits")
+                wait = max(self.breaker.seconds_until_probe(), 0.001)
+                if remaining is not None and wait >= remaining:
+                    await asyncio.sleep(max(0.0, remaining))
+                    break
+                await asyncio.sleep(wait)
+                continue
+            self.registry.inc("client.attempts")
+            subset = [pairs[i] for i in pending]
+            before = len(pending)
+            # The attempt streams replies into this buffer, so even an
+            # attempt that times out or dies mid-burst contributes the
+            # replies it already received.
+            scratch: List[Optional[RouteReply]] = [None] * len(subset)
+            # Degrade the in-flight window as attempts fail: a huge
+            # write burst on a wire that resets connections mid-frame
+            # can die before a single reply streams back, so smaller
+            # windows trade throughput for guaranteed progress.
+            effective_window = max(8, window >> attempt) if window > 0 else window
+            bound = remaining
+            if self.policy.attempt_timeout is not None:
+                bound = (
+                    self.policy.attempt_timeout
+                    if remaining is None
+                    else min(remaining, self.policy.attempt_timeout)
+                )
+            outcome: Optional[QueryOutcome] = None
+            try:
+                outcome = await self._attempt(
+                    subset, directed, want_path, d, effective_window, bound,
+                    scratch,
+                )
+            except (ServiceError, ConnectionError, OSError, asyncio.TimeoutError):
+                self.breaker.record_failure()
+                # A timed-out or failed attempt may leave pooled
+                # connections mid-stream (or fated to trickle forever);
+                # drop them so the retry dials fresh ones.
+                await self._primary.close()
+                if self._hedge is not None:
+                    await self._hedge.close()
+            if outcome is not None:
+                self.breaker.record_success()
+            # Harvest the scratch buffer either way: an abandoned
+            # attempt's partial replies count just as much.
+            still: List[int] = []
+            for offset, index in enumerate(pending):
+                reply = scratch[offset]
+                if reply is None:
+                    still.append(index)
+                    continue
+                final[index] = reply
+                if (
+                    not reply.ok
+                    and reply.error_code in RETRYABLE_ERROR_CODES
+                ):
+                    still.append(index)
+            pending = still
+            if not pending:
+                break
+            if len(pending) < before:
+                attempt = 0  # progress: don't charge the retry budget
+            attempt += 1
+            if attempt > self.policy.retries:
+                break
+            self.registry.inc("client.retries")
+            delay = self.policy.backoff(attempt, self._rng)
+            if deadline is not None:
+                delay = min(delay, max(0.0, deadline - time.perf_counter()))
+            await asyncio.sleep(delay)
+        lost = 0
+        for index in range(len(pairs)):
+            if final[index] is None:
+                final[index] = RouteReply(
+                    None, None, ErrorCode.TIMEOUT, CLIENT_DEADLINE_MESSAGE
+                )
+                lost += 1
+        if lost:
+            self.registry.inc("client.deadline_exceeded", lost)
+        elapsed = time.perf_counter() - start
+        return QueryOutcome([r for r in final if r is not None], elapsed)
+
+    async def _attempt(
+        self,
+        subset: Sequence[Tuple[WordTuple, WordTuple]],
+        directed: bool,
+        want_path: bool,
+        d: Optional[int],
+        window: int,
+        remaining: Optional[float],
+        scratch: List[Optional[RouteReply]],
+    ) -> QueryOutcome:
+        """One attempt over the primary connection, hedged onto the
+        second connection if it outlives ``hedge_after``.
+
+        ``scratch`` is the caller's results buffer: replies stream into
+        it as they arrive (from the primary and the hedge alike), so
+        the caller keeps whatever this attempt managed even when it is
+        cancelled or errors out.
+        """
+        hedge_after = self.policy.hedge_after
+        # The inner reconnect budget preserves partial progress *within*
+        # an attempt: when every fresh connection is fated to die (e.g.
+        # reset_rate=1.0 through the chaos proxy), per-connection
+        # partial bursts are the only way the burst ever completes.
+        inner_reconnect = max(1, self.policy.retries)
+        primary = asyncio.ensure_future(
+            self._primary.query_many(
+                subset, directed=directed, want_path=want_path, d=d,
+                window=window, reconnect=inner_reconnect, results=scratch,
+            )
+        )
+        if self._hedge is None or hedge_after is None:
+            return await self._await_bounded(primary, remaining)
+        first_wait = hedge_after
+        if remaining is not None:
+            first_wait = min(first_wait, remaining)
+        try:
+            return await asyncio.wait_for(asyncio.shield(primary), first_wait)
+        except asyncio.TimeoutError:
+            if remaining is not None and first_wait >= remaining:
+                await self._reap(primary)
+                raise
+        except Exception:
+            await self._reap(primary)
+            raise
+        self.registry.inc("client.hedges")
+        hedge = asyncio.ensure_future(
+            self._hedge.query_many(
+                subset, directed=directed, want_path=want_path, d=d,
+                window=window, reconnect=inner_reconnect, results=scratch,
+            )
+        )
+        racers = {primary, hedge}
+        budget = (
+            None if remaining is None else max(0.001, remaining - first_wait)
+        )
+        try:
+            while racers:
+                done, racers_left = await asyncio.wait(
+                    racers, return_when=asyncio.FIRST_COMPLETED, timeout=budget
+                )
+                if not done:
+                    raise asyncio.TimeoutError()
+                racers = set(racers_left)
+                for task in done:
+                    if not task.cancelled() and task.exception() is None:
+                        if task is hedge:
+                            self.registry.inc("client.hedge_wins")
+                        return task.result()
+            # both racers failed: surface the primary's error
+            raise primary.exception() or ServiceError("hedged attempt failed")
+        finally:
+            await self._reap(primary, hedge)
+
+    @staticmethod
+    async def _await_bounded(task: "asyncio.Future", remaining: Optional[float]):
+        if remaining is None:
+            return await task
+        try:
+            return await asyncio.wait_for(task, remaining)
+        except asyncio.TimeoutError:
+            raise
+
+    @staticmethod
+    async def _reap(*tasks: "asyncio.Future") -> None:
+        """Cancel and retrieve stragglers so no 'exception was never
+        retrieved' noise leaks from abandoned racers."""
+        for task in tasks:
+            if not task.done():
+                task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+
+# ----------------------------------------------------------------------
 # Blocking conveniences (scripts, CLI, tests)
 # ----------------------------------------------------------------------
 
@@ -398,11 +878,58 @@ def run_burst(
     return asyncio.run(_run())
 
 
-def fetch_stats(host: str, port: int) -> Dict[str, object]:
-    """Blocking ``STATS`` round trip."""
+def run_robust_burst(
+    host: str,
+    port: int,
+    pairs: Sequence[Tuple[WordTuple, WordTuple]],
+    d: int,
+    directed: bool = False,
+    want_path: bool = True,
+    pool_size: int = 1,
+    window: int = 256,
+    policy: Optional[RetryPolicy] = None,
+    breaker: Optional[BreakerConfig] = None,
+) -> Tuple[QueryOutcome, Dict[str, object]]:
+    """Blocking hardened burst; returns (outcome, client metrics
+    snapshot) so callers can report ``client.*`` counters alongside the
+    replies."""
 
-    async def _run() -> Dict[str, object]:
+    async def _run() -> Tuple[QueryOutcome, Dict[str, object]]:
+        async with RobustRouteClient(
+            host, port, d=d, pool_size=pool_size, policy=policy, breaker=breaker
+        ) as client:
+            outcome = await client.query_many(
+                pairs, directed=directed, want_path=want_path, window=window
+            )
+            return outcome, client.registry.snapshot()
+
+    return asyncio.run(_run())
+
+
+def fetch_stats(
+    host: str, port: int, retries: int = 3, backoff: float = 0.05
+) -> Dict[str, object]:
+    """Blocking ``STATS`` round trip, retried on transport faults.
+
+    A ``STATS`` request is idempotent and tiny, so when the wire is
+    hostile (e.g. the connection dies mid-reply behind a chaos proxy)
+    the round trip is simply repeated on a fresh connection, up to
+    ``retries`` extra attempts with a linear ``backoff`` between them.
+    The final attempt's failure propagates.
+    """
+
+    async def _attempt() -> Dict[str, object]:
         async with RouteServiceClient(host, port) as client:
             return await client.stats()
+
+    async def _run() -> Dict[str, object]:
+        for attempt in range(retries + 1):
+            try:
+                return await _attempt()
+            except (ConnectionError, OSError, ServiceError):
+                if attempt == retries:
+                    raise
+                await asyncio.sleep(backoff * (attempt + 1))
+        raise ServiceError("unreachable")  # pragma: no cover
 
     return asyncio.run(_run())

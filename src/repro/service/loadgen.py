@@ -36,7 +36,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.word import WordTuple
 from repro.exceptions import ServiceError
-from repro.service.client import RouteServiceClient
+from repro.service.client import (
+    CLIENT_DEADLINE_MESSAGE,
+    BreakerConfig,
+    RetryPolicy,
+    RobustRouteClient,
+    RouteServiceClient,
+)
+from repro.service.metrics import MetricsRegistry
 
 #: Outcomes a vuser records per query.
 _OK, _ERROR, _FAILED = 0, 1, 2
@@ -260,6 +267,9 @@ async def _vuser(
     rng: random.Random,
     batch: int = 1,
     reconnect: int = 8,
+    policy: Optional[RetryPolicy] = None,
+    breaker: Optional[BreakerConfig] = None,
+    client_registry: Optional[MetricsRegistry] = None,
 ) -> None:
     """One closed-loop virtual user: send, await, record, repeat.
 
@@ -267,8 +277,18 @@ async def _vuser(
     ``start + n*interval``; lateness is not forgiven, so a slow server
     sees the backlog as latency — the open-loop property that makes the
     knee visible).  ``interval=None`` runs flat out.
+
+    With a ``policy`` the vuser drives a :class:`RobustRouteClient`
+    (retries, deadline budget, breaker) instead of the plain client;
+    synthetic client-deadline replies are recorded as *failures*, not
+    answers, so ``--assert-complete`` stays honest under chaos.
     """
-    client = RouteServiceClient(host, port, d=scenario.d)
+    client = (
+        RobustRouteClient(host, port, d=scenario.d, policy=policy,
+                          breaker=breaker, registry=client_registry)
+        if policy is not None
+        else RouteServiceClient(host, port, d=scenario.d)
+    )
     next_due = time.perf_counter()
     try:
         while True:
@@ -299,9 +319,12 @@ async def _vuser(
             done_at = time.perf_counter()
             latency = (done_at - sent_at) / max(1, len(pairs))
             for reply in outcome.replies:
-                recorder.record(
-                    _OK if reply.ok else _ERROR, latency, done_at
-                )
+                if reply.error_message == CLIENT_DEADLINE_MESSAGE:
+                    recorder.record(_FAILED, 0.0, done_at)
+                else:
+                    recorder.record(
+                        _OK if reply.ok else _ERROR, latency, done_at
+                    )
     finally:
         await client.close()
 
@@ -339,6 +362,9 @@ async def run_step(
     offered_qps: Optional[float] = None,
     slo_ms: Optional[float] = None,
     batch: int = 1,
+    policy: Optional[RetryPolicy] = None,
+    breaker: Optional[BreakerConfig] = None,
+    client_registry: Optional[MetricsRegistry] = None,
 ) -> StepResult:
     """Drive one load step and measure it.
 
@@ -360,6 +386,8 @@ async def run_step(
         _vuser(
             host, port, scenario, recorder, stop_at, interval,
             random.Random(scenario.seed + 7919 * index), batch,
+            policy=policy, breaker=breaker,
+            client_registry=client_registry,
         )
         for index in range(connections)
     ])
@@ -378,6 +406,9 @@ async def run_sweep(
     batch: int = 1,
     warmup: float = 0.5,
     stop_after_breach: int = 2,
+    policy: Optional[RetryPolicy] = None,
+    breaker: Optional[BreakerConfig] = None,
+    client_registry: Optional[MetricsRegistry] = None,
 ) -> SweepResult:
     """Walk the offered-rate ladder and find the knee.
 
@@ -400,6 +431,9 @@ async def run_sweep(
             offered_qps=float(rate),
             slo_ms=slo_ms,
             batch=batch,
+            policy=policy,
+            breaker=breaker,
+            client_registry=client_registry,
         )
         steps.append(step)
         if step.within_slo:

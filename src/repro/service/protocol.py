@@ -43,7 +43,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.routing import Path
 from repro.core.word import WordTuple
-from repro.exceptions import ProtocolError
+from repro.exceptions import ProtocolError, WirePathError
 from repro.network.message import (
     decode_path,
     decode_word,
@@ -201,7 +201,12 @@ def decode_reply(frame: Frame) -> Tuple[int, Path]:
         raise ProtocolError(
             f"reply body is {len(body)} bytes, expected {2 + 2 * n_steps}"
         )
-    return distance, decode_path(body[2:])
+    try:
+        return distance, decode_path(body[2:])
+    except WirePathError as exc:
+        # Corrupt step bytes are a wire-protocol violation, not a
+        # routing error: keep the decode contract to one exception type.
+        raise ProtocolError(f"reply carries a malformed path: {exc}") from exc
 
 
 def encode_error(request_id: int, code: ErrorCode, message: str = "") -> bytes:

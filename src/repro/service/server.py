@@ -30,6 +30,7 @@ served over ``STATS`` frames and by ``debruijn-routing serve
 from __future__ import annotations
 
 import asyncio
+import logging
 import socket
 from dataclasses import dataclass
 from typing import Awaitable, Callable, Dict, List, Optional, Tuple
@@ -52,6 +53,8 @@ from repro.service.protocol import (
 #: Linear bucket edges for the batch-group-size histogram.
 _GROUP_SIZE_BUCKETS = tuple(float(n) for n in range(1, 65))
 
+logger = logging.getLogger(__name__)
+
 
 @dataclass
 class ServerConfig:
@@ -66,6 +69,16 @@ class ServerConfig:
     drain_timeout: float = 5.0  #: seconds ``stop`` waits for queued work
     reuse_port: bool = False  #: bind with SO_REUSEPORT (multi-worker pool)
     slo_ms: Optional[float] = None  #: count replies slower than this budget
+    #: Seconds a connection may take to *finish a started frame*.  An
+    #: idle connection (no partial frame buffered) never times out —
+    #: healthy pooled clients park for free — but a slow-loris peer
+    #: trickling bytes forever inside one frame is quarantined.  None
+    #: disables the deadline.
+    read_timeout: Optional[float] = None
+    #: Hard cap on concurrently open connections; new arrivals beyond
+    #: it are closed immediately (``server.conn_rejected``).  None
+    #: disables admission control.
+    max_connections: Optional[int] = None
 
 
 @dataclass
@@ -91,9 +104,24 @@ class _Connection:
         self.closed = False
 
     def send(self, payload: bytes) -> None:
-        """Buffer ``payload`` on the transport (no-op once closed)."""
-        if not self.closed:
+        """Buffer ``payload`` on the transport (no-op once closed).
+
+        A peer that vanished mid-reply must never propagate out of a
+        reply path — the transport error marks the connection closed
+        and the read loop reaps it.
+        """
+        if self.closed:
+            return
+        if self.writer.is_closing():
+            # The transport learned about the peer's reset before our
+            # read loop did; writing now would only generate asyncio
+            # "socket.send() raised exception" noise.
+            self.closed = True
+            return
+        try:
             self.writer.write(payload)
+        except (ConnectionError, OSError, RuntimeError):
+            self.closed = True
 
 
 class MicroBatcher:
@@ -287,24 +315,70 @@ class RouteQueryServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        max_conns = self.config.max_connections
+        if max_conns is not None and len(self._connections) >= max_conns:
+            # Admission control: shedding a whole connection is cheaper
+            # and clearer than accepting frames we cannot answer.
+            self.registry.inc("server.conn_rejected")
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            return
         connection = _Connection(reader, writer)
         self._connections.add(connection)
         self.registry.inc("server.connections")
+        read_timeout = self.config.read_timeout
+        loop = asyncio.get_running_loop()
+        frame_deadline: Optional[float] = None
         try:
             while True:
-                data = await reader.read(1 << 16)
+                timeout = None
+                if frame_deadline is not None:
+                    timeout = frame_deadline - loop.time()
+                    if timeout <= 0:
+                        self.registry.inc("server.read_timeouts")
+                        logger.info("read deadline: mid-frame stall, closing")
+                        break
+                try:
+                    if timeout is None:
+                        data = await reader.read(1 << 16)
+                    else:
+                        data = await asyncio.wait_for(
+                            reader.read(1 << 16), timeout
+                        )
+                except asyncio.TimeoutError:
+                    self.registry.inc("server.read_timeouts")
+                    logger.info("read deadline: mid-frame stall, closing")
+                    break
                 if not data:
                     break
                 try:
                     frames = connection.decoder.feed(data)
-                except ProtocolError:
-                    self.registry.inc("server.malformed")
-                    break  # framing is unrecoverable: drop the connection
+                except ProtocolError as exc:
+                    # Quarantine: a corrupt frame costs this connection
+                    # its stream, never the server.
+                    self.registry.inc("server.malformed_frames")
+                    logger.info("malformed frame, closing connection: %s", exc)
+                    break
+                if read_timeout is not None:
+                    if connection.decoder.pending_bytes:
+                        # Any completed frame is progress and re-arms
+                        # the deadline; only a partial frame that stops
+                        # completing for read_timeout seconds is a stall.
+                        if frames or frame_deadline is None:
+                            frame_deadline = loop.time() + read_timeout
+                    else:
+                        frame_deadline = None
                 for frame in frames:
                     self._handle_frame(connection, frame)
                 await self._flush_writer(connection)
-        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
-            pass
+        except (ConnectionError, OSError) as exc:
+            # Peer vanished mid-frame or mid-reply: log and close, never
+            # let the handler task die with an unretrieved exception.
+            self.registry.inc("server.client_disconnects")
+            logger.debug("client disconnect: %r", exc)
         finally:
             await self._close_connection(connection)
 
@@ -334,7 +408,7 @@ class RouteQueryServer:
         try:
             query = decode_query(frame)
         except ProtocolError as exc:
-            self.registry.inc("server.malformed")
+            self.registry.inc("server.malformed_frames")
             self._send_error(
                 connection, frame.request_id, ErrorCode.MALFORMED, str(exc)
             )
@@ -395,8 +469,10 @@ class RouteQueryServer:
         if not connection.closed:
             try:
                 await connection.writer.drain()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except (ConnectionError, OSError, RuntimeError):
+                # Peer reset mid-reply: mark closed, read loop reaps it.
                 connection.closed = True
+                self.registry.inc("server.client_disconnects")
 
     async def _close_connection(self, connection: _Connection) -> None:
         self._connections.discard(connection)
@@ -406,7 +482,7 @@ class RouteQueryServer:
         try:
             connection.writer.close()
             await connection.writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError, OSError):
+        except (ConnectionError, OSError):
             pass
 
     # -- dispatching -----------------------------------------------------
@@ -421,6 +497,11 @@ class RouteQueryServer:
             item = await queue.get()
             try:
                 self._dispatch_one(item, loop.time())
+            except Exception as exc:  # noqa: BLE001 - dispatcher must survive
+                # One bad query must never kill the dispatcher for
+                # every other connection.
+                self.registry.inc("server.dispatch_errors")
+                logger.exception("dispatch failed: %r", exc)
             finally:
                 queue.task_done()
             since_drain += 1

@@ -100,6 +100,16 @@ class SupervisorConfig:
     startup_timeout: float = 30.0  #: seconds to wait for worker hellos
     drain_timeout: float = 10.0  #: seconds workers get to drain on stop
     stats_timeout: float = 2.0  #: per-aggregation snapshot collection cap
+    #: Seconds between liveness pings over the control channel; 0
+    #: disables the probe.  A crashed worker is caught by its process
+    #: sentinel, but a *hung* worker (stuck event loop, SIGSTOP,
+    #: runaway C call) keeps its pid alive and its socket open — only
+    #: the missing pongs give it away.
+    heartbeat_interval: float = 2.0
+    #: Seconds without a pong before a live worker is declared hung,
+    #: SIGKILLed, and respawned under the same ``max_restarts`` budget
+    #: as crash respawns (``supervisor.hung_recycles``).
+    heartbeat_timeout: float = 10.0
     server: ServerConfig = field(default_factory=ServerConfig)
 
 
@@ -107,7 +117,7 @@ class _WorkerLink:
     """Supervisor-side state for one worker's control connection."""
 
     __slots__ = ("reader", "writer", "index", "pid", "generation",
-                 "pending", "next_seq")
+                 "pending", "next_seq", "last_pong", "recycling")
 
     def __init__(self, reader: asyncio.StreamReader,
                  writer: asyncio.StreamWriter) -> None:
@@ -118,6 +128,8 @@ class _WorkerLink:
         self.generation = 0
         self.pending: Dict[int, "asyncio.Future[dict]"] = {}
         self.next_seq = 0
+        self.last_pong = 0.0  #: loop time of the last heartbeat pong
+        self.recycling = False  #: already SIGKILLed as hung, await reap
 
     def send(self, message: dict) -> None:
         self.writer.write(json.dumps(message).encode("utf-8") + b"\n")
@@ -156,6 +168,7 @@ class ServiceSupervisor:
         self.listener_mode: Optional[str] = None
         self.restarts_used = 0
         self.workers_lost = 0  #: crashes past the restart budget
+        self.hung_recycles = 0  #: heartbeat-detected hangs -> SIGKILL
         self.final_snapshot: Optional[dict] = None
         self._procs: Dict[int, multiprocessing.process.BaseProcess] = {}
         self._generations: Dict[int, int] = {}
@@ -168,6 +181,7 @@ class ServiceSupervisor:
         self._control_path: Optional[str] = None
         self._draining = False
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._heartbeat_task: Optional[asyncio.Task] = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -215,11 +229,20 @@ class ServiceSupervisor:
         except Exception:
             await self.stop()
             raise
+        if config.heartbeat_interval > 0:
+            self._heartbeat_task = asyncio.create_task(self._heartbeat_loop())
         return self.port
 
     async def stop(self) -> None:
         """Drain the fleet: final aggregate, SIGTERM, bounded wait."""
         self._draining = True
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except asyncio.CancelledError:
+                pass
+            self._heartbeat_task = None
         if self._links:
             try:
                 self.final_snapshot = await self.aggregate()
@@ -347,6 +370,44 @@ class ServiceSupervisor:
         except ServiceError:
             self.workers_lost += 1
 
+    # -- liveness --------------------------------------------------------
+
+    async def _heartbeat_loop(self) -> None:
+        """Ping every worker; SIGKILL the ones that stop ponging.
+
+        The kill is all this loop does — the process sentinel then fires
+        exactly as it would for a crash, so hung-worker recycling shares
+        the ordinary respawn path and its ``max_restarts`` budget.
+        """
+        config = self.config
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(config.heartbeat_interval)
+            if self._draining:
+                return
+            now = loop.time()
+            for index, link in list(self._links.items()):
+                if link.recycling:
+                    continue
+                if link.last_pong == 0.0:
+                    link.last_pong = now  # grace: first ping not yet sent
+                if now - link.last_pong > config.heartbeat_timeout:
+                    proc = self._procs.get(index)
+                    if proc is None or proc.pid is None or not proc.is_alive():
+                        continue  # crash path owns this worker
+                    link.recycling = True
+                    self.hung_recycles += 1
+                    try:
+                        os.kill(proc.pid, signal.SIGKILL)
+                    except (ProcessLookupError, OSError):  # pragma: no cover
+                        pass
+                    continue
+                try:
+                    link.send({"op": "ping"})
+                    await link.writer.drain()
+                except (ConnectionError, OSError):  # pragma: no cover
+                    pass
+
     # -- control channel -------------------------------------------------
 
     async def _handle_control(
@@ -382,6 +443,8 @@ class ServiceSupervisor:
                     asyncio.ensure_future(
                         self._answer_aggregate(link, int(message["seq"]))
                     )
+                elif op == "pong":
+                    link.last_pong = asyncio.get_running_loop().time()
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
             pass
         finally:
@@ -461,12 +524,14 @@ class ServiceSupervisor:
         snapshot["counters"]["fleet.workers"] = len(wrapped)
         snapshot["counters"]["fleet.restarts"] = self.restarts_used
         snapshot["counters"]["fleet.workers_lost"] = self.workers_lost
+        snapshot["counters"]["supervisor.hung_recycles"] = self.hung_recycles
         snapshot["fleet"] = {
             "workers": len(wrapped),
             "expected_workers": self.config.workers,
             "listener": self.listener_mode,
             "restarts": self.restarts_used,
             "workers_lost": self.workers_lost,
+            "hung_recycles": self.hung_recycles,
             "per_worker": per_worker,
         }
         return snapshot
@@ -578,6 +643,12 @@ class _WorkerControl:
                     future = self._pending.pop(int(message["seq"]), None)
                     if future is not None and not future.done():
                         future.set_result(message.get("data", {}))
+                elif op == "ping":
+                    # Liveness probe: answering requires a scheduling
+                    # turn of this event loop, which is exactly the
+                    # property the supervisor wants to verify.
+                    self._send({"op": "pong", "worker": self.index})
+                    await self.writer.drain()
         except (ConnectionResetError, BrokenPipeError, ValueError):
             pass
         finally:

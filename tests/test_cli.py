@@ -471,3 +471,90 @@ def test_loadgen_command_requires_action(live_server, capsys):
     assert main(["loadgen", "-d", "2", "-k", "4", "--port",
                  str(live_server.port)]) == 2
     assert "nothing to do" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Chaos proxy + hardened-client flags (E24)
+# ----------------------------------------------------------------------
+
+
+def test_chaosproxy_command_runs_for_duration(live_server, tmp_path, capsys):
+    import json
+
+    target = tmp_path / "chaos.json"
+    assert main(["chaosproxy", "--port", "0",
+                 "--upstream-port", str(live_server.port),
+                 "--latency-ms", "1", "--duration", "0.2",
+                 "--stats-json", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert "chaos proxy on" in out
+    assert "chaos proxy injected faults" in out
+    assert f"wrote {target}" in out
+    snapshot = json.loads(target.read_text())
+    assert "counters" in snapshot
+
+
+def test_chaosproxy_command_rejects_bad_plan(capsys):
+    assert main(["chaosproxy", "--upstream-port", "1",
+                 "--reset-rate", "1.5", "--duration", "0.1"]) == 2
+    assert "reset_rate" in capsys.readouterr().err
+
+
+def test_resilience_from_args_defaults_to_off():
+    import argparse
+
+    from repro.cli import _resilience_from_args
+
+    ns = argparse.Namespace(
+        retries=None, deadline_ms=None, hedge_ms=None,
+        attempt_timeout_ms=None, breaker_failures=5,
+        breaker_probe_ms=1000.0, seed=0)
+    assert _resilience_from_args(ns) == (None, None)
+
+    ns.retries = 3
+    policy, breaker = _resilience_from_args(ns)
+    assert policy.retries == 3
+    assert policy.deadline == 30.0
+    assert policy.hedge_after is None
+    assert breaker.failure_threshold == 5
+    assert breaker.probe_interval == 1.0
+
+    ns.deadline_ms = 5000.0
+    ns.attempt_timeout_ms = 500.0
+    ns.hedge_ms = 250.0
+    policy, _ = _resilience_from_args(ns)
+    assert policy.deadline == 5.0
+    assert policy.attempt_timeout == 0.5
+    assert policy.hedge_after == 0.25
+
+
+def test_query_command_burst_with_retries(live_server, capsys):
+    assert main(["query", "-d", "2", "-k", "4", "--port",
+                 str(live_server.port), "--burst", "50",
+                 "--retries", "2", "--distance-only"]) == 0
+    out = capsys.readouterr().out
+    assert "replies ok: 50" in out
+    assert "lost (client deadline): 0" in out
+    assert "client.attempts" in out
+
+
+def test_loadgen_command_with_retries(live_server, tmp_path, capsys):
+    import json
+
+    target = tmp_path / "loadgen.json"
+    assert main(["loadgen", "-d", "2", "-k", "4", "--port",
+                 str(live_server.port), "--queries", "40",
+                 "--step-duration", "0.3", "--retries", "2",
+                 "--assert-complete", "--stats-json", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert "hardened-client counters" in out
+    report = json.loads(target.read_text())
+    assert "client" in report
+    assert report["client"]["counters"].get("client.attempts", 0) >= 1
+
+
+def test_serve_command_read_timeout_and_max_connections(capsys):
+    assert main(["serve", "-d", "2", "-k", "3", "--port", "0",
+                 "--duration", "0.2", "--read-timeout", "1.0",
+                 "--max-connections", "16"]) == 0
+    assert "serving DG(2,3)" in capsys.readouterr().out

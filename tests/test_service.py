@@ -3,7 +3,11 @@
 from __future__ import annotations
 
 import asyncio
+import gc
 import random
+import socket
+import struct
+import threading
 
 import pytest
 from hypothesis import given, settings
@@ -25,6 +29,7 @@ from repro.service.client import (
 from repro.service.engine import RouteQueryEngine
 from repro.service.metrics import Counter, Histogram, MetricsRegistry
 from repro.service.protocol import (
+    MAX_FRAME_BYTES,
     ErrorCode,
     Frame,
     FrameDecoder,
@@ -604,3 +609,264 @@ def test_server_slo_violation_counter():
             assert snapshot["counters"]["server.slo_violations"] == 0
 
     run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Wire-level hardening (E24 satellites)
+# ----------------------------------------------------------------------
+
+
+def test_decoder_enforces_max_frame_bytes_cap():
+    """MAX_FRAME_BYTES is a hard allocation ceiling, not advice."""
+    over = struct.pack("!I", MAX_FRAME_BYTES + 1)
+    with pytest.raises(ProtocolError):
+        FrameDecoder().feed(over)
+    # Exactly at the cap: a legal (if huge) pending frame, no blow-up.
+    decoder = FrameDecoder()
+    assert decoder.feed(struct.pack("!I", MAX_FRAME_BYTES)) == []
+    assert decoder.pending_bytes == 4
+    # The encoder refuses to build what the decoder would reject.
+    with pytest.raises(ProtocolError):
+        encode_frame(FrameType.STATS_REPLY, 1, b"x" * MAX_FRAME_BYTES)
+
+
+@given(st.data())
+@settings(max_examples=120, deadline=None)
+def test_decoder_survives_arbitrary_mangling(data):
+    """Fuzz: corrupt/truncate/reorder a valid stream however you like —
+    the decoder yields clean frames or raises ProtocolError.  It never
+    hangs, never dies with another exception type, and never buffers
+    more than it was fed."""
+    frames = data.draw(st.lists(st.sampled_from([
+        encode_stats_request(1),
+        encode_query(2, 2, (0, 1), (1, 0)),
+        encode_reply(3, 1, [RoutingStep(Direction.LEFT, 0)]),
+        encode_error(4, ErrorCode.TIMEOUT, "late"),
+    ]), min_size=1, max_size=4))
+    stream = bytearray(b"".join(frames))
+    for _ in range(data.draw(st.integers(1, 5))):
+        if not stream:
+            break
+        op = data.draw(st.sampled_from(
+            ["flip", "truncate", "insert", "delete", "swap"]))
+        if op == "flip":
+            i = data.draw(st.integers(0, len(stream) - 1))
+            stream[i] ^= data.draw(st.integers(1, 255))
+        elif op == "truncate":
+            stream = stream[:data.draw(st.integers(0, len(stream)))]
+        elif op == "insert":
+            i = data.draw(st.integers(0, len(stream)))
+            stream[i:i] = data.draw(st.binary(min_size=1, max_size=8))
+        elif op == "delete":
+            i = data.draw(st.integers(0, len(stream) - 1))
+            n = data.draw(st.integers(1, min(8, len(stream) - i)))
+            del stream[i:i + n]
+        elif len(stream) >= 2:
+            i = data.draw(st.integers(0, len(stream) - 2))
+            j = data.draw(st.integers(i + 1, len(stream) - 1))
+            stream[i], stream[j] = stream[j], stream[i]
+    decoder = FrameDecoder()
+    fed = 0
+    try:
+        pos = 0
+        while pos < len(stream):
+            step = data.draw(st.integers(1, len(stream) - pos))
+            chunk = bytes(stream[pos:pos + step])
+            pos += step
+            fed += len(chunk)
+            for frame in decoder.feed(chunk):
+                # A surfaced frame's body either parses or raises
+                # ProtocolError — nothing else escapes.
+                try:
+                    if frame.frame_type == FrameType.QUERY:
+                        decode_query(frame)
+                    elif frame.frame_type == FrameType.REPLY:
+                        decode_reply(frame)
+                    elif frame.frame_type == FrameType.ERROR:
+                        decode_error(frame)
+                    elif frame.frame_type == FrameType.STATS_REPLY:
+                        decode_stats_reply(frame)
+                except ProtocolError:
+                    pass
+    except ProtocolError:
+        return  # clean rejection of a mangled stream: accepted outcome
+    assert decoder.pending_bytes <= fed
+
+
+def test_server_logs_and_closes_on_midframe_disconnect():
+    """Satellite 1: a peer vanishing mid-frame or mid-reply is logged
+    and closed — no handler task dies with an unretrieved exception."""
+
+    async def scenario():
+        problems = []
+        loop = asyncio.get_running_loop()
+        loop.set_exception_handler(
+            lambda _loop, context: problems.append(context))
+        try:
+            async with RouteQueryServer(RouteQueryEngine(2, 6)) as server:
+                query = encode_query(1, 2, (0,) * 6, (1,) * 6)
+
+                # Disconnect mid-frame: half a query, then a clean FIN.
+                _, half = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                half.write(query[:7])
+                await half.drain()
+                half.close()
+
+                # Disconnect mid-reply: full query, then an instant RST
+                # so the server's reply write hits a dead socket.
+                _, gone = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                gone.write(query)
+                await gone.drain()
+                gone.transport.abort()
+
+                await asyncio.sleep(0.2)
+
+                # The server shrugged both off and still answers.
+                async with RouteServiceClient(
+                    "127.0.0.1", server.port, d=2
+                ) as client:
+                    outcome = await client.query_many(_pairs(2, 6, 10, 42))
+                assert outcome.ok_count == 10
+        finally:
+            loop.set_exception_handler(None)
+        gc.collect()
+        await asyncio.sleep(0)
+        gc.collect()
+        unretrieved = [
+            context for context in problems
+            if "never retrieved" in str(context.get("message", ""))
+        ]
+        assert not unretrieved, unretrieved
+        return True
+
+    assert run(scenario())
+
+
+def test_server_read_timeout_kills_slow_loris():
+    """A connection stalled mid-frame is reaped after read_timeout."""
+
+    async def scenario():
+        config = ServerConfig(read_timeout=0.2)
+        async with RouteQueryServer(RouteQueryEngine(2, 6), config) as server:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            query = encode_query(1, 2, (0,) * 6, (1,) * 6)
+            writer.write(query[:5])  # partial frame, then silence
+            await writer.drain()
+            data = await asyncio.wait_for(reader.read(), timeout=3.0)
+            assert data == b""  # the server hung up on us
+            counters = server.snapshot()["counters"]
+            assert counters.get("server.read_timeouts", 0) >= 1
+            writer.close()
+        return True
+
+    assert run(scenario())
+
+
+def test_server_max_connections_sheds_excess():
+    """Admission control: connection N+1 is closed at accept."""
+
+    async def scenario():
+        config = ServerConfig(max_connections=1)
+        async with RouteQueryServer(RouteQueryEngine(2, 6), config) as server:
+            reader1, writer1 = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            writer1.write(encode_query(1, 2, (0,) * 6, (1,) * 6))
+            await writer1.drain()
+            await reader1.readexactly(4)  # conn 1 is live and serving
+            reader2, writer2 = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            data = await asyncio.wait_for(reader2.read(), timeout=3.0)
+            assert data == b""  # shed without a byte of service
+            counters = server.snapshot()["counters"]
+            assert counters.get("server.conn_rejected", 0) >= 1
+            writer1.close()
+            writer2.close()
+        return True
+
+    assert run(scenario())
+
+
+def test_server_quarantines_malformed_frames():
+    """A corrupt frame costs that connection its stream — never the
+    server, never its other clients."""
+
+    async def scenario():
+        async with RouteQueryServer(RouteQueryEngine(2, 6)) as server:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            bad = bytearray(encode_stats_request(1))
+            bad[4] = 0xEE  # unknown frame type
+            writer.write(bytes(bad))
+            await writer.drain()
+            data = await asyncio.wait_for(reader.read(), timeout=3.0)
+            assert data == b""  # quarantined
+            counters = server.snapshot()["counters"]
+            assert counters.get("server.malformed_frames", 0) >= 1
+            writer.close()
+
+            # The server itself is unhurt.
+            async with RouteServiceClient(
+                "127.0.0.1", server.port, d=2
+            ) as client:
+                outcome = await client.query_many(_pairs(2, 6, 10, 7))
+            assert outcome.ok_count == 10
+        return True
+
+    assert run(scenario())
+
+
+def test_fetch_stats_retries_through_connection_resets():
+    """A STATS round trip is idempotent, so fetch_stats retries resets.
+
+    The fake server RSTs its first two connections mid-handshake (the
+    SO_LINGER trick forces a real TCP reset) and only answers the STATS
+    frame on the third; the default retry budget must ride that out,
+    while a zero-retry budget against a permanently hostile server must
+    still surface the transport error.
+    """
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(8)
+    port = listener.getsockname()[1]
+    resets_left = [2]
+
+    def serve():
+        while True:
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return
+            if resets_left[0] > 0:
+                resets_left[0] -= 1
+                conn.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                struct.pack("ii", 1, 0))
+                conn.close()
+                continue
+            decoder = FrameDecoder()
+            frames = []
+            while not frames:
+                data = conn.recv(1 << 16)
+                if not data:
+                    break
+                frames = decoder.feed(data)
+            if frames:
+                conn.sendall(encode_stats_reply(
+                    frames[0].request_id,
+                    {"counters": {"server.replies": 7}}))
+            conn.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    try:
+        snapshot = fetch_stats("127.0.0.1", port, retries=3, backoff=0.01)
+        assert snapshot["counters"]["server.replies"] == 7
+
+        resets_left[0] = 10 ** 9
+        with pytest.raises((ConnectionError, OSError, ServiceError)):
+            fetch_stats("127.0.0.1", port, retries=1, backoff=0.01)
+    finally:
+        listener.close()
+        thread.join(5)

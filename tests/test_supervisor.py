@@ -249,3 +249,46 @@ def test_fleet_restart_budget_exhausts():
         assert live.supervisor.workers_lost == 1
         assert live.supervisor.restarts_used == 0
         assert live.worker_pids() == []
+
+
+def test_fleet_sigstop_worker_is_detected_hung_and_recycled():
+    """Satellite (E24): a worker frozen with SIGSTOP never crashes, so
+    only the heartbeat can catch it — the supervisor must declare it
+    hung, SIGKILL it, and respawn through the shared restart budget."""
+    config = SupervisorConfig(workers=2, max_restarts=3,
+                              heartbeat_interval=0.2,
+                              heartbeat_timeout=1.0)
+    with SupervisorThread(SPEC, config) as live:
+        victim = live.worker_pids()[0]
+        os.kill(victim, signal.SIGSTOP)
+        try:
+            # Detection bound: one timeout, a few beats of slack, and
+            # the respawn itself.
+            deadline = time.monotonic() + 1.0 + 5 * 0.2 + 8.0
+            recycled = False
+            while time.monotonic() < deadline:
+                snapshot = live.aggregate()
+                fleet_stats = snapshot["fleet"]
+                pids = live.worker_pids()
+                if (fleet_stats["hung_recycles"] >= 1
+                        and len(pids) == 2 and victim not in pids):
+                    recycled = True
+                    break
+                time.sleep(0.1)
+        finally:
+            # If detection failed, unfreeze so teardown can drain.
+            try:
+                os.kill(victim, signal.SIGCONT)
+            except ProcessLookupError:
+                pass
+        assert recycled
+        assert live.supervisor.hung_recycles >= 1
+        # Hung recycles draw from the same budget as crash respawns.
+        assert live.supervisor.restarts_used >= 1
+        assert live.supervisor.restarts_used <= config.max_restarts
+
+        # The recycled fleet still answers.
+        outcome = run_burst("127.0.0.1", live.port,
+                            _pairs(2, 6, 100, seed=61), 2,
+                            pool_size=2, reconnect=4)
+        assert outcome.ok_count == 100
