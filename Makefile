@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke serve-smoke capacity-smoke chaos-smoke examples lint record all clean
+.PHONY: install test bench bench-smoke serve-smoke capacity-smoke chaos-smoke cluster-smoke examples lint record all clean
 
 install:
 	pip install -e .
@@ -60,6 +60,16 @@ chaos-smoke:
 		|| { kill $$server $$proxy; exit 1; }; \
 	wait $$proxy; \
 	wait $$server
+
+# Bring up a real 3-process cluster, SIGKILL one node under a live
+# query burst, and assert the E25 invariants end to end: SWIM detection
+# within the analytic bound, every survivor's table repaired
+# byte-identical to a fresh compile, zero lost queries through the
+# fault (--assert-complete also demands traffic actually crossed it).
+cluster-smoke:
+	$(PYTHON) -m repro.cli cluster drill -d 2 -k 5 --nodes 3 \
+		--queries 2000 --probe-interval 0.15 --probe-timeout 0.08 \
+		--suspicion-timeout 0.4 --repair-delay 0.25 --assert-complete
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples

@@ -527,6 +527,76 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="write the injected-fault counter "
                                    "snapshot to this file on shutdown")
 
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="real-process de Bruijn cluster: one OS process per "
+             "prefix-shard group, SWIM membership over UDP, live "
+             "self-healing route tables, and a fault drill (E25)")
+    cl_sub = p_cluster.add_subparsers(dest="cluster_command", required=True)
+
+    def _cluster_shape(p: argparse.ArgumentParser) -> None:
+        p.add_argument("-d", type=int, default=2)
+        p.add_argument("-k", type=int, default=5)
+        p.add_argument("--nodes", type=int, default=4,
+                       help="node processes (each owns a contiguous "
+                            "packed-site range)")
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--probe-interval", type=float, default=0.25,
+                       help="SWIM direct-probe period per node")
+        p.add_argument("--probe-timeout", type=float, default=0.12)
+        p.add_argument("--suspicion-timeout", type=float, default=0.6,
+                       help="SUSPECT -> DEAD window (refutation deadline)")
+        p.add_argument("--indirect-probes", type=int, default=1)
+        p.add_argument("--repair-delay", type=float, default=0.0,
+                       help="postpone the self-healing sync this long so "
+                            "the detour window is observable")
+        p.add_argument("--seed", default="cluster")
+        p.add_argument("--workdir", default=None,
+                       help="where the shared compiled table lives "
+                            "(default: a fresh temp dir)")
+
+    c_drill = cl_sub.add_parser(
+        "drill",
+        help="the E25 drill: SIGKILL one node under a live query burst, "
+             "assert detection latency, byte-identical repair, and zero "
+             "lost queries")
+    _cluster_shape(c_drill)
+    c_drill.add_argument("--victim", type=int, default=None,
+                         help="node to SIGKILL (default: the last one)")
+    c_drill.add_argument("--queries", type=int, default=10_000,
+                         help="minimum queries pushed through the fault")
+    c_drill.add_argument("--window", type=int, default=64,
+                         help="in-flight queries per burst connection")
+    c_drill.add_argument("--json", default=None, metavar="PATH",
+                         help="write the full drill report to this file")
+    c_drill.add_argument("--assert-complete", action="store_true",
+                         help="exit nonzero unless every drill phase ran "
+                              "and measured (queries in every phase, a "
+                              "verdict from every survivor)")
+
+    c_up = cl_sub.add_parser(
+        "up",
+        help="run a fleet in the foreground with an optional scripted "
+             "fault timeline; Ctrl-C or --duration ends it")
+    _cluster_shape(c_up)
+    c_up.add_argument("--duration", type=float, default=None,
+                      help="stop after this many seconds (default: until "
+                           "interrupted)")
+    c_up.add_argument("--status-interval", type=float, default=1.0,
+                      help="print a fleet status line this often")
+    c_up.add_argument("--kill", type=int, default=None, metavar="NODE",
+                      help="SIGKILL this node at --kill-after seconds")
+    c_up.add_argument("--kill-after", type=float, default=2.0)
+    c_up.add_argument("--isolate", type=int, default=None, metavar="NODE",
+                      help="black-hole this node's membership traffic at "
+                           "--isolate-after (implies --proxies)")
+    c_up.add_argument("--isolate-after", type=float, default=2.0)
+    c_up.add_argument("--heal-after", type=float, default=None,
+                      help="lift the isolation this many seconds in")
+    c_up.add_argument("--proxies", action="store_true",
+                      help="route membership traffic through per-node "
+                           "chaos proxies (required for wire faults)")
+
     sub.add_parser("about", help="list every module of the installed package")
 
     return parser
@@ -1114,6 +1184,7 @@ def _serve_single(args, spec, server_config, tier: str) -> dict:
 
 def _serve_fleet(args, spec, server_config, tier: str) -> dict:
     import asyncio
+    import signal
 
     from repro.service.supervisor import ServiceSupervisor, SupervisorConfig
 
@@ -1135,12 +1206,36 @@ def _serve_fleet(args, spec, server_config, tier: str) -> dict:
         print(f"serving DG({args.d},{args.k}) on {args.host}:{port} "
               f"({tier} tier, {args.workers} workers via "
               f"{supervisor.listener_mode}, pids {pids})", flush=True)
+        stop = asyncio.Event()
+        term_count = 0
+
+        def _on_term() -> None:
+            # First SIGTERM: graceful drain.  A second one while the
+            # drain is still in flight means "now" — hard-kill the
+            # stragglers instead of letting a wedged worker hold the
+            # shutdown hostage for the whole drain timeout.
+            nonlocal term_count
+            term_count += 1
+            if term_count == 1:
+                stop.set()
+            else:
+                print("second SIGTERM: escalating to SIGKILL",
+                      file=sys.stderr, flush=True)
+                supervisor.escalate()
+
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, _on_term)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
         try:
             if args.duration is not None:
-                await asyncio.sleep(args.duration)
+                try:
+                    await asyncio.wait_for(stop.wait(), args.duration)
+                except asyncio.TimeoutError:
+                    pass
             else:
-                while True:
-                    await asyncio.sleep(3600)
+                await stop.wait()
         finally:
             await supervisor.stop()
 
@@ -1469,6 +1564,131 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import json
+    import signal
+    import sys
+    import tempfile
+    import time
+
+    from repro.cluster.harness import (ClusterHarness, ClusterSpec,
+                                       run_kill_drill)
+    from repro.exceptions import SimulationError
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-cluster-")
+    use_proxies = bool(getattr(args, "proxies", False)
+                       or getattr(args, "isolate", None) is not None)
+    spec = ClusterSpec(
+        d=args.d, k=args.k, nodes=args.nodes, host=args.host,
+        probe_interval=args.probe_interval,
+        probe_timeout=args.probe_timeout,
+        suspicion_timeout=args.suspicion_timeout,
+        indirect_probes=args.indirect_probes, seed=args.seed,
+        repair_delay=args.repair_delay, use_proxies=use_proxies)
+
+    if args.cluster_command == "drill":
+        # The burst's connections to the SIGKILLed node die mid-write and
+        # asyncio's transport layer logs one noisy line per socket; that
+        # is the drill working as intended, so keep it off the console.
+        import logging
+        logging.getLogger("asyncio").setLevel(logging.CRITICAL)
+        try:
+            report = run_kill_drill(spec, workdir, victim=args.victim,
+                                    queries=args.queries,
+                                    burst_window=args.window)
+        except SimulationError as exc:
+            print(f"cluster drill FAILED: {exc}", file=sys.stderr)
+            return 1
+        burst = report["fault_burst"]
+        detect = report["detection_s"]
+        print(f"cluster drill: d={spec.d} k={spec.k} nodes={spec.nodes} "
+              f"victim={report['victim']}")
+        print(f"  detection: worst {max(detect.values()) * 1000:.0f} ms "
+              f"over {len(detect)} survivors "
+              f"(bound {report['detection_bound_s'] * 1000:.0f} ms)")
+        print(f"  repair: worst {max(report['repair_s'].values()) * 1000:.0f}"
+              f" ms, digests byte-identical to a fresh compile")
+        print(f"  delivery: {burst['ok']}/{burst['queries']} ok, "
+              f"{burst['lost']} lost, {burst['failovers']} failovers, "
+              f"{report['detoured_queries']} detoured")
+        for name, phase in burst["per_phase"].items():
+            print(f"    {name:>6}: {phase['ok']}/{phase['queries']}")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+            print(f"  report -> {args.json}")
+        if args.assert_complete:
+            problems = []
+            if burst["lost"]:
+                problems.append(f"{burst['lost']} queries lost")
+            if burst["per_phase"]["fault"]["queries"] == 0:
+                problems.append("no queries crossed the fault window")
+            if len(detect) != spec.nodes - 1:
+                problems.append(
+                    f"verdicts from {len(detect)} of {spec.nodes - 1} "
+                    "survivors")
+            if problems:
+                print("cluster drill INCOMPLETE: " + "; ".join(problems),
+                      file=sys.stderr)
+                return 1
+        return 0
+
+    # "up": a foreground fleet with a scripted fault timeline.
+    stop = False
+
+    def _on_term(signum, frame):
+        nonlocal stop
+        stop = True
+
+    try:
+        signal.signal(signal.SIGTERM, _on_term)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+
+    events: List[List] = []
+    if args.kill is not None:
+        events.append([args.kill_after, "kill", args.kill])
+    if args.isolate is not None:
+        events.append([args.isolate_after, "isolate", args.isolate])
+        if args.heal_after is not None:
+            events.append([args.heal_after, "heal", args.isolate])
+    events.sort(key=lambda event: event[0])
+
+    with ClusterHarness(spec, workdir) as harness:
+        harness.up()
+        print(f"cluster up: {spec.nodes} node processes over DG({spec.d},"
+              f"{spec.k}), table at {harness.table_path}")
+        for row in harness.status():
+            print(f"  node {row['node']}: pid {row['pid']} "
+                  f"tcp {row['tcp_port']} swim {row['swim_port']}")
+        started = time.monotonic()
+        next_status = started + args.status_interval
+        try:
+            while not stop:
+                now = time.monotonic() - started
+                if args.duration is not None and now >= args.duration:
+                    break
+                while events and events[0][0] <= now:
+                    _, action, node = events.pop(0)
+                    getattr(harness, action)(node)
+                    print(f"[{now:7.2f}s] {action} node {node}")
+                if time.monotonic() >= next_status:
+                    parts = []
+                    for row in harness.status():
+                        state = "up" if row["alive"] else "DOWN"
+                        mask = row.get("cluster.dead_mask", "?")
+                        unrepaired = row.get("cluster.unrepaired", "?")
+                        parts.append(f"{row['node']}:{state} mask={mask} "
+                                     f"unrepaired={unrepaired}")
+                    print(f"[{now:7.2f}s] " + "  ".join(parts))
+                    next_status += args.status_interval
+                time.sleep(0.05)
+        except KeyboardInterrupt:
+            pass
+    print("cluster stopped")
+    return 0
+
+
 def _cmd_about(args: argparse.Namespace) -> int:
     from repro.inventory import render_inventory
 
@@ -1498,6 +1718,7 @@ _COMMANDS = {
     "loadgen": _cmd_loadgen,
     "query": _cmd_query,
     "chaosproxy": _cmd_chaosproxy,
+    "cluster": _cmd_cluster,
     "about": _cmd_about,
 }
 

@@ -1,0 +1,170 @@
+"""Wire format for SWIM datagrams between cluster node processes.
+
+The simulator hands :class:`~repro.network.membership.SwimPacket`
+records between members as Python objects; real processes need bytes.
+One packet maps to one UDP datagram:
+
+```
+magic    2  b"SW"
+version  1  0x01
+kind     1  0=ping 1=ping-req 2=ack 3=relayed-ack
+source   2  sender node id (u16, big-endian)
+probe_id 4  member-local probe sequence (u32)
+target   2  probed node id, 0xFFFF when absent
+incarn   4  acked incarnation (u32)
+relay_to 2  indirect-probe origin, 0xFFFF when absent
+count    1  number of piggybacked updates
+```
+
+followed by ``count`` update records of ``state(1) subject(2)
+incarnation(4)``.  Everything is fixed-width, so the decoder can check
+the exact expected length up front — a truncated or padded datagram is
+rejected whole, never partially applied.
+
+Hostile-input contract (fuzzed in ``tests/test_cluster_codec.py``):
+:func:`decode_packet` either returns a fully validated packet or raises
+:class:`~repro.exceptions.ProtocolError`.  Node ids and update subjects
+are range-checked against the cluster size and states against the SWIM
+state set, so malformed gossip can never crash a node or smuggle in a
+verdict about a member that does not exist.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.exceptions import ProtocolError
+from repro.network.membership import ALIVE, DEAD, SwimPacket
+
+_MAGIC = b"SW"
+_VERSION = 1
+#: ``magic version kind source probe_id target incarn relay_to count``
+_HEADER = struct.Struct("!2sBBHIHIHB")
+_UPDATE = struct.Struct("!BHI")
+#: Wire sentinel for an absent ``target``/``relay_to`` field.
+_NONE = 0xFFFF
+
+_KIND_CODES = {"ping": 0, "ping-req": 1, "ack": 2, "relayed-ack": 3}
+_KIND_NAMES = {code: kind for kind, code in _KIND_CODES.items()}
+
+#: The largest datagram :func:`encode_packet` can produce with the
+#: protocol-wide 255-update ceiling; useful for receive buffer sizing.
+MAX_DATAGRAM = _HEADER.size + 255 * _UPDATE.size
+
+
+def _encode_site(site, field: str) -> int:
+    if site is None:
+        return _NONE
+    if not isinstance(site, int) or not 0 <= site < _NONE:
+        raise ProtocolError(f"swim codec: {field} {site!r} is not a "
+                            f"node id in [0, {_NONE})")
+    return site
+
+
+def encode_packet(packet: SwimPacket) -> bytes:
+    """Serialize one packet; raises :class:`ProtocolError` on bad fields."""
+    kind = _KIND_CODES.get(packet.kind)
+    if kind is None:
+        raise ProtocolError(f"swim codec: unknown kind {packet.kind!r}")
+    updates = packet.updates
+    if len(updates) > 255:
+        raise ProtocolError(f"swim codec: {len(updates)} updates exceed "
+                            "the 255-per-packet ceiling")
+    if not 0 <= packet.probe_id <= 0xFFFFFFFF:
+        raise ProtocolError(f"swim codec: probe_id {packet.probe_id} "
+                            "out of u32 range")
+    if not 0 <= packet.incarnation <= 0xFFFFFFFF:
+        raise ProtocolError(f"swim codec: incarnation "
+                            f"{packet.incarnation} out of u32 range")
+    parts = [_HEADER.pack(
+        _MAGIC, _VERSION, kind,
+        _encode_site(packet.source, "source"),
+        packet.probe_id,
+        _encode_site(packet.target, "target"),
+        packet.incarnation,
+        _encode_site(packet.relay_to, "relay_to"),
+        len(updates))]
+    for state, subject, incarnation in updates:
+        if not ALIVE <= state <= DEAD:
+            raise ProtocolError(f"swim codec: update state {state!r} "
+                                "is not a SWIM state")
+        if not 0 <= incarnation <= 0xFFFFFFFF:
+            raise ProtocolError(f"swim codec: update incarnation "
+                                f"{incarnation} out of u32 range")
+        parts.append(_UPDATE.pack(
+            state, _encode_site(subject, "update subject"), incarnation))
+    return b"".join(parts)
+
+
+def peek_source(data: bytes):
+    """Best-effort sender node id of a datagram, or ``None``.
+
+    For the wire-fault proxy's sender blocking: it must classify
+    arbitrary garbage without raising, so this only checks the magic and
+    header length before reading the source field — full validation
+    stays in :func:`decode_packet` at the receiving node.
+    """
+    if len(data) < _HEADER.size or data[:2] != _MAGIC:
+        return None
+    return struct.unpack_from("!H", data, 4)[0]
+
+
+def _decode_site(value: int, n_nodes: int, field: str):
+    if value == _NONE:
+        return None
+    if value >= n_nodes:
+        raise ProtocolError(f"swim codec: {field} {value} >= cluster "
+                            f"size {n_nodes}")
+    return value
+
+
+def decode_packet(data: bytes, n_nodes: int) -> SwimPacket:
+    """Parse and validate one datagram.
+
+    Returns a packet whose every site id is a valid node of an
+    ``n_nodes``-member cluster, or raises :class:`ProtocolError` —
+    never anything else, and never a partially-applied result.
+    """
+    if len(data) < _HEADER.size:
+        raise ProtocolError(f"swim codec: datagram of {len(data)} bytes "
+                            f"is shorter than the {_HEADER.size}-byte "
+                            "header")
+    (magic, version, kind_code, source, probe_id, target, incarnation,
+     relay_to, count) = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise ProtocolError(f"swim codec: bad magic {magic!r}")
+    if version != _VERSION:
+        raise ProtocolError(f"swim codec: unsupported version {version}")
+    kind = _KIND_NAMES.get(kind_code)
+    if kind is None:
+        raise ProtocolError(f"swim codec: unknown kind code {kind_code}")
+    expected = _HEADER.size + count * _UPDATE.size
+    if len(data) != expected:
+        raise ProtocolError(f"swim codec: {len(data)}-byte datagram "
+                            f"declares {count} updates (expected "
+                            f"{expected} bytes)")
+    source_id = _decode_site(source, n_nodes, "source")
+    if source_id is None:
+        raise ProtocolError("swim codec: source may not be absent")
+    updates = []
+    offset = _HEADER.size
+    for _ in range(count):
+        state, subject, update_inc = _UPDATE.unpack_from(data, offset)
+        offset += _UPDATE.size
+        if not ALIVE <= state <= DEAD:
+            raise ProtocolError(f"swim codec: update state {state} is "
+                                "not a SWIM state")
+        subject_id = _decode_site(subject, n_nodes, "update subject")
+        if subject_id is None:
+            raise ProtocolError("swim codec: update subject may not be "
+                                "absent")
+        updates.append((state, subject_id, update_inc))
+    return SwimPacket(
+        kind=kind,
+        source=source_id,
+        probe_id=probe_id,
+        target=_decode_site(target, n_nodes, "target"),
+        incarnation=incarnation,
+        relay_to=_decode_site(relay_to, n_nodes, "relay_to"),
+        updates=tuple(updates),
+    )

@@ -1,0 +1,248 @@
+"""Wall-clock bindings for the SWIM state machine (E25).
+
+The simulator runs :class:`~repro.network.membership.SwimMember`
+instances over a discrete-event heap and symbolic packet delivery; this
+module runs the *same* class over the asyncio event loop and real UDP
+datagrams:
+
+* :class:`WallClock` — ``Clock`` over ``loop.call_later`` (monotonic
+  loop time, cancellable handles so a closed agent leaves no timers).
+* :class:`UdpSwimTransport` — ``Transport`` that serializes packets
+  through :mod:`repro.cluster.codec` and fires them at per-node peer
+  addresses.  UDP is the honest medium for SWIM: sends never block,
+  never error a live sender, and silence is exactly what the protocol
+  is designed to detect.
+* :class:`SwimAgent` — one per node process: binds the datagram
+  endpoint, owns the member, decodes/validates incoming gossip (a
+  malformed datagram is counted and dropped, never applied), and
+  reports confirmed-dead-set changes upward so the node can trigger
+  table repair.
+
+Node identities are small ints ``0..n_nodes-1`` over a complete
+membership graph — the cluster runs one SWIM participant per *process*
+(a prefix-shard group of sites), not per de Bruijn site, so fleet sizes
+are tens, not ``d^k``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+from typing import Callable, Dict, FrozenSet, Mapping, Optional, Set, Tuple
+
+from repro.cluster.codec import decode_packet, encode_packet
+from repro.exceptions import ProtocolError
+from repro.network.membership import (Clock, SwimConfig, SwimListener,
+                                      SwimMember, SwimPacket, Transport)
+from repro.service.metrics import MetricsRegistry
+
+Address = Tuple[str, int]
+
+
+class WallClock(Clock):
+    """Member timers on the asyncio loop's monotonic clock."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+        self._handles: Set[asyncio.TimerHandle] = set()
+        self._closed = False
+
+    def now(self) -> float:
+        """The loop's monotonic time (the member's wall clock)."""
+        return self._loop.time()
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` after ``delay`` seconds; tracked for close()."""
+        if self._closed:
+            return
+        handle: Optional[asyncio.TimerHandle] = None
+
+        def fire() -> None:
+            self._handles.discard(handle)
+            fn()
+
+        handle = self._loop.call_later(delay, fire)
+        self._handles.add(handle)
+
+    def close(self) -> None:
+        """Cancel every outstanding timer; further schedules are no-ops."""
+        self._closed = True
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+
+
+class UdpSwimTransport(Transport):
+    """Fire-and-forget datagrams to per-node peer addresses.
+
+    ``peers`` maps node id -> UDP address; when the harness interposes
+    wire-fault proxies, those are proxy addresses and the transport
+    neither knows nor cares.  Unknown destinations and OS-level send
+    errors (a peer's port going unreachable mid-fault) drop the packet
+    silently — exactly the simulator transport's contract.
+    """
+
+    def __init__(
+        self,
+        sendto: Callable[[bytes, Address], None],
+        peers: Mapping[int, Address],
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._sendto = sendto
+        self._peers = dict(peers)
+        self._registry = registry
+
+    def send(self, source: int, destination: int,
+             packet: SwimPacket) -> None:
+        """Encode and fire one packet at ``destination``'s address."""
+        address = self._peers.get(destination)
+        if address is None:
+            return
+        data = encode_packet(packet)
+        try:
+            self._sendto(data, address)
+        except OSError:  # pragma: no cover - kernel-dependent
+            return
+        if self._registry is not None:
+            self._registry.inc("swim.datagrams_sent")
+            self._registry.inc("swim.bytes_sent", len(data))
+
+
+class _SwimProtocol(asyncio.DatagramProtocol):
+    def __init__(self, agent: "SwimAgent") -> None:
+        self._agent = agent
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        self._agent._on_datagram(data)
+
+    def error_received(self, exc: Exception) -> None:
+        # ICMP port-unreachable for a freshly killed peer: expected
+        # noise during exactly the faults SWIM exists to detect.
+        pass
+
+
+class SwimAgent(SwimListener):
+    """One process's SWIM participant over a real UDP socket.
+
+    ``on_dead_change`` fires (in the event loop) with the member's full
+    confirmed-dead node set whenever it changes — conviction or
+    acquittal — which is where the node process hangs detection-driven
+    table repair.  ``update_budget`` defaults to the same
+    ``retransmit_mult * log2(N)`` epidemic budget the simulator uses.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        n_nodes: int,
+        config: SwimConfig,
+        *,
+        peers: Mapping[int, Address],
+        bind: Address,
+        registry: Optional[MetricsRegistry] = None,
+        on_dead_change: Optional[Callable[[FrozenSet[int]], None]] = None,
+        update_budget: Optional[int] = None,
+    ) -> None:
+        if not 0 <= node_id < n_nodes:
+            raise ProtocolError(
+                f"node id {node_id} outside cluster of {n_nodes}")
+        self.node_id = node_id
+        self.n_nodes = n_nodes
+        self.config = config
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.on_dead_change = on_dead_change
+        self._peers = dict(peers)
+        self._bind = bind
+        self._budget = update_budget if update_budget is not None else max(
+            3, math.ceil(config.retransmit_mult * math.log2(n_nodes + 1)))
+        self._udp: Optional[asyncio.DatagramTransport] = None
+        self.clock: Optional[WallClock] = None
+        self.member: Optional[SwimMember] = None
+        self._last_dead: FrozenSet[int] = frozenset()
+
+    async def start(self, sock=None) -> Address:
+        """Bind the socket, arm the probe loop; returns the bound address.
+
+        ``sock`` serves datagrams from a pre-bound UDP socket instead of
+        binding ``bind`` — the harness pre-binds in the parent and hands
+        the socket through the fork, eliminating port races.
+        """
+        loop = asyncio.get_running_loop()
+        if sock is not None:
+            self._udp, _ = await loop.create_datagram_endpoint(
+                lambda: _SwimProtocol(self), sock=sock)
+        else:
+            self._udp, _ = await loop.create_datagram_endpoint(
+                lambda: _SwimProtocol(self), local_addr=self._bind)
+        self.clock = WallClock(loop)
+        transport = UdpSwimTransport(
+            self._udp.sendto, self._peers, self.registry)
+        self.member = SwimMember(
+            self.node_id,
+            [node for node in range(self.n_nodes) if node != self.node_id],
+            self.config,
+            clock=self.clock,
+            transport=transport,
+            rng=random.Random(f"{self.config.seed}:node:{self.node_id}"),
+            listener=self,
+            update_budget=self._budget,
+        )
+        self.member.start()
+        return self._udp.get_extra_info("sockname")[:2]
+
+    def dead_nodes(self) -> FrozenSet[int]:
+        """This node's current confirmed-dead peer set."""
+        if self.member is None:
+            return frozenset()
+        return self.member.view.dead_sites()
+
+    # -- datagram ingress ------------------------------------------------
+
+    def _on_datagram(self, data: bytes) -> None:
+        registry = self.registry
+        registry.inc("swim.datagrams_received")
+        try:
+            packet = decode_packet(data, self.n_nodes)
+        except ProtocolError:
+            registry.inc("swim.malformed_datagrams")
+            return
+        if packet.source == self.node_id:
+            return  # reflected own traffic (misconfigured proxy loop)
+        if self.member is not None:
+            self.member.on_packet(packet)
+
+    # -- SwimListener ----------------------------------------------------
+
+    def on_dead_marked(self, observer: int, subject: int,
+                       incarnation: int) -> None:
+        """SwimListener hook: a conviction changed the dead set."""
+        self.registry.inc("swim.convictions")
+        self._publish()
+
+    def on_cleared(self, observer: int, subject: int, incarnation: int,
+                   firsthand: bool) -> None:
+        """SwimListener hook: an acquittal may have shrunk the dead set."""
+        self._publish()
+
+    def _publish(self) -> None:
+        member = self.member
+        if member is None:
+            return
+        dead = member.view.dead_sites()
+        self.registry.set_counter("swim.incarnation",
+                                  member.view.incarnation)
+        if dead == self._last_dead:
+            return
+        self._last_dead = dead
+        self.registry.set_counter("swim.dead_count", len(dead))
+        if self.on_dead_change is not None:
+            self.on_dead_change(dead)
+
+    async def close(self) -> None:
+        """Cancel timers and release the socket."""
+        if self.clock is not None:
+            self.clock.close()
+        if self._udp is not None:
+            self._udp.close()
+            self._udp = None

@@ -35,6 +35,7 @@ import mmap
 import os
 import struct
 import threading
+import zlib
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
@@ -44,11 +45,20 @@ from repro.core.parallel import ACTION_AT_DESTINATION, ACTION_UNREACHABLE
 from repro.core.word import validate_parameters
 from repro.exceptions import InvalidParameterError, RoutingError
 
-#: File magic: "de Bruijn Route Shard", format version 1.
+#: File magic: "de Bruijn Route Shard", format version 1 (legacy,
+#: still loadable; no checksums).
 MAGIC = b"DBRS\x01"
+
+#: Format version 2: adds a body CRC32 and a header CRC32 between the
+#: fixed header and the payload (same scheme as ``DBRT\x02`` tables).
+MAGIC2 = b"DBRS\x02"
 
 #: Fixed header after the magic: d, k, directed, pad, order, start, stop.
 _HEADER = struct.Struct("<BBBxQQQ")
+
+#: v2 trailer: CRC32(distances ‖ actions), then CRC32(magic ‖ header ‖
+#: body_crc) so header corruption cannot masquerade as a clean file.
+_CHECKSUMS = struct.Struct("<II")
 
 #: Default ceiling for one shard's bytes when sizing automatically.
 DEFAULT_SHARD_TARGET_BYTES = 8 << 20
@@ -150,17 +160,37 @@ class RouteShard:
     # -- persistence ----------------------------------------------------
 
     def save(self, path: str) -> int:
-        """Write the shard to ``path`` (atomic rename); bytes written."""
+        """Write the shard to ``path`` crash-safely; bytes written.
+
+        v2 format: checksummed header, fsynced tmp file, atomic
+        ``os.replace`` — a SIGKILL mid-save leaves the old shard (or
+        nothing), and a file corrupted after the fact fails :meth:`load`
+        instead of serving garbage routes.
+        """
         header = _HEADER.pack(self.d, self.k, int(self.directed),
                               self.order, self.start, self.stop)
+        body_crc = zlib.crc32(self.distances)
+        body_crc = zlib.crc32(self.actions, body_crc)
+        header_crc = zlib.crc32(
+            MAGIC2 + header + struct.pack("<I", body_crc))
         tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "wb") as handle:
-            handle.write(MAGIC)
-            handle.write(header)
-            handle.write(bytes(self.distances))
-            handle.write(bytes(self.actions))
-        os.replace(tmp, path)
-        return len(MAGIC) + _HEADER.size + self.nbytes
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(MAGIC2)
+                handle.write(header)
+                handle.write(_CHECKSUMS.pack(body_crc, header_crc))
+                handle.write(self.distances)
+                handle.write(self.actions)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return len(MAGIC2) + _HEADER.size + _CHECKSUMS.size + self.nbytes
 
     @classmethod
     def load(cls, path: str, use_mmap: bool = True) -> "RouteShard":
@@ -171,17 +201,41 @@ class RouteShard:
         :class:`~repro.exceptions.InvalidParameterError` instead of
         serving garbage routes.
         """
-        header_size = len(MAGIC) + _HEADER.size
         handle = open(path, "rb")
         try:
-            prefix = handle.read(header_size)
-            if len(prefix) < header_size or not prefix.startswith(MAGIC):
+            magic = handle.read(len(MAGIC2))
+            if magic == MAGIC2:
+                version = 2
+            elif magic == MAGIC:
+                version = 1
+            else:
                 raise InvalidParameterError(
                     f"{path!r} is not a route shard (bad magic)"
                 )
-            d, k, directed, order, start, stop = _HEADER.unpack(
-                prefix[len(MAGIC):]
-            )
+            core = handle.read(_HEADER.size)
+            if len(core) < _HEADER.size:
+                raise InvalidParameterError(
+                    f"{path!r} is truncated inside the header"
+                )
+            d, k, directed, order, start, stop = _HEADER.unpack(core)
+            header_size = len(magic) + _HEADER.size
+            body_crc: Optional[int] = None
+            if version == 2:
+                sums = handle.read(_CHECKSUMS.size)
+                if len(sums) < _CHECKSUMS.size:
+                    raise InvalidParameterError(
+                        f"{path!r} is truncated inside the checksums"
+                    )
+                body_crc, header_crc = _CHECKSUMS.unpack(sums)
+                want = zlib.crc32(
+                    magic + core + struct.pack("<I", body_crc))
+                if header_crc != want:
+                    raise InvalidParameterError(
+                        f"{path!r} header checksum mismatch "
+                        f"({header_crc:#010x} != {want:#010x}): torn or "
+                        "corrupted write"
+                    )
+                header_size += _CHECKSUMS.size
             if order != d**k or not 0 <= start < stop <= order:
                 raise InvalidParameterError(
                     f"{path!r} header is corrupt: order {order}, "
@@ -203,6 +257,13 @@ class RouteShard:
                 return cls(d, k, bool(directed), start, stop,
                            distances, actions, _mmap=mapping, _file=handle)
             data = handle.read(2 * cells)
+            if body_crc is not None:
+                got = zlib.crc32(data)
+                if got != body_crc:
+                    raise InvalidParameterError(
+                        f"{path!r} body checksum mismatch "
+                        f"({got:#010x} != {body_crc:#010x}): corrupted shard"
+                    )
             return cls(d, k, bool(directed), start, stop,
                        data[:cells], data[cells:])
         except Exception:

@@ -33,6 +33,7 @@ from __future__ import annotations
 import mmap
 import os
 import struct
+import zlib
 from typing import List, Optional, Tuple, Union
 
 from repro.core.packed import PackedSpace
@@ -45,11 +46,23 @@ from repro.core.routing import Path, step_from_action
 from repro.core.word import WordTuple, validate_parameters
 from repro.exceptions import InvalidParameterError, RoutingError
 
-#: File magic: "de Bruijn Route Table", format version 1.
+#: File magic: "de Bruijn Route Table", format version 1 (legacy,
+#: still loadable; no checksums).
 MAGIC = b"DBRT\x01"
+
+#: Format version 2: same layout plus a body CRC32 and a header CRC32
+#: between the fixed header and the payload.  Written atomically
+#: (tmp file + ``os.replace``) so a crash mid-save leaves either the
+#: old table or the new one, never a torn hybrid.
+MAGIC2 = b"DBRT\x02"
 
 #: Fixed-size header after the magic: d, k, directed flag, pad, order.
 _HEADER = struct.Struct("<BBBxQ")
+
+#: v2 trailer after the fixed header: CRC32(actions ‖ distances), then
+#: CRC32(magic ‖ header ‖ body_crc) — the header checksum covers the
+#: body checksum, so a corrupted header can't silently "verify".
+_CHECKSUMS = struct.Struct("<II")
 
 ByteBuffer = Union[bytes, bytearray, memoryview]
 
@@ -219,19 +232,40 @@ class CompiledRouteTable:
     # -- persistence ----------------------------------------------------
 
     def save(self, path: str) -> int:
-        """Write the table to ``path``; returns the bytes written.
+        """Write the table to ``path`` crash-safely; returns bytes written.
 
-        Format: 5-byte magic, 12-byte header (d, k, directed, order),
-        then the action table and the distance table back to back.
-        Loadable with :meth:`load`, byte-identically (tested).
+        Format (v2): 5-byte magic, 12-byte header (d, k, directed,
+        order), body CRC32, header CRC32, then the action table and the
+        distance table back to back.  The bytes go to a temporary file
+        in the same directory which is fsynced and atomically
+        ``os.replace``'d over ``path`` — a crash or SIGKILL mid-save
+        leaves the previous table intact, never a torn file, and the
+        checksums let :meth:`load` reject any corruption that does reach
+        disk.  Loadable with :meth:`load`, byte-identically (tested).
         """
         header = _HEADER.pack(self.d, self.k, int(self.directed), self.order)
-        with open(path, "wb") as handle:
-            handle.write(MAGIC)
-            handle.write(header)
-            handle.write(bytes(self.actions))
-            handle.write(bytes(self.distances))
-        return len(MAGIC) + _HEADER.size + self.nbytes
+        body_crc = zlib.crc32(self.actions)
+        body_crc = zlib.crc32(self.distances, body_crc)
+        header_crc = zlib.crc32(
+            MAGIC2 + header + struct.pack("<I", body_crc))
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(MAGIC2)
+                handle.write(header)
+                handle.write(_CHECKSUMS.pack(body_crc, header_crc))
+                handle.write(self.actions)
+                handle.write(self.distances)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return len(MAGIC2) + _HEADER.size + _CHECKSUMS.size + self.nbytes
 
     @classmethod
     def load(cls, path: str, use_mmap: bool = True,
@@ -251,16 +285,49 @@ class CompiledRouteTable:
         pristine and only the touched pages are privately duplicated.
         With ``use_mmap=False`` it falls back to plain ``bytearray``
         copies.
+
+        Both format versions load.  A v2 file's header checksum is
+        always verified (a corrupt or torn header fails loudly instead
+        of mapping garbage); its body checksum is verified on the
+        full-read path (``use_mmap=False``) — the mmap fast path trusts
+        the atomic writer plus the header checksum, because summing a
+        multi-gigabyte body would defeat the point of mapping it.
         """
-        header_size = len(MAGIC) + _HEADER.size
         handle = open(path, "rb")
         try:
-            prefix = handle.read(header_size)
-            if len(prefix) < header_size or not prefix.startswith(MAGIC):
+            magic = handle.read(len(MAGIC2))
+            if magic == MAGIC2:
+                version = 2
+            elif magic == MAGIC:
+                version = 1
+            else:
                 raise InvalidParameterError(
                     f"{path!r} is not a compiled route table (bad magic)"
                 )
-            d, k, directed, order = _HEADER.unpack(prefix[len(MAGIC):])
+            core = handle.read(_HEADER.size)
+            if len(core) < _HEADER.size:
+                raise InvalidParameterError(
+                    f"{path!r} is truncated inside the header"
+                )
+            d, k, directed, order = _HEADER.unpack(core)
+            header_size = len(magic) + _HEADER.size
+            body_crc: Optional[int] = None
+            if version == 2:
+                sums = handle.read(_CHECKSUMS.size)
+                if len(sums) < _CHECKSUMS.size:
+                    raise InvalidParameterError(
+                        f"{path!r} is truncated inside the checksums"
+                    )
+                body_crc, header_crc = _CHECKSUMS.unpack(sums)
+                want = zlib.crc32(
+                    magic + core + struct.pack("<I", body_crc))
+                if header_crc != want:
+                    raise InvalidParameterError(
+                        f"{path!r} header checksum mismatch "
+                        f"({header_crc:#010x} != {want:#010x}): torn or "
+                        "corrupted write"
+                    )
+                header_size += _CHECKSUMS.size
             if order != d**k:
                 raise InvalidParameterError(
                     f"{path!r} header is corrupt: order {order} != {d}**{k}"
@@ -281,6 +348,13 @@ class CompiledRouteTable:
                 return cls(d, k, bool(directed), actions, distances,
                            _mmap=mapping, _file=handle)
             data = handle.read(2 * cells)
+            if body_crc is not None:
+                got = zlib.crc32(data)
+                if got != body_crc:
+                    raise InvalidParameterError(
+                        f"{path!r} body checksum mismatch "
+                        f"({got:#010x} != {body_crc:#010x}): corrupted table"
+                    )
             if writable:
                 actions: ByteBuffer = bytearray(data[:cells])
                 distances: ByteBuffer = bytearray(data[cells:])
@@ -323,9 +397,11 @@ def table_path(path: str) -> Tuple[int, int, bool]:
     header_size = len(MAGIC) + _HEADER.size
     with open(path, "rb") as handle:
         prefix = handle.read(header_size)
-    if len(prefix) < header_size or not prefix.startswith(MAGIC):
+    if len(prefix) < header_size or not (
+        prefix.startswith(MAGIC) or prefix.startswith(MAGIC2)
+    ):
         raise InvalidParameterError(
             f"{path!r} is not a compiled route table (bad magic)"
         )
-    d, k, directed, _ = _HEADER.unpack(prefix[len(MAGIC):])
+    d, k, directed, _ = _HEADER.unpack(prefix[len(MAGIC2):])
     return d, k, bool(directed)

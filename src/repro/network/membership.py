@@ -1,11 +1,10 @@
-"""Distributed failure detection: per-site membership views (E20).
+"""Distributed failure detection: per-site membership views (E20/E25).
 
 Everything the resilience stack did until now — local detours,
 incremental table repair, the chaos campaign's self-healing strategy —
 consulted the simulator's *oracle* liveness set, knowledge no real site
 possesses.  This module closes that gap with a SWIM-style failure
-detector (Das–Gupta–Motivala, DSN 2002) running *inside* the
-discrete-event simulator:
+detector (Das–Gupta–Motivala, DSN 2002):
 
 * **Direct probing** — every live site periodically pings one uniformly
   random neighbor (its de Bruijn adjacency) and expects an ack within a
@@ -26,6 +25,18 @@ discrete-event simulator:
   own probe/ack traffic (each update re-transmitted O(log N) times, the
   epidemic budget), and optionally on the simulator's ordinary routed
   traffic via :meth:`SwimDetector.piggyback_on_traffic`.
+
+The protocol state machine itself lives in :class:`SwimMember`, one
+instance per participant, and talks to the world only through two small
+seams: a :class:`Clock` (``now`` + ``call_later``) and a
+:class:`Transport` (``send(source, destination, packet)`` of symbolic
+:class:`SwimPacket` records).  :class:`SwimDetector` binds members to
+the discrete-event simulator (timers via ``Simulator.call_at``, packets
+over a latency/liveness/loss-modelled control channel), while
+``repro.cluster.swim`` binds the *same* members to wall-clock asyncio
+timers and real UDP datagrams — same state machine, different
+transport, so simulator results and real-process results are directly
+comparable.
 
 Every site ends up with its **own** :class:`SiteView` — possibly stale,
 possibly wrong — and the resilience layer consumes those views through
@@ -48,7 +59,8 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import (Any, Callable, Dict, FrozenSet, Hashable, List, Optional,
+                    Sequence, Set, Tuple)
 
 from repro.core.packed import PackedSpace
 from repro.core.word import WordTuple
@@ -62,8 +74,12 @@ ALIVE, SUSPECT, DEAD = 0, 1, 2
 
 _STATE_NAMES = {ALIVE: "alive", SUSPECT: "suspect", DEAD: "dead"}
 
+#: A protocol participant's identity.  The simulator uses de Bruijn
+#: words (:class:`WordTuple`); the real-process cluster uses small ints.
+Site = Hashable
+
 #: One disseminated record: (state, subject, incarnation).
-Update = Tuple[int, WordTuple, int]
+Update = Tuple[int, Any, int]
 
 #: Estimated wire cost of one protocol packet: header + addresses.
 _PACKET_BYTES = 8
@@ -73,14 +89,15 @@ _UPDATE_BYTES = 5
 
 @dataclass(frozen=True)
 class SwimConfig:
-    """The detector's knobs (times in simulated units).
+    """The detector's knobs (times in simulated units — or seconds).
 
     The defaults suit the chaos campaign's clock (link latency 1,
     MTTR ~120): a probe round-trip is ~2, so ``probe_timeout=3``
     tolerates one queued hop, and the full detection budget —
     ~``probe_interval/2`` until the next probe lands, plus the timeout,
     plus ``suspicion_timeout`` for refutation — stays well under a
-    typical outage.
+    typical outage.  The real-process cluster reuses the same dataclass
+    with sub-second wall-clock values.
     """
 
     probe_interval: float = 10.0
@@ -108,6 +125,90 @@ class SwimConfig:
 
 
 # ----------------------------------------------------------------------
+# The transport seam: symbolic packets, a clock, a wire
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SwimPacket:
+    """One symbolic protocol packet, transport-agnostic.
+
+    ``kind`` is one of ``"ping"``, ``"ping-req"``, ``"ack"`` or
+    ``"relayed-ack"``; the remaining fields are interpreted per kind:
+
+    * ``ping``: ``source`` probes the destination; ``relay_to`` names
+      the probe's origin when the ping travels the indirect leg (the
+      destination acks toward ``source``, who relays).
+    * ``ping-req``: ``source`` asks the destination (a helper) to ping
+      ``target`` on its behalf.
+    * ``ack``: ``source`` (== ``target``, the probed site) answers with
+      its own ``incarnation``; ``relay_to`` is passed through from the
+      ping so the helper knows where to forward the good news.
+    * ``relayed-ack``: the helper forwards the probed ``target``'s
+      ``incarnation`` back to the probe's origin.
+
+    ``updates`` carries the piggybacked dissemination records.  The
+    simulator delivers these records verbatim; the cluster runtime
+    serializes them through ``repro.cluster.codec``.
+    """
+
+    kind: str
+    source: Site
+    probe_id: int
+    target: Optional[Site] = None
+    incarnation: int = 0
+    relay_to: Optional[Site] = None
+    updates: Tuple[Update, ...] = ()
+
+
+class Clock:
+    """Scheduling seam: simulated time or the asyncio event loop."""
+
+    def now(self) -> float:  # pragma: no cover - protocol
+        """The current time in this clock's domain."""
+        raise NotImplementedError
+
+    def call_later(self, delay: float,
+                   fn: Callable[[], None]) -> None:  # pragma: no cover
+        """Run ``fn`` after ``delay`` time units."""
+        raise NotImplementedError
+
+
+class Transport:
+    """Wire seam: deliver one :class:`SwimPacket` (or drop it).
+
+    Implementations own every wire property — latency, loss, liveness
+    gating, serialization, byte accounting.  The member never learns
+    whether a send succeeded; silence is what the protocol detects.
+    """
+
+    def send(self, source: Site, destination: Site,
+             packet: SwimPacket) -> None:  # pragma: no cover - protocol
+        """Deliver (or silently drop) one packet."""
+        raise NotImplementedError
+
+
+class SwimListener:
+    """Who a member tells about verdict-relevant transitions.
+
+    The simulator's :class:`SwimDetector` aggregates these into the
+    cluster-level verdict and scores detection latency against ground
+    truth; the real-process agent recomputes its local dead set and
+    triggers table repair.
+    """
+
+    def on_dead_marked(self, observer: Site, subject: Site,
+                       incarnation: int) -> None:  # pragma: no cover
+        """``observer`` convicted ``subject`` DEAD."""
+        raise NotImplementedError
+
+    def on_cleared(self, observer: Site, subject: Site, incarnation: int,
+                   firsthand: bool) -> None:  # pragma: no cover
+        """``observer`` acquitted ``subject`` (refutation or ack)."""
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
 # The view protocol and its trivial (oracle) implementation
 # ----------------------------------------------------------------------
 
@@ -121,15 +222,15 @@ class MembershipView:
     :class:`SiteView`.
     """
 
-    def state(self, site: WordTuple) -> int:  # pragma: no cover - protocol
+    def state(self, site: Site) -> int:  # pragma: no cover - protocol
         """The observer's belief about ``site``: ALIVE, SUSPECT or DEAD."""
         raise NotImplementedError
 
-    def is_alive(self, site: WordTuple) -> bool:
+    def is_alive(self, site: Site) -> bool:
         """False only for sites this view has *confirmed* dead."""
         return self.state(site) != DEAD
 
-    def trusts(self, site: WordTuple) -> bool:
+    def trusts(self, site: Site) -> bool:
         """True when the view holds the site fully alive (not suspected).
 
         The detour policy routes around everything it does not trust:
@@ -138,7 +239,7 @@ class MembershipView:
         """
         return self.state(site) == ALIVE
 
-    def dead_sites(self) -> FrozenSet[WordTuple]:  # pragma: no cover
+    def dead_sites(self) -> FrozenSet:  # pragma: no cover
         """Every site this view has confirmed dead."""
         raise NotImplementedError
 
@@ -182,46 +283,51 @@ class SiteView(MembershipView):
     State transitions follow the SWIM ordering rules — see
     :meth:`apply` — and every accepted transition is queued for
     piggybacked re-dissemination with a fresh epidemic budget.
+
+    ``host`` supplies the epidemic ``update_budget`` and receives the
+    ``on_dead_marked``/``on_cleared`` notifications (the
+    :class:`SwimListener` surface) — normally the owning
+    :class:`SwimMember`.
     """
 
-    __slots__ = ("observer", "incarnation", "_detector", "_states",
+    __slots__ = ("observer", "incarnation", "_host", "_states",
                  "_incarnations", "_updates")
 
-    def __init__(self, observer: WordTuple, detector: "SwimDetector") -> None:
+    def __init__(self, observer: Site, host) -> None:
         self.observer = observer
         #: The observer's *own* incarnation number (bumped to refute).
         self.incarnation = 0
-        self._detector = detector
-        self._states: Dict[WordTuple, int] = {}
-        self._incarnations: Dict[WordTuple, int] = {}
+        self._host = host
+        self._states: Dict[Site, int] = {}
+        self._incarnations: Dict[Site, int] = {}
         #: Dissemination buffer: subject -> [state, incarnation, budget].
-        self._updates: Dict[WordTuple, List] = {}
+        self._updates: Dict[Site, List] = {}
 
     # -- MembershipView -------------------------------------------------
 
-    def state(self, site: WordTuple) -> int:
+    def state(self, site: Site) -> int:
         """This observer's current belief about ``site``."""
         return self._states.get(site, ALIVE)
 
-    def incarnation_of(self, site: WordTuple) -> int:
+    def incarnation_of(self, site: Site) -> int:
         """The freshest incarnation number this view has seen for ``site``."""
         if site == self.observer:
             return self.incarnation
         return self._incarnations.get(site, 0)
 
-    def dead_sites(self) -> FrozenSet[WordTuple]:
+    def dead_sites(self) -> FrozenSet:
         """Sites this view has confirmed dead."""
         return frozenset(site for site, state in self._states.items()
                          if state == DEAD)
 
-    def suspected_sites(self) -> FrozenSet[WordTuple]:
+    def suspected_sites(self) -> FrozenSet:
         """Sites currently inside their suspicion (refutation) window."""
         return frozenset(site for site, state in self._states.items()
                          if state == SUSPECT)
 
     # -- the SWIM merge rule --------------------------------------------
 
-    def apply(self, state: int, subject: WordTuple, incarnation: int,
+    def apply(self, state: int, subject: Site, incarnation: int,
               firsthand: bool = False) -> bool:
         """Merge one record; True when it changed this view.
 
@@ -245,8 +351,8 @@ class SiteView(MembershipView):
             if state != ALIVE and incarnation >= self.incarnation:
                 self.incarnation = incarnation + 1
                 self._enqueue(ALIVE, subject, self.incarnation)
-                self._detector._on_cleared(self.observer, subject,
-                                           self.incarnation, firsthand=True)
+                self._host.on_cleared(self.observer, subject,
+                                      self.incarnation, firsthand=True)
                 return True
             return False
         current_state = self._states.get(subject, ALIVE)
@@ -257,8 +363,8 @@ class SiteView(MembershipView):
         if incarnation == current_inc and state <= current_state:
             if firsthand and state == ALIVE and current_state != ALIVE:
                 self._states.pop(subject, None)
-                self._detector._on_cleared(self.observer, subject,
-                                           incarnation, firsthand=True)
+                self._host.on_cleared(self.observer, subject,
+                                      incarnation, firsthand=True)
                 return True
             return False
         if state == ALIVE and incarnation == current_inc:
@@ -270,17 +376,16 @@ class SiteView(MembershipView):
             self._states[subject] = state
         self._enqueue(state, subject, incarnation)
         if state == DEAD and not was_dead:
-            self._detector._on_dead_marked(self.observer, subject,
-                                           incarnation)
+            self._host.on_dead_marked(self.observer, subject, incarnation)
         elif state == ALIVE:
-            self._detector._on_cleared(self.observer, subject, incarnation,
-                                       firsthand=firsthand)
+            self._host.on_cleared(self.observer, subject, incarnation,
+                                  firsthand=firsthand)
         return True
 
-    def _enqueue(self, state: int, subject: WordTuple,
+    def _enqueue(self, state: int, subject: Site,
                  incarnation: int) -> None:
         self._updates[subject] = [state, incarnation,
-                                  self._detector.update_budget]
+                                  self._host.update_budget]
 
     # -- piggybacking ---------------------------------------------------
 
@@ -311,6 +416,264 @@ class SiteView(MembershipView):
                 f"{summary})")
 
 
+# ----------------------------------------------------------------------
+# One protocol participant, transport-agnostic
+# ----------------------------------------------------------------------
+
+
+class SwimMember:
+    """One SWIM participant: the whole per-site state machine.
+
+    Drives probing, indirect probing, suspicion and dissemination for a
+    single site, speaking only through its :class:`Clock` and
+    :class:`Transport` — it never imports a simulator or a socket.  The
+    discrete-event detector and the real-process cluster agent both run
+    verbatim instances of this class; only the seams differ.
+
+    ``down_check`` (optional) reports whether the member's own host is
+    currently down — the simulator models crashed sites this way so a
+    failed site's timers go quiet and its rejoin bumps the incarnation.
+    A real process has no such oracle (a dead process simply stops), so
+    the cluster leaves it ``None``.
+
+    ``horizon`` (optional) stops the probe loop from rescheduling past
+    a fixed time — required under the simulator (an immortal timer
+    would keep ``run()`` alive forever), meaningless on a wall clock.
+    """
+
+    __slots__ = ("site", "config", "clock", "transport", "rng", "listener",
+                 "update_budget", "down_check", "horizon", "neighbors",
+                 "view", "_probe_seq", "_pending_probes", "_probe_order",
+                 "_probe_cursor", "_was_down")
+
+    def __init__(
+        self,
+        site: Site,
+        neighbors: Sequence[Site],
+        config: SwimConfig,
+        *,
+        clock: Clock,
+        transport: Transport,
+        rng: random.Random,
+        listener: SwimListener,
+        update_budget: int,
+        down_check: Optional[Callable[[], bool]] = None,
+        horizon: Optional[float] = None,
+    ) -> None:
+        self.site = site
+        self.neighbors = list(neighbors)
+        self.config = config
+        self.clock = clock
+        self.transport = transport
+        self.rng = rng
+        self.listener = listener
+        #: Piggyback budget handed to the view on every enqueue.
+        self.update_budget = update_budget
+        self.down_check = down_check
+        self.horizon = horizon
+        self.view = SiteView(site, self)
+        self._probe_seq = 0
+        #: Outstanding probes: probe id -> still waiting for an ack.
+        #: Probe ids are member-local; every ack (direct or relayed)
+        #: returns to the member that minted the id, so local sets are
+        #: equivalent to a global registry.
+        self._pending_probes: Set[int] = set()
+        #: Shuffled round-robin permutation + cursor (SWIM §4.3:
+        #: random-permutation round-robin bounds worst-case first-probe
+        #: time at ``2 * |neighbors| - 1`` intervals, where uniform
+        #: random sampling has an unbounded tail).
+        self._probe_order: Optional[List[Site]] = None
+        self._probe_cursor = 0
+        self._was_down = False
+
+    # -- SwimListener surface for the owned SiteView --------------------
+
+    def on_dead_marked(self, observer: Site, subject: Site,
+                       incarnation: int) -> None:
+        """Forward the owned view's conviction to the outer listener."""
+        self.listener.on_dead_marked(observer, subject, incarnation)
+
+    def on_cleared(self, observer: Site, subject: Site, incarnation: int,
+                   firsthand: bool) -> None:
+        """Forward the owned view's acquittal to the outer listener."""
+        self.listener.on_cleared(observer, subject, incarnation, firsthand)
+
+    # -- the probe loop -------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the probe loop at a random phase (de-synchronised ticks)."""
+        phase = self.rng.uniform(0.0, self.config.probe_interval)
+        self.clock.call_later(phase, self._tick)
+
+    def _tick(self) -> None:
+        now = self.clock.now()
+        interval = self.config.probe_interval
+        if self.horizon is None or now + interval <= self.horizon:
+            self.clock.call_later(interval, self._tick)
+        if self.down_check is not None and self.down_check():
+            self._was_down = True
+            return
+        view = self.view
+        if self._was_down:
+            # Rejoin after an outage: refute any standing death verdict
+            # with a fresher incarnation and announce it.  The rejoiner
+            # is itself a live observer, so its announcement also
+            # acquits it in the cluster-level verdict immediately.
+            self._was_down = False
+            view.incarnation += 1
+            view._enqueue(ALIVE, self.site, view.incarnation)
+            self.listener.on_cleared(self.site, self.site, view.incarnation,
+                                     firsthand=True)
+        neighbors = self.neighbors
+        if not neighbors:  # pragma: no cover - k >= 1 graphs have neighbors
+            return
+        rng = self.rng
+        # A suspect's refutation window is ticking: re-probing it beats
+        # scanning a healthy neighbor, both for clearing a wrong
+        # suspicion fast and for confirming a right one with evidence.
+        suspects = [n for n in neighbors if view.state(n) == SUSPECT]
+        if suspects:
+            target = suspects[rng.randrange(len(suspects))]
+        else:
+            target = self._next_round_robin()
+        self._probe(target)
+
+    def _next_round_robin(self) -> Site:
+        """The next probe target: shuffled round-robin."""
+        order = self._probe_order
+        cursor = self._probe_cursor
+        if order is None or cursor >= len(order):
+            order = list(self.neighbors)
+            self.rng.shuffle(order)
+            self._probe_order = order
+            cursor = 0
+        self._probe_cursor = cursor + 1
+        return order[cursor]
+
+    def _probe(self, target: Site) -> None:
+        probe_id = self._probe_seq = self._probe_seq + 1
+        self._pending_probes.add(probe_id)
+        self._send_ping(target, probe_id)
+        self.clock.call_later(
+            self.config.probe_timeout,
+            lambda: self._direct_timeout(target, probe_id))
+
+    def _direct_timeout(self, target: Site, probe_id: int) -> None:
+        if probe_id not in self._pending_probes:
+            return  # acked in time
+        if self.down_check is not None and self.down_check():
+            self._pending_probes.discard(probe_id)
+            return
+        config = self.config
+        helpers = [n for n in self.neighbors if n != target]
+        count = min(config.indirect_probes, len(helpers))
+        if count > 0:
+            for helper in self.rng.sample(helpers, count):
+                self.transport.send(self.site, helper, SwimPacket(
+                    "ping-req", self.site, probe_id, target=target))
+        self.clock.call_later(
+            config.probe_timeout,
+            lambda: self._indirect_timeout(target, probe_id))
+
+    def _indirect_timeout(self, target: Site, probe_id: int) -> None:
+        if probe_id not in self._pending_probes:
+            return
+        self._pending_probes.discard(probe_id)
+        if self.down_check is not None and self.down_check():
+            return
+        self._start_suspicion(target)
+
+    # -- suspicion ------------------------------------------------------
+
+    def _start_suspicion(self, subject: Site) -> None:
+        view = self.view
+        if view.state(subject) != ALIVE:
+            return  # already suspected or confirmed
+        incarnation = view.incarnation_of(subject)
+        if not view.apply(SUSPECT, subject, incarnation):
+            return  # pragma: no cover - guarded by the ALIVE check above
+        self.clock.call_later(
+            self.config.suspicion_timeout,
+            lambda: self._confirm(subject, incarnation))
+
+    def _confirm(self, subject: Site, incarnation: int) -> None:
+        if self.down_check is not None and self.down_check():
+            return
+        view = self.view
+        if view.state(subject) != SUSPECT:
+            return  # refuted (ALIVE) or already confirmed elsewhere
+        if view.incarnation_of(subject) != incarnation:
+            return  # a newer incarnation superseded this suspicion
+        view.apply(DEAD, subject, incarnation)
+
+    # -- packet I/O -----------------------------------------------------
+
+    def _send_ping(self, target: Site, probe_id: int,
+                   relay_to: Optional[Site] = None) -> None:
+        updates = self.view.collect_piggyback(self.config.piggyback_limit)
+        self.transport.send(self.site, target, SwimPacket(
+            "ping", self.site, probe_id, relay_to=relay_to,
+            updates=tuple(updates)))
+
+    def on_packet(self, packet: SwimPacket) -> None:
+        """Deliver one packet to this member (the transport's upcall)."""
+        kind = packet.kind
+        if kind == "ping":
+            self._handle_ping(packet)
+        elif kind == "ack":
+            self._handle_ack(packet)
+        elif kind == "ping-req":
+            self._send_ping(packet.target, packet.probe_id,
+                            relay_to=packet.source)
+        elif kind == "relayed-ack":
+            self._handle_relayed_ack(packet)
+        # Unknown kinds are dropped: a codec/version mismatch must never
+        # crash a member or fabricate evidence.
+
+    def _handle_ping(self, packet: SwimPacket) -> None:
+        view = self.view
+        for state, subject, inc in packet.updates:
+            view.apply(state, subject, inc)
+        # Receiving the ping is itself firsthand evidence the prober is
+        # alive (applied after the piggyback so a refutation-triggering
+        # SUSPECT about the prober cannot immediately re-shadow it).
+        view.apply(ALIVE, packet.source,
+                   view.incarnation_of(packet.source), firsthand=True)
+        # Ack back to the prober (or to the indirect helper, who relays).
+        ack_updates = view.collect_piggyback(self.config.piggyback_limit)
+        self.transport.send(self.site, packet.source, SwimPacket(
+            "ack", self.site, packet.probe_id, target=self.site,
+            incarnation=view.incarnation, relay_to=packet.relay_to,
+            updates=tuple(ack_updates)))
+
+    def _handle_ack(self, packet: SwimPacket) -> None:
+        view = self.view
+        for state, subject, inc in packet.updates:
+            view.apply(state, subject, inc)
+        # The ack is firsthand evidence: the target answered *after*
+        # whatever silence earned any standing accusation at this
+        # incarnation, so it clears a same-incarnation SUSPECT/DEAD.
+        view.apply(ALIVE, packet.target,
+                   max(packet.incarnation,
+                       view.incarnation_of(packet.target)),
+                   firsthand=True)
+        if packet.relay_to is not None:
+            # Indirect leg: pass the good news back to the origin.
+            self.transport.send(self.site, packet.relay_to, SwimPacket(
+                "relayed-ack", self.site, packet.probe_id,
+                target=packet.target, incarnation=packet.incarnation))
+            return
+        self._pending_probes.discard(packet.probe_id)
+
+    def _handle_relayed_ack(self, packet: SwimPacket) -> None:
+        self.view.apply(ALIVE, packet.target, packet.incarnation)
+        self._pending_probes.discard(packet.probe_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SwimMember({self.site!r}, {len(self.neighbors)} "
+                f"neighbors, inc={self.view.incarnation})")
+
+
 @dataclass
 class DetectionReport:
     """What one detector run measured (mirrors the stats fields)."""
@@ -330,20 +693,74 @@ class DetectionReport:
 
 
 # ----------------------------------------------------------------------
+# Simulator bindings for the seams
+# ----------------------------------------------------------------------
+
+
+class _SimulatorClock(Clock):
+    """Member timers on the discrete-event heap."""
+
+    def __init__(self, simulator: Simulator) -> None:
+        self.simulator = simulator
+
+    def now(self) -> float:
+        return self.simulator.now
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        self.simulator.call_at(self.simulator.now + delay,
+                               lambda sim, _fn=fn: _fn())
+
+
+class _SimulatorTransport(Transport):
+    """The out-of-band control channel: latency, liveness, loss — no queue.
+
+    Every packet costs one ``link_latency`` per leg, is dropped when the
+    sender is down at send time, the connecting link is cut, the
+    simulator's ``loss_fn`` loses it, or the receiver is down at arrival
+    time — but control packets do not occupy data-link bandwidth, so
+    installing the detector never perturbs data-traffic latency
+    statistics.
+    """
+
+    def __init__(self, detector: "SwimDetector") -> None:
+        self._detector = detector
+
+    def send(self, source: WordTuple, destination: WordTuple,
+             packet: SwimPacket) -> None:
+        detector = self._detector
+        simulator = detector.simulator
+        stats = simulator.stats
+        stats.membership_messages += 1
+        stats.membership_bytes += _PACKET_BYTES + 2 * simulator.k \
+            + _UPDATE_BYTES * len(packet.updates)
+        if simulator.is_failed(source):
+            return
+        if simulator.is_link_failed(source, destination):
+            return
+        if simulator.loss_fn is not None \
+                and simulator.loss_fn(source, destination):
+            return
+        member = detector._members[destination]
+
+        def arrive(sim: Simulator) -> None:
+            if sim.is_failed(destination):
+                return
+            member.on_packet(packet)
+
+        simulator.call_at(simulator.now + simulator.link_latency, arrive)
+
+
+# ----------------------------------------------------------------------
 # The detector
 # ----------------------------------------------------------------------
 
 
-class SwimDetector:
+class SwimDetector(SwimListener):
     """SWIM failure detection for every site of one simulator.
 
-    Drives itself entirely through :meth:`Simulator.call_at` timers, so
-    :meth:`start` then ``simulator.run()`` is the whole integration.
-    Protocol packets travel an out-of-band control channel: one
-    ``link_latency`` per leg, dropped when the receiver is down, the
-    connecting link is cut, or the simulator's ``loss_fn`` loses them —
-    but they do not occupy data-link bandwidth, so installing the
-    detector never perturbs data-traffic latency statistics.
+    Owns one :class:`SwimMember` per site, bound to the simulator
+    through :class:`_SimulatorClock` and :class:`_SimulatorTransport`,
+    so :meth:`start` then ``simulator.run()`` is the whole integration.
 
     ``view_at(site)`` is the per-site :class:`SiteView`;
     ``detected_dead()`` aggregates the confirmed-dead sets of currently
@@ -374,24 +791,21 @@ class SwimDetector:
         self.update_budget = max(
             3, math.ceil(self.config.retransmit_mult
                          * math.log2(space.order + 1)))
-        self._views: Dict[WordTuple, SiteView] = {
-            site: SiteView(site, self) for site in self.sites}
         self._neighbors: Dict[WordTuple, List[WordTuple]] = {
             site: self._adjacency(site) for site in self.sites}
-        self._rngs: Dict[WordTuple, random.Random] = {
-            site: random.Random(f"{self.config.seed}:site:{site}")
+        clock = _SimulatorClock(simulator)
+        transport = _SimulatorTransport(self)
+        self._members: Dict[WordTuple, SwimMember] = {
+            site: SwimMember(
+                site, self._neighbors[site], self.config,
+                clock=clock, transport=transport,
+                rng=random.Random(f"{self.config.seed}:site:{site}"),
+                listener=self, update_budget=self.update_budget,
+                down_check=(lambda _s=site: simulator.is_failed(_s)),
+                horizon=self.horizon)
             for site in self.sites}
-        self._probe_seq = 0
-        #: Round-robin probe schedules: per site, a shuffled permutation
-        #: of its neighbors and a cursor (SWIM §4.3: random-permutation
-        #: round-robin bounds worst-case first-probe time at
-        #: ``2 * |neighbors| - 1`` intervals, where uniform random
-        #: sampling has an unbounded tail).
-        self._probe_order: Dict[WordTuple, List[WordTuple]] = {}
-        self._probe_cursor: Dict[WordTuple, int] = {}
-        #: Outstanding probes: probe id -> still waiting for an ack.
-        self._pending_probes: Set[int] = set()
-        self._was_down: Dict[WordTuple, bool] = {}
+        self._views: Dict[WordTuple, SiteView] = {
+            site: member.view for site, member in self._members.items()}
         #: Measurement-only fault bookkeeping (ground truth, stats only).
         self._down_since: Dict[WordTuple, float] = {}
         self._credited: Set[WordTuple] = set()
@@ -447,11 +861,8 @@ class SwimDetector:
             return
         self._started = True
         self.simulator.add_event_hook(self._observe_event)
-        interval = self.config.probe_interval
         for site in self.sites:
-            # De-synchronised first ticks: a random phase per site.
-            phase = self._rngs[site].uniform(0.0, interval)
-            self.simulator.call_at(phase, self._make_tick(site))
+            self._members[site].start()
 
     def piggyback_on_traffic(self) -> None:
         """Also disseminate on the simulator's ordinary routed traffic.
@@ -500,214 +911,6 @@ class SwimDetector:
             latencies=list(stats.detection_latencies),
         )
 
-    # -- the probe loop -------------------------------------------------
-
-    def _make_tick(self, site: WordTuple) -> Callable[[Simulator], None]:
-        def tick(simulator: Simulator, _site=site) -> None:
-            self._tick(_site)
-        return tick
-
-    def _tick(self, site: WordTuple) -> None:
-        simulator = self.simulator
-        now = simulator.now
-        if now + self.config.probe_interval <= self.horizon:
-            simulator.call_at(now + self.config.probe_interval,
-                              self._make_tick(site))
-        if simulator.is_failed(site):
-            self._was_down[site] = True
-            return
-        view = self._views[site]
-        if self._was_down.pop(site, False):
-            # Rejoin after an outage: refute any standing death verdict
-            # with a fresher incarnation and announce it.  The rejoiner
-            # is itself a live observer, so its announcement also
-            # acquits it in the cluster-level verdict immediately.
-            view.incarnation += 1
-            view._enqueue(ALIVE, site, view.incarnation)
-            self._on_cleared(site, site, view.incarnation, firsthand=True)
-        neighbors = self._neighbors[site]
-        if not neighbors:  # pragma: no cover - k >= 1 graphs have neighbors
-            return
-        rng = self._rngs[site]
-        # A suspect's refutation window is ticking: re-probing it beats
-        # scanning a healthy neighbor, both for clearing a wrong
-        # suspicion fast and for confirming a right one with evidence.
-        suspects = [n for n in neighbors if view.state(n) == SUSPECT]
-        if suspects:
-            target = suspects[rng.randrange(len(suspects))]
-        else:
-            target = self._next_round_robin(site, rng)
-        self._probe(site, target)
-
-    def _next_round_robin(self, site: WordTuple,
-                          rng: random.Random) -> WordTuple:
-        """The site's next probe target: shuffled round-robin."""
-        order = self._probe_order.get(site)
-        cursor = self._probe_cursor.get(site, 0)
-        if order is None or cursor >= len(order):
-            order = list(self._neighbors[site])
-            rng.shuffle(order)
-            self._probe_order[site] = order
-            cursor = 0
-        self._probe_cursor[site] = cursor + 1
-        return order[cursor]
-
-    def _probe(self, prober: WordTuple, target: WordTuple) -> None:
-        config = self.config
-        simulator = self.simulator
-        probe_id = self._probe_seq = self._probe_seq + 1
-        self._pending_probes.add(probe_id)
-        self._send_ping(prober, target, probe_id)
-        simulator.call_at(simulator.now + config.probe_timeout,
-                          lambda sim: self._direct_timeout(
-                              prober, target, probe_id))
-
-    def _direct_timeout(self, prober: WordTuple, target: WordTuple,
-                        probe_id: int) -> None:
-        if probe_id not in self._pending_probes:
-            return  # acked in time
-        simulator = self.simulator
-        if simulator.is_failed(prober):
-            self._pending_probes.discard(probe_id)
-            return
-        config = self.config
-        helpers = [n for n in self._neighbors[prober] if n != target]
-        rng = self._rngs[prober]
-        count = min(config.indirect_probes, len(helpers))
-        if count > 0:
-            for helper in rng.sample(helpers, count):
-                self._send_packet(
-                    prober, helper,
-                    lambda sim, _h=helper: self._handle_ping_req(
-                        prober, _h, target, probe_id))
-        simulator.call_at(
-            simulator.now + config.probe_timeout,
-            lambda sim: self._indirect_timeout(prober, target, probe_id))
-
-    def _indirect_timeout(self, prober: WordTuple, target: WordTuple,
-                          probe_id: int) -> None:
-        if probe_id not in self._pending_probes:
-            return
-        self._pending_probes.discard(probe_id)
-        if self.simulator.is_failed(prober):
-            return
-        self._start_suspicion(prober, target)
-
-    # -- suspicion ------------------------------------------------------
-
-    def _start_suspicion(self, observer: WordTuple,
-                         subject: WordTuple) -> None:
-        view = self._views[observer]
-        if view.state(subject) != ALIVE:
-            return  # already suspected or confirmed
-        incarnation = view.incarnation_of(subject)
-        if not view.apply(SUSPECT, subject, incarnation):
-            return  # pragma: no cover - guarded by the ALIVE check above
-        self.simulator.call_at(
-            self.simulator.now + self.config.suspicion_timeout,
-            lambda sim: self._confirm(observer, subject, incarnation))
-
-    def _confirm(self, observer: WordTuple, subject: WordTuple,
-                 incarnation: int) -> None:
-        view = self._views[observer]
-        if self.simulator.is_failed(observer):
-            return
-        if view.state(subject) != SUSPECT:
-            return  # refuted (ALIVE) or already confirmed elsewhere
-        if view.incarnation_of(subject) != incarnation:
-            return  # a newer incarnation superseded this suspicion
-        view.apply(DEAD, subject, incarnation)
-
-    # -- the control channel --------------------------------------------
-
-    def _send_packet(self, source: WordTuple, destination: WordTuple,
-                     deliver: Callable[[Simulator], None],
-                     extra_bytes: int = 0) -> None:
-        """One control-channel packet: latency, liveness, loss — no queue."""
-        simulator = self.simulator
-        stats = simulator.stats
-        stats.membership_messages += 1
-        stats.membership_bytes += _PACKET_BYTES + 2 * simulator.k \
-            + extra_bytes
-        if simulator.is_failed(source):
-            return
-        if simulator.is_link_failed(source, destination):
-            return
-        if simulator.loss_fn is not None \
-                and simulator.loss_fn(source, destination):
-            return
-
-        def arrive(sim: Simulator) -> None:
-            if sim.is_failed(destination):
-                return
-            deliver(sim)
-
-        simulator.call_at(simulator.now + simulator.link_latency, arrive)
-
-    def _send_ping(self, source: WordTuple, target: WordTuple,
-                   probe_id: int,
-                   relay_to: Optional[WordTuple] = None) -> None:
-        updates = self._views[source].collect_piggyback(
-            self.config.piggyback_limit)
-        self._send_packet(
-            source, target,
-            lambda sim: self._handle_ping(source, target, probe_id,
-                                          updates, relay_to),
-            extra_bytes=_UPDATE_BYTES * len(updates))
-
-    def _handle_ping(self, source: WordTuple, target: WordTuple,
-                     probe_id: int, updates: List[Update],
-                     relay_to: Optional[WordTuple]) -> None:
-        view = self._views[target]
-        for state, subject, inc in updates:
-            view.apply(state, subject, inc)
-        # Receiving the ping is itself firsthand evidence the prober is
-        # alive (applied after the piggyback so a refutation-triggering
-        # SUSPECT about the prober cannot immediately re-shadow it).
-        view.apply(ALIVE, source, view.incarnation_of(source),
-                   firsthand=True)
-        # Ack back to the prober (or to the indirect helper, who relays).
-        ack_updates = view.collect_piggyback(self.config.piggyback_limit)
-        incarnation = view.incarnation
-        self._send_packet(
-            target, source,
-            lambda sim: self._handle_ack(source, target, probe_id,
-                                         incarnation, ack_updates,
-                                         relay_to),
-            extra_bytes=_UPDATE_BYTES * len(ack_updates))
-
-    def _handle_ack(self, receiver: WordTuple, target: WordTuple,
-                    probe_id: int, target_incarnation: int,
-                    updates: List[Update],
-                    relay_to: Optional[WordTuple]) -> None:
-        view = self._views[receiver]
-        for state, subject, inc in updates:
-            view.apply(state, subject, inc)
-        # The ack is firsthand evidence: the target answered *after*
-        # whatever silence earned any standing accusation at this
-        # incarnation, so it clears a same-incarnation SUSPECT/DEAD.
-        view.apply(ALIVE, target,
-                   max(target_incarnation, view.incarnation_of(target)),
-                   firsthand=True)
-        if relay_to is not None:
-            # Indirect leg: pass the good news back to the origin.
-            self._send_packet(
-                receiver, relay_to,
-                lambda sim: self._handle_relayed_ack(
-                    relay_to, target, probe_id, target_incarnation))
-            return
-        self._pending_probes.discard(probe_id)
-
-    def _handle_relayed_ack(self, origin: WordTuple, target: WordTuple,
-                            probe_id: int,
-                            target_incarnation: int) -> None:
-        self._views[origin].apply(ALIVE, target, target_incarnation)
-        self._pending_probes.discard(probe_id)
-
-    def _handle_ping_req(self, origin: WordTuple, helper: WordTuple,
-                         target: WordTuple, probe_id: int) -> None:
-        self._send_ping(helper, target, probe_id, relay_to=origin)
-
     # -- measurement hooks (ground truth, stats only) -------------------
 
     _outages = 0
@@ -724,8 +927,8 @@ class SwimDetector:
                 simulator.stats.false_negatives += 1
             self._credited.discard(event.node)
 
-    def _on_dead_marked(self, observer: WordTuple, subject: WordTuple,
-                        incarnation: int) -> None:
+    def on_dead_marked(self, observer: WordTuple, subject: WordTuple,
+                       incarnation: int) -> None:
         """An observer confirmed ``subject`` dead at ``incarnation``."""
         stats = self.simulator.stats
         standing = self._global_dead.get(subject)
@@ -758,8 +961,8 @@ class SwimDetector:
         if self.on_dead_change is not None:
             self.on_dead_change(self)
 
-    def _on_cleared(self, observer: WordTuple, subject: WordTuple,
-                    incarnation: int, firsthand: bool) -> None:
+    def on_cleared(self, observer: WordTuple, subject: WordTuple,
+                   incarnation: int, firsthand: bool) -> None:
         """An observer saw ALIVE evidence against a standing verdict.
 
         Fresher-incarnation ALIVE (the subject's own refutation, so

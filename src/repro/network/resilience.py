@@ -394,6 +394,35 @@ class LocalDetourPolicy:
 
     # -- table mode: distance-layer deflection --------------------------
 
+    def ranked_alternatives(self, table: CompiledRouteTable, current: int,
+                            blocked: int, destination: int
+                            ) -> List[Tuple[int, int]]:
+        """Detour candidates from ``current`` as ``(neighbor, action)``.
+
+        The distance-layer deflection rule shared by the simulator's
+        detour hook and the cluster engine's liveness-checked table
+        walk: every neighbor of ``current`` except itself and the
+        ``blocked`` next hop, ranked by the table's distance-to-
+        ``destination`` byte (ties by packed id), unreachable neighbors
+        dropped.  All coordinates are packed; the paired action byte is
+        the shift that moves ``current`` onto the neighbor, so callers
+        can extend a path, not just pick an address.
+        """
+        space = self.space
+        d = space.d
+        dest_base = destination * space.order
+        distances = table.distances
+        actions_of: Dict[int, int] = {}
+        for action in range(d if table.directed else 2 * d):
+            nbr = space.apply_action(current, action)
+            if nbr != current and nbr != blocked and nbr not in actions_of:
+                actions_of[nbr] = action
+        return sorted(
+            ((nbr, action) for nbr, action in actions_of.items()
+             if distances[dest_base + nbr] != ACTION_UNREACHABLE),
+            key=lambda pair: (distances[dest_base + pair[0]], pair[0]),
+        )
+
     def _detour_table(self, simulator, address: WordTuple,
                       blocked: WordTuple, message: Message
                       ) -> Optional[WordTuple]:
@@ -402,22 +431,9 @@ class LocalDetourPolicy:
         current = space.pack(address)
         blocked_packed = space.pack(blocked)
         dest_base = message.packed_dest_base
-        distances = table.distances
-        candidates: List[int] = []
-        for nbr in space.left_neighbors(current):
-            if nbr != current and nbr != blocked_packed:
-                candidates.append(nbr)
-        if not table.directed:
-            for nbr in space.right_neighbors(current):
-                if nbr != current and nbr != blocked_packed \
-                        and nbr not in candidates:
-                    candidates.append(nbr)
-        ranked = sorted(
-            (nbr for nbr in candidates
-             if distances[dest_base + nbr] != ACTION_UNREACHABLE),
-            key=lambda nbr: (distances[dest_base + nbr], nbr),
-        )
-        for nbr in ranked[:self.max_alternatives]:
+        ranked = self.ranked_alternatives(
+            table, current, blocked_packed, dest_base // space.order)
+        for nbr, _action in ranked[:self.max_alternatives]:
             neighbor_address = space.unpack(nbr)
             if self._distrusts(simulator, address, neighbor_address) or \
                     simulator.is_link_failed(address, neighbor_address):

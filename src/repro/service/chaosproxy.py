@@ -55,6 +55,8 @@ __all__ = [
     "FaultPlan",
     "ChaosProxy",
     "ChaosProxyThread",
+    "DatagramFaultPlan",
+    "UdpChaosProxy",
     "DIRECTIONS",
 ]
 
@@ -535,3 +537,162 @@ class ChaosProxyThread:
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+
+# ----------------------------------------------------------------------
+# Datagram (membership-port) chaos
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DatagramFaultPlan:
+    """Seeded wire faults for a UDP relay (the SWIM membership port).
+
+    Datagram semantics make most TCP faults meaningless (no streams to
+    reset or trickle); what remains is exactly what SWIM is built to
+    survive: loss, delay, and darkness.  ``drop_rate`` is a per-datagram
+    Bernoulli draw; latency/jitter delay the relay of each datagram
+    independently (reordering included, as real networks do).
+    """
+
+    seed: str = "udp-chaos"
+    #: Per-datagram probability of silent loss.
+    drop_rate: float = 0.0
+    #: Added relay latency per datagram, milliseconds.
+    latency_ms: float = 0.0
+    #: Uniform extra jitter on top of ``latency_ms``, milliseconds.
+    jitter_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_rate <= 1.0:
+            raise ValueError(
+                f"drop_rate must be in [0, 1], got {self.drop_rate}")
+        if self.latency_ms < 0 or self.jitter_ms < 0:
+            raise ValueError("latency_ms and jitter_ms must be non-negative")
+
+
+class _UdpRelayProtocol(asyncio.DatagramProtocol):
+    def __init__(self, proxy: "UdpChaosProxy") -> None:
+        self._proxy = proxy
+
+    def connection_made(self, transport) -> None:
+        self._proxy._transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self._proxy._relay(data)
+
+    def error_received(self, exc: Exception) -> None:
+        pass  # ICMP unreachable from a dead upstream: expected mid-fault
+
+
+class UdpChaosProxy:
+    """A datagram relay in front of one node's membership port.
+
+    Every peer addresses the shadowed node *through* its proxy, so one
+    proxy controls everything that node can hear: :meth:`partition`
+    black-holes its ingress, and :meth:`block_sender` discards traffic
+    from specific origin nodes (``sender_of`` peeks the node id out of
+    the datagram) — together the two sides of a bidirectional isolation,
+    since the victim's own egress is silenced by blocking it at every
+    *other* node's ingress proxy.
+
+    Replies never traverse the proxy: SWIM acks are standalone
+    datagrams addressed via the peer map, so an ingress-only relay is a
+    complete interposition — no NAT state to desynchronise.
+    """
+
+    def __init__(
+        self,
+        upstream: Tuple[str, int],
+        plan: Optional[DatagramFaultPlan] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        sender_of=None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.upstream = upstream
+        self.plan = plan if plan is not None else DatagramFaultPlan()
+        self.host = host
+        self.port = port
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: Callable peeking the sender node id from a datagram (None ->
+        #: sender blocking disabled).  Must never raise on garbage.
+        self.sender_of = sender_of
+        self.blocked_senders: set = set()
+        self._partitioned = False
+        self._transport = None
+        self._rng = random.Random(f"{self.plan.seed}:{upstream}")
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the relay socket; returns the address peers should dial."""
+        loop = asyncio.get_running_loop()
+        transport, _ = await loop.create_datagram_endpoint(
+            lambda: _UdpRelayProtocol(self),
+            local_addr=(self.host, self.port))
+        self._transport = transport
+        sockname = transport.get_extra_info("sockname")
+        self.port = sockname[1]
+        return (sockname[0], self.port)
+
+    # -- fault controls (call from the proxy's loop) ---------------------
+
+    def partition(self) -> None:
+        """Black-hole every datagram toward the shadowed node."""
+        self._partitioned = True
+        self.registry.inc("proxy.partitions")
+
+    def heal(self) -> None:
+        """Lift :meth:`partition`; relaying resumes immediately."""
+        self._partitioned = False
+        self.registry.inc("proxy.heals")
+
+    def block_sender(self, node_id: int) -> None:
+        """Discard datagrams whose origin is ``node_id``."""
+        self.blocked_senders.add(node_id)
+
+    def unblock_sender(self, node_id: int) -> None:
+        """Lift :meth:`block_sender` for ``node_id``."""
+        self.blocked_senders.discard(node_id)
+
+    # -- the relay -------------------------------------------------------
+
+    def _relay(self, data: bytes) -> None:
+        registry = self.registry
+        if self._partitioned:
+            registry.inc("proxy.datagrams_blackholed")
+            return
+        if self.blocked_senders and self.sender_of is not None:
+            try:
+                sender = self.sender_of(data)
+            except Exception:
+                sender = None
+            if sender in self.blocked_senders:
+                registry.inc("proxy.datagrams_blocked")
+                return
+        plan = self.plan
+        rng = self._rng
+        if plan.drop_rate > 0 and rng.random() < plan.drop_rate:
+            registry.inc("proxy.datagrams_dropped")
+            return
+        delay = 0.0
+        if plan.latency_ms > 0 or plan.jitter_ms > 0:
+            delay = (plan.latency_ms
+                     + rng.uniform(0.0, plan.jitter_ms)) / 1000.0
+        if delay > 0:
+            asyncio.get_running_loop().call_later(
+                delay, self._forward, data)
+        else:
+            self._forward(data)
+
+    def _forward(self, data: bytes) -> None:
+        transport = self._transport
+        if transport is None or transport.is_closing():
+            return
+        transport.sendto(data, self.upstream)
+        self.registry.inc("proxy.datagrams_relayed")
+
+    async def stop(self) -> None:
+        """Close the relay socket."""
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None

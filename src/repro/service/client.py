@@ -569,6 +569,12 @@ class RobustRouteClient:
     filled with synthetic ``TIMEOUT`` replies carrying
     :data:`CLIENT_DEADLINE_MESSAGE` and counted in
     ``client.deadline_exceeded``.
+
+    ``fallbacks`` lists alternate ``(host, port)`` endpoints serving the
+    same table (e.g. the surviving processes of a cluster).  When an
+    attempt dies on a transport fault the client rotates to the next
+    endpoint before retrying — counted in ``client.failovers`` — so a
+    burst survives its primary being SIGKILLed mid-flight.
     """
 
     def __init__(
@@ -581,11 +587,18 @@ class RobustRouteClient:
         breaker: Optional[BreakerConfig] = None,
         registry: Optional[MetricsRegistry] = None,
         connect_timeout: float = 5.0,
+        fallbacks: Sequence[Tuple[str, int]] = (),
     ) -> None:
         self.policy = policy or RetryPolicy()
         self.registry = registry or MetricsRegistry()
         self.breaker = CircuitBreaker(breaker, self.registry)
         self._rng = random.Random(self.policy.seed)
+        self._endpoints: List[Tuple[str, int]] = [(host, port)]
+        self._endpoints.extend((h, p) for h, p in fallbacks)
+        self._endpoint_index = 0
+        self._d = d
+        self._pool_size = pool_size
+        self._connect_timeout = connect_timeout
         self._primary = RouteServiceClient(
             host, port, d=d, pool_size=pool_size, connect_timeout=connect_timeout
         )
@@ -593,6 +606,30 @@ class RobustRouteClient:
         if self.policy.hedge_after is not None:
             self._hedge = RouteServiceClient(
                 host, port, d=d, pool_size=1, connect_timeout=connect_timeout
+            )
+
+    @property
+    def endpoint(self) -> Tuple[str, int]:
+        """The ``(host, port)`` the next attempt will dial."""
+        return self._endpoints[self._endpoint_index]
+
+    def _rotate_endpoint(self) -> None:
+        """Point the (already-closed) clients at the next endpoint."""
+        if len(self._endpoints) < 2:
+            return
+        self._endpoint_index = (
+            self._endpoint_index + 1
+        ) % len(self._endpoints)
+        host, port = self._endpoints[self._endpoint_index]
+        self.registry.inc("client.failovers")
+        self._primary = RouteServiceClient(
+            host, port, d=self._d, pool_size=self._pool_size,
+            connect_timeout=self._connect_timeout,
+        )
+        if self._hedge is not None:
+            self._hedge = RouteServiceClient(
+                host, port, d=self._d, pool_size=1,
+                connect_timeout=self._connect_timeout,
             )
 
     async def close(self) -> None:
@@ -688,10 +725,12 @@ class RobustRouteClient:
                 self.breaker.record_failure()
                 # A timed-out or failed attempt may leave pooled
                 # connections mid-stream (or fated to trickle forever);
-                # drop them so the retry dials fresh ones.
+                # drop them so the retry dials fresh ones — at the next
+                # fallback endpoint, when one is configured.
                 await self._primary.close()
                 if self._hedge is not None:
                     await self._hedge.close()
+                self._rotate_endpoint()
             if outcome is not None:
                 self.breaker.record_success()
             # Harvest the scratch buffer either way: an abandoned
@@ -838,14 +877,37 @@ def query_once(
     d: int,
     directed: bool = False,
     want_path: bool = True,
+    retries: int = 3,
+    backoff: float = 0.05,
 ) -> RouteReply:
-    """Connect, ask one query, disconnect — the smallest possible client."""
+    """Connect, ask one query, disconnect — the smallest possible client.
 
-    async def _run() -> RouteReply:
+    A connection refused or reset is retried on a fresh socket up to
+    ``retries`` extra times with seeded-jitter backoff: worker respawn
+    windows (the supervisor recycling a crashed worker, a cluster node
+    restarting) last tens of milliseconds, and a one-shot query should
+    ride them out rather than bubble ``ECONNREFUSED`` to the operator.
+    The final attempt's failure propagates.
+    """
+
+    async def _attempt() -> RouteReply:
         async with RouteServiceClient(host, port, d=d) as client:
             return await client.query(
                 source, destination, directed=directed, want_path=want_path
             )
+
+    async def _run() -> RouteReply:
+        rng = random.Random(f"query-once:{host}:{port}")
+        for attempt in range(retries + 1):
+            try:
+                return await _attempt()
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                if attempt == retries:
+                    raise
+                await asyncio.sleep(
+                    backoff * (attempt + 1) * (0.5 + rng.random() / 2)
+                )
+        raise ServiceError("unreachable")  # pragma: no cover
 
     return asyncio.run(_run())
 
@@ -889,6 +951,7 @@ def run_robust_burst(
     window: int = 256,
     policy: Optional[RetryPolicy] = None,
     breaker: Optional[BreakerConfig] = None,
+    fallbacks: Sequence[Tuple[str, int]] = (),
 ) -> Tuple[QueryOutcome, Dict[str, object]]:
     """Blocking hardened burst; returns (outcome, client metrics
     snapshot) so callers can report ``client.*`` counters alongside the
@@ -896,7 +959,8 @@ def run_robust_burst(
 
     async def _run() -> Tuple[QueryOutcome, Dict[str, object]]:
         async with RobustRouteClient(
-            host, port, d=d, pool_size=pool_size, policy=policy, breaker=breaker
+            host, port, d=d, pool_size=pool_size, policy=policy,
+            breaker=breaker, fallbacks=fallbacks,
         ) as client:
             outcome = await client.query_many(
                 pairs, directed=directed, want_path=want_path, window=window
@@ -914,8 +978,10 @@ def fetch_stats(
     A ``STATS`` request is idempotent and tiny, so when the wire is
     hostile (e.g. the connection dies mid-reply behind a chaos proxy)
     the round trip is simply repeated on a fresh connection, up to
-    ``retries`` extra attempts with a linear ``backoff`` between them.
-    The final attempt's failure propagates.
+    ``retries`` extra attempts with seeded-jitter ``backoff`` between
+    them — jittered so a fleet of pollers hammering a respawning worker
+    doesn't re-synchronize its retries.  The final attempt's failure
+    propagates.
     """
 
     async def _attempt() -> Dict[str, object]:
@@ -923,13 +989,17 @@ def fetch_stats(
             return await client.stats()
 
     async def _run() -> Dict[str, object]:
+        rng = random.Random(f"fetch-stats:{host}:{port}")
         for attempt in range(retries + 1):
             try:
                 return await _attempt()
-            except (ConnectionError, OSError, ServiceError):
+            except (ConnectionError, OSError, ServiceError,
+                    asyncio.TimeoutError):
                 if attempt == retries:
                     raise
-                await asyncio.sleep(backoff * (attempt + 1))
+                await asyncio.sleep(
+                    backoff * (attempt + 1) * (0.5 + rng.random() / 2)
+                )
         raise ServiceError("unreachable")  # pragma: no cover
 
     return asyncio.run(_run())

@@ -169,6 +169,7 @@ class ServiceSupervisor:
         self.restarts_used = 0
         self.workers_lost = 0  #: crashes past the restart budget
         self.hung_recycles = 0  #: heartbeat-detected hangs -> SIGKILL
+        self.escalations = 0  #: second-SIGTERM hard kills of stragglers
         self.final_snapshot: Optional[dict] = None
         self._procs: Dict[int, multiprocessing.process.BaseProcess] = {}
         self._generations: Dict[int, int] = {}
@@ -286,6 +287,29 @@ class ServiceSupervisor:
                 os.rmdir(self._control_dir)
             except OSError:  # pragma: no cover
                 pass
+
+    def escalate(self) -> None:
+        """Immediately SIGKILL every still-live worker.
+
+        The second-SIGTERM path: :meth:`stop` drains gracefully and
+        waits out ``drain_timeout`` for slow workers, but an operator
+        (or init system) sending a *second* SIGTERM means "now" — a
+        worker wedged in a handler must not hold the shutdown hostage.
+        Safe to call while :meth:`stop` is mid-wait: the kills make the
+        pending joins return immediately, and draining mode keeps the
+        exit sentinels from respawning anything.
+        """
+        self._draining = True  # never respawn what we are about to kill
+        killed = 0
+        for proc in list(self._procs.values()):
+            if proc.pid is not None and proc.is_alive():
+                try:
+                    os.kill(proc.pid, signal.SIGKILL)
+                    killed += 1
+                except (ProcessLookupError, OSError):  # pragma: no cover
+                    pass
+        if killed:
+            self.escalations += killed
 
     async def __aenter__(self) -> "ServiceSupervisor":
         await self.start()
@@ -525,6 +549,7 @@ class ServiceSupervisor:
         snapshot["counters"]["fleet.restarts"] = self.restarts_used
         snapshot["counters"]["fleet.workers_lost"] = self.workers_lost
         snapshot["counters"]["supervisor.hung_recycles"] = self.hung_recycles
+        snapshot["counters"]["supervisor.escalations"] = self.escalations
         snapshot["fleet"] = {
             "workers": len(wrapped),
             "expected_workers": self.config.workers,
@@ -532,6 +557,7 @@ class ServiceSupervisor:
             "restarts": self.restarts_used,
             "workers_lost": self.workers_lost,
             "hung_recycles": self.hung_recycles,
+            "escalations": self.escalations,
             "per_worker": per_worker,
         }
         return snapshot
@@ -756,6 +782,10 @@ class SupervisorThread:
     def kill_worker(self, pid: int, sig: int = signal.SIGKILL) -> None:
         """Hard-kill one worker (crash-respawn scenarios)."""
         os.kill(pid, sig)
+
+    def escalate(self) -> None:
+        """Thread-safe :meth:`ServiceSupervisor.escalate` (second SIGTERM)."""
+        self._loop.call_soon_threadsafe(self.supervisor.escalate)
 
     def wait_for_workers(self, count: int, timeout: float = 30.0) -> bool:
         """Block until ``count`` workers are alive (respawn settling)."""

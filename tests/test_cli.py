@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -558,3 +560,34 @@ def test_serve_command_read_timeout_and_max_connections(capsys):
                  "--duration", "0.2", "--read-timeout", "1.0",
                  "--max-connections", "16"]) == 0
     assert "serving DG(2,3)" in capsys.readouterr().out
+
+
+def test_cluster_drill_command(tmp_path, capsys):
+    report_path = tmp_path / "drill.json"
+    assert main(["cluster", "drill", "-d", "2", "-k", "5", "--nodes", "3",
+                 "--queries", "300", "--window", "32",
+                 "--probe-interval", "0.15", "--probe-timeout", "0.08",
+                 "--suspicion-timeout", "0.4", "--repair-delay", "0.2",
+                 "--workdir", str(tmp_path),
+                 "--json", str(report_path), "--assert-complete"]) == 0
+    out = capsys.readouterr().out
+    assert "0 lost" in out
+    assert "byte-identical" in out
+    report = json.loads(report_path.read_text())
+    assert report["fault_burst"]["lost"] == 0
+    assert set(report["detection_s"]) == {"0", "1"}
+
+
+def test_cluster_up_command_with_scripted_kill(tmp_path, capsys):
+    assert main(["cluster", "up", "-d", "2", "-k", "5", "--nodes", "3",
+                 "--probe-interval", "0.15", "--probe-timeout", "0.08",
+                 "--suspicion-timeout", "0.4", "--workdir", str(tmp_path),
+                 "--kill", "1", "--kill-after", "0.5",
+                 "--duration", "3.0", "--status-interval", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "cluster up: 3 node processes" in out
+    assert "kill node 1" in out
+    assert "1:DOWN" in out
+    # The survivors' final status lines show the verdict bit for node 1.
+    assert "mask=2" in out
+    assert "cluster stopped" in out

@@ -1,0 +1,184 @@
+"""SWIM datagram codec: round-trip + hostile-input fuzz (E25).
+
+Mirrors the E24 FrameDecoder fuzz for the cluster's UDP wire format:
+every structurally valid packet survives an encode/decode round trip
+bit-for-bit, and *no* datagram — random garbage, truncations, padded
+tails, or single-bit corruptions of valid packets — may do anything but
+decode cleanly or raise :class:`~repro.exceptions.ProtocolError`.  At
+the agent level that contract means malformed gossip can never crash a
+node or fabricate a DEAD verdict.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.codec import (MAX_DATAGRAM, decode_packet, encode_packet,
+                                 peek_source)
+from repro.exceptions import ProtocolError
+from repro.network.membership import (ALIVE, DEAD, SUSPECT, SwimConfig,
+                                      SwimPacket)
+
+N_NODES = 8
+
+_sites = st.integers(0, N_NODES - 1)
+_maybe_sites = st.none() | _sites
+_u32 = st.integers(0, 0xFFFFFFFF)
+_updates = st.lists(
+    st.tuples(st.sampled_from([ALIVE, SUSPECT, DEAD]), _sites, _u32),
+    max_size=12,
+)
+_packets = st.builds(
+    SwimPacket,
+    kind=st.sampled_from(["ping", "ping-req", "ack", "relayed-ack"]),
+    source=_sites,
+    probe_id=_u32,
+    target=_maybe_sites,
+    incarnation=_u32,
+    relay_to=_maybe_sites,
+    updates=_updates.map(tuple),
+)
+
+
+# ----------------------------------------------------------------------
+# Round trip
+# ----------------------------------------------------------------------
+
+
+@given(_packets)
+@settings(max_examples=200, deadline=None)
+def test_roundtrip_bit_for_bit(packet):
+    data = encode_packet(packet)
+    assert len(data) <= MAX_DATAGRAM
+    decoded = decode_packet(data, N_NODES)
+    assert decoded == packet
+    assert peek_source(data) == packet.source
+
+
+@given(_packets, st.data())
+@settings(max_examples=200, deadline=None)
+def test_truncation_and_padding_always_rejected(packet, data):
+    """Any length change breaks the exact-size contract — whole-packet
+    rejection, never a partial parse."""
+    blob = encode_packet(packet)
+    cut = data.draw(st.integers(0, len(blob) - 1))
+    with pytest.raises(ProtocolError):
+        decode_packet(blob[:cut], N_NODES)
+    pad = data.draw(st.binary(min_size=1, max_size=9))
+    with pytest.raises(ProtocolError):
+        decode_packet(blob + pad, N_NODES)
+
+
+@given(_packets, st.data())
+@settings(max_examples=300, deadline=None)
+def test_bit_flips_never_escape_protocol_error(packet, data):
+    """A corrupted valid packet either still decodes (the flip hit a
+    don't-care or stayed in range) or raises ProtocolError — nothing
+    else, and never a packet referencing a node outside the cluster."""
+    blob = bytearray(encode_packet(packet))
+    index = data.draw(st.integers(0, len(blob) - 1))
+    bit = data.draw(st.integers(0, 7))
+    blob[index] ^= 1 << bit
+    try:
+        decoded = decode_packet(bytes(blob), N_NODES)
+    except ProtocolError:
+        return
+    assert 0 <= decoded.source < N_NODES
+    for site in (decoded.target, decoded.relay_to):
+        assert site is None or 0 <= site < N_NODES
+    for state, subject, _ in decoded.updates:
+        assert ALIVE <= state <= DEAD
+        assert 0 <= subject < N_NODES
+
+
+@given(st.binary(max_size=MAX_DATAGRAM + 32))
+@settings(max_examples=300, deadline=None)
+def test_random_garbage_never_escapes_protocol_error(blob):
+    try:
+        decode_packet(blob, N_NODES)
+    except ProtocolError:
+        pass
+    peek_source(blob)  # must never raise on anything
+
+
+# ----------------------------------------------------------------------
+# Validation specifics
+# ----------------------------------------------------------------------
+
+
+def test_decode_rejects_out_of_cluster_ids():
+    packet = SwimPacket(kind="ping", source=5, probe_id=1,
+                        updates=((ALIVE, 6, 0),))
+    blob = encode_packet(packet)
+    # The same bytes against a smaller cluster: both the source and the
+    # update subject are now phantom nodes.
+    with pytest.raises(ProtocolError):
+        decode_packet(blob, 5)
+
+
+def test_decode_rejects_wrong_magic_version_kind():
+    blob = bytearray(encode_packet(
+        SwimPacket(kind="ack", source=1, probe_id=7, incarnation=3)))
+    wrong_magic = bytearray(blob)
+    wrong_magic[0] ^= 0xFF
+    with pytest.raises(ProtocolError):
+        decode_packet(bytes(wrong_magic), N_NODES)
+    wrong_version = bytearray(blob)
+    wrong_version[2] = 0x7F
+    with pytest.raises(ProtocolError):
+        decode_packet(bytes(wrong_version), N_NODES)
+    wrong_kind = bytearray(blob)
+    wrong_kind[3] = 9
+    with pytest.raises(ProtocolError):
+        decode_packet(bytes(wrong_kind), N_NODES)
+
+
+def test_encode_rejects_invalid_fields():
+    with pytest.raises(ProtocolError):
+        encode_packet(SwimPacket(kind="nack", source=0, probe_id=0))
+    with pytest.raises(ProtocolError):
+        encode_packet(SwimPacket(kind="ping", source=-1, probe_id=0))
+    with pytest.raises(ProtocolError):
+        encode_packet(SwimPacket(kind="ping", source=0, probe_id=1 << 32))
+    with pytest.raises(ProtocolError):
+        encode_packet(SwimPacket(kind="ping", source=0, probe_id=0,
+                                 updates=((7, 1, 0),)))
+    with pytest.raises(ProtocolError):
+        encode_packet(SwimPacket(
+            kind="ping", source=0, probe_id=0,
+            updates=tuple((ALIVE, 1, 0) for _ in range(256))))
+
+
+# ----------------------------------------------------------------------
+# Agent-level contract: malformed gossip is inert
+# ----------------------------------------------------------------------
+
+
+@given(st.lists(st.binary(max_size=64), min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_malformed_gossip_never_crashes_or_convicts(blobs):
+    """Feed arbitrary datagrams straight into a live agent's ingress:
+    it must neither raise nor mark anyone DEAD on unverified bytes."""
+    import asyncio
+
+    from repro.cluster.swim import SwimAgent
+
+    async def _run() -> None:
+        agent = SwimAgent(
+            0, N_NODES,
+            SwimConfig(probe_interval=60.0, probe_timeout=30.0,
+                       suspicion_timeout=120.0),
+            peers={}, bind=("127.0.0.1", 0))
+        await agent.start()
+        try:
+            for blob in blobs:
+                agent._on_datagram(blob)
+            assert agent.dead_nodes() == frozenset()
+            counters = agent.registry.snapshot()["counters"]
+            assert counters.get("swim.convictions", 0) == 0
+        finally:
+            await agent.close()
+
+    asyncio.run(_run())

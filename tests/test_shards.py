@@ -206,6 +206,69 @@ def test_cache_dir_persists_and_survives_corruption(tmp_path, full_table):
     assert distance == full_table.distance_packed(0, 20)
     assert rebuilt.stats()["compiled"] == 1
 
+    # A torn write — the file replaced by a prefix of a *different*
+    # valid shard image, as a non-atomic writer killed mid-write would
+    # leave — is likewise detected and rebuilt, not served.
+    with open(path, "rb") as handle:
+        image = handle.read()
+    with open(path, "wb") as handle:
+        handle.write(image[: len(image) - len(image) // 3])
+    torn = ShardedRouteTable(D, K, rows_per_shard=16, cache_dir=cache,
+                             synchronous=True)
+    distance, _ = torn.resolve_packed(0, 20, False)
+    assert distance == full_table.distance_packed(0, 20)
+    assert torn.stats()["compiled"] == 1
+    assert torn.stats()["loaded"] == 0
+
+    # A flipped header byte (bit rot, not truncation) fails the v2
+    # header checksum and rebuilds too.
+    with open(path, "r+b") as handle:
+        handle.seek(6)
+        byte = handle.read(1)
+        handle.seek(6)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    rotten = ShardedRouteTable(D, K, rows_per_shard=16, cache_dir=cache,
+                               synchronous=True)
+    distance, _ = rotten.resolve_packed(0, 20, False)
+    assert distance == full_table.distance_packed(0, 20)
+    assert rotten.stats()["compiled"] == 1
+
+
+def test_shard_save_is_atomic_and_checksummed(tmp_path):
+    shard = RouteShard.compile(D, K, 0, 8)
+    path = str(tmp_path / "s.dbrs")
+    shard.save(path)
+    # No temporary droppings survive a successful save.
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["s.dbrs"]
+    with open(path, "rb") as handle:
+        payload = bytearray(handle.read())
+    # Body corruption is caught by the checksum on the full-read path.
+    payload[-1] ^= 0xFF
+    bad = tmp_path / "bad.dbrs"
+    bad.write_bytes(payload)
+    with pytest.raises(InvalidParameterError):
+        RouteShard.load(str(bad), use_mmap=False)
+
+
+def test_shard_load_accepts_legacy_v1_files(tmp_path):
+    import struct as _struct
+
+    shard = RouteShard.compile(D, K, 0, 8)
+    legacy = str(tmp_path / "legacy.dbrs")
+    with open(legacy, "wb") as handle:
+        handle.write(b"DBRS\x01")
+        handle.write(_struct.pack("<BBBxQQQ", shard.d, shard.k,
+                                  int(shard.directed), shard.order,
+                                  shard.start, shard.stop))
+        handle.write(bytes(shard.distances))
+        handle.write(bytes(shard.actions))
+    loaded = RouteShard.load(legacy)
+    try:
+        assert bytes(loaded.distances) == bytes(shard.distances)
+        assert bytes(loaded.actions) == bytes(shard.actions)
+    finally:
+        loaded.close()
+
 
 def test_manager_parameter_validation():
     with pytest.raises(InvalidParameterError):

@@ -292,3 +292,36 @@ def test_fleet_sigstop_worker_is_detected_hung_and_recycled():
                             _pairs(2, 6, 100, seed=61), 2,
                             pool_size=2, reconnect=4)
         assert outcome.ok_count == 100
+
+
+def test_second_sigterm_escalates_to_sigkill_of_stragglers():
+    """Satellite (E25): a graceful drain waits out ``drain_timeout`` for
+    a wedged worker; ``escalate()`` — the second-SIGTERM path — must cut
+    that short by hard-killing the stragglers immediately."""
+    config = SupervisorConfig(workers=2, heartbeat_interval=0.0,
+                              drain_timeout=30.0)
+    live = SupervisorThread(SPEC, config)
+    frozen = list(live.worker_pids())
+    assert len(frozen) == 2
+    for pid in frozen:
+        os.kill(pid, signal.SIGSTOP)  # SIGTERM alone can't drain these
+    try:
+        started = time.monotonic()
+        closer = threading.Thread(target=live.close)
+        closer.start()
+        time.sleep(0.5)  # first "SIGTERM" (graceful stop) is in flight
+        live.escalate()  # the second one: kill the stragglers *now*
+        closer.join(timeout=20.0)
+        elapsed = time.monotonic() - started
+        assert not closer.is_alive(), "drain never finished"
+        # Far below the 30s drain window (+5s slack) the graceful path
+        # would have waited out: the escalation did the cutting.
+        assert elapsed < 20.0, f"drain took {elapsed:.1f}s despite escalate"
+        assert live.supervisor.escalations >= 1
+        assert live.worker_pids() == []
+    finally:
+        for pid in frozen:
+            try:
+                os.kill(pid, signal.SIGCONT)
+            except (ProcessLookupError, OSError):
+                pass

@@ -135,7 +135,8 @@ def test_save_load_roundtrip_byte_identical(tmp_path, use_mmap):
     table = CompiledRouteTable.compile(3, 3, workers=1)
     path = str(tmp_path / "table.routes")
     written = table.save(path)
-    assert written == len(MAGIC) + 12 + table.nbytes
+    # v2 layout: magic + fixed header + (body_crc, header_crc) + payload.
+    assert written == len(MAGIC) + 12 + 8 + table.nbytes
     loaded = CompiledRouteTable.load(path, use_mmap=use_mmap)
     try:
         assert (loaded.d, loaded.k, loaded.directed) == (3, 3, False)
@@ -200,6 +201,64 @@ def test_load_rejects_wrong_magic_and_corrupt_header(tmp_path):
         assert bytes(loaded.actions) == bytes(table.actions)
     finally:
         loaded.close()
+
+
+def test_save_is_atomic_and_checksummed(tmp_path):
+    """Crash-safety of v2 saves: no torn files, corruption detected."""
+    table = CompiledRouteTable.compile(2, 3, workers=1)
+    path = str(tmp_path / "table.routes")
+    table.save(path)
+
+    # No temporary droppings survive a successful save.
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["table.routes"]
+
+    # A torn write (simulated: the new payload truncated mid-body, as a
+    # crash between write and replace would leave a tmp file — or a
+    # non-atomic writer would leave the real file) must not load.
+    with open(path, "rb") as handle:
+        payload = handle.read()
+    torn = tmp_path / "torn.routes"
+    torn.write_bytes(payload[: len(payload) // 2])
+    with pytest.raises(InvalidParameterError):
+        CompiledRouteTable.load(str(torn))
+
+    # A single flipped header byte fails the header checksum.
+    flipped = bytearray(payload)
+    flipped[6] ^= 0xFF  # k field
+    bad_header = tmp_path / "badheader.routes"
+    bad_header.write_bytes(flipped)
+    with pytest.raises(InvalidParameterError):
+        CompiledRouteTable.load(str(bad_header))
+
+    # A flipped body byte fails the body checksum on the full-read path.
+    rotten = bytearray(payload)
+    rotten[-1] ^= 0xFF
+    bad_body = tmp_path / "badbody.routes"
+    bad_body.write_bytes(rotten)
+    with pytest.raises(InvalidParameterError):
+        CompiledRouteTable.load(str(bad_body), use_mmap=False)
+
+
+def test_load_accepts_legacy_v1_files(tmp_path):
+    """Tables saved by the pre-checksum writer keep loading."""
+    import struct as _struct
+
+    table = CompiledRouteTable.compile(2, 3, workers=1)
+    legacy = str(tmp_path / "legacy.routes")
+    with open(legacy, "wb") as handle:
+        handle.write(b"DBRT\x01")
+        handle.write(_struct.pack("<BBBxQ", table.d, table.k,
+                                  int(table.directed), table.order))
+        handle.write(bytes(table.actions))
+        handle.write(bytes(table.distances))
+    for use_mmap in (True, False):
+        loaded = CompiledRouteTable.load(legacy, use_mmap=use_mmap)
+        try:
+            assert bytes(loaded.actions) == bytes(table.actions)
+            assert bytes(loaded.distances) == bytes(table.distances)
+        finally:
+            loaded.close()
+    assert table_path(legacy) == (2, 3, False)
 
 
 def test_compile_kernels_are_byte_identical():
